@@ -1,0 +1,147 @@
+// Command rocksteady-cli is a minimal operations client for a TCP
+// cluster: table creation, reads/writes, tablet-map inspection, and —
+// the point of the system — live migration.
+//
+//	rocksteady-cli -peers 1=:7000,10=:7010,11=:7011 create-table users 10 11
+//	rocksteady-cli -peers ... write users alice hello
+//	rocksteady-cli -peers ... read users alice
+//	rocksteady-cli -peers ... map
+//	rocksteady-cli -peers ... migrate users 0x8000000000000000 0xffffffffffffffff 10 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+func main() {
+	var (
+		peersFlag = flag.String("peers", "", "comma-separated id=addr cluster map")
+		id        = flag.Uint64("id", 900, "this client's cluster ID")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *peersFlag == "" || len(args) == 0 {
+		usage()
+	}
+	peers := map[wire.ServerID]string{}
+	for _, part := range strings.Split(*peersFlag, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad peer entry %q", part)
+		}
+		pid, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[wire.ServerID(pid)] = kv[1]
+	}
+	ep, err := transport.NewTCP(transport.TCPConfig{
+		ID: wire.ServerID(*id), ListenAddr: "127.0.0.1:0", Peers: peers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := client.New(ep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "create-table":
+		need(args, 3, "create-table <name> <serverID>...")
+		var servers []wire.ServerID
+		for _, a := range args[2:] {
+			servers = append(servers, wire.ServerID(mustU64(a)))
+		}
+		table, err := cl.CreateTable(args[1], servers...)
+		check(err)
+		fmt.Printf("table %q id=%d\n", args[1], table)
+	case "write":
+		need(args, 4, "write <tableID|name-unsupported> <key> <value>")
+		check(cl.Write(wire.TableID(mustU64(args[1])), []byte(args[2]), []byte(args[3])))
+		fmt.Println("ok")
+	case "read":
+		need(args, 3, "read <tableID> <key>")
+		v, err := cl.Read(wire.TableID(mustU64(args[1])), []byte(args[2]))
+		check(err)
+		fmt.Printf("%s\n", v)
+	case "delete":
+		need(args, 3, "delete <tableID> <key>")
+		check(cl.Delete(wire.TableID(mustU64(args[1])), []byte(args[2])))
+		fmt.Println("ok")
+	case "map":
+		reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+		check(err)
+		tm := reply.(*wire.GetTabletMapResponse)
+		fmt.Printf("map version %d\n", tm.Version)
+		for _, t := range tm.Tablets {
+			fmt.Printf("  table %d %v -> %v\n", t.Table, t.Range, t.Master)
+		}
+		for _, il := range tm.Indexlets {
+			fmt.Printf("  index %d [%q,%q) -> %v\n", il.Index, il.Begin, il.End, il.Master)
+		}
+	case "migrate":
+		need(args, 6, "migrate <tableID> <startHash> <endHash> <sourceID> <targetID>")
+		rng := wire.HashRange{Start: mustU64(args[2]), End: mustU64(args[3])}
+		err := cl.MigrateTablet(wire.TableID(mustU64(args[1])), rng,
+			wire.ServerID(mustU64(args[4])), wire.ServerID(mustU64(args[5])))
+		check(err)
+		fmt.Println("migration started (ownership already transferred)")
+	case "crash":
+		need(args, 2, "crash <serverID>")
+		check(cl.ReportCrash(wire.ServerID(mustU64(args[1]))))
+		fmt.Println("recovery initiated")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rocksteady-cli -peers id=addr,... <command>
+commands:
+  create-table <name> <serverID>...
+  write <tableID> <key> <value>
+  read <tableID> <key>
+  delete <tableID> <key>
+  map
+  migrate <tableID> <startHash> <endHash> <sourceID> <targetID>
+  crash <serverID>`)
+	os.Exit(2)
+}
+
+func need(args []string, n int, form string) {
+	if len(args) < n {
+		log.Fatalf("usage: %s", form)
+	}
+}
+
+func mustU64(s string) uint64 {
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "0x"), baseOf(s), 64)
+	if err != nil {
+		log.Fatalf("bad number %q: %v", s, err)
+	}
+	return v
+}
+
+func baseOf(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

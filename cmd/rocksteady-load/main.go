@@ -1,0 +1,143 @@
+// Command rocksteady-load drives a YCSB workload against a TCP cluster
+// and prints per-second throughput and latency percentiles — the
+// operational load generator counterpart to the in-process benchmark
+// harness.
+//
+//	rocksteady-load -peers 1=:7000,10=:7010,11=:7011 \
+//	    -table 1 -objects 100000 -theta 0.99 -read-fraction 0.95 \
+//	    -clients 8 -seconds 30 -preload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+func main() {
+	var (
+		peersFlag = flag.String("peers", "", "comma-separated id=addr cluster map")
+		baseID    = flag.Uint64("id", 800, "base client cluster ID (one per load goroutine)")
+		tableID   = flag.Uint64("table", 0, "table to load (create it with rocksteady-cli first)")
+		objects   = flag.Uint64("objects", 100_000, "key space size")
+		theta     = flag.Float64("theta", 0.99, "Zipfian skew (0 = uniform)")
+		readFrac  = flag.Float64("read-fraction", 0.95, "fraction of reads (YCSB-B: 0.95)")
+		valueSize = flag.Int("value-size", 100, "value size in bytes")
+		clients   = flag.Int("clients", 8, "closed-loop client goroutines")
+		seconds   = flag.Int("seconds", 30, "run duration")
+		preload   = flag.Bool("preload", false, "write every key once before measuring")
+	)
+	flag.Parse()
+	if *peersFlag == "" || *tableID == 0 {
+		flag.Usage()
+		log.Fatal("need -peers and -table")
+	}
+	peers := map[wire.ServerID]string{}
+	for _, part := range strings.Split(*peersFlag, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad peer entry %q", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[wire.ServerID(id)] = kv[1]
+	}
+	table := wire.TableID(*tableID)
+
+	w := &ycsb.Workload{
+		Name:         "load",
+		ReadFraction: *readFrac,
+		Chooser:      ycsb.NewZipfian(*objects, *theta),
+		KeySize:      30,
+		ValueSize:    *valueSize,
+	}
+	if *theta == 0 {
+		w.Chooser = ycsb.NewUniform(*objects)
+	}
+
+	newClient := func(i int) *client.Client {
+		ep, err := transport.NewTCP(transport.TCPConfig{
+			ID: wire.ServerID(*baseID + uint64(i)), ListenAddr: "127.0.0.1:0", Peers: peers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl, err := client.New(ep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cl
+	}
+
+	if *preload {
+		log.Printf("preloading %d keys...", *objects)
+		cl := newClient(0)
+		for i := uint64(0); i < *objects; i++ {
+			if err := cl.Write(table, w.Key(i), w.Value(i)); err != nil {
+				log.Fatalf("preload key %d: %v", i, err)
+			}
+		}
+		cl.Close()
+		log.Printf("preload done")
+	}
+
+	timeline := metrics.NewTimeline()
+	var ops, errs atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := newClient(i + 1)
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(i) * 2654435761))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := w.NextOp(rng)
+				start := time.Now()
+				var err error
+				if op.Kind == ycsb.OpRead {
+					_, err = cl.Read(table, w.Key(op.Item))
+				} else {
+					err = cl.Write(table, w.Key(op.Item), w.Value(op.Item))
+				}
+				if err != nil && err != client.ErrNoSuchKey {
+					errs.Add(1)
+					continue
+				}
+				timeline.Record(time.Since(start))
+				ops.Add(1)
+			}
+		}(i)
+	}
+
+	rate := metrics.NewRateProbe(func() int64 { return ops.Load() })
+	fmt.Printf("%4s %12s %10s %10s %10s %8s\n", "sec", "ops/s", "median", "p99", "p99.9", "errors")
+	for sec := 1; sec <= *seconds; sec++ {
+		time.Sleep(time.Second)
+		win := timeline.Rotate()
+		fmt.Printf("%4d %12.0f %10v %10v %10v %8d\n",
+			sec, rate.Sample(), win.Summary.Median, win.Summary.P99, win.Summary.P999, errs.Load())
+	}
+	close(stop)
+	wg.Wait()
+}

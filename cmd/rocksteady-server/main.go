@@ -1,0 +1,122 @@
+// Command rocksteady-server runs a storage server (or the coordinator)
+// over real TCP, for multi-process deployments.
+//
+// A three-node cluster on one machine:
+//
+//	rocksteady-server -id 1  -listen :7000 -peers 1=:7000,10=:7010,11=:7011 -coordinator &
+//	rocksteady-server -id 10 -listen :7010 -peers 1=:7000,10=:7010,11=:7011 &
+//	rocksteady-server -id 11 -listen :7011 -peers 1=:7000,10=:7010,11=:7011 &
+//	rocksteady-cli    -peers 1=:7000,10=:7010,11=:7011 create-table users 10 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"rocksteady/internal/coordinator"
+	"rocksteady/internal/core"
+	"rocksteady/internal/server"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+func main() {
+	var (
+		id          = flag.Uint64("id", 0, "this server's cluster ID (coordinator is always 1)")
+		listen      = flag.String("listen", "", "listen address host:port")
+		peersFlag   = flag.String("peers", "", "comma-separated id=addr cluster map (must include every member)")
+		isCoord     = flag.Bool("coordinator", false, "run the cluster coordinator instead of a storage server")
+		workers     = flag.Int("workers", 0, "worker cores (default 12)")
+		replication = flag.Int("replication", 0, "replication factor across peer backups (0 = off)")
+		segSize     = flag.Int("segment-size", 0, "log segment size in bytes (default 1 MiB)")
+		htCap       = flag.Int("hashtable-capacity", 0, "expected object count (default 1M)")
+	)
+	flag.Parse()
+
+	if *id == 0 || *listen == "" || *peersFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	self := wire.ServerID(*id)
+	delete(peers, self) // the transport dials peers, not itself
+
+	ep, err := transport.NewTCP(transport.TCPConfig{
+		ID:         self,
+		ListenAddr: *listen,
+		Peers:      peers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *isCoord {
+		if self != wire.CoordinatorID {
+			log.Fatalf("the coordinator must use id %d", wire.CoordinatorID)
+		}
+		c := coordinator.New(transport.NewNode(ep))
+		log.Printf("coordinator listening on %s", ep.Addr())
+		waitForSignal()
+		c.Close()
+		return
+	}
+
+	var backups []wire.ServerID
+	if *replication > 0 {
+		for p := range peers {
+			if p != wire.CoordinatorID {
+				backups = append(backups, p)
+			}
+		}
+	}
+	srv := server.New(server.Config{
+		ID:                self,
+		Workers:           *workers,
+		SegmentSize:       *segSize,
+		HashTableCapacity: *htCap,
+		Backups:           backups,
+		ReplicationFactor: *replication,
+	}, ep)
+	core.NewManager(srv, core.Options{})
+
+	// Enlist with the coordinator.
+	node := srv.Node()
+	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: self}); err != nil {
+		log.Printf("warning: enlist failed (%v); start the coordinator first", err)
+	}
+	log.Printf("server %v listening on %s (workers=%d replication=%d)",
+		self, ep.Addr(), srv.Config().Workers, *replication)
+	waitForSignal()
+	srv.Close()
+}
+
+func parsePeers(s string) (map[wire.ServerID]string, error) {
+	peers := make(map[wire.ServerID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		peers[wire.ServerID(id)] = kv[1]
+	}
+	return peers, nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,67 @@
+package rocksteady_test
+
+import (
+	"fmt"
+
+	"rocksteady"
+)
+
+// Example shows the smallest useful program: a cluster, a table, a write,
+// a read, and a live migration.
+func Example() {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 2})
+	defer c.Close()
+
+	cl, err := c.Client()
+	if err != nil {
+		panic(err)
+	}
+	table, err := cl.CreateTable("users", c.ServerIDs()[0])
+	if err != nil {
+		panic(err)
+	}
+	if err := cl.Write(table, []byte("alice"), []byte("hello")); err != nil {
+		panic(err)
+	}
+
+	// Live-migrate the whole table to the second server; the read below
+	// works regardless of whether it lands before, during, or after.
+	m, err := c.Migrate(table, rocksteady.FullRange(), 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	v, err := cl.Read(table, []byte("alice"))
+	if err != nil {
+		panic(err)
+	}
+	res := m.Wait()
+	if res.Err != nil {
+		panic(res.Err)
+	}
+	fmt.Printf("%s, migrated %d record(s)\n", v, res.Records)
+	// Output: hello, migrated 1 record(s)
+}
+
+// ExampleClient_IndexScan builds a secondary index and scans it in
+// secondary-key order.
+func ExampleClient_IndexScan() {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 1})
+	defer c.Close()
+	cl, _ := c.Client()
+	table, _ := cl.CreateTable("pets", c.ServerIDs()...)
+	index, _ := cl.CreateIndex(table, c.ServerIDs(), nil)
+
+	for i, name := range []string{"rex", "bella", "milo"} {
+		pk := []byte(fmt.Sprintf("pet-%d", i))
+		_ = cl.Write(table, pk, []byte(name))
+		_ = cl.IndexInsert(index, []byte(name), pk)
+	}
+	hits, _ := cl.IndexScan(table, index, []byte("a"), []byte("z"), 10)
+	for _, h := range hits {
+		fmt.Println(string(h.Value))
+	}
+	// Output:
+	// bella
+	// milo
+	// rex
+}

@@ -1,0 +1,78 @@
+// Secondary indexes: the Figure 2 scenario. A user table is hash
+// partitioned across two servers; a FirstName index is range partitioned
+// into two indexlets. Short scans fetch ordered hashes from one indexlet,
+// then multiget the backing records by hash — so a scan usually touches
+// one indexlet server plus the tablet servers that own the hits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rocksteady"
+)
+
+func main() {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 2})
+	defer c.Close()
+
+	cl, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	servers := c.ServerIDs()
+
+	// User table hash partitioned on uid across both servers.
+	table, err := cl.CreateTable("users", servers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// FirstName index range partitioned: [A, m) on server 0, [m, ∞) on
+	// server 1 — the paper's "FirstName Indexlet 1 / 2".
+	index, err := cl.CreateIndex(table, servers, [][]byte{[]byte("m")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	users := map[string]string{ // uid -> first name
+		"uid-0021": "Alice", "uid-0011": "Anna", "uid-0004": "Ariel",
+		"uid-0008": "Belle", "uid-0022": "Elsa", "uid-0029": "Nala",
+		"uid-0012": "Sofia", "uid-0002": "Tiana",
+	}
+	for uid, name := range users {
+		// The record: primary key uid, value holds the name.
+		if err := cl.Write(table, []byte(uid), []byte(name)); err != nil {
+			log.Fatal(err)
+		}
+		// Index entry: lowercase first name -> primary key hash.
+		if err := cl.IndexInsert(index, []byte(lower(name)), []byte(uid)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Short range scans, like the paper's 4-record index scans.
+	for _, q := range []struct{ begin, end string }{
+		{"a", "c"}, // Alice, Anna, Ariel, Belle
+		{"s", "u"}, // Sofia, Tiana
+		{"n", "z"}, // Nala ... (second indexlet)
+	} {
+		res, err := cl.IndexScan(table, index, []byte(q.begin), []byte(q.end), 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scan [%s, %s): %d hits\n", q.begin, q.end, len(res))
+		for _, r := range res {
+			fmt.Printf("  %s -> %s\n", r.Key, r.Value)
+		}
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,128 @@
+// Live migration under load: the paper's headline scenario (§4.2) in
+// miniature. A YCSB-B workload (95% reads / 5% writes, Zipfian θ=0.99)
+// hammers one server; halfway through we live-migrate half the table to a
+// second server and print per-second throughput and tail latency so the
+// shape of Figures 9/10 is visible on stdout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/ycsb"
+)
+
+const (
+	objects    = 100_000
+	loaders    = 4
+	runSeconds = 12
+)
+
+func main() {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{
+		Servers:           2,
+		ReplicationFactor: 1,
+		HashTableCapacity: objects * 2,
+	})
+	defer c.Close()
+
+	cl, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := cl.CreateTable("ycsb", c.ServerIDs()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := ycsb.WorkloadB(objects, 0.99)
+	fmt.Printf("loading %d records...\n", objects)
+	keys := make([][]byte, objects)
+	values := make([][]byte, objects)
+	for i := range keys {
+		keys[i] = w.Key(uint64(i))
+		values[i] = w.Value(uint64(i))
+	}
+	if err := c.BulkLoad(table, keys, values); err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed-loop load generators.
+	timeline := metrics.NewTimeline()
+	var ops atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			lcl, err := c.Client()
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := w.NextOp(rng)
+				start := time.Now()
+				if op.Kind == ycsb.OpRead {
+					_, err = lcl.Read(table, w.Key(op.Item))
+				} else {
+					err = lcl.Write(table, w.Key(op.Item), w.Value(op.Item))
+				}
+				if err == nil || err == rocksteady.ErrNoSuchKey {
+					timeline.Record(time.Since(start))
+					ops.Add(1)
+				}
+			}
+		}(int64(l))
+	}
+
+	// Per-second reporter.
+	rate := metrics.NewRateProbe(func() int64 { return ops.Load() })
+	fmt.Printf("%4s %12s %10s %10s %s\n", "sec", "ops/s", "median", "p99.9", "phase")
+	var mig *rocksteady.Migration
+	phase := "before"
+	for sec := 1; sec <= runSeconds; sec++ {
+		time.Sleep(time.Second)
+		win := timeline.Rotate()
+		fmt.Printf("%4d %12.0f %10v %10v %s\n",
+			sec, rate.Sample(), win.Summary.Median, win.Summary.P999, phase)
+
+		if sec == runSeconds/3 {
+			half := rocksteady.FullRange().Split(2)[1]
+			mig, err = c.Migrate(table, half, 0, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			phase = "migrating"
+			go func() {
+				res := mig.Wait()
+				if res.Err != nil {
+					log.Printf("migration error: %v", res.Err)
+					return
+				}
+				fmt.Printf("     -> migration done: %d records, %.2f MB, %.1f MB/s\n",
+					res.Records, float64(res.Bytes)/1e6, res.RateMBps())
+				phase = "after"
+			}()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if mig != nil {
+		res := mig.Wait()
+		fmt.Printf("final: %d records in %v (%d pulls, %d priority pulls)\n",
+			res.Records, res.Duration(), res.PullRPCs, res.PriorityPullRPCs)
+	}
+}

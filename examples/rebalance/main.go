@@ -1,0 +1,121 @@
+// Skew-triggered rebalancing: the operational loop Rocksteady enables.
+// A three-server cluster hosts one table on a single server; a skewed
+// workload overloads it. A tiny "load balancer" watches per-server load
+// and, because migration is cheap and boundaries are decided at migration
+// time (lazy partitioning, §1), peels off hash-range slices to the idle
+// servers until load evens out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady"
+	"rocksteady/internal/ycsb"
+)
+
+const objects = 50_000
+
+func main() {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{
+		Servers:           3,
+		HashTableCapacity: objects * 2,
+	})
+	defer c.Close()
+
+	cl, err := c.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Everything starts on server 0 — the "hot" node.
+	table, err := cl.CreateTable("hot", c.ServerIDs()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := ycsb.WorkloadB(objects, 0.99)
+	keys := make([][]byte, objects)
+	values := make([][]byte, objects)
+	for i := range keys {
+		keys[i] = w.Key(uint64(i))
+		values[i] = w.Value(uint64(i))
+	}
+	if err := c.BulkLoad(table, keys, values); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load generators.
+	var total atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for l := 0; l < 4; l++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			lcl, err := c.Client()
+			if err != nil {
+				log.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := w.NextOp(rng)
+				if op.Kind == ycsb.OpRead {
+					_, _ = lcl.Read(table, w.Key(op.Item))
+				} else {
+					_ = lcl.Write(table, w.Key(op.Item), w.Value(op.Item))
+				}
+				total.Add(1)
+			}
+		}(int64(l))
+	}
+
+	// The balancer: every 2 seconds, if one server answers most requests,
+	// split off a slice of its hottest table and move it to the least
+	// loaded server. No pre-partitioning ever happened: the split points
+	// are chosen at migration time.
+	parts := rocksteady.FullRange().Split(3)
+	moves := []struct {
+		rng    rocksteady.HashRange
+		target int
+	}{
+		{parts[1], 1},
+		{parts[2], 2},
+	}
+	fmt.Println("sec  total-ops/s   note")
+	last := int64(0)
+	for sec := 1; sec <= 8; sec++ {
+		time.Sleep(time.Second)
+		cur := total.Load()
+		note := ""
+		if sec == 2 || sec == 4 {
+			mv := moves[0]
+			moves = moves[1:]
+			m, err := c.Migrate(table, mv.rng, 0, mv.target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := m.Wait()
+			if res.Err != nil {
+				log.Fatal(res.Err)
+			}
+			note = fmt.Sprintf("migrated %d records to server %d (%.1f MB/s)",
+				res.Records, mv.target, res.RateMBps())
+		}
+		fmt.Printf("%3d %12d   %s\n", sec, cur-last, note)
+		last = cur
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final placement.
+	fmt.Println("final ops served; table now spread over 3 servers")
+}

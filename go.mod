@@ -1,0 +1,3 @@
+module rocksteady
+
+go 1.22

@@ -1,0 +1,305 @@
+package backup
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// ErrReplicationFailed reports that a backup rejected or lost an update.
+var ErrReplicationFailed = errors.New("backup: replication failed")
+
+// Replicator streams a master's log growth to its backups. Writers call
+// Sync after appending; concurrent Syncs share flushes (group commit), so
+// under load the replication ceiling — not per-RPC latency — governs
+// throughput, as in §2.3.
+type Replicator struct {
+	node    *transport.Node
+	master  wire.ServerID
+	backups []wire.ServerID
+	factor  int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []storage.AppendEvent
+	appended  uint64 // generation: events accepted
+	synced    uint64 // generation: events durable on all replicas
+	flushing  bool
+	failed    error
+	bytesSent int64
+	dead      map[wire.ServerID]bool
+
+	// resolve maps (logID, segmentID) to the live segment so a batch that
+	// lost every replica can be re-replicated in full to a fresh backup.
+	resolve func(logID, segID uint64) *storage.Segment
+}
+
+// NewReplicator creates a replicator writing to the given backups with the
+// given replication factor (clamped to the backup count). A nil node or
+// empty backup list disables replication: Sync succeeds immediately.
+func NewReplicator(node *transport.Node, master wire.ServerID, backups []wire.ServerID, factor int) *Replicator {
+	if factor > len(backups) {
+		factor = len(backups)
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	r := &Replicator{node: node, master: master, backups: backups, factor: factor,
+		dead: make(map[wire.ServerID]bool)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// SetSegmentResolver installs the lookup used to re-replicate a whole
+// segment after a backup failure.
+func (r *Replicator) SetSegmentResolver(f func(logID, segID uint64) *storage.Segment) {
+	r.resolve = f
+}
+
+// Enabled reports whether replication is active.
+func (r *Replicator) Enabled() bool { return r.node != nil && r.factor > 0 }
+
+// BytesSent returns total bytes shipped to backups (per-replica counted).
+func (r *Replicator) BytesSent() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesSent
+}
+
+// OnAppend accepts a log append event; wire it to storage.NewLog. It never
+// blocks the log append path.
+func (r *Replicator) OnAppend(ev storage.AppendEvent) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	r.pending = append(r.pending, ev)
+	r.appended++
+	r.mu.Unlock()
+}
+
+// Sync blocks until every event accepted before the call is durable on
+// the replication factor's worth of backups.
+func (r *Replicator) Sync() error {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target := r.appended
+	for r.synced < target {
+		if r.failed != nil {
+			return r.failed
+		}
+		if !r.flushing {
+			r.flushing = true
+			batch := r.pending
+			gen := r.appended
+			r.pending = nil
+			r.mu.Unlock()
+			err := r.flush(batch)
+			r.mu.Lock()
+			r.flushing = false
+			if err != nil {
+				r.failed = err
+			} else {
+				r.synced = gen
+			}
+			r.cond.Broadcast()
+			continue
+		}
+		r.cond.Wait()
+	}
+	return r.failed
+}
+
+// backupsFor places a segment's replicas: factor consecutive live backups
+// starting at a position derived from the segment ID. Backups that failed
+// a replication RPC are skipped permanently (the coordinator recovers
+// their replicas elsewhere; re-enlisting is out of scope).
+func (r *Replicator) backupsFor(segID uint64) []wire.ServerID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]wire.ServerID, 0, r.factor)
+	for i := 0; i < len(r.backups) && len(out) < r.factor; i++ {
+		b := r.backups[(int(segID)+i)%len(r.backups)]
+		if !r.dead[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// markDead excludes a backup from future placement.
+func (r *Replicator) markDead(b wire.ServerID) {
+	r.mu.Lock()
+	r.dead[b] = true
+	r.mu.Unlock()
+}
+
+// awaitReplicas waits for a batch of per-replica calls grouped by batch
+// index and returns the per-batch success counts. Failed replicas are
+// marked dead; durability degrades rather than halting the master — the
+// availability call RAMCloud makes, with recovery and full-segment
+// re-replication responsible for restoring redundancy.
+func (r *Replicator) awaitReplicas(calls []*transport.Call, backups []wire.ServerID, batch []int, nbatches int) []int {
+	okPerBatch := make([]int, nbatches)
+	for i, c := range calls {
+		reply, err := c.Wait()
+		if err != nil {
+			r.markDead(backups[i])
+			continue
+		}
+		if resp, ok := reply.(*wire.ReplicateSegmentResponse); !ok || resp.Status != wire.StatusOK {
+			r.markDead(backups[i])
+			continue
+		}
+		okPerBatch[batch[i]]++
+	}
+	return okPerBatch
+}
+
+// replicateWholeSegment sends a segment's full contents to one live backup
+// (failover after a replica loss: a delta append would leave a gap, so the
+// replacement gets the whole prefix).
+func (r *Replicator) replicateWholeSegment(seg *storage.Segment) error {
+	if seg == nil {
+		return fmt.Errorf("%w: segment vanished during failover", ErrReplicationFailed)
+	}
+	req := &wire.ReplicateSegmentRequest{
+		Master:    r.master,
+		LogID:     seg.LogID,
+		SegmentID: seg.ID,
+		Offset:    0,
+		Data:      seg.Data(0, seg.Len()),
+		Close:     seg.Sealed(),
+	}
+	for attempt := 0; attempt < len(r.backups); attempt++ {
+		targets := r.backupsFor(seg.ID)
+		if len(targets) == 0 {
+			break
+		}
+		reply, err := r.node.Call(targets[0], wire.PriorityReplication, req)
+		if err != nil {
+			r.markDead(targets[0])
+			continue
+		}
+		if resp, ok := reply.(*wire.ReplicateSegmentResponse); ok && resp.Status == wire.StatusOK {
+			return nil
+		}
+		r.markDead(targets[0])
+	}
+	return fmt.Errorf("%w: no live backup for segment %d", ErrReplicationFailed, seg.ID)
+}
+
+// flush ships a batch of events, coalescing consecutive events of the same
+// segment into single RPCs.
+func (r *Replicator) flush(batch []storage.AppendEvent) error {
+	type segBatch struct {
+		logID, segID uint64
+		offset       int
+		data         []byte
+		close        bool
+	}
+	var coalesced []segBatch
+	for _, ev := range batch {
+		n := len(coalesced)
+		if n > 0 && coalesced[n-1].segID == ev.SegmentID && coalesced[n-1].logID == ev.LogID &&
+			!coalesced[n-1].close && coalesced[n-1].offset+len(coalesced[n-1].data) == ev.Offset {
+			coalesced[n-1].data = append(coalesced[n-1].data, ev.Data...)
+			coalesced[n-1].close = ev.Sealed
+			continue
+		}
+		data := make([]byte, len(ev.Data))
+		copy(data, ev.Data)
+		coalesced = append(coalesced, segBatch{
+			logID: ev.LogID, segID: ev.SegmentID, offset: ev.Offset,
+			data: data, close: ev.Sealed,
+		})
+	}
+	var calls []*transport.Call
+	var callBackups []wire.ServerID
+	var callBatch []int
+	var sent int64
+	for bi, sb := range coalesced {
+		req := &wire.ReplicateSegmentRequest{
+			Master:    r.master,
+			LogID:     sb.logID,
+			SegmentID: sb.segID,
+			Offset:    uint32(sb.offset),
+			Data:      sb.data,
+			Close:     sb.close,
+		}
+		for _, b := range r.backupsFor(sb.segID) {
+			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
+			callBackups = append(callBackups, b)
+			callBatch = append(callBatch, bi)
+			sent += int64(len(sb.data))
+		}
+	}
+	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, len(coalesced))
+	for bi, n := range okPerBatch {
+		if n > 0 {
+			continue
+		}
+		var seg *storage.Segment
+		if r.resolve != nil {
+			seg = r.resolve(coalesced[bi].logID, coalesced[bi].segID)
+		}
+		if err := r.replicateWholeSegment(seg); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.bytesSent += sent
+	r.mu.Unlock()
+	return nil
+}
+
+// ReplicateSegments ships whole segments (sealed side logs at migration
+// end — the *lazy* re-replication of §3.4). Events bypass the pending
+// queue: the caller owns ordering.
+func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
+	if !r.Enabled() {
+		return nil
+	}
+	var calls []*transport.Call
+	var callBackups []wire.ServerID
+	var callBatch []int
+	var sent int64
+	for bi, seg := range segs {
+		data := seg.Data(0, seg.Len())
+		req := &wire.ReplicateSegmentRequest{
+			Master:    r.master,
+			LogID:     seg.LogID,
+			SegmentID: seg.ID,
+			Offset:    0,
+			Data:      data,
+			Close:     true,
+		}
+		for _, b := range r.backupsFor(seg.ID) {
+			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
+			callBackups = append(callBackups, b)
+			callBatch = append(callBatch, bi)
+			sent += int64(len(data))
+		}
+		seg.SetReplicatedTo(seg.Len())
+	}
+	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, len(segs))
+	for bi, n := range okPerBatch {
+		if n > 0 {
+			continue
+		}
+		if err := r.replicateWholeSegment(segs[bi]); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.bytesSent += sent
+	r.mu.Unlock()
+	return nil
+}

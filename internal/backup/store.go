@@ -1,0 +1,141 @@
+// Package backup implements the durability substrate: every server runs a
+// backup service that stores replicas of other masters' log segments
+// (standing in for RAMCloud's remote flash), and every master runs a
+// Replicator that streams its log tail to its backups with group commit.
+//
+// The paper's replication ceiling (~380 MB/s on their cluster, §2.3) is
+// reproduced with a configurable write-bandwidth throttle on the store.
+package backup
+
+import (
+	"sync"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// replicaKey identifies one segment replica.
+type replicaKey struct {
+	master wire.ServerID
+	logID  uint64
+	segID  uint64
+}
+
+type replica struct {
+	data   []byte
+	closed bool
+	// logOffset is the master-log offset of the first byte of this
+	// replica; recovery uses it to replay only a lineage dependency's
+	// tail.
+	logOffset uint64
+}
+
+// Store is the backup service state on one server.
+type Store struct {
+	// WriteBandwidth throttles replica writes in bytes/sec; 0 disables
+	// throttling. Models the flash/replication ceiling of §2.3.
+	WriteBandwidth float64
+
+	mu       sync.Mutex
+	replicas map[replicaKey]*replica
+	nicFree  time.Time
+	written  int64
+}
+
+// NewStore creates an empty backup store.
+func NewStore() *Store {
+	return &Store{replicas: make(map[replicaKey]*replica)}
+}
+
+// BytesWritten returns total replica bytes accepted.
+func (s *Store) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// HandleReplicate applies one replication request: append Data at Offset
+// of the replica, creating it if needed.
+func (s *Store) HandleReplicate(req *wire.ReplicateSegmentRequest) wire.Status {
+	s.throttle(len(req.Data))
+	key := replicaKey{master: req.Master, logID: req.LogID, segID: req.SegmentID}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.replicas[key]
+	if r == nil {
+		r = &replica{}
+		s.replicas[key] = r
+	}
+	if r.closed && len(req.Data) > 0 {
+		return wire.StatusInternalError
+	}
+	if int(req.Offset) != len(r.data) {
+		// Out-of-order or duplicate append: accept idempotently when it
+		// rewrites an existing prefix, reject gaps.
+		if int(req.Offset) > len(r.data) {
+			return wire.StatusInternalError
+		}
+		copy(r.data[req.Offset:], req.Data)
+		if int(req.Offset)+len(req.Data) > len(r.data) {
+			r.data = append(r.data[:req.Offset], req.Data...)
+		}
+	} else {
+		r.data = append(r.data, req.Data...)
+	}
+	if req.Close {
+		r.closed = true
+	}
+	s.written += int64(len(req.Data))
+	return wire.StatusOK
+}
+
+// throttle enforces the write-bandwidth model using an accumulated-debt
+// virtual clock (accurate in aggregate despite coarse OS timers).
+func (s *Store) throttle(n int) {
+	if s.WriteBandwidth <= 0 || n == 0 {
+		return
+	}
+	d := time.Duration(float64(n) / s.WriteBandwidth * float64(time.Second))
+	s.mu.Lock()
+	now := time.Now()
+	if s.nicFree.Before(now) {
+		s.nicFree = now
+	}
+	s.nicFree = s.nicFree.Add(d)
+	debt := s.nicFree.Sub(now)
+	s.mu.Unlock()
+	if debt > 100*time.Microsecond {
+		time.Sleep(debt)
+	}
+}
+
+// HandleGetSegments returns every replica held for a master, for recovery.
+func (s *Store) HandleGetSegments(req *wire.GetBackupSegmentsRequest) *wire.GetBackupSegmentsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := &wire.GetBackupSegmentsResponse{Status: wire.StatusOK}
+	for key, r := range s.replicas {
+		if key.master != req.Master {
+			continue
+		}
+		data := make([]byte, len(r.data))
+		copy(data, r.data)
+		resp.Segments = append(resp.Segments, wire.BackupSegment{
+			LogID:     key.logID,
+			SegmentID: key.segID,
+			Data:      data,
+		})
+	}
+	return resp
+}
+
+// Drop discards every replica held for a master (post-recovery cleanup).
+func (s *Store) Drop(master wire.ServerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.replicas {
+		if key.master == master {
+			delete(s.replicas, key)
+		}
+	}
+}

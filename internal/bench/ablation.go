@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"rocksteady/internal/core"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// AblationRow compares one design choice against the full protocol.
+type AblationRow struct {
+	Name          string
+	MigrationMBps float64
+	Seconds       float64
+	SpeedupVsFull float64 // full Rocksteady's rate divided by this row's
+}
+
+// AblationLineageAndSideLogs quantifies two of Rocksteady's design
+// decisions by turning them off one at a time:
+//
+//   - "sync re-replication" replaces lineage-deferred re-replication with
+//     per-batch synchronous replication (the paper's §4.2 claim: lineage
+//     makes migration 1.4× faster).
+//   - "shared main log" replaces per-worker side logs with direct main-log
+//     replay (§3.1.3's contention ablation).
+//
+// Replication factor >= 1 is forced: without backups the sync path is
+// free and the comparison meaningless.
+func AblationLineageAndSideLogs(p Params) ([]AblationRow, error) {
+	p.applyDefaults()
+	if p.ReplicationFactor <= 0 {
+		p.ReplicationFactor = 1
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full rocksteady (lazy re-replication, side logs)", core.Options{}},
+		{"sync re-replication (no lineage deferral)", core.Options{SyncRereplication: true}},
+		{"shared main log (no side logs)", core.Options{DisableSideLogs: true}},
+	}
+	var rows []AblationRow
+	var fullRate float64
+	for _, v := range variants {
+		rate, secs, err := ablationRun(p, v.opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		if fullRate == 0 {
+			fullRate = rate
+		}
+		row := AblationRow{Name: v.name, MigrationMBps: rate, Seconds: secs}
+		if rate > 0 {
+			row.SpeedupVsFull = fullRate / rate
+		}
+		rows = append(rows, row)
+		p.logf("ablation %-48s %8.1f MB/s (full is %.2fx)", v.name, rate, row.SpeedupVsFull)
+	}
+	return rows, nil
+}
+
+func ablationRun(p Params, opts core.Options) (mbps, secs float64, err error) {
+	c := buildCluster(p, 3, opts)
+	defer c.Close()
+	w := ycsb.WorkloadB(uint64(p.Objects), p.Theta)
+	w.ValueSize = p.ValueSize
+	table, err := loadTable(c, w, "ablation", c.Server(0).ID())
+	if err != nil {
+		return 0, 0, err
+	}
+	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	res := g.Wait()
+	if res.Err != nil {
+		return 0, 0, res.Err
+	}
+	return res.RateMBps(), res.Duration().Seconds(), nil
+}

@@ -1,0 +1,200 @@
+package bench
+
+// Smoke tests: every figure harness must run end-to-end at tiny scale and
+// produce structurally sane output. The full-scale shapes are asserted by
+// hand in EXPERIMENTS.md; these tests protect the harnesses themselves.
+
+import (
+	"testing"
+)
+
+func tinyParams() Params {
+	return Params{
+		Objects: 6_000,
+		Seconds: 2,
+		Clients: 2,
+		Workers: 2,
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	p := tinyParams()
+	p.Objects = 20_000 // 7 servers need enough keys per server
+	p.Seconds = 7
+	rows, err := Fig3MultigetSpread(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Spread != i+1 {
+			t.Fatalf("spread sequence broken: %+v", r)
+		}
+		if r.MObjectsPerSec <= 0 {
+			t.Fatalf("no throughput at spread %d", r.Spread)
+		}
+		if r.DispatchLoad <= 0 || r.WorkerLoad <= 0 {
+			t.Fatalf("no utilization at spread %d: %+v", r.Spread, r)
+		}
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	p := tinyParams()
+	p.Clients = 1
+	pts, err := Fig4IndexScaling(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]bool{}
+	for _, pt := range pts {
+		configs[pt.Config] = true
+		if pt.KObjectsPerSec <= 0 || pt.P999Micros <= 0 {
+			t.Fatalf("empty point: %+v", pt)
+		}
+	}
+	if len(configs) != 3 {
+		t.Fatalf("configs = %v", configs)
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	p := tinyParams()
+	series, err := Fig5BaselineBreakdown(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig5Variants) {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if s.MeanMBps <= 0 || s.Seconds <= 0 {
+			t.Fatalf("empty series: %+v", s)
+		}
+	}
+	// The defining shape: identification-only beats the full protocol.
+	if series[4].MeanMBps <= series[0].MeanMBps {
+		t.Errorf("Skip Copy (%.1f) should beat Full (%.1f)",
+			series[4].MeanMBps, series[0].MeanMBps)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	for _, v := range []Variant{VariantRocksteady, VariantNoPriorityPulls, VariantSourceRetains} {
+		res, err := Fig9MigrationImpact(tinyParams(), v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Migration.RecordsPulled == 0 {
+			t.Fatalf("%s: nothing migrated", v)
+		}
+		phases := map[string]bool{}
+		for _, pt := range res.Points {
+			phases[pt.Phase] = true
+		}
+		if !phases["before"] {
+			t.Fatalf("%s: missing before phase (points %d)", v, len(res.Points))
+		}
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	series, err := Fig12SkewImpact(tinyParams(), []float64{0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Migration.RecordsPulled == 0 {
+		t.Fatalf("series: %+v", series)
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	for _, mode := range []Fig13Mode{ModeAsyncBatched, ModeSyncSingle} {
+		res, err := Fig13PriorityPullStrategies(tinyParams(), mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(res.Points) == 0 {
+			t.Fatalf("%s: no points", mode)
+		}
+		if res.PriorityPullRPCs == 0 {
+			t.Fatalf("%s: no PriorityPulls despite Pulls disabled", mode)
+		}
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	p := tinyParams()
+	pts, err := Fig15PullReplayScalability(p, []int{1, 2}, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.GBPerSec <= 0 {
+			t.Fatalf("zero rate: %+v", pt)
+		}
+	}
+}
+
+func TestHeadlineSmoke(t *testing.T) {
+	h, err := Headline(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MigrationMBps <= 0 || h.RecordsMigrated == 0 {
+		t.Fatalf("headline: %+v", h)
+	}
+	if h.MedianBefore <= 0 {
+		t.Fatalf("no before-phase latency: %+v", h)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	p.applyDefaults()
+	d := DefaultParams()
+	if p.Objects != d.Objects || p.Clients != d.Clients || p.Theta != d.Theta {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	rows, err := AblationLineageAndSideLogs(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MigrationMBps <= 0 {
+			t.Fatalf("empty row %+v", r)
+		}
+	}
+}
+
+func TestCleanerUtilizationSmoke(t *testing.T) {
+	p := tinyParams()
+	p.Objects = 10_000
+	rows, err := CleanerUtilization(p, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Higher utilization must cost more write amplification — the
+	// fundamental log-structured-memory trade-off.
+	if rows[1].WriteAmplification <= rows[0].WriteAmplification {
+		t.Errorf("write amp at 90%% (%.2f) not above 50%% (%.2f)",
+			rows[1].WriteAmplification, rows[0].WriteAmplification)
+	}
+	if rows[0].CleanerPasses == 0 || rows[1].CleanerPasses == 0 {
+		t.Error("cleaner never ran")
+	}
+}

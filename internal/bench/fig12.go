@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rocksteady/internal/core"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Fig12Series is the source dispatch-load timeline for one skew level.
+type Fig12Series struct {
+	Theta  float64
+	Points []TimePoint
+	// MeanDuringMigration is the average source dispatch load while the
+	// migration ran — the figure's claim is that it stays roughly flat
+	// across skews.
+	MeanDuringMigration float64
+	MeanBefore          float64
+	Migration           core.Result
+}
+
+// Fig12SkewImpact reproduces Figure 12: source-side dispatch load during
+// migration across Zipfian skews θ ∈ {0, 0.5, 0.99, 1.5}. Batched
+// PriorityPulls shed the hot keys' load immediately, hiding the extra
+// dispatch load of the background Pulls regardless of skew.
+func Fig12SkewImpact(p Params, thetas []float64) ([]Fig12Series, error) {
+	p.applyDefaults()
+	if len(thetas) == 0 {
+		thetas = []float64{0, 0.5, 0.99, 1.5}
+	}
+	var out []Fig12Series
+	for _, theta := range thetas {
+		s, err := fig12Run(p, theta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *s)
+		p.logf("fig12 θ=%-4v dispatch before=%.2f during=%.2f (migrated %.1f MB in %v)",
+			theta, s.MeanBefore, s.MeanDuringMigration,
+			float64(s.Migration.BytesPulled)/1e6, s.Migration.Duration().Round(time.Millisecond))
+	}
+	return out, nil
+}
+
+func fig12Run(p Params, theta float64) (*Fig12Series, error) {
+	c := buildCluster(p, 2, core.Options{})
+	defer c.Close()
+
+	w := ycsb.WorkloadB(uint64(p.Objects), theta)
+	w.ValueSize = p.ValueSize
+	table, err := loadTable(c, w, "ycsb", c.Server(0).ID())
+	if err != nil {
+		return nil, err
+	}
+	gen := startLoad(c, table, w, p.Clients)
+	defer gen.halt()
+	src := probesFor(c, 0)
+	opsRate := metrics.NewRateProbe(func() int64 { return gen.ops.Load() })
+
+	series := &Fig12Series{Theta: theta}
+	half := wire.FullRange().Split(2)[1]
+	var mig *core.Migration
+	phase := "before"
+	beforeSecs := p.Seconds / 3
+	var beforeSum, duringSum float64
+	var beforeN, duringN int
+
+	for sec := 1; ; sec++ {
+		time.Sleep(time.Second)
+		gen.timeline.Rotate()
+		d := src.dispatch.Sample()
+		series.Points = append(series.Points, TimePoint{
+			Second:         sec,
+			ThroughputKops: opsRate.Sample() / 1e3,
+			SourceDispatch: d,
+			Phase:          phase,
+		})
+		switch phase {
+		case "before":
+			beforeSum += d
+			beforeN++
+			if sec >= beforeSecs {
+				cl := c.MustClient()
+				if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+					return nil, err
+				}
+				mig = c.Managers[1].Migration(table, half)
+				phase = "migrating"
+			}
+		case "migrating":
+			duringSum += d
+			duringN++
+			select {
+			case <-mig.Done():
+				series.Migration = mig.Result()
+				if series.Migration.Err != nil {
+					return nil, series.Migration.Err
+				}
+				if beforeN > 0 {
+					series.MeanBefore = beforeSum / float64(beforeN)
+				}
+				if duringN > 0 {
+					series.MeanDuringMigration = duringSum / float64(duringN)
+				}
+				return series, nil
+			default:
+				if sec > p.Seconds*6 {
+					return nil, fmt.Errorf("fig12: migration stuck at θ=%v", theta)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"time"
+
+	"rocksteady/internal/core"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Fig13Mode selects the PriorityPull strategy under test.
+type Fig13Mode string
+
+// PriorityPull strategies (Figures 13/14 panels a and b).
+const (
+	ModeAsyncBatched Fig13Mode = "async-batched"
+	ModeSyncSingle   Fig13Mode = "sync-single"
+)
+
+// Fig13Result is the per-second latency and utilization timeline of a
+// PriorityPull-only migration (background Pulls disabled).
+type Fig13Result struct {
+	Mode             Fig13Mode
+	Points           []TimePoint
+	PriorityPullRPCs int64
+}
+
+// Fig13PriorityPullStrategies reproduces Figures 13 and 14: migration with
+// background Pulls disabled, so client-triggered PriorityPulls are the
+// only data path. Async batched pulls restore median latency immediately
+// and keep workers free; the naive synchronous variant stalls target
+// workers on every miss, producing latency jitter and inflated worker
+// utilization.
+func Fig13PriorityPullStrategies(p Params, mode Fig13Mode) (*Fig13Result, error) {
+	p.applyDefaults()
+	opts := core.Options{DisableBackgroundPulls: true}
+	if mode == ModeSyncSingle {
+		opts.SyncPriorityPulls = true
+	}
+	c := buildCluster(p, 2, opts)
+	defer c.Close()
+
+	w := ycsb.WorkloadB(uint64(p.Objects), p.Theta)
+	w.ValueSize = p.ValueSize
+	table, err := loadTable(c, w, "ycsb", c.Server(0).ID())
+	if err != nil {
+		return nil, err
+	}
+	gen := startLoad(c, table, w, p.Clients)
+	src := probesFor(c, 0)
+	dst := probesFor(c, 1)
+	opsRate := metrics.NewRateProbe(func() int64 { return gen.ops.Load() })
+
+	res := &Fig13Result{Mode: mode}
+	half := wire.FullRange().Split(2)[1]
+	var mig *core.Migration
+	beforeSecs := p.Seconds / 4
+	if beforeSecs < 1 {
+		beforeSecs = 1
+	}
+	phase := "before"
+	for sec := 1; sec <= p.Seconds; sec++ {
+		time.Sleep(time.Second)
+		win := gen.timeline.Rotate()
+		res.Points = append(res.Points, TimePoint{
+			Second:         sec,
+			ThroughputKops: opsRate.Sample() / 1e3,
+			MedianMicros:   micros(win.Summary.Median),
+			P999Micros:     micros(win.Summary.P999),
+			SourceDispatch: src.dispatch.Sample(),
+			TargetDispatch: dst.dispatch.Sample(),
+			SourceWorkers:  src.worker.Sample(),
+			TargetWorkers:  dst.worker.Sample(),
+			Phase:          phase,
+		})
+		p.logf("fig13[%s] t=%-3d med=%6.1fµs p99.9=%8.1fµs dstW=%.2f phase=%s",
+			mode, sec, res.Points[len(res.Points)-1].MedianMicros,
+			res.Points[len(res.Points)-1].P999Micros,
+			res.Points[len(res.Points)-1].TargetWorkers, phase)
+		if phase == "before" && sec >= beforeSecs {
+			cl := c.MustClient()
+			if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+				return nil, err
+			}
+			mig = c.Managers[1].Migration(table, half)
+			phase = "migrating"
+		}
+	}
+	// Stop the load *before* aborting the migration so in-flight reads
+	// don't observe the cancellation.
+	gen.halt()
+	if mig != nil {
+		res.PriorityPullRPCs = mig.Result().PriorityPullRPCs
+		c.Managers[1].CancelIncoming(table, half)
+	}
+	return res, nil
+}

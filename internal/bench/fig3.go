@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/cluster"
+	"rocksteady/internal/core"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Fig3Row is one spread level of the multiget locality experiment.
+type Fig3Row struct {
+	Spread          int     // servers involved per multiget
+	MObjectsPerSec  float64 // total objects read per second (millions)
+	DispatchLoad    float64 // mean active dispatch cores per server (0..1)
+	WorkerLoad      float64 // mean active worker cores per server / workers (0..1)
+	SingleServerRef float64 // MObj/s a single server sustains (dotted line)
+}
+
+// Fig3MultigetSpread reproduces Figure 3: clients issue 7-key multigets
+// across a 7-server cluster; Spread controls how many servers each
+// multiget touches. Locality (spread 1) keeps the cluster worker-bound;
+// spreading the same work over more servers multiplies RPCs and saturates
+// dispatch cores.
+func Fig3MultigetSpread(p Params) ([]Fig3Row, error) {
+	p.applyDefaults()
+	const servers = 7
+	const keysPerGet = 7
+
+	c := buildCluster(p, servers, core.Options{})
+	defer c.Close()
+
+	w := &ycsb.Workload{Name: "fig3", ReadFraction: 1, Chooser: ycsb.NewUniform(uint64(p.Objects)), KeySize: 30, ValueSize: p.ValueSize}
+	table, err := loadTable(c, w, "fig3", c.ServerIDs()...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bucket keys by owning server so a multiget's composition is exact.
+	perServer := make([][][]byte, servers)
+	serverIdx := make(map[wire.ServerID]int)
+	for i, id := range c.ServerIDs() {
+		serverIdx[id] = i
+	}
+	cl := c.MustClient()
+	if err := cl.RefreshMap(); err != nil {
+		return nil, err
+	}
+	tabletOwner := func(h uint64) int {
+		for i := 0; i < servers; i++ {
+			for _, t := range c.Server(i).Tablets() {
+				if t.Table == table && t.Range.Contains(h) {
+					return serverIdx[t.Master]
+				}
+			}
+		}
+		return -1
+	}
+	for i := 0; i < p.Objects; i++ {
+		key := w.Key(uint64(i))
+		if s := tabletOwner(wire.HashKey(key)); s >= 0 {
+			perServer[s] = append(perServer[s], key)
+		}
+	}
+	for s := range perServer {
+		if len(perServer[s]) < keysPerGet {
+			return nil, fmt.Errorf("fig3: server %d owns only %d keys; raise Objects", s, len(perServer[s]))
+		}
+	}
+
+	singleRef := 0.0
+	var rows []Fig3Row
+	for spread := 1; spread <= servers; spread++ {
+		row, err := fig3RunSpread(c, table, perServer, spread, keysPerGet, p)
+		if err != nil {
+			return nil, err
+		}
+		if spread == 1 {
+			// The single-server reference line: total throughput divided by
+			// the number of servers actively serving (all of them, evenly).
+			singleRef = row.MObjectsPerSec / servers
+		}
+		row.SingleServerRef = singleRef
+		rows = append(rows, row)
+		p.logf("fig3 spread=%d: %.2f Mobj/s dispatch=%.2f worker=%.2f",
+			spread, row.MObjectsPerSec, row.DispatchLoad, row.WorkerLoad)
+	}
+	return rows, nil
+}
+
+func fig3RunSpread(c *cluster.Cluster, table wire.TableID, perServer [][][]byte, spread, keysPerGet int, p Params) (Fig3Row, error) {
+	const servers = 7
+	var objects atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, p.Clients)
+
+	for cli := 0; cli < p.Clients; cli++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cc, err := c.NewClient()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			base := int(seed) // rotate starting server so load stays even
+			keys := make([][]byte, keysPerGet)
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Compose a multiget touching exactly `spread` servers,
+				// shaped as the paper describes: spread 2 takes 6 keys
+				// from one server and the 7th from another; spread 7
+				// takes one key from each of 7 servers.
+				for k := 0; k < keysPerGet; k++ {
+					si := 0
+					if k >= keysPerGet-(spread-1) {
+						si = k - (keysPerGet - spread)
+					}
+					pool := perServer[(base+n+si)%servers]
+					keys[k] = pool[rng.Intn(len(pool))]
+				}
+				vals, err := cc.MultiGet(table, keys)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got := 0
+				for _, v := range vals {
+					if v != nil {
+						got++
+					}
+				}
+				objects.Add(int64(got))
+			}
+		}(int64(cli))
+	}
+
+	// Measure utilization over the run.
+	probes := make([]*serverProbes, servers)
+	for i := range probes {
+		probes[i] = probesFor(c, i)
+	}
+	start := time.Now()
+	timer := time.After(time.Duration(p.Seconds) * time.Second / 7) // one slot per spread level
+	select {
+	case err := <-errCh:
+		close(stop)
+		wg.Wait()
+		return Fig3Row{}, err
+	case <-timer:
+	}
+	elapsed := time.Since(start).Seconds()
+	var dispatch, worker float64
+	for i, pr := range probes {
+		dispatch += pr.dispatch.Sample()
+		worker += pr.worker.Sample() / float64(c.Server(i).Scheduler().Workers())
+	}
+	close(stop)
+	wg.Wait()
+	return Fig3Row{
+		Spread:         spread,
+		MObjectsPerSec: float64(objects.Load()) / elapsed / 1e6,
+		DispatchLoad:   dispatch / servers,
+		WorkerLoad:     worker / servers,
+	}, nil
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/cluster"
+	"rocksteady/internal/core"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Fig4Config is one placement configuration of the index experiment.
+type Fig4Config struct {
+	Name      string
+	Indexlets int
+	Tablets   int
+}
+
+// Fig4Point is one (offered load, latency) measurement.
+type Fig4Point struct {
+	Config         string
+	Clients        int
+	KObjectsPerSec float64 // objects returned by scans per second (thousands)
+	P999Micros     float64
+	MedianMicros   float64
+	DispatchLoad   float64 // total active dispatch cores across the cluster
+}
+
+// Fig4IndexScaling reproduces Figure 4: short 4-record index scans with
+// Zipfian start keys over the table, comparing {1 indexlet + 1 tablet,
+// 2 indexlets + 1 tablet, 2 indexlets + 2 tablets}. Spreading the *index*
+// adds throughput; spreading the *table* too multiplies multiget fan-out
+// and dispatch load (the paper's 6.3% worse throughput, 26% more load).
+func Fig4IndexScaling(p Params) ([]Fig4Point, error) {
+	p.applyDefaults()
+	configs := []Fig4Config{
+		{Name: "1 Indexlet, 1 Tablet", Indexlets: 1, Tablets: 1},
+		{Name: "2 Indexlets, 1 Tablet", Indexlets: 2, Tablets: 1},
+		{Name: "2 Indexlets, 2 Tablets", Indexlets: 2, Tablets: 2},
+	}
+	var out []Fig4Point
+	for _, cfg := range configs {
+		pts, err := fig4RunConfig(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func fig4RunConfig(p Params, cfg Fig4Config) ([]Fig4Point, error) {
+	servers := cfg.Indexlets + cfg.Tablets
+	c := buildCluster(p, servers, core.Options{})
+	defer c.Close()
+	ids := c.ServerIDs()
+	tabletServers := ids[:cfg.Tablets]
+	indexServers := ids[cfg.Tablets : cfg.Tablets+cfg.Indexlets]
+
+	cl := c.MustClient()
+	table, err := cl.CreateTable("fig4", tabletServers...)
+	if err != nil {
+		return nil, err
+	}
+
+	n := p.Objects
+	var splits [][]byte
+	if cfg.Indexlets == 2 {
+		splits = [][]byte{secondaryKey(uint64(n / 2))}
+	}
+	index, err := cl.CreateIndex(table, indexServers, splits)
+	if err != nil {
+		return nil, err
+	}
+
+	// Records: 100 B payloads, 30 B primary keys, 30 B secondary keys
+	// (§2, Figure 4 setup). Secondary keys are zero-padded record indices
+	// so ranges are dense and 4-record scans deterministic.
+	w := &ycsb.Workload{Name: "fig4", ReadFraction: 1, Chooser: ycsb.NewUniform(uint64(n)), KeySize: 30, ValueSize: p.ValueSize}
+	keys := make([][]byte, 0, n)
+	values := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, w.Key(uint64(i)))
+		values = append(values, w.Value(uint64(i)))
+	}
+	if err := c.BulkLoad(table, keys, values); err != nil {
+		return nil, err
+	}
+	// Index entries bulk-load straight into the hosting indexlets.
+	for i := 0; i < n; i++ {
+		host := cfg.Tablets
+		if cfg.Indexlets == 2 && i >= n/2 {
+			host = cfg.Tablets + 1
+		}
+		c.Server(host).Indexes().Insert(index, secondaryKey(uint64(i)), wire.HashKey(keys[i]))
+	}
+
+	var pts []Fig4Point
+	sweep := fig4ClientSweep(p.Clients)
+	for _, clients := range sweep {
+		pt, err := fig4Measure(p, c, table, index, cfg.Name, servers, clients, n,
+			time.Duration(p.Seconds)*time.Second/time.Duration(3*len(sweep)))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		p.logf("fig4 %-24s clients=%-3d %.1f kobj/s p99.9=%.0fµs dispatch=%.2f",
+			cfg.Name, clients, pt.KObjectsPerSec, pt.P999Micros, pt.DispatchLoad)
+	}
+	return pts, nil
+}
+
+func fig4ClientSweep(max int) []int {
+	sweep := []int{1, 2, 4, 8, 16, 32}
+	var out []int
+	for _, s := range sweep {
+		if s <= max*4 {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+func fig4Measure(p Params, c *cluster.Cluster, table wire.TableID, index wire.IndexID,
+	cfgName string, servers, clients, n int, dur time.Duration) (Fig4Point, error) {
+	// Scan start keys follow a Zipfian with θ = 0.5 (Figure 4 setup);
+	// each scan returns 4 records.
+	const scanLen = 4
+	var hist metrics.Histogram
+	var objects atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cc, err := c.NewClient()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			z := ycsb.NewZipfian(uint64(n-scanLen), 0.5)
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := z.Next(rng)
+				begin := secondaryKey(start)
+				end := secondaryKey(start + scanLen)
+				t0 := time.Now()
+				res, err := cc.IndexScan(table, index, begin, end, scanLen)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				hist.Record(time.Since(t0))
+				objects.Add(int64(len(res)))
+			}
+		}(int64(i)*104729 + 7)
+	}
+
+	probes := make([]*serverProbes, servers)
+	for i := range probes {
+		probes[i] = probesFor(c, i)
+	}
+	start := time.Now()
+	select {
+	case err := <-errCh:
+		close(stop)
+		wg.Wait()
+		return Fig4Point{}, err
+	case <-time.After(dur):
+	}
+	elapsed := time.Since(start).Seconds()
+	var dispatch float64
+	for _, pr := range probes {
+		dispatch += pr.dispatch.Sample()
+	}
+	close(stop)
+	wg.Wait()
+
+	return Fig4Point{
+		Config:         cfgName,
+		Clients:        clients,
+		KObjectsPerSec: float64(objects.Load()) / elapsed / 1e3,
+		P999Micros:     micros(hist.Percentile(99.9)),
+		MedianMicros:   micros(hist.Median()),
+		DispatchLoad:   dispatch,
+	}, nil
+}
+
+// secondaryKey formats a dense, ordered 30-byte secondary key.
+func secondaryKey(i uint64) []byte {
+	return []byte(fmt.Sprintf("sk-%027d", i))
+}

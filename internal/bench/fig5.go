@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"rocksteady/internal/core"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Fig5Series is the rate-over-time trace of one baseline-migration
+// variant.
+type Fig5Series struct {
+	Variant string
+	// Rate[i] is the mean migration rate (MB/s) during second i.
+	Rate []float64
+	// MeanMBps is the whole-run average.
+	MeanMBps float64
+	// Seconds is the total migration duration.
+	Seconds float64
+}
+
+// Fig5Variants lists the figure's five lines in paper order.
+var Fig5Variants = []struct {
+	Name string
+	Opts core.BaselineOptions
+}{
+	{"Full", core.BaselineOptions{}},
+	{"Skip Re-replication", core.BaselineOptions{SkipRereplication: true}},
+	{"Skip Replay on Target", core.BaselineOptions{SkipReplay: true}},
+	{"Skip Tx to Target", core.BaselineOptions{SkipTx: true}},
+	{"Skip Copy for Tx", core.BaselineOptions{SkipCopy: true}},
+}
+
+// Fig5BaselineBreakdown reproduces Figure 5: the pre-existing
+// log-scan-and-push migration with successive phases disabled, exposing
+// where the time goes. Re-replication and target-side logical replay
+// dominate; the staging-buffer copy costs more than transmission itself
+// (§2.3). Replication is enabled (factor >= 1) so "Full" pays for it.
+func Fig5BaselineBreakdown(p Params) ([]Fig5Series, error) {
+	p.applyDefaults()
+	if p.ReplicationFactor <= 0 {
+		p.ReplicationFactor = 1
+	}
+
+	var out []Fig5Series
+	for _, v := range Fig5Variants {
+		// Fresh cluster per variant: replay state must not accumulate.
+		c := buildCluster(p, 3, core.Options{})
+		w := &ycsb.Workload{Name: "fig5", ReadFraction: 1, Chooser: ycsb.NewUniform(uint64(p.Objects)), KeySize: 30, ValueSize: p.ValueSize}
+		table, err := loadTable(c, w, "fig5", c.Server(0).ID())
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+
+		series := Fig5Series{Variant: v.Name}
+		var mu sync.Mutex
+		start := time.Now()
+		lastBytes := int64(0)
+		lastAt := start
+		opts := v.Opts
+		opts.Progress = func(bytes int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			now := time.Now()
+			if now.Sub(lastAt) >= 200*time.Millisecond {
+				mbps := float64(bytes-lastBytes) / 1e6 / now.Sub(lastAt).Seconds()
+				series.Rate = append(series.Rate, mbps)
+				lastBytes = bytes
+				lastAt = now
+			}
+		}
+		res, err := c.MigrateBaseline(table, wire.FullRange(), 0, 1, opts)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		series.MeanMBps = res.RateMBps()
+		series.Seconds = res.Duration().Seconds()
+		out = append(out, series)
+		p.logf("fig5 %-22s %8.1f MB/s over %.2fs (%d records)",
+			v.Name, series.MeanMBps, series.Seconds, res.Records)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rocksteady/internal/metrics"
+
+	"rocksteady/internal/core"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Variant selects the migration protocol for the timeline experiments
+// (Figures 9, 10, 11 columns a/b/c).
+type Variant string
+
+// Timeline experiment variants.
+const (
+	VariantRocksteady      Variant = "rocksteady"
+	VariantNoPriorityPulls Variant = "no-priority-pulls"
+	VariantSourceRetains   Variant = "source-retains-ownership"
+)
+
+func (v Variant) options() core.Options {
+	switch v {
+	case VariantNoPriorityPulls:
+		return core.Options{DisablePriorityPulls: true}
+	case VariantSourceRetains:
+		return core.Options{SourceRetainsOwnership: true}
+	default:
+		return core.Options{}
+	}
+}
+
+// Fig9Result bundles the per-second timeline (Figures 9, 10, 11 share one
+// run: throughput, latency, utilization) with the migration summary.
+type Fig9Result struct {
+	Variant   Variant
+	Points    []TimePoint
+	Migration core.Result
+}
+
+// Fig9MigrationImpact runs YCSB-B against one loaded server, live-migrates
+// half the table to a second server partway through, and samples
+// throughput, median/99.9th latency, and dispatch/worker utilization every
+// second — the combined engine behind Figures 9, 10, and 11.
+func Fig9MigrationImpact(p Params, variant Variant) (*Fig9Result, error) {
+	p.applyDefaults()
+	c := buildCluster(p, 2, variant.options())
+	defer c.Close()
+
+	w := ycsb.WorkloadB(uint64(p.Objects), p.Theta)
+	w.ValueSize = p.ValueSize
+	table, err := loadTable(c, w, "ycsb", c.Server(0).ID())
+	if err != nil {
+		return nil, err
+	}
+
+	gen := startLoad(c, table, w, p.Clients)
+	defer gen.halt()
+	opsRate := metrics.NewRateProbe(func() int64 { return gen.ops.Load() })
+	src := probesFor(c, 0)
+	dst := probesFor(c, 1)
+
+	res := &Fig9Result{Variant: variant}
+	half := wire.FullRange().Split(2)[1]
+	var mig *core.Migration
+
+	interval := time.Duration(p.SampleMillis) * time.Millisecond
+	samplesPerSec := int(time.Second / interval)
+	if samplesPerSec < 1 {
+		samplesPerSec = 1
+	}
+	beforeSecs := p.Seconds / 3 * samplesPerSec
+	afterSecs := p.Seconds / 3 * samplesPerSec
+	maxMigrateSecs := p.Seconds * 4 * samplesPerSec // cap runaway migrations
+
+	phase := "before"
+	migrateSecs := 0
+	for sec := 1; ; sec++ {
+		time.Sleep(interval)
+		win := gen.timeline.Rotate()
+		pt := TimePoint{
+			Second:         sec,
+			At:             float64(sec) * interval.Seconds(),
+			ThroughputKops: opsRate.Sample() / 1e3,
+			MedianMicros:   micros(win.Summary.Median),
+			P999Micros:     micros(win.Summary.P999),
+			SourceDispatch: src.dispatch.Sample(),
+			TargetDispatch: dst.dispatch.Sample(),
+			SourceWorkers:  src.worker.Sample(),
+			TargetWorkers:  dst.worker.Sample(),
+			Phase:          phase,
+		}
+		if mig != nil {
+			pt.MigratedMB = float64(mig.Result().BytesPulled) / 1e6
+		}
+		res.Points = append(res.Points, pt)
+		p.logf("fig9[%s] t=%-6.2f %8.1f kops/s med=%6.1fµs p99.9=%8.1fµs srcD=%.2f dstD=%.2f phase=%s",
+			variant, pt.At, pt.ThroughputKops, pt.MedianMicros, pt.P999Micros,
+			pt.SourceDispatch, pt.TargetDispatch, phase)
+
+		switch phase {
+		case "before":
+			if sec >= beforeSecs {
+				cl := c.MustClient()
+				if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+					return nil, fmt.Errorf("start migration: %w", err)
+				}
+				mig = c.Managers[1].Migration(table, half)
+				if mig == nil {
+					return nil, fmt.Errorf("migration not registered")
+				}
+				phase = "migrating"
+			}
+		case "migrating":
+			migrateSecs++
+			select {
+			case <-mig.Done():
+				res.Migration = mig.Result()
+				if res.Migration.Err != nil {
+					return nil, res.Migration.Err
+				}
+				phase = "after"
+				afterSecs = sec + afterSecs
+			default:
+				if migrateSecs > maxMigrateSecs {
+					return nil, fmt.Errorf("migration did not finish within %d s", maxMigrateSecs)
+				}
+			}
+		case "after":
+			if sec >= afterSecs {
+				return res, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package bench regenerates every figure of the paper's evaluation (§4)
+// on the in-process cluster. Each Fig* function is self-contained: it
+// builds a cluster, loads data, applies load, runs the experiment, and
+// returns structured rows/series that cmd/rocksteady-bench prints and
+// bench_test.go asserts on.
+//
+// Scale defaults are laptop-sized (the paper used 24 machines and 27.9 GB
+// of records); Params lets callers scale up. Absolute numbers differ from
+// the paper — a Go heap and one machine replace DPDK and a cluster — but
+// the *shapes* (who wins, by what factor, where crossovers fall) are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/cluster"
+	"rocksteady/internal/core"
+	"rocksteady/internal/metrics"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+	"rocksteady/internal/ycsb"
+)
+
+// Params scales an experiment.
+type Params struct {
+	// Objects in the table under test.
+	Objects int
+	// ValueSize per object (paper: 100 B payload, 30 B keys).
+	ValueSize int
+	// Seconds of measured run time (per phase where applicable).
+	Seconds int
+	// Clients is the number of closed-loop load generator goroutines.
+	Clients int
+	// Workers per server.
+	Workers int
+	// Theta is the Zipfian skew (paper's main runs: 0.99).
+	Theta float64
+	// ReplicationFactor for master logs.
+	ReplicationFactor int
+	// NetworkBandwidth caps NIC egress in bytes/sec (0 = unlimited).
+	NetworkBandwidth float64
+	// SampleMillis sets the timeline sampling interval (default 1000).
+	// Scaled-down migrations finish in under a second; 100–250 ms windows
+	// resolve their impact curves.
+	SampleMillis int
+	// Out receives progress lines (nil silences them).
+	Out io.Writer
+}
+
+// DefaultParams returns the harness defaults used by rocksteady-bench.
+func DefaultParams() Params {
+	return Params{
+		Objects:           300_000,
+		ValueSize:         100,
+		Seconds:           10,
+		Clients:           8,
+		Workers:           8,
+		Theta:             0.99,
+		ReplicationFactor: 0,
+	}
+}
+
+func (p *Params) applyDefaults() {
+	d := DefaultParams()
+	if p.Objects <= 0 {
+		p.Objects = d.Objects
+	}
+	if p.ValueSize <= 0 {
+		p.ValueSize = d.ValueSize
+	}
+	if p.Seconds <= 0 {
+		p.Seconds = d.Seconds
+	}
+	if p.Clients <= 0 {
+		p.Clients = d.Clients
+	}
+	if p.Workers <= 0 {
+		p.Workers = d.Workers
+	}
+	if p.Theta == 0 {
+		p.Theta = d.Theta
+	}
+	if p.SampleMillis <= 0 {
+		p.SampleMillis = 1000
+	}
+}
+
+func (p *Params) logf(format string, args ...any) {
+	if p.Out != nil {
+		fmt.Fprintf(p.Out, format+"\n", args...)
+	}
+}
+
+// buildCluster assembles a cluster sized for the experiment.
+func buildCluster(p Params, servers int, migration core.Options) *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Servers:           servers,
+		Workers:           p.Workers,
+		HashTableCapacity: p.Objects*2/servers + 1024,
+		ReplicationFactor: p.ReplicationFactor,
+		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: p.NetworkBandwidth},
+		Migration:         migration,
+		Quiet:             true,
+	})
+}
+
+// loadTable creates a table on the given servers and bulk-loads the
+// workload's records.
+func loadTable(c *cluster.Cluster, w *ycsb.Workload, name string, servers ...wire.ServerID) (wire.TableID, error) {
+	cl := c.MustClient()
+	table, err := cl.CreateTable(name, servers...)
+	if err != nil {
+		return 0, err
+	}
+	const chunk = 100_000
+	n := int(w.Chooser.N())
+	keys := make([][]byte, 0, chunk)
+	values := make([][]byte, 0, chunk)
+	for i := 0; i < n; i++ {
+		keys = append(keys, w.Key(uint64(i)))
+		values = append(values, w.Value(uint64(i)))
+		if len(keys) == chunk || i == n-1 {
+			if err := c.BulkLoad(table, keys, values); err != nil {
+				return 0, err
+			}
+			keys = keys[:0]
+			values = values[:0]
+		}
+	}
+	return table, nil
+}
+
+// loadGen drives a closed-loop YCSB workload from Clients goroutines,
+// recording per-op latency into a timeline and counting completions.
+type loadGen struct {
+	ops      atomic.Int64
+	errs     atomic.Int64
+	timeline *metrics.Timeline
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// startLoad launches the generators. Reads that hit genuinely absent keys
+// count as completed operations (YCSB never deletes, so they don't occur
+// in practice).
+func startLoad(c *cluster.Cluster, table wire.TableID, w *ycsb.Workload, clients int) *loadGen {
+	g := &loadGen{timeline: metrics.NewTimeline(), stop: make(chan struct{})}
+	for i := 0; i < clients; i++ {
+		g.wg.Add(1)
+		go func(seed int64) {
+			defer g.wg.Done()
+			cl, err := c.NewClient()
+			if err != nil {
+				g.errs.Add(1)
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-g.stop:
+					return
+				default:
+				}
+				op := w.NextOp(rng)
+				start := time.Now()
+				var err error
+				if op.Kind == ycsb.OpRead {
+					_, err = cl.Read(table, w.Key(op.Item))
+				} else {
+					err = cl.Write(table, w.Key(op.Item), w.Value(op.Item))
+				}
+				if err != nil && err != client.ErrNoSuchKey {
+					g.errs.Add(1)
+					continue
+				}
+				g.timeline.Record(time.Since(start))
+				g.ops.Add(1)
+			}
+		}(int64(i) * 7919)
+	}
+	return g
+}
+
+func (g *loadGen) halt() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// serverProbes samples one server's dispatch and worker utilization and
+// its served-objects rate.
+type serverProbes struct {
+	dispatch *metrics.UtilizationProbe
+	worker   *metrics.UtilizationProbe
+	objects  *metrics.RateProbe
+}
+
+func probesFor(c *cluster.Cluster, i int) *serverProbes {
+	srv := c.Server(i)
+	return &serverProbes{
+		dispatch: metrics.NewUtilizationProbe(srv.Node().DispatchBusyNanos),
+		worker:   metrics.NewUtilizationProbe(srv.Scheduler().BusyNanos),
+		objects:  metrics.NewRateProbe(func() int64 { return srv.Stats().ObjectsRead.Load() }),
+	}
+}
+
+// TimePoint is one sample of an experiment timeline.
+type TimePoint struct {
+	// Second is the sample index; multiply by the sampling interval for
+	// wall time.
+	Second int
+	// At is the sample's wall-clock offset in seconds.
+	At             float64
+	ThroughputKops float64
+	MedianMicros   float64
+	P999Micros     float64
+	SourceDispatch float64 // active dispatch cores (0..1)
+	TargetDispatch float64
+	SourceWorkers  float64 // active worker cores (0..Workers)
+	TargetWorkers  float64
+	MigratedMB     float64 // cumulative
+	Phase          string  // "before" | "migrating" | "after"
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

@@ -1,0 +1,195 @@
+package cluster
+
+// Chaos test: random client operations race with random migrations (and,
+// in the long mode, a crash) while a sequential per-key model tracks every
+// acknowledged effect. At the end the store must agree with the model for
+// every key — the system-wide linearizability-per-key check that all of
+// Rocksteady's version machinery exists to preserve.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// keyModel is the oracle for one key: the last acknowledged value (nil
+// means "absent"). Each key is owned by exactly one worker goroutine, so
+// the oracle is exact.
+type keyModel struct {
+	value []byte
+}
+
+func TestChaosMigrationsVsOperations(t *testing.T) {
+	const (
+		servers      = 3
+		keyCount     = 900
+		workers      = 3
+		opsPerWorker = 400
+		migrations   = 6
+	)
+	c := testCluster(t, Config{
+		Servers:           servers,
+		ReplicationFactor: 1,
+		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 16 << 20},
+	})
+	cl := c.MustClient()
+	table, err := cl.CreateTable("chaos", c.Server(0).ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed every key so migrations always have data to move.
+	keys := make([][]byte, keyCount)
+	values := make([][]byte, keyCount)
+	models := make([]keyModel, keyCount)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("chaos-%06d", i))
+		values[i] = []byte(fmt.Sprintf("seed-%06d", i))
+		models[i].value = values[i]
+	}
+	if err := c.BulkLoad(table, keys, values); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ops: each worker owns keys where i % workers == w.
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards models (read at the end only, but be safe)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcl := c.MustClient()
+			rng := rand.New(rand.NewSource(int64(w) * 31))
+			for op := 0; op < opsPerWorker; op++ {
+				i := (rng.Intn(keyCount/workers))*workers + w
+				switch rng.Intn(10) {
+				case 0, 1: // delete
+					err := wcl.Delete(table, keys[i])
+					if err != nil && err != client.ErrNoSuchKey {
+						t.Errorf("delete %s: %v", keys[i], err)
+						return
+					}
+					mu.Lock()
+					models[i].value = nil
+					mu.Unlock()
+				case 2, 3, 4: // write
+					val := []byte(fmt.Sprintf("w%d-op%d", w, op))
+					if err := wcl.Write(table, keys[i], val); err != nil {
+						t.Errorf("write %s: %v", keys[i], err)
+						return
+					}
+					mu.Lock()
+					models[i].value = val
+					mu.Unlock()
+				default: // read, checked against the model
+					mu.Lock()
+					want := models[i].value
+					mu.Unlock()
+					got, err := wcl.Read(table, keys[i])
+					switch {
+					case err == client.ErrNoSuchKey:
+						if want != nil {
+							t.Errorf("read %s: absent, model has %q", keys[i], want)
+							return
+						}
+					case err != nil:
+						t.Errorf("read %s: %v", keys[i], err)
+						return
+					default:
+						if string(got) != string(want) {
+							t.Errorf("read %s: %q, model %q", keys[i], got, want)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Chaos driver: random migrations of random slices between random
+	// servers while the ops run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(4242))
+		parts := wire.FullRange().Split(migrations)
+		mcl := c.MustClient()
+		for mi, p := range parts {
+			// Discover the current owner (migrations moved things around).
+			if err := mcl.RefreshMap(); err != nil {
+				t.Errorf("refresh: %v", err)
+				return
+			}
+			ownerIdx := -1
+			reply, err := mcl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+			if err != nil {
+				t.Errorf("map: %v", err)
+				return
+			}
+			for _, tb := range reply.(*wire.GetTabletMapResponse).Tablets {
+				if tb.Table == table && tb.Range.Contains(p.Start) {
+					for i := 0; i < servers; i++ {
+						if c.Server(i).ID() == tb.Master {
+							ownerIdx = i
+						}
+					}
+				}
+			}
+			if ownerIdx < 0 {
+				t.Errorf("migration %d: no owner found", mi)
+				return
+			}
+			target := (ownerIdx + 1 + rng.Intn(servers-1)) % servers
+			g, err := c.Migrate(table, p, ownerIdx, target)
+			if err != nil {
+				// Overlap with an in-flight migration is a legal rejection.
+				if se, ok := err.(wire.StatusError); ok && se.Status == wire.StatusMigrationInProgress {
+					continue
+				}
+				t.Errorf("migration %d: %v", mi, err)
+				return
+			}
+			if res := g.Wait(); res.Err != nil {
+				t.Errorf("migration %d: %v", mi, res.Err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final audit: the store equals the model everywhere.
+	for i, k := range keys {
+		want := models[i].value
+		got, err := cl.Read(table, k)
+		switch {
+		case err == client.ErrNoSuchKey:
+			if want != nil {
+				t.Fatalf("final %s: absent, model %q", k, want)
+			}
+		case err != nil:
+			t.Fatalf("final %s: %v", k, err)
+		default:
+			if string(got) != string(want) {
+				t.Fatalf("final %s: %q, model %q", k, got, want)
+			}
+		}
+	}
+	// Data must have actually spread across servers.
+	spread := 0
+	for i := 0; i < servers; i++ {
+		if n, _ := c.Server(i).HashTable().CountRange(table, wire.FullRange()); n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("chaos migrations never spread data (%d servers hold data)", spread)
+	}
+}

@@ -1,0 +1,349 @@
+// Package cluster assembles an in-process cluster — coordinator, servers
+// (each master + backup), fabric, migration managers, clients — in one
+// call. Tests, examples, and the benchmark harness all build on it; it is
+// this reproduction's stand-in for the paper's 24-node CloudLab testbed.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/coordinator"
+	"rocksteady/internal/core"
+	"rocksteady/internal/server"
+	"rocksteady/internal/storage"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// FirstServerID is the address of the first storage server; the
+// coordinator always sits at wire.CoordinatorID.
+const FirstServerID wire.ServerID = 10
+
+// Config parameterizes a test cluster.
+type Config struct {
+	// Servers is the number of storage servers.
+	Servers int
+	// Workers per server (paper: 12).
+	Workers int
+	// SegmentSize for every master's log.
+	SegmentSize int
+	// HashTableCapacity per server.
+	HashTableCapacity int
+	// ReplicationFactor for master logs; 0 disables durability (fast
+	// benchmarks that don't measure replication).
+	ReplicationFactor int
+	// BackupWriteBandwidth models the per-server replication ceiling in
+	// bytes/sec (0 = unthrottled).
+	BackupWriteBandwidth float64
+	// Fabric configures the network model.
+	Fabric transport.FabricConfig
+	// Migration configures every server's Rocksteady manager.
+	Migration core.Options
+	// Quiet silences coordinator recovery logging.
+	Quiet bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Servers <= 0 {
+		c.Servers = 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = 12
+	}
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	cfg Config
+
+	Fabric      *transport.Fabric
+	Coordinator *coordinator.Coordinator
+	Servers     []*server.Server
+	Managers    []*core.Manager
+
+	clientMu     sync.Mutex
+	clients      []*client.Client
+	nextClientID wire.ServerID
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	cfg.applyDefaults()
+	c := &Cluster{cfg: cfg, Fabric: transport.NewFabric(cfg.Fabric)}
+
+	coordNode := transport.NewNode(c.Fabric.Attach(wire.CoordinatorID))
+	c.Coordinator = coordinator.New(coordNode)
+	if cfg.Quiet {
+		c.Coordinator.Logf = func(string, ...any) {}
+	}
+
+	ids := make([]wire.ServerID, cfg.Servers)
+	for i := range ids {
+		ids[i] = FirstServerID + wire.ServerID(i)
+	}
+	for _, id := range ids {
+		var backups []wire.ServerID
+		if cfg.ReplicationFactor > 0 {
+			for _, b := range ids {
+				if b != id {
+					backups = append(backups, b)
+				}
+			}
+		}
+		srv := server.New(server.Config{
+			ID:                   id,
+			Workers:              cfg.Workers,
+			SegmentSize:          cfg.SegmentSize,
+			HashTableCapacity:    cfg.HashTableCapacity,
+			Backups:              backups,
+			ReplicationFactor:    cfg.ReplicationFactor,
+			BackupWriteBandwidth: cfg.BackupWriteBandwidth,
+		}, c.Fabric.Attach(id))
+		c.Servers = append(c.Servers, srv)
+		c.Managers = append(c.Managers, core.NewManager(srv, cfg.Migration))
+	}
+	c.nextClientID = FirstServerID + wire.ServerID(cfg.Servers) + 1000
+
+	// Enlist servers with the coordinator.
+	cl := c.MustClient()
+	for _, id := range ids {
+		if _, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+			panic(fmt.Sprintf("cluster: enlist %v: %v", id, err))
+		}
+	}
+	return c
+}
+
+// ServerIDs returns the storage servers' addresses in order.
+func (c *Cluster) ServerIDs() []wire.ServerID {
+	out := make([]wire.ServerID, len(c.Servers))
+	for i, s := range c.Servers {
+		out[i] = s.ID()
+	}
+	return out
+}
+
+// Server returns the i-th storage server.
+func (c *Cluster) Server(i int) *server.Server { return c.Servers[i] }
+
+// Manager returns the i-th server's migration manager.
+func (c *Cluster) Manager(i int) *core.Manager { return c.Managers[i] }
+
+// NewClient attaches a fresh client to the cluster. Safe for concurrent
+// use (load generators attach clients from many goroutines).
+func (c *Cluster) NewClient() (*client.Client, error) {
+	c.clientMu.Lock()
+	id := c.nextClientID
+	c.nextClientID++
+	c.clientMu.Unlock()
+	cl, err := client.New(c.Fabric.Attach(id))
+	if err != nil {
+		return nil, err
+	}
+	c.clientMu.Lock()
+	c.clients = append(c.clients, cl)
+	c.clientMu.Unlock()
+	return cl, nil
+}
+
+// MustClient attaches a client or panics (harness convenience).
+func (c *Cluster) MustClient() *client.Client {
+	cl, err := c.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// firstClient returns the cluster's bootstrap client under the client
+// lock (concurrent NewClient calls grow the slice).
+func (c *Cluster) firstClient() *client.Client {
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	return c.clients[0]
+}
+
+// Close tears the cluster down.
+func (c *Cluster) Close() {
+	c.Coordinator.WaitForRecoveries()
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.Servers {
+		s.Close()
+	}
+	c.Coordinator.Close()
+}
+
+// Crash kills a server abruptly: its port drops off the fabric and its
+// log stops accepting appends. Pair with a client's ReportCrash to
+// trigger recovery.
+func (c *Cluster) Crash(i int) {
+	id := c.Servers[i].ID()
+	c.Fabric.Kill(id)
+	c.Servers[i].Crash()
+}
+
+// BulkLoad populates (table, keys/values) directly through each owning
+// server's storage, bypassing the RPC path: the equivalent of the paper
+// pre-loading 300 M records before an experiment. Records are replicated
+// in one batch at the end if replication is enabled.
+func (c *Cluster) BulkLoad(table wire.TableID, keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("cluster: keys/values mismatch")
+	}
+	cl := c.firstClient()
+	reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+	if err != nil {
+		return err
+	}
+	tm, ok := reply.(*wire.GetTabletMapResponse)
+	if !ok || tm.Status != wire.StatusOK {
+		return fmt.Errorf("cluster: tablet map fetch failed")
+	}
+	byID := make(map[wire.ServerID]*server.Server, len(c.Servers))
+	for _, s := range c.Servers {
+		byID[s.ID()] = s
+	}
+	ownerOf := func(hash uint64) (wire.ServerID, bool) {
+		for _, t := range tm.Tablets {
+			if t.Table == table && t.Range.Contains(hash) {
+				return t.Master, true
+			}
+		}
+		return 0, false
+	}
+	for i := range keys {
+		hash := wire.HashKey(keys[i])
+		owner, ok := ownerOf(hash)
+		if !ok {
+			return fmt.Errorf("cluster: no owner for key %q", keys[i])
+		}
+		srv, ok := byID[owner]
+		if !ok {
+			return fmt.Errorf("cluster: unknown owner %v", owner)
+		}
+		ref, _, err := srv.Log().AppendObject(table, keys[i], values[i])
+		if err != nil {
+			return err
+		}
+		if prev, existed := srv.HashTable().Put(table, keys[i], hash, ref); existed {
+			srv.Log().MarkDead(prev)
+		}
+	}
+	for _, s := range c.Servers {
+		if err := s.Replicator().Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Migrate starts a Rocksteady migration of (table, rng) from the source
+// server index to the target server index and returns the target-side
+// migration object for progress tracking.
+func (c *Cluster) Migrate(table wire.TableID, rng wire.HashRange, source, target int) (*core.Migration, error) {
+	cl := c.firstClient()
+	if err := cl.MigrateTablet(table, rng, c.Servers[source].ID(), c.Servers[target].ID()); err != nil {
+		return nil, err
+	}
+	g := c.Managers[target].Migration(table, rng)
+	if g == nil {
+		return nil, fmt.Errorf("cluster: migration not registered")
+	}
+	return g, nil
+}
+
+// TotalLiveBytes sums live log bytes across servers (sanity checks).
+func (c *Cluster) TotalLiveBytes() int64 {
+	var total int64
+	for _, s := range c.Servers {
+		_, live, _, _ := s.Log().Stats()
+		total += live
+	}
+	return total
+}
+
+// SegmentSizeOrDefault returns the configured segment size.
+func (c *Cluster) SegmentSizeOrDefault() int {
+	if c.cfg.SegmentSize > 0 {
+		return c.cfg.SegmentSize
+	}
+	return storage.DefaultSegmentSize
+}
+
+// MigrateBaseline runs the pre-existing (source-driven) migration of §2.3
+// and, for the full protocol, flips ownership at the end: freeze source,
+// catch up on racing writes, grant the tablet to the target, update the
+// coordinator, drop the source copy. Measurement-only variants (any Skip
+// knob) transfer without flipping ownership.
+func (c *Cluster) MigrateBaseline(table wire.TableID, rng wire.HashRange, source, target int, opts core.BaselineOptions) (core.BaselineResult, error) {
+	src, dst := c.Servers[source], c.Servers[target]
+	var headBefore uint64
+	if h := src.Log().Head(); h != nil {
+		headBefore = h.ID
+	}
+	res := core.RunBaselineMigration(src, dst.ID(), table, rng, opts)
+	if res.Err != nil {
+		return res, res.Err
+	}
+	if opts.SkipTx || opts.SkipReplay || opts.SkipCopy || opts.SkipRereplication {
+		return res, nil
+	}
+	node := c.firstClient().Node()
+
+	// Freeze the source; client operations now bounce until the map flips.
+	reply, err := node.Call(src.ID(), wire.PriorityForeground, &wire.PrepareMigrationRequest{
+		Table: table, Range: rng, Target: dst.ID(),
+	})
+	if err != nil {
+		return res, err
+	}
+	if prep, ok := reply.(*wire.PrepareMigrationResponse); !ok || prep.Status != wire.StatusOK {
+		return res, fmt.Errorf("cluster: baseline freeze rejected")
+	}
+	after := uint64(0)
+	if headBefore > 1 {
+		after = headBefore - 1
+	}
+	reply, err = node.Call(src.ID(), wire.PriorityForeground, &wire.PullTailRequest{
+		Table: table, Range: rng, AfterSegment: after,
+	})
+	if err != nil {
+		return res, err
+	}
+	tail, ok := reply.(*wire.PullTailResponse)
+	if !ok || tail.Status != wire.StatusOK {
+		return res, fmt.Errorf("cluster: baseline tail pull failed")
+	}
+	if len(tail.Records) > 0 {
+		if _, err := node.Call(dst.ID(), wire.PriorityForeground, &wire.ReplayRecordsRequest{
+			Table: table, Records: tail.Records, Replicate: true,
+		}); err != nil {
+			return res, err
+		}
+	}
+	// Grant ownership at the target, then flip the map.
+	if _, err := node.Call(dst.ID(), wire.PriorityForeground, &wire.TakeTabletsRequest{Table: table, Range: rng}); err != nil {
+		return res, err
+	}
+	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+		Table: table, Range: rng, Source: src.ID(), Target: dst.ID(),
+		TargetLogOffset: dst.Log().AppendedBytes(),
+	}); err != nil {
+		return res, err
+	}
+	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+		Table: table, Range: rng, Source: src.ID(), Target: dst.ID(),
+	}); err != nil {
+		return res, err
+	}
+	if _, err := node.Call(src.ID(), wire.PriorityForeground, &wire.DropTabletRequest{Table: table, Range: rng}); err != nil {
+		return res, err
+	}
+	return res, nil
+}

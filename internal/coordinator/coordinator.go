@@ -1,0 +1,451 @@
+// Package coordinator implements the cluster coordinator: membership, the
+// authoritative table/tablet map, secondary-index (indexlet) placement,
+// lineage dependencies registered at migration start (§3.4), and crash
+// recovery orchestration — including the multi-log recovery that makes
+// Rocksteady's deferred re-replication safe.
+package coordinator
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"rocksteady/internal/recovery"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// Dependency records that Source's recoverable state depends on Target's
+// recovery-log tail for one migrating tablet: two integers (which log,
+// what offset) plus the tablet identity, exactly as §3.4 describes.
+type Dependency struct {
+	Table           wire.TableID
+	Range           wire.HashRange
+	Source          wire.ServerID
+	Target          wire.ServerID
+	TargetLogOffset uint64
+}
+
+// Coordinator is the (logically quorum-replicated) cluster manager. One
+// instance runs per cluster at wire.CoordinatorID.
+type Coordinator struct {
+	node *transport.Node
+
+	mu         sync.Mutex
+	version    uint64
+	tablets    []wire.Tablet
+	indexlets  []wire.Indexlet
+	tableNames map[string]wire.TableID
+	nextTable  uint64
+	nextIndex  uint64
+	deps       []Dependency
+	servers    map[wire.ServerID]bool
+	recovered  map[wire.ServerID]bool
+
+	// Logf logs recovery progress; defaults to log.Printf. Tests silence it.
+	Logf func(format string, args ...any)
+
+	recoveryWG sync.WaitGroup
+}
+
+// New creates a coordinator served from the given RPC node and starts
+// handling requests.
+func New(node *transport.Node) *Coordinator {
+	c := &Coordinator{
+		node:       node,
+		tableNames: make(map[string]wire.TableID),
+		servers:    make(map[wire.ServerID]bool),
+		recovered:  make(map[wire.ServerID]bool),
+		Logf:       log.Printf,
+	}
+	node.SetHandler(c.handle)
+	node.Start()
+	return c
+}
+
+// WaitForRecoveries blocks until in-flight crash recoveries finish.
+func (c *Coordinator) WaitForRecoveries() { c.recoveryWG.Wait() }
+
+// Close shuts down the coordinator's node.
+func (c *Coordinator) Close() { c.node.Close() }
+
+// handle runs on the coordinator's dispatch pump. Handlers that issue
+// nested RPCs (table creation, recovery) would deadlock the pump that must
+// also receive their responses, so every request is processed on its own
+// goroutine; shared state is guarded by c.mu.
+func (c *Coordinator) handle(m *wire.Message) {
+	go c.process(m)
+}
+
+func (c *Coordinator) process(m *wire.Message) {
+	switch req := m.Body.(type) {
+	case *wire.EnlistServerRequest:
+		c.mu.Lock()
+		c.servers[req.Server] = true
+		c.mu.Unlock()
+		c.node.Reply(m, &wire.EnlistServerResponse{Status: wire.StatusOK})
+	case *wire.GetTabletMapRequest:
+		c.node.Reply(m, c.tabletMapLocked())
+	case *wire.CreateTableRequest:
+		c.node.Reply(m, c.createTable(req))
+	case *wire.CreateIndexRequest:
+		c.node.Reply(m, c.createIndex(req))
+	case *wire.SplitTabletRequest:
+		c.node.Reply(m, c.splitTablet(req))
+	case *wire.MigrateStartRequest:
+		c.node.Reply(m, c.migrateStart(req))
+	case *wire.MigrateDoneRequest:
+		c.node.Reply(m, c.migrateDone(req))
+	case *wire.ReportCrashRequest:
+		c.reportCrash(req.Server)
+		c.node.Reply(m, &wire.ReportCrashResponse{Status: wire.StatusOK})
+	case *wire.PingRequest:
+		c.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
+	default:
+		// Unknown op: reply nothing; the caller times out. Coordinator
+		// requests are all typed above.
+	}
+}
+
+func (c *Coordinator) tabletMapLocked() *wire.GetTabletMapResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp := &wire.GetTabletMapResponse{Status: wire.StatusOK, Version: c.version}
+	resp.Tablets = append([]wire.Tablet(nil), c.tablets...)
+	resp.Indexlets = append([]wire.Indexlet(nil), c.indexlets...)
+	return resp
+}
+
+// MapVersion returns the current tablet-map version.
+func (c *Coordinator) MapVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Dependencies returns the registered lineage dependencies.
+func (c *Coordinator) Dependencies() []Dependency {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Dependency(nil), c.deps...)
+}
+
+func (c *Coordinator) createTable(req *wire.CreateTableRequest) *wire.CreateTableResponse {
+	if len(req.Servers) == 0 {
+		return &wire.CreateTableResponse{Status: wire.StatusInternalError}
+	}
+	c.mu.Lock()
+	if id, ok := c.tableNames[req.Name]; ok {
+		c.mu.Unlock()
+		return &wire.CreateTableResponse{Status: wire.StatusOK, Table: id}
+	}
+	c.nextTable++
+	id := wire.TableID(c.nextTable)
+	c.tableNames[req.Name] = id
+	parts := wire.FullRange().Split(len(req.Servers))
+	var created []wire.Tablet
+	for i, p := range parts {
+		tb := wire.Tablet{Table: id, Range: p, Master: req.Servers[i%len(req.Servers)]}
+		c.tablets = append(c.tablets, tb)
+		created = append(created, tb)
+	}
+	c.version++
+	c.mu.Unlock()
+
+	// Grant ownership to the hosting masters (empty TakeTablets).
+	for _, tb := range created {
+		_, err := c.node.Call(tb.Master, wire.PriorityForeground, &wire.TakeTabletsRequest{
+			Table: tb.Table, Range: tb.Range,
+		})
+		if err != nil {
+			return &wire.CreateTableResponse{Status: wire.StatusServerDown}
+		}
+	}
+	return &wire.CreateTableResponse{Status: wire.StatusOK, Table: id}
+}
+
+func (c *Coordinator) createIndex(req *wire.CreateIndexRequest) *wire.CreateIndexResponse {
+	if len(req.Servers) == 0 || len(req.SplitKeys) != len(req.Servers)-1 {
+		return &wire.CreateIndexResponse{Status: wire.StatusInternalError}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextIndex++
+	id := wire.IndexID(c.nextIndex)
+	begin := []byte(nil)
+	for i, srv := range req.Servers {
+		var end []byte
+		if i < len(req.SplitKeys) {
+			end = req.SplitKeys[i]
+		}
+		c.indexlets = append(c.indexlets, wire.Indexlet{
+			Index: id, Table: req.Table, Begin: begin, End: end, Master: srv,
+		})
+		begin = end
+	}
+	c.version++
+	return &wire.CreateIndexResponse{Status: wire.StatusOK, Index: id}
+}
+
+// splitLocked ensures a tablet boundary exists at (table, at); returns
+// false if no tablet of the table contains the hash.
+func (c *Coordinator) splitLocked(table wire.TableID, at uint64) bool {
+	for i := range c.tablets {
+		t := &c.tablets[i]
+		if t.Table != table || !t.Range.Contains(at) {
+			continue
+		}
+		if t.Range.Start == at {
+			return true // boundary already exists
+		}
+		upper := wire.Tablet{Table: table, Range: wire.HashRange{Start: at, End: t.Range.End}, Master: t.Master}
+		t.Range.End = at - 1
+		c.tablets = append(c.tablets, upper)
+		c.sortTabletsLocked()
+		return true
+	}
+	return false
+}
+
+func (c *Coordinator) sortTabletsLocked() {
+	sort.Slice(c.tablets, func(i, j int) bool {
+		if c.tablets[i].Table != c.tablets[j].Table {
+			return c.tablets[i].Table < c.tablets[j].Table
+		}
+		return c.tablets[i].Range.Start < c.tablets[j].Range.Start
+	})
+}
+
+func (c *Coordinator) splitTablet(req *wire.SplitTabletRequest) *wire.SplitTabletResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.splitLocked(req.Table, req.SplitAt) {
+		return &wire.SplitTabletResponse{Status: wire.StatusNoSuchTable}
+	}
+	c.version++
+	return &wire.SplitTabletResponse{Status: wire.StatusOK, MapVersion: c.version}
+}
+
+// migrateStart atomically moves ownership of the exact range to the target
+// and registers the lineage dependency. Tablet boundaries are created as
+// needed ("defer all repartitioning work until the moment of migration").
+func (c *Coordinator) migrateStart(req *wire.MigrateStartRequest) *wire.MigrateStartResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.splitLocked(req.Table, req.Range.Start) {
+		return &wire.MigrateStartResponse{Status: wire.StatusNoSuchTable}
+	}
+	if req.Range.End != ^uint64(0) {
+		if !c.splitLocked(req.Table, req.Range.End+1) {
+			return &wire.MigrateStartResponse{Status: wire.StatusNoSuchTable}
+		}
+	}
+	// Flip every tablet inside the range (post-split they tile it).
+	moved := false
+	for i := range c.tablets {
+		t := &c.tablets[i]
+		if t.Table == req.Table && req.Range.ContainsRange(t.Range) {
+			if t.Master != req.Source {
+				return &wire.MigrateStartResponse{Status: wire.StatusWrongServer}
+			}
+			t.Master = req.Target
+			moved = true
+		}
+	}
+	if !moved {
+		return &wire.MigrateStartResponse{Status: wire.StatusNoSuchTable}
+	}
+	c.deps = append(c.deps, Dependency{
+		Table: req.Table, Range: req.Range,
+		Source: req.Source, Target: req.Target,
+		TargetLogOffset: req.TargetLogOffset,
+	})
+	c.version++
+	return &wire.MigrateStartResponse{Status: wire.StatusOK, MapVersion: c.version}
+}
+
+func (c *Coordinator) migrateDone(req *wire.MigrateDoneRequest) *wire.MigrateDoneResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.deps[:0]
+	for _, d := range c.deps {
+		if d.Table == req.Table && d.Range == req.Range && d.Source == req.Source && d.Target == req.Target {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.deps = kept
+	return &wire.MigrateDoneResponse{Status: wire.StatusOK}
+}
+
+// reportCrash kicks off asynchronous recovery of a crashed server.
+func (c *Coordinator) reportCrash(crashed wire.ServerID) {
+	c.mu.Lock()
+	if !c.servers[crashed] || c.recovered[crashed] {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.servers, crashed)
+	c.recovered[crashed] = true
+	c.mu.Unlock()
+	c.recoveryWG.Add(1)
+	go func() {
+		defer c.recoveryWG.Done()
+		if err := c.recoverServer(crashed); err != nil {
+			c.Logf("coordinator: recovery of %v failed: %v", crashed, err)
+		}
+	}()
+}
+
+// recoverServer restores a crashed server's tablets (RAMCloud's fast
+// recovery, simplified to coordinator-driven replay) and resolves lineage
+// dependencies per §3.4: ownership of any migrating tablet reverts to the
+// source side, replaying the target's recovery-log tail along with the
+// source's log.
+func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
+	c.mu.Lock()
+	var ownTablets []wire.Tablet
+	for _, t := range c.tablets {
+		if t.Master == crashed {
+			ownTablets = append(ownTablets, t)
+		}
+	}
+	var involved []Dependency
+	kept := c.deps[:0]
+	for _, d := range c.deps {
+		if d.Source == crashed || d.Target == crashed {
+			involved = append(involved, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	c.deps = append([]Dependency(nil), kept...)
+	live := c.liveServersLocked()
+	c.mu.Unlock()
+
+	if len(live) == 0 {
+		return fmt.Errorf("no live servers to recover onto")
+	}
+
+	crashedSegs, err := c.fetchBackupSegments(crashed, live)
+	if err != nil {
+		return err
+	}
+
+	// Resolve migrations the crashed server participated in.
+	for _, d := range involved {
+		switch crashed {
+		case d.Target:
+			// Target died mid-migration: the tablet reverts to the (alive)
+			// source, which must additionally replay the target's log tail
+			// (writes the target accepted after ownership transfer).
+			rep := recovery.NewReplayer(rangeFilter(d.Table, d.Range))
+			rep.AddBackupSegments(crashedSegs)
+			records, ceiling := rep.Live()
+			if err := c.installTablet(d.Table, d.Range, d.Source, records, ceiling); err != nil {
+				return err
+			}
+		case d.Source:
+			// Source died mid-migration: recover the migrating tablet from
+			// the source's backup log *plus* the target's replicated log
+			// tail, then install it on a recovery master (§3.4: "twice as
+			// much recovery effort"). The alive target drops its partial
+			// copy first.
+			_, _ = c.node.Call(d.Target, wire.PriorityForeground, &wire.DropTabletRequest{Table: d.Table, Range: d.Range})
+			targetSegs, err := c.fetchBackupSegments(d.Target, live)
+			if err != nil {
+				return err
+			}
+			rep := recovery.NewReplayer(rangeFilter(d.Table, d.Range))
+			rep.AddBackupSegments(crashedSegs)
+			rep.AddBackupSegments(targetSegs)
+			records, ceiling := rep.Live()
+			master := c.pickRecoveryMaster(live, 0)
+			if err := c.installTablet(d.Table, d.Range, master, records, ceiling); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Normal recovery for the crashed server's own tablets.
+	for i, t := range ownTablets {
+		rep := recovery.NewReplayer(rangeFilter(t.Table, t.Range))
+		rep.AddBackupSegments(crashedSegs)
+		records, ceiling := rep.Live()
+		master := c.pickRecoveryMaster(live, i)
+		if err := c.installTablet(t.Table, t.Range, master, records, ceiling); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rangeFilter(table wire.TableID, rng wire.HashRange) func(wire.TableID, uint64) bool {
+	return func(t wire.TableID, h uint64) bool { return t == table && rng.Contains(h) }
+}
+
+func (c *Coordinator) liveServersLocked() []wire.ServerID {
+	out := make([]wire.ServerID, 0, len(c.servers))
+	for s := range c.servers {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c *Coordinator) pickRecoveryMaster(live []wire.ServerID, i int) wire.ServerID {
+	return live[i%len(live)]
+}
+
+// fetchBackupSegments collects every replica of a master's log from every
+// live server's backup service. An empty result is valid (the master never
+// wrote anything durable) as long as at least one backup answered.
+func (c *Coordinator) fetchBackupSegments(master wire.ServerID, live []wire.ServerID) ([]wire.BackupSegment, error) {
+	var segs []wire.BackupSegment
+	responded := 0
+	for _, s := range live {
+		reply, err := c.node.Call(s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master})
+		if err != nil {
+			continue // a backup may have crashed too; others hold copies
+		}
+		resp, ok := reply.(*wire.GetBackupSegmentsResponse)
+		if !ok || resp.Status != wire.StatusOK {
+			continue
+		}
+		responded++
+		segs = append(segs, resp.Segments...)
+	}
+	if responded == 0 {
+		return nil, fmt.Errorf("no backup answered for %v", master)
+	}
+	return segs, nil
+}
+
+// installTablet sends recovered records to their new master and flips the
+// tablet map.
+func (c *Coordinator) installTablet(table wire.TableID, rng wire.HashRange, master wire.ServerID, records []wire.Record, ceiling uint64) error {
+	reply, err := c.node.Call(master, wire.PriorityForeground, &wire.TakeTabletsRequest{
+		Table: table, Range: rng, Records: records, VersionCeiling: ceiling,
+	})
+	if err != nil {
+		return err
+	}
+	if resp, ok := reply.(*wire.TakeTabletsResponse); !ok || resp.Status != wire.StatusOK {
+		return fmt.Errorf("TakeTablets rejected by %v", master)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Remove any tablet fragments covered by the range, then insert.
+	kept := c.tablets[:0]
+	for _, t := range c.tablets {
+		if t.Table == table && rng.ContainsRange(t.Range) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	c.tablets = append(append([]wire.Tablet(nil), kept...), wire.Tablet{Table: table, Range: rng, Master: master})
+	c.sortTabletsLocked()
+	c.version++
+	return nil
+}

@@ -1,0 +1,211 @@
+package coordinator
+
+import (
+	"sync"
+	"testing"
+
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// rig is a coordinator plus a raw client and a set of fake servers that
+// acknowledge TakeTablets/DropTablet/GetBackupSegments.
+type rig struct {
+	fabric  *transport.Fabric
+	coord   *Coordinator
+	cli     *transport.Node
+	takenMu sync.Mutex
+	taken   map[wire.ServerID][]*wire.TakeTabletsRequest
+}
+
+func newRig(t *testing.T, servers ...wire.ServerID) *rig {
+	t.Helper()
+	f := transport.NewFabric(transport.FabricConfig{})
+	coord := New(transport.NewNode(f.Attach(wire.CoordinatorID)))
+	coord.Logf = t.Logf
+	r := &rig{fabric: f, coord: coord, taken: map[wire.ServerID][]*wire.TakeTabletsRequest{}}
+	for _, id := range servers {
+		id := id
+		node := transport.NewNode(f.Attach(id))
+		node.SetHandler(func(m *wire.Message) {
+			switch req := m.Body.(type) {
+			case *wire.TakeTabletsRequest:
+				r.takenMu.Lock()
+				r.taken[id] = append(r.taken[id], req)
+				r.takenMu.Unlock()
+				node.Reply(m, &wire.TakeTabletsResponse{Status: wire.StatusOK})
+			case *wire.DropTabletRequest:
+				node.Reply(m, &wire.DropTabletResponse{Status: wire.StatusOK})
+			case *wire.GetBackupSegmentsRequest:
+				node.Reply(m, &wire.GetBackupSegmentsResponse{Status: wire.StatusOK})
+			}
+		})
+		node.Start()
+		t.Cleanup(node.Close)
+	}
+	r.cli = transport.NewNode(f.Attach(999))
+	r.cli.Start()
+	t.Cleanup(func() {
+		r.cli.Close()
+		coord.Close()
+	})
+	for _, id := range servers {
+		if _, err := r.cli.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func (r *rig) call(t *testing.T, body wire.Payload) wire.Payload {
+	t.Helper()
+	reply, err := r.cli.Call(wire.CoordinatorID, wire.PriorityForeground, body)
+	if err != nil {
+		t.Fatalf("%T: %v", body, err)
+	}
+	return reply
+}
+
+func (r *rig) tabletMap(t *testing.T) *wire.GetTabletMapResponse {
+	t.Helper()
+	return r.call(t, &wire.GetTabletMapRequest{}).(*wire.GetTabletMapResponse)
+}
+
+func TestCoordinatorCreateTable(t *testing.T) {
+	r := newRig(t, 10, 11)
+	resp := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10, 11}}).(*wire.CreateTableResponse)
+	if resp.Status != wire.StatusOK || resp.Table == 0 {
+		t.Fatalf("create: %+v", resp)
+	}
+	tm := r.tabletMap(t)
+	if len(tm.Tablets) != 2 {
+		t.Fatalf("tablets: %+v", tm.Tablets)
+	}
+	if tm.Tablets[0].Range.Start != 0 || tm.Tablets[1].Range.End != ^uint64(0) {
+		t.Fatalf("range coverage: %+v", tm.Tablets)
+	}
+	// Masters received ownership grants.
+	r.takenMu.Lock()
+	grants10, grants11 := len(r.taken[10]), len(r.taken[11])
+	r.takenMu.Unlock()
+	if grants10 != 1 || grants11 != 1 {
+		t.Fatalf("grants: %d %d", grants10, grants11)
+	}
+	// Idempotent by name.
+	again := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10}}).(*wire.CreateTableResponse)
+	if again.Table != resp.Table {
+		t.Fatal("duplicate table created")
+	}
+}
+
+func TestCoordinatorSplitTablet(t *testing.T) {
+	r := newRig(t, 10)
+	ct := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10}}).(*wire.CreateTableResponse)
+	v0 := r.tabletMap(t).Version
+	sp := r.call(t, &wire.SplitTabletRequest{Table: ct.Table, SplitAt: 1 << 63}).(*wire.SplitTabletResponse)
+	if sp.Status != wire.StatusOK {
+		t.Fatal(sp)
+	}
+	tm := r.tabletMap(t)
+	if len(tm.Tablets) != 2 || tm.Version <= v0 {
+		t.Fatalf("after split: %+v v=%d", tm.Tablets, tm.Version)
+	}
+	// Split at an existing boundary is a no-op success.
+	sp = r.call(t, &wire.SplitTabletRequest{Table: ct.Table, SplitAt: 1 << 63}).(*wire.SplitTabletResponse)
+	if sp.Status != wire.StatusOK {
+		t.Fatal(sp)
+	}
+	if len(r.tabletMap(t).Tablets) != 2 {
+		t.Fatal("boundary split duplicated tablets")
+	}
+	// Unknown table.
+	sp = r.call(t, &wire.SplitTabletRequest{Table: 99, SplitAt: 5}).(*wire.SplitTabletResponse)
+	if sp.Status == wire.StatusOK {
+		t.Fatal("split of unknown table succeeded")
+	}
+}
+
+func TestCoordinatorMigrateStartAndDone(t *testing.T) {
+	r := newRig(t, 10, 11)
+	ct := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10}}).(*wire.CreateTableResponse)
+	half := wire.FullRange().Split(2)[1]
+	ms := r.call(t, &wire.MigrateStartRequest{
+		Table: ct.Table, Range: half, Source: 10, Target: 11, TargetLogOffset: 4096,
+	}).(*wire.MigrateStartResponse)
+	if ms.Status != wire.StatusOK {
+		t.Fatal(ms)
+	}
+	// The map shows the sub-range on the target; the rest stays.
+	tm := r.tabletMap(t)
+	foundTarget := false
+	for _, tb := range tm.Tablets {
+		if tb.Range == half {
+			if tb.Master != 11 {
+				t.Fatalf("migrated range on %v", tb.Master)
+			}
+			foundTarget = true
+		} else if tb.Master != 10 {
+			t.Fatalf("unmigrated range moved: %+v", tb)
+		}
+	}
+	if !foundTarget {
+		t.Fatalf("no tablet for migrated range: %+v", tm.Tablets)
+	}
+	deps := r.coord.Dependencies()
+	if len(deps) != 1 || deps[0].TargetLogOffset != 4096 || deps[0].Source != 10 {
+		t.Fatalf("deps: %+v", deps)
+	}
+	// Wrong source is rejected.
+	bad := r.call(t, &wire.MigrateStartRequest{Table: ct.Table, Range: half, Source: 12, Target: 11}).(*wire.MigrateStartResponse)
+	if bad.Status == wire.StatusOK {
+		t.Fatal("wrong-source migration accepted")
+	}
+	// Done drops exactly the matching dependency.
+	r.call(t, &wire.MigrateDoneRequest{Table: ct.Table, Range: half, Source: 10, Target: 11})
+	if len(r.coord.Dependencies()) != 0 {
+		t.Fatal("dependency not dropped")
+	}
+}
+
+func TestCoordinatorCreateIndexValidation(t *testing.T) {
+	r := newRig(t, 10, 11)
+	bad := r.call(t, &wire.CreateIndexRequest{Table: 1, Servers: []wire.ServerID{10, 11}, SplitKeys: nil}).(*wire.CreateIndexResponse)
+	if bad.Status == wire.StatusOK {
+		t.Fatal("mismatched splits accepted")
+	}
+	good := r.call(t, &wire.CreateIndexRequest{Table: 1, Servers: []wire.ServerID{10, 11}, SplitKeys: [][]byte{[]byte("m")}}).(*wire.CreateIndexResponse)
+	if good.Status != wire.StatusOK {
+		t.Fatal(good)
+	}
+	tm := r.tabletMap(t)
+	if len(tm.Indexlets) != 2 {
+		t.Fatalf("indexlets: %+v", tm.Indexlets)
+	}
+	if tm.Indexlets[0].End == nil || tm.Indexlets[1].Begin == nil {
+		t.Fatalf("indexlet boundaries: %+v", tm.Indexlets)
+	}
+}
+
+func TestCoordinatorCrashIsIdempotent(t *testing.T) {
+	r := newRig(t, 10, 11)
+	r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10, 11}})
+	// Report the same crash twice: one recovery.
+	r.call(t, &wire.ReportCrashRequest{Server: 10})
+	r.call(t, &wire.ReportCrashRequest{Server: 10})
+	r.coord.WaitForRecoveries()
+	// Recovery fails (no backup segments in this rig), but must not panic
+	// or double-run; the server is simply marked dead.
+	r.call(t, &wire.ReportCrashRequest{Server: 42}) // unknown server: no-op
+	r.coord.WaitForRecoveries()
+}
+
+func TestCoordinatorPing(t *testing.T) {
+	r := newRig(t, 10)
+	resp := r.call(t, &wire.PingRequest{}).(*wire.PingResponse)
+	if resp.Status != wire.StatusOK {
+		t.Fatal(resp)
+	}
+	if r.coord.MapVersion() != 1 { // enlistment doesn't bump; creation later does
+		t.Logf("map version %d", r.coord.MapVersion())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// BaselineOptions configures the pre-existing RAMCloud migration (§2.3):
+// the source scans its *log* (not its hash table), copies matching records
+// into staging buffers, pushes them to the target, and the target replays
+// and synchronously re-replicates; ownership moves only at the end. The
+// Skip knobs reproduce Figure 5's decomposition.
+type BaselineOptions struct {
+	// ChunkBytes is the staging-buffer size per push (default 512 KB).
+	ChunkBytes int
+	// SkipRereplication: target replays but does not re-replicate.
+	SkipRereplication bool
+	// SkipReplay: target receives and discards ("Skip Replay on Target";
+	// implies no re-replication).
+	SkipReplay bool
+	// SkipTx: source does all its work but never transmits ("Skip Tx to
+	// Target").
+	SkipTx bool
+	// SkipCopy: source only identifies records to migrate and skips the
+	// staging-buffer copy ("Skip Copy for Tx"; implies SkipTx).
+	SkipCopy bool
+	// Progress, when non-nil, receives cumulative migrated bytes roughly
+	// every chunk; Figure 5 plots migration rate over time from this.
+	Progress func(bytes int64)
+}
+
+func (o *BaselineOptions) applyDefaults() {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 512 << 10
+	}
+	if o.SkipCopy {
+		o.SkipTx = true
+	}
+	if o.SkipTx || o.SkipReplay {
+		o.SkipRereplication = true
+	}
+}
+
+// BaselineResult summarizes a baseline migration run.
+type BaselineResult struct {
+	Records  int64
+	Bytes    int64
+	Chunks   int64
+	Started  time.Time
+	Finished time.Time
+	Err      error
+}
+
+// Duration returns the run's wall time.
+func (r BaselineResult) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// RateMBps returns the effective migration rate in MB/s.
+func (r BaselineResult) RateMBps() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / d
+}
+
+func (r BaselineResult) String() string {
+	return fmt.Sprintf("baseline migrated %d records (%.1f MB) in %v (%.1f MB/s)",
+		r.Records, float64(r.Bytes)/1e6, r.Duration().Round(time.Millisecond), r.RateMBps())
+}
+
+// SourceAccess is the source-side state the baseline scans. It is
+// implemented by *server.Server; declared as an interface so the baseline
+// (which runs *on* the source, unlike Rocksteady) states exactly what it
+// touches.
+type SourceAccess interface {
+	Log() *storage.Log
+	HashTable() *storage.HashTable
+	Node() *transport.Node
+}
+
+// RunBaselineMigration executes the pre-existing migration from the source
+// server, pushing (table, rng) to the target. The caller flips ownership
+// afterwards (clients keep hitting the source throughout, as in §2.3 where
+// "no load can be shifted away from the source until all the data has been
+// re-replicated").
+func RunBaselineMigration(src SourceAccess, target wire.ServerID, table wire.TableID, rng wire.HashRange, opts BaselineOptions) (res BaselineResult) {
+	opts.applyDefaults()
+	res = BaselineResult{Started: time.Now()}
+	defer func() { res.Finished = time.Now() }()
+
+	ht := src.HashTable()
+	var staged []wire.Record
+	var stagedBytes int
+
+	flush := func() error {
+		if len(staged) == 0 {
+			return nil
+		}
+		res.Chunks++
+		if !opts.SkipTx {
+			reply, err := src.Node().Call(target, wire.PriorityBackground, &wire.ReplayRecordsRequest{
+				Table:      table,
+				Records:    staged,
+				Replicate:  !opts.SkipRereplication,
+				SkipReplay: opts.SkipReplay,
+			})
+			if err != nil {
+				return err
+			}
+			if resp, ok := reply.(*wire.ReplayRecordsResponse); !ok || resp.Status != wire.StatusOK {
+				return errors.New("target rejected replay batch")
+			}
+		}
+		staged = staged[:0]
+		stagedBytes = 0
+		if opts.Progress != nil {
+			opts.Progress(res.Bytes)
+		}
+		return nil
+	}
+
+	// The source iterates over all of the entries in its in-memory log
+	// and copies the values being migrated into staging buffers (§2.3).
+	err := src.Log().ForEachEntry(func(ref storage.Ref, h storage.EntryHeader) bool {
+		if h.Type != storage.EntryObject || h.Table != table {
+			return true
+		}
+		rec, err := ref.Record()
+		if err != nil {
+			return true
+		}
+		hash := wire.HashKey(rec.Key)
+		if !rng.Contains(hash) {
+			return true
+		}
+		// Skip superseded versions: only the hash table's current ref is
+		// live.
+		if !ht.RefersTo(table, rec.Key, hash, ref) {
+			return true
+		}
+		res.Records++
+		res.Bytes += int64(rec.WireSize())
+		if opts.SkipCopy {
+			return true // identification only
+		}
+		// The staging-buffer copy Figure 5 charges to the source
+		// ("Skip Copy for Tx" vs "Skip Tx to Target").
+		key := append([]byte(nil), rec.Key...)
+		value := append([]byte(nil), rec.Value...)
+		staged = append(staged, wire.Record{Table: rec.Table, Version: rec.Version, Key: key, Value: value})
+		stagedBytes += rec.WireSize()
+		if stagedBytes >= opts.ChunkBytes {
+			if err := flush(); err != nil {
+				res.Err = err
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil && res.Err == nil {
+		res.Err = err
+	}
+	if res.Err == nil {
+		res.Err = flush()
+	}
+	return res
+}

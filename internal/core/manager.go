@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rocksteady/internal/server"
+	"rocksteady/internal/wire"
+)
+
+// Manager is a server's target-side migration engine. Install it with
+// server.SetMigrationHandler; MigrateTablet RPCs addressed to the server
+// then start Rocksteady migrations.
+type Manager struct {
+	srv  *server.Server
+	opts Options
+
+	mu     sync.Mutex
+	active []*Migration
+	past   []*Migration
+}
+
+var _ server.MigrationHandler = (*Manager)(nil)
+
+// NewManager creates a migration manager for a server and installs it.
+func NewManager(srv *server.Server, opts Options) *Manager {
+	opts.applyDefaults()
+	m := &Manager{srv: srv, opts: opts}
+	srv.SetMigrationHandler(m)
+	return m
+}
+
+// Options returns the manager's configuration.
+func (m *Manager) Options() Options { return m.opts }
+
+// HandleMigrateTablet implements server.MigrationHandler: it prepares the
+// source, transfers ownership (unless the retain-ownership baseline is
+// selected), and starts the migration's pull/replay machinery. It returns
+// as soon as ownership has moved — the paper's "immediate transfer of
+// ownership" — while data transfer continues in the background.
+func (m *Manager) HandleMigrateTablet(table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status {
+	m.mu.Lock()
+	for _, g := range m.active {
+		if g.Table == table && g.Range.Overlaps(rng) {
+			m.mu.Unlock()
+			return wire.StatusMigrationInProgress
+		}
+	}
+	g := newMigration(m, table, rng, source)
+	m.active = append(m.active, g)
+	m.mu.Unlock()
+
+	status := g.begin()
+	if status != wire.StatusOK {
+		g.finished = time.Now()
+		m.finish(g)
+		close(g.done)
+		return status
+	}
+	go g.run()
+	return wire.StatusOK
+}
+
+// HandleMissingKey implements server.MigrationHandler (§3.3).
+func (m *Manager) HandleMissingKey(table wire.TableID, hash uint64) (uint32, bool) {
+	g := m.migrationFor(table, hash)
+	if g == nil {
+		// No migration covers the key (it just completed): truly absent.
+		return 0, true
+	}
+	return g.requestPriorityPull(hash)
+}
+
+// CancelIncoming implements server.MigrationHandler: the coordinator
+// recovered the range elsewhere, so any matching migration aborts.
+func (m *Manager) CancelIncoming(table wire.TableID, rng wire.HashRange) {
+	m.mu.Lock()
+	var victims []*Migration
+	for _, g := range m.active {
+		if g.Table == table && g.Range.Overlaps(rng) {
+			victims = append(victims, g)
+		}
+	}
+	m.mu.Unlock()
+	for _, g := range victims {
+		g.cancel(fmt.Errorf("migration cancelled: range recovered elsewhere"))
+	}
+}
+
+func (m *Manager) migrationFor(table wire.TableID, hash uint64) *Migration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.active {
+		if g.Table == table && g.Range.Contains(hash) {
+			return g
+		}
+	}
+	return nil
+}
+
+func (m *Manager) finish(g *Migration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.active[:0]
+	for _, a := range m.active {
+		if a != g {
+			kept = append(kept, a)
+		}
+	}
+	m.active = append([]*Migration(nil), kept...)
+	m.past = append(m.past, g)
+}
+
+// Migration looks up an active or completed migration by its range.
+func (m *Manager) Migration(table wire.TableID, rng wire.HashRange) *Migration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.active {
+		if g.Table == table && g.Range == rng {
+			return g
+		}
+	}
+	for i := len(m.past) - 1; i >= 0; i-- {
+		if m.past[i].Table == table && m.past[i].Range == rng {
+			return m.past[i]
+		}
+	}
+	return nil
+}
+
+// Active returns the number of in-flight migrations.
+func (m *Manager) Active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Result summarizes a finished migration.
+type Result struct {
+	Table  wire.TableID
+	Range  wire.HashRange
+	Source wire.ServerID
+
+	Started  time.Time
+	Finished time.Time
+
+	RecordsPulled       int64
+	BytesPulled         int64
+	PullRPCs            int64
+	PriorityPullRPCs    int64
+	PriorityPullRecords int64
+	TailRecords         int64
+
+	Err error
+}
+
+// Duration returns the migration's wall time.
+func (r Result) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// RateMBps returns the effective transfer rate in MB/s.
+func (r Result) RateMBps() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.BytesPulled) / 1e6 / d
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("migrated %d records (%.1f MB) in %v (%.1f MB/s, %d pulls, %d prio-pulls)",
+		r.RecordsPulled, float64(r.BytesPulled)/1e6, r.Duration().Round(time.Millisecond),
+		r.RateMBps(), r.PullRPCs, r.PriorityPullRPCs)
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/server"
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
+
+// Migration is one in-flight (or finished) Rocksteady migration at the
+// target. All coordination state lives here; the source is stateless
+// beyond its tablet's migrating flag (§3).
+type Migration struct {
+	Table  wire.TableID
+	Range  wire.HashRange
+	Source wire.ServerID
+
+	mgr  *Manager
+	opts Options
+
+	ceiling     uint64
+	numBuckets  uint64
+	headSegment uint64
+
+	sideLogMu   sync.Mutex
+	sideLogs    []*storage.SideLog
+	sideLogPool chan *storage.SideLog
+	nextSideLog uint64
+
+	replayWG  sync.WaitGroup
+	cancelled atomic.Bool
+	failure   atomic.Pointer[error]
+	done      chan struct{}
+
+	// PriorityPull state (§3.3): queued hashes accumulate while one batch
+	// is in flight; de-duplication guarantees the source never serves the
+	// same key hash twice after migration starts.
+	ppMu       sync.Mutex
+	ppQueued   map[uint64]struct{}
+	ppInflight map[uint64]struct{}
+	ppMissing  map[uint64]struct{}
+	ppActive   bool
+	ppDrained  *sync.Cond
+
+	started  time.Time
+	finished time.Time
+
+	recordsPulled       atomic.Int64
+	bytesPulled         atomic.Int64
+	pullRPCs            atomic.Int64
+	priorityPullRPCs    atomic.Int64
+	priorityPullRecords atomic.Int64
+	tailRecords         atomic.Int64
+}
+
+func newMigration(m *Manager, table wire.TableID, rng wire.HashRange, source wire.ServerID) *Migration {
+	g := &Migration{
+		Table:      table,
+		Range:      rng,
+		Source:     source,
+		mgr:        m,
+		opts:       m.opts,
+		done:       make(chan struct{}),
+		ppQueued:   make(map[uint64]struct{}),
+		ppInflight: make(map[uint64]struct{}),
+		ppMissing:  make(map[uint64]struct{}),
+	}
+	g.ppDrained = sync.NewCond(&g.ppMu)
+	workers := m.srv.Scheduler().Workers()
+	g.sideLogPool = make(chan *storage.SideLog, workers)
+	return g
+}
+
+// Done is closed when the migration finishes (successfully or not).
+func (g *Migration) Done() <-chan struct{} { return g.done }
+
+// Wait blocks until the migration finishes and returns its result.
+func (g *Migration) Wait() Result {
+	<-g.done
+	return g.Result()
+}
+
+// Result snapshots the migration's statistics.
+func (g *Migration) Result() Result {
+	r := Result{
+		Table: g.Table, Range: g.Range, Source: g.Source,
+		Started: g.started, Finished: g.finished,
+		RecordsPulled:       g.recordsPulled.Load(),
+		BytesPulled:         g.bytesPulled.Load(),
+		PullRPCs:            g.pullRPCs.Load(),
+		PriorityPullRPCs:    g.priorityPullRPCs.Load(),
+		PriorityPullRecords: g.priorityPullRecords.Load(),
+		TailRecords:         g.tailRecords.Load(),
+	}
+	if p := g.failure.Load(); p != nil {
+		r.Err = *p
+	}
+	return r
+}
+
+func (g *Migration) fail(err error) {
+	if err == nil {
+		return
+	}
+	e := err
+	g.failure.CompareAndSwap(nil, &e)
+	g.cancelled.Store(true)
+}
+
+func (g *Migration) cancel(err error) { g.fail(err) }
+
+// begin performs the synchronous prologue: prepare the source, transfer
+// ownership at the coordinator, and register the tablet locally. Runs on
+// the worker serving the MigrateTablet RPC.
+func (g *Migration) begin() wire.Status {
+	g.started = time.Now()
+	srv := g.mgr.srv
+
+	reply, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PrepareMigrationRequest{
+		Table: g.Table, Range: g.Range, Target: srv.ID(),
+		KeepServing: g.opts.SourceRetainsOwnership,
+	})
+	if err != nil {
+		g.fail(err)
+		return wire.StatusServerDown
+	}
+	prep, ok := reply.(*wire.PrepareMigrationResponse)
+	if !ok || prep.Status != wire.StatusOK {
+		g.fail(errors.New("prepare migration rejected"))
+		return prep.Status
+	}
+	g.ceiling = prep.VersionCeiling
+	g.numBuckets = prep.NumBuckets
+	g.headSegment = prep.HeadSegment
+
+	// Adopt the source's version ceiling before any write can land, so
+	// target-issued versions always beat every pulled record (§3).
+	srv.Log().BumpVersionTo(g.ceiling)
+
+	if g.opts.SourceRetainsOwnership {
+		// Ownership flips only at the end; the target pulls quietly.
+		return wire.StatusOK
+	}
+
+	// Own the tablet locally before the coordinator redirects clients.
+	srv.RegisterTablet(g.Table, g.Range, server.TabletMigratingIn)
+
+	reply, err = srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+		Table: g.Table, Range: g.Range,
+		Source: g.Source, Target: srv.ID(),
+		TargetLogOffset: srv.Log().AppendedBytes(),
+	})
+	if err != nil {
+		g.fail(err)
+		return wire.StatusServerDown
+	}
+	if ms, ok := reply.(*wire.MigrateStartResponse); !ok || ms.Status != wire.StatusOK {
+		g.fail(errors.New("coordinator rejected ownership transfer"))
+		srv.DropTablet(g.Table, g.Range)
+		return ms.Status
+	}
+	return wire.StatusOK
+}
+
+// run drives the migration to completion: the paper's migration manager
+// "asynchronous continuation" (§3.1.2), here a goroutine that owns the
+// scoreboard of per-partition Pulls.
+func (g *Migration) run() {
+	defer g.complete()
+	if g.opts.DisableBackgroundPulls {
+		// PriorityPull-only mode (Figures 13/14): wait until cancelled or
+		// externally completed; there is no bulk transfer to finish.
+		<-g.doneViaCancel()
+		return
+	}
+	parts := g.Range.Split(g.opts.Partitions)
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p wire.HashRange) {
+			defer wg.Done()
+			g.pullPartition(p)
+		}(p)
+	}
+	wg.Wait()
+	g.replayWG.Wait()
+	g.drainPriorityPulls()
+}
+
+// doneViaCancel returns a channel closed when the migration is cancelled.
+func (g *Migration) doneViaCancel() <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		for !g.cancelled.Load() {
+			time.Sleep(time.Millisecond)
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// pullPartition issues pipelined Pulls over one partition: the next Pull
+// goes out as soon as the previous response arrives, while its records
+// replay on whatever worker is idle (§3.1.2). Flow control is built in:
+// when every target worker is busy, no new Pull is issued.
+func (g *Migration) pullPartition(p wire.HashRange) {
+	srv := g.mgr.srv
+	token := uint64(0)
+	for !g.cancelled.Load() {
+		g.waitForWorkerCapacity()
+		if g.cancelled.Load() {
+			return
+		}
+		reply, err := srv.Node().Call(g.Source, wire.PriorityBackground, &wire.PullRequest{
+			Table: g.Table, Range: p,
+			ResumeToken: token, ByteBudget: uint32(g.opts.PullBytes),
+		})
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		resp, ok := reply.(*wire.PullResponse)
+		if !ok || resp.Status != wire.StatusOK {
+			g.fail(errors.New("pull rejected"))
+			return
+		}
+		g.pullRPCs.Add(1)
+		if len(resp.Records) > 0 {
+			records := resp.Records
+			g.replayWG.Add(1)
+			srv.Scheduler().Enqueue(wire.PriorityBackground, func() {
+				defer g.replayWG.Done()
+				g.replayRecords(records)
+			})
+		}
+		token = resp.ResumeToken
+		if resp.Done {
+			return
+		}
+	}
+}
+
+// waitForWorkerCapacity holds off new Pulls while the target's workers are
+// saturated; Pulls resume when workers free up (§3.1.2's built-in flow
+// control).
+func (g *Migration) waitForWorkerCapacity() {
+	sched := g.mgr.srv.Scheduler()
+	for !g.cancelled.Load() && sched.IdleWorkers() == 0 &&
+		sched.QueuedAt(wire.PriorityBackground) > sched.Workers() {
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// takeSideLog borrows a side log from the pool (creating one per worker at
+// most), so concurrent replay tasks never share a log head (§3.1.3).
+func (g *Migration) takeSideLog() *storage.SideLog {
+	select {
+	case sl := <-g.sideLogPool:
+		return sl
+	default:
+	}
+	g.sideLogMu.Lock()
+	defer g.sideLogMu.Unlock()
+	g.nextSideLog++
+	sl := g.mgr.srv.Log().NewSideLog(uint64(1_000_000*(uint64(g.mgr.srv.ID())+1) + g.nextSideLog))
+	g.sideLogs = append(g.sideLogs, sl)
+	return sl
+}
+
+func (g *Migration) returnSideLog(sl *storage.SideLog) {
+	select {
+	case g.sideLogPool <- sl:
+	default:
+	}
+}
+
+// replayRecords incorporates one batch into the target: append to a side
+// log (or the main log under the ablation/retain variants) and link into
+// the hash table with newest-wins semantics. Runs on any idle worker.
+func (g *Migration) replayRecords(records []wire.Record) {
+	srv := g.mgr.srv
+	var sl *storage.SideLog
+	useSideLogs := !g.opts.DisableSideLogs && !g.opts.SyncRereplication
+	if useSideLogs {
+		sl = g.takeSideLog()
+		defer g.returnSideLog(sl)
+	}
+	var n, bytes int64
+	for i := range records {
+		rec := &records[i]
+		if rec.Tombstone {
+			// Deletions (tail catch-up in the retain-ownership variant):
+			// park the tombstone in the hash table so any stale copy of
+			// the record loses the version race.
+			var tref storage.Ref
+			var err error
+			if useSideLogs {
+				tref, err = sl.AppendTombstone(rec.Table, rec.Version, rec.Key)
+			} else {
+				tref, err = srv.Log().AppendTombstone(rec.Table, rec.Version, 0, rec.Key)
+			}
+			if err != nil {
+				g.fail(err)
+				return
+			}
+			hash := wire.HashKey(rec.Key)
+			if prev, stored := srv.HashTable().PutIfNewer(rec.Table, rec.Key, hash, tref, rec.Version); stored {
+				storage.MarkDeadRef(prev)
+			} else {
+				storage.MarkDeadRef(tref)
+			}
+			continue
+		}
+		var ref storage.Ref
+		var err error
+		if useSideLogs {
+			ref, err = sl.Append(rec.Table, rec.Version, rec.Key, rec.Value)
+		} else {
+			// Main-log replay: synchronous re-replication variants need
+			// the records on the replicated log; the side-log ablation
+			// shows the head contention this causes.
+			ref, err = srv.Log().AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
+		}
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		hash := wire.HashKey(rec.Key)
+		if prev, stored := srv.HashTable().PutIfNewer(rec.Table, rec.Key, hash, ref, rec.Version); stored {
+			storage.MarkDeadRef(prev)
+		} else {
+			// A newer version beat us here (a client write above the
+			// ceiling, or a PriorityPull'd copy): the replayed bytes are
+			// immediately dead.
+			storage.MarkDeadRef(ref)
+		}
+		n++
+		bytes += int64(rec.WireSize())
+	}
+	if g.opts.SyncRereplication {
+		if err := srv.Replicator().Sync(); err != nil {
+			g.fail(err)
+			return
+		}
+	}
+	g.recordsPulled.Add(n)
+	g.bytesPulled.Add(bytes)
+}
+
+// complete runs the migration epilogue: lazy re-replication of side logs,
+// side-log commit, ownership finalization, dependency drop, and source
+// cleanup (§3.4).
+func (g *Migration) complete() {
+	srv := g.mgr.srv
+	defer func() {
+		g.finished = time.Now()
+		g.mgr.finish(g)
+		close(g.done)
+	}()
+
+	if g.cancelled.Load() {
+		if p := g.failure.Load(); p == nil {
+			err := errors.New("migration cancelled")
+			g.failure.CompareAndSwap(nil, &err)
+		}
+		return
+	}
+
+	if g.opts.SourceRetainsOwnership {
+		g.completeRetainOwnership()
+		return
+	}
+
+	// Lazy re-replication: only now do the pulled records reach backups,
+	// and only then does the lineage dependency drop (§3.4).
+	g.sideLogMu.Lock()
+	sideLogs := append([]*storage.SideLog(nil), g.sideLogs...)
+	g.sideLogMu.Unlock()
+	var segs []*storage.Segment
+	for _, sl := range sideLogs {
+		segs = append(segs, sl.Segments()...)
+	}
+	if err := srv.Replicator().ReplicateSegments(segs); err != nil {
+		g.fail(err)
+		return
+	}
+	for _, sl := range sideLogs {
+		if err := sl.Commit(); err != nil {
+			g.fail(err)
+			return
+		}
+	}
+
+	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
+	}); err != nil {
+		g.fail(err)
+		return
+	}
+	if _, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
+		Table: g.Table, Range: g.Range,
+	}); err != nil {
+		g.fail(err)
+		return
+	}
+	// Replay has quiesced: deletions parked in the hash table during the
+	// migration can leave it.
+	srv.HashTable().RemoveTombstoneRefs(g.Table, g.Range)
+	srv.SetTabletState(g.Table, g.Range, server.TabletNormal)
+}
+
+// completeRetainOwnership is the Figure 9(c) epilogue: freeze the source,
+// catch up on writes accepted during migration, then flip ownership.
+func (g *Migration) completeRetainOwnership() {
+	srv := g.mgr.srv
+
+	// Freeze the source (now it answers WrongServer) and pick up the tail.
+	reply, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PrepareMigrationRequest{
+		Table: g.Table, Range: g.Range, Target: srv.ID(), KeepServing: false,
+	})
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	if prep, ok := reply.(*wire.PrepareMigrationResponse); !ok || prep.Status != wire.StatusOK {
+		g.fail(errors.New("source freeze rejected"))
+		return
+	}
+	after := uint64(0)
+	if g.headSegment > 1 {
+		after = g.headSegment - 1
+	}
+	reply, err = srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PullTailRequest{
+		Table: g.Table, Range: g.Range, AfterSegment: after,
+	})
+	if err != nil {
+		g.fail(err)
+		return
+	}
+	tail, ok := reply.(*wire.PullTailResponse)
+	if !ok || tail.Status != wire.StatusOK {
+		g.fail(errors.New("tail pull rejected"))
+		return
+	}
+	inRange := make([]wire.Record, 0, len(tail.Records))
+	for _, rec := range tail.Records {
+		if g.Range.Contains(wire.HashKey(rec.Key)) {
+			inRange = append(inRange, rec)
+		}
+	}
+	g.tailRecords.Add(int64(len(inRange)))
+	if len(inRange) > 0 {
+		g.replayRecords(inRange)
+	}
+
+	// Now take ownership: register locally, then flip at the coordinator.
+	srv.RegisterTablet(g.Table, g.Range, server.TabletNormal)
+	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
+		TargetLogOffset: srv.Log().AppendedBytes(),
+	}); err != nil {
+		g.fail(err)
+		return
+	}
+	// Everything is already durably replicated (synchronous
+	// re-replication): drop the dependency immediately and clean up.
+	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
+	}); err != nil {
+		g.fail(err)
+		return
+	}
+	if _, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
+		Table: g.Table, Range: g.Range,
+	}); err != nil {
+		g.fail(err)
+	}
+}

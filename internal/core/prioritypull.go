@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// requestPriorityPull is called on the worker serving a client read whose
+// record has not arrived yet (§3.3). In the default asynchronous mode it
+// enqueues the hash for the batching loop and returns immediately with a
+// retry hint, freeing the worker; in the synchronous baseline it blocks
+// the worker on a single-hash pull.
+func (g *Migration) requestPriorityPull(hash uint64) (retryMicros uint32, knownMissing bool) {
+	g.ppMu.Lock()
+	if _, ok := g.ppMissing[hash]; ok {
+		g.ppMu.Unlock()
+		return 0, true
+	}
+	g.ppMu.Unlock()
+
+	if g.opts.DisablePriorityPulls {
+		// Figure 9(b): the client keeps retrying until a background Pull
+		// delivers the record.
+		return g.opts.RetryHintMicros, false
+	}
+	if g.opts.SyncPriorityPulls {
+		return g.syncPriorityPull(hash)
+	}
+
+	g.ppMu.Lock()
+	defer g.ppMu.Unlock()
+	if _, ok := g.ppMissing[hash]; ok {
+		return 0, true
+	}
+	// De-duplicate: a hash already queued or in flight is never requested
+	// from the source twice (§3.3).
+	if _, inflight := g.ppInflight[hash]; !inflight {
+		if _, queued := g.ppQueued[hash]; !queued {
+			g.ppQueued[hash] = struct{}{}
+		}
+	}
+	if !g.ppActive {
+		g.ppActive = true
+		go g.priorityPullLoop()
+	}
+	return g.opts.RetryHintMicros, false
+}
+
+// syncPriorityPull is the naive baseline of Figures 13/14: the worker
+// stalls on the RPC and replays inline; the server answers the client from
+// the hash table immediately afterwards (retry hint 0).
+func (g *Migration) syncPriorityPull(hash uint64) (uint32, bool) {
+	reply, err := g.mgr.srv.Node().Call(g.Source, wire.PriorityPriorityPull, &wire.PriorityPullRequest{
+		Table: g.Table, Hashes: []uint64{hash},
+	})
+	if err != nil {
+		g.fail(err)
+		return g.opts.RetryHintMicros, false
+	}
+	resp, ok := reply.(*wire.PriorityPullResponse)
+	if !ok || resp.Status != wire.StatusOK {
+		return g.opts.RetryHintMicros, false
+	}
+	g.priorityPullRPCs.Add(1)
+	if len(resp.Records) > 0 {
+		g.priorityPullRecords.Add(int64(len(resp.Records)))
+		g.replayRecords(resp.Records)
+	}
+	if len(resp.Missing) > 0 {
+		g.ppMu.Lock()
+		for _, h := range resp.Missing {
+			g.ppMissing[h] = struct{}{}
+		}
+		g.ppMu.Unlock()
+		for _, h := range resp.Missing {
+			if h == hash {
+				return 0, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// priorityPullLoop runs while client-requested hashes are pending: it
+// batches up to PriorityPullBatch hashes per RPC, keeps exactly one RPC in
+// flight, accumulates newly requested hashes meanwhile, and replays each
+// response at the highest priority (§3.3).
+func (g *Migration) priorityPullLoop() {
+	srv := g.mgr.srv
+	for {
+		g.ppMu.Lock()
+		if g.cancelled.Load() || len(g.ppQueued) == 0 {
+			g.ppActive = false
+			g.ppDrained.Broadcast()
+			g.ppMu.Unlock()
+			return
+		}
+		batch := make([]uint64, 0, g.opts.PriorityPullBatch)
+		for h := range g.ppQueued {
+			delete(g.ppQueued, h)
+			g.ppInflight[h] = struct{}{}
+			batch = append(batch, h)
+			if len(batch) >= g.opts.PriorityPullBatch {
+				break
+			}
+		}
+		g.ppMu.Unlock()
+
+		reply, err := srv.Node().Call(g.Source, wire.PriorityPriorityPull, &wire.PriorityPullRequest{
+			Table: g.Table, Hashes: batch,
+		})
+		if err != nil {
+			g.fail(err)
+			g.clearInflight(batch)
+			continue
+		}
+		resp, ok := reply.(*wire.PriorityPullResponse)
+		if !ok || resp.Status != wire.StatusOK {
+			g.fail(errors.New("priority pull rejected"))
+			g.clearInflight(batch)
+			continue
+		}
+		g.priorityPullRPCs.Add(1)
+
+		// Replay at the highest priority on a worker; the batch's hashes
+		// stay "in flight" until the records are visible, so retrying
+		// clients and the de-duplication logic stay consistent.
+		if len(resp.Records) > 0 {
+			g.priorityPullRecords.Add(int64(len(resp.Records)))
+			records := resp.Records
+			done := make(chan struct{})
+			srv.Scheduler().Enqueue(wire.PriorityPriorityPull, func() {
+				defer close(done)
+				g.replayRecords(records)
+			})
+			<-done
+		}
+		g.ppMu.Lock()
+		for _, h := range resp.Missing {
+			g.ppMissing[h] = struct{}{}
+		}
+		for _, h := range batch {
+			delete(g.ppInflight, h)
+		}
+		g.ppMu.Unlock()
+	}
+}
+
+func (g *Migration) clearInflight(batch []uint64) {
+	g.ppMu.Lock()
+	for _, h := range batch {
+		delete(g.ppInflight, h)
+	}
+	g.ppMu.Unlock()
+}
+
+// drainPriorityPulls waits for the loop to go idle before the migration
+// epilogue (every client-visible promise resolved).
+func (g *Migration) drainPriorityPulls() {
+	g.ppMu.Lock()
+	for g.ppActive {
+		g.ppDrained.Wait()
+	}
+	g.ppMu.Unlock()
+	// Belt and braces: the loop may have been restarted by a straggler
+	// read between the Wait and the epilogue; those reads target records
+	// that bulk pulls already delivered, so an extra moment suffices.
+	for {
+		g.ppMu.Lock()
+		idle := !g.ppActive && len(g.ppQueued) == 0
+		g.ppMu.Unlock()
+		if idle {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

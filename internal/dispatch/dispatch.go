@@ -1,0 +1,165 @@
+// Package dispatch implements RAMCloud's threading model (§3.1): one
+// dispatch loop per server polls the network and hands requests to a fixed
+// pool of worker cores; tasks run to completion (no preemption); when all
+// workers are busy, tasks wait in strict priority queues and a freed worker
+// takes the front of the highest-priority non-empty queue.
+//
+// The model is what lets Rocksteady treat migration as a background task:
+// bulk Pull and replay work runs at PriorityBackground and is displaced by
+// foreground client requests, while PriorityPulls preempt everything in the
+// queue (not on the cores — run-to-completion is preserved).
+//
+// Workers are goroutines rather than pinned cores; busy-time accounting
+// (BusyNanos) substitutes for hardware core utilization in the paper's
+// Figures 11 and 14.
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// Task is a unit of work executed to completion on one worker.
+type Task func()
+
+// Scheduler owns a fixed worker pool and the priority queues feeding it.
+type Scheduler struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [wire.NumPriorities][]Task
+	queued int
+	closed bool
+
+	idleWorkers atomic.Int32
+	busyNanos   atomic.Int64
+	started     atomic.Int64 // tasks started, per-priority below
+	perPriority [wire.NumPriorities]atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts a pool of the given number of workers. The paper's
+// configuration uses 12 workers per server.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	s.idleWorkers.Store(int32(workers))
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Enqueue submits a task at the given priority. It never blocks; if all
+// workers are busy the task waits in its priority queue.
+func (s *Scheduler) Enqueue(p wire.Priority, t Task) {
+	if p >= wire.NumPriorities {
+		p = wire.PriorityBackground
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queues[p] = append(s.queues[p], t)
+	s.queued++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// IdleWorkers returns how many workers are currently idle. The migration
+// manager uses this as built-in flow control: it issues no new Pull when
+// every worker is busy (§3.1.2).
+func (s *Scheduler) IdleWorkers() int { return int(s.idleWorkers.Load()) }
+
+// QueuedTasks returns the number of tasks waiting (all priorities).
+func (s *Scheduler) QueuedTasks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// QueuedAt returns the number of tasks waiting at one priority.
+func (s *Scheduler) QueuedAt(p wire.Priority) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[p])
+}
+
+// BusyNanos returns cumulative worker busy time across the pool; sampled
+// by the metrics package to derive "active worker cores" (Figure 11).
+func (s *Scheduler) BusyNanos() int64 { return s.busyNanos.Load() }
+
+// TasksStarted returns the total number of tasks executed and the count
+// per priority.
+func (s *Scheduler) TasksStarted() (total int64, perPriority [wire.NumPriorities]int64) {
+	for i := range s.perPriority {
+		perPriority[i] = s.perPriority[i].Load()
+	}
+	return s.started.Load(), perPriority
+}
+
+// Close drains nothing: queued tasks are discarded and workers exit.
+// Models a server crash.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for i := range s.queues {
+		s.queues[i] = nil
+	}
+	s.queued = 0
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		var task Task
+		var pri wire.Priority
+		for p := wire.Priority(0); p < wire.NumPriorities; p++ {
+			if q := s.queues[p]; len(q) > 0 {
+				task = q[0]
+				// Shift rather than re-slice forever: reuse backing array
+				// when the queue empties.
+				copy(q, q[1:])
+				s.queues[p] = q[:len(q)-1]
+				s.queued--
+				pri = p
+				break
+			}
+		}
+		s.mu.Unlock()
+		if task == nil {
+			continue
+		}
+		s.idleWorkers.Add(-1)
+		start := time.Now()
+		task()
+		s.busyNanos.Add(time.Since(start).Nanoseconds())
+		s.started.Add(1)
+		s.perPriority[pri].Add(1)
+		s.idleWorkers.Add(1)
+	}
+}

@@ -1,0 +1,225 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+func TestSchedulerRunsTasks(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		s.Enqueue(wire.PriorityForeground, func() {
+			n.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+	total, per := s.TasksStarted()
+	if total != 100 || per[wire.PriorityForeground] != 100 {
+		t.Fatalf("counters: total=%d per=%v", total, per)
+	}
+}
+
+// With every worker blocked, queued tasks must drain strictly by priority.
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	s.Enqueue(wire.PriorityForeground, func() {
+		close(running)
+		<-block
+	})
+	<-running
+
+	var mu sync.Mutex
+	var order []wire.Priority
+	var wg sync.WaitGroup
+	add := func(p wire.Priority) {
+		wg.Add(1)
+		s.Enqueue(p, func() {
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	// Enqueue in worst-case order: lowest priority first.
+	add(wire.PriorityBackground)
+	add(wire.PriorityBackground)
+	add(wire.PriorityReplication)
+	add(wire.PriorityForeground)
+	add(wire.PriorityPriorityPull)
+
+	close(block)
+	wg.Wait()
+
+	want := []wire.Priority{
+		wire.PriorityPriorityPull,
+		wire.PriorityForeground,
+		wire.PriorityReplication,
+		wire.PriorityBackground,
+		wire.PriorityBackground,
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOWithinPriority(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	block := make(chan struct{})
+	running := make(chan struct{})
+	s.Enqueue(wire.PriorityForeground, func() { close(running); <-block })
+	<-running
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		s.Enqueue(wire.PriorityForeground, func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestIdleWorkersTracking(t *testing.T) {
+	s := NewScheduler(3)
+	defer s.Close()
+	if s.IdleWorkers() != 3 {
+		t.Fatalf("fresh pool idle = %d", s.IdleWorkers())
+	}
+	block := make(chan struct{})
+	started := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		s.Enqueue(wire.PriorityForeground, func() {
+			started <- struct{}{}
+			<-block
+		})
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	if s.IdleWorkers() != 0 {
+		t.Fatalf("all busy but idle = %d", s.IdleWorkers())
+	}
+	s.Enqueue(wire.PriorityBackground, func() {})
+	if q := s.QueuedTasks(); q != 1 {
+		t.Fatalf("queued = %d", q)
+	}
+	if q := s.QueuedAt(wire.PriorityBackground); q != 1 {
+		t.Fatalf("queuedAt = %d", q)
+	}
+	close(block)
+	deadline := time.After(2 * time.Second)
+	for s.IdleWorkers() != 3 {
+		select {
+		case <-deadline:
+			t.Fatal("workers never went idle")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestBusyNanosAccumulates(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Enqueue(wire.PriorityForeground, func() {
+		time.Sleep(5 * time.Millisecond)
+		wg.Done()
+	})
+	wg.Wait()
+	if s.BusyNanos() < (4 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("busy nanos %d too small", s.BusyNanos())
+	}
+}
+
+func TestCloseDiscardsQueuedWork(t *testing.T) {
+	s := NewScheduler(1)
+	block := make(chan struct{})
+	running := make(chan struct{})
+	s.Enqueue(wire.PriorityForeground, func() { close(running); <-block })
+	<-running
+	var ran atomic.Bool
+	s.Enqueue(wire.PriorityForeground, func() { ran.Store(true) })
+	close(block)
+	s.Close()
+	if ran.Load() {
+		t.Error("queued task ran after Close")
+	}
+	// Enqueue after close is a no-op, not a panic.
+	s.Enqueue(wire.PriorityForeground, func() { t.Error("ran after close") })
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestSchedulerMinimumOneWorker(t *testing.T) {
+	s := NewScheduler(0)
+	defer s.Close()
+	if s.Workers() != 1 {
+		t.Fatalf("workers = %d", s.Workers())
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.Enqueue(wire.NumPriorities+5, func() { wg.Done() }) // out-of-range priority clamps
+	wg.Wait()
+}
+
+func TestSchedulerParallelism(t *testing.T) {
+	s := NewScheduler(8)
+	defer s.Close()
+	var concurrent, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		s.Enqueue(wire.PriorityBackground, func() {
+			c := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			concurrent.Add(-1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if peak.Load() < 4 {
+		t.Fatalf("peak parallelism %d; want >= 4 on 8 workers", peak.Load())
+	}
+}

@@ -1,0 +1,226 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiplistInsertScan(t *testing.T) {
+	s := newSkiplist()
+	for i := 0; i < 100; i++ {
+		if !s.insert([]byte(fmt.Sprintf("key-%03d", i)), uint64(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if s.len() != 100 {
+		t.Fatalf("len = %d", s.len())
+	}
+	// Duplicate (key, hash) rejected.
+	if s.insert([]byte("key-000"), 0) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	// Same key, different hash allowed.
+	if !s.insert([]byte("key-000"), 999) {
+		t.Fatal("same-key different-hash insert failed")
+	}
+	got := s.scan([]byte("key-010"), []byte("key-014"), 0)
+	want := []uint64{10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSkiplistScanLimitAndOpenEnd(t *testing.T) {
+	s := newSkiplist()
+	for i := 0; i < 50; i++ {
+		s.insert([]byte(fmt.Sprintf("k%02d", i)), uint64(i))
+	}
+	if got := s.scan([]byte("k10"), nil, 4); len(got) != 4 || got[0] != 10 {
+		t.Fatalf("limited scan = %v", got)
+	}
+	if got := s.scan([]byte("k45"), nil, 0); len(got) != 5 {
+		t.Fatalf("open-end scan = %v", got)
+	}
+	if got := s.scan([]byte("zzz"), nil, 0); len(got) != 0 {
+		t.Fatalf("past-end scan = %v", got)
+	}
+}
+
+func TestSkiplistRemove(t *testing.T) {
+	s := newSkiplist()
+	s.insert([]byte("a"), 1)
+	s.insert([]byte("a"), 2)
+	if !s.remove([]byte("a"), 1) {
+		t.Fatal("remove failed")
+	}
+	if s.remove([]byte("a"), 1) {
+		t.Fatal("double remove succeeded")
+	}
+	if got := s.scan(nil, nil, 0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+// Property: skiplist scan order always equals sorted insertion order.
+func TestSkiplistOrderingQuick(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		s := newSkiplist()
+		type entry struct {
+			key  string
+			hash uint64
+		}
+		var want []entry
+		seen := map[string]bool{}
+		for i, k := range keys {
+			if len(k) > 32 {
+				k = k[:32]
+			}
+			e := entry{string(k), uint64(i)}
+			id := fmt.Sprintf("%q/%d", e.key, e.hash)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			s.insert(k, e.hash)
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].key != want[j].key {
+				return want[i].key < want[j].key
+			}
+			return want[i].hash < want[j].hash
+		})
+		got := s.scan(nil, nil, 0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i].hash {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkiplistVersusModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := newSkiplist()
+	model := map[string]bool{}
+	for step := 0; step < 5000; step++ {
+		k := []byte(fmt.Sprintf("key-%02d", rng.Intn(50)))
+		h := uint64(rng.Intn(5))
+		id := string(k) + fmt.Sprint(h)
+		if rng.Intn(2) == 0 {
+			got := s.insert(k, h)
+			if got == model[id] {
+				t.Fatalf("step %d: insert returned %v but model has %v", step, got, model[id])
+			}
+			model[id] = true
+		} else {
+			got := s.remove(k, h)
+			if got != model[id] {
+				t.Fatalf("step %d: remove returned %v but model has %v", step, got, model[id])
+			}
+			delete(model, id)
+		}
+		if s.len() != len(model) {
+			t.Fatalf("step %d: len %d != model %d", step, s.len(), len(model))
+		}
+	}
+}
+
+func TestSkiplistConcurrentReaders(t *testing.T) {
+	s := newSkiplist()
+	for i := 0; i < 1000; i++ {
+		s.insert([]byte(fmt.Sprintf("k%04d", i)), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				start := []byte(fmt.Sprintf("k%04d", i*4))
+				if got := s.scan(start, nil, 4); len(got) != 4 {
+					t.Errorf("scan from %s returned %d", start, len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1000; i < 1200; i++ {
+			s.insert([]byte(fmt.Sprintf("k%04d", i)), uint64(i))
+		}
+	}()
+	wg.Wait()
+}
+
+func TestSkiplistInsertKeyAliasing(t *testing.T) {
+	s := newSkiplist()
+	k := []byte("mutate-me")
+	s.insert(k, 7)
+	k[0] = 'X' // caller reuses its buffer; the index must have copied
+	if got := s.scan([]byte("mutate-me"), []byte("mutate-mf"), 0); len(got) != 1 {
+		t.Fatal("index aliased caller's key buffer")
+	}
+}
+
+func TestManager(t *testing.T) {
+	m := NewManager()
+	if got := m.Lookup(1, nil, nil, 0); got != nil {
+		t.Fatal("lookup on missing indexlet")
+	}
+	if m.Remove(1, []byte("k"), 1) {
+		t.Fatal("remove on missing indexlet")
+	}
+	m.Insert(1, []byte("bob"), 11)
+	m.Insert(1, []byte("alice"), 10)
+	m.Insert(2, []byte("zed"), 99)
+	got := m.Lookup(1, nil, nil, 0)
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("lookup = %v", got)
+	}
+	if m.Len(1) != 2 || m.Len(2) != 1 || m.Len(3) != 0 {
+		t.Fatal("Len mismatch")
+	}
+	if !m.Remove(1, []byte("bob"), 11) {
+		t.Fatal("remove failed")
+	}
+	if m.Len(1) != 1 {
+		t.Fatal("remove not applied")
+	}
+}
+
+func TestSkiplistRangeBoundaries(t *testing.T) {
+	s := newSkiplist()
+	s.insert([]byte("b"), 1)
+	s.insert([]byte("c"), 2)
+	s.insert([]byte("d"), 3)
+	// End is exclusive, begin inclusive.
+	if got := s.scan([]byte("b"), []byte("d"), 0); len(got) != 2 {
+		t.Fatalf("[b,d) = %v", got)
+	}
+	if got := s.scan([]byte("a"), []byte("z"), 0); len(got) != 3 {
+		t.Fatalf("[a,z) = %v", got)
+	}
+	if !bytes.Equal([]byte("b"), []byte("b")) {
+		t.Fatal("sanity")
+	}
+}

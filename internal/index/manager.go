@@ -1,0 +1,69 @@
+package index
+
+import (
+	"sync"
+
+	"rocksteady/internal/wire"
+)
+
+// Manager holds the indexlets hosted by one server. Indexlets materialize
+// lazily on first insert: the coordinator's indexlet map routes traffic,
+// so a server only ever sees operations for indexlets it hosts.
+type Manager struct {
+	mu        sync.RWMutex
+	indexlets map[wire.IndexID]*skiplist
+}
+
+// NewManager creates an empty indexlet host.
+func NewManager() *Manager {
+	return &Manager{indexlets: make(map[wire.IndexID]*skiplist)}
+}
+
+func (m *Manager) get(id wire.IndexID, create bool) *skiplist {
+	m.mu.RLock()
+	s := m.indexlets[id]
+	m.mu.RUnlock()
+	if s != nil || !create {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.indexlets[id]; s == nil {
+		s = newSkiplist()
+		m.indexlets[id] = s
+	}
+	return s
+}
+
+// Insert adds (secondaryKey -> primary hash) to an indexlet.
+func (m *Manager) Insert(id wire.IndexID, secondaryKey []byte, hash uint64) {
+	m.get(id, true).insert(secondaryKey, hash)
+}
+
+// Remove deletes (secondaryKey -> primary hash) from an indexlet.
+func (m *Manager) Remove(id wire.IndexID, secondaryKey []byte, hash uint64) bool {
+	s := m.get(id, false)
+	if s == nil {
+		return false
+	}
+	return s.remove(secondaryKey, hash)
+}
+
+// Lookup returns up to limit primary hashes with secondary keys in
+// [begin, end), in secondary-key order.
+func (m *Manager) Lookup(id wire.IndexID, begin, end []byte, limit int) []uint64 {
+	s := m.get(id, false)
+	if s == nil {
+		return nil
+	}
+	return s.scan(begin, end, limit)
+}
+
+// Len returns the entry count of an indexlet (0 if absent).
+func (m *Manager) Len(id wire.IndexID) int {
+	s := m.get(id, false)
+	if s == nil {
+		return 0
+	}
+	return s.len()
+}

@@ -1,0 +1,135 @@
+// Package index implements secondary indexes: range-partitioned indexlets
+// (Figure 2) that map secondary keys to primary-key hashes. An index scan
+// asks one indexlet for hashes in secondary-key order and then multigets
+// the actual records from the backing tablets by hash.
+//
+// Indexlets are skiplists keyed by (secondary key, primary hash): multiple
+// records may share a secondary key, and an index stores hashes only — it
+// never stores records, which is what lets tables and their indexes scale
+// independently (§2).
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxLevel = 24
+
+type node struct {
+	key  []byte
+	hash uint64
+	next []*node
+}
+
+// less orders entries by secondary key, then primary hash.
+func (n *node) less(key []byte, hash uint64) bool {
+	if c := bytes.Compare(n.key, key); c != 0 {
+		return c < 0
+	}
+	return n.hash < hash
+}
+
+// skiplist is a concurrent ordered map from (secondary key, hash) to
+// presence. A single RWMutex suffices: indexlets are per-server and the
+// paper's index experiments are read-dominated.
+type skiplist struct {
+	mu   sync.RWMutex
+	head *node
+	rng  *rand.Rand
+	size int
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head: &node{next: make([]*node, maxLevel)},
+		rng:  rand.New(rand.NewSource(1)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev with the rightmost node before (key, hash)
+// at every level.
+func (s *skiplist) findPredecessors(key []byte, hash uint64, prev []*node) *node {
+	x := s.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].less(key, hash) {
+			x = x.next[lvl]
+		}
+		prev[lvl] = x
+	}
+	return x.next[0]
+}
+
+// insert adds (key, hash); returns false if already present.
+func (s *skiplist) insert(key []byte, hash uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := make([]*node, maxLevel)
+	next := s.findPredecessors(key, hash, prev)
+	if next != nil && bytes.Equal(next.key, key) && next.hash == hash {
+		return false
+	}
+	lvl := s.randomLevel()
+	k := make([]byte, len(key))
+	copy(k, key)
+	n := &node{key: k, hash: hash, next: make([]*node, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.size++
+	return true
+}
+
+// remove deletes (key, hash); returns false if absent.
+func (s *skiplist) remove(key []byte, hash uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := make([]*node, maxLevel)
+	next := s.findPredecessors(key, hash, prev)
+	if next == nil || !bytes.Equal(next.key, key) || next.hash != hash {
+		return false
+	}
+	for i := 0; i < len(next.next); i++ {
+		if prev[i].next[i] == next {
+			prev[i].next[i] = next.next[i]
+		}
+	}
+	s.size--
+	return true
+}
+
+// scan returns up to limit hashes whose secondary keys are in
+// [begin, end); a nil end means +infinity. Hashes come back in secondary
+// key order.
+func (s *skiplist) scan(begin, end []byte, limit int) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prev := make([]*node, maxLevel)
+	x := s.findPredecessors(begin, 0, prev)
+	var out []uint64
+	for x != nil && (limit <= 0 || len(out) < limit) {
+		if end != nil && bytes.Compare(x.key, end) >= 0 {
+			break
+		}
+		out = append(out, x.hash)
+		x = x.next[0]
+	}
+	return out
+}
+
+// len returns the entry count.
+func (s *skiplist) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}

@@ -1,0 +1,343 @@
+// Package metrics provides the measurement machinery for the evaluation:
+// lock-free log-linear latency histograms (HDR-style), rotating windowed
+// timelines for per-second figures, and utilization probes that convert
+// cumulative busy-time counters into the paper's "active cores" metric.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values are bucketed log-linearly — one octave
+// per power of two, subdivided into 32 linear sub-buckets — giving ~3%
+// relative error across nanoseconds to minutes, recorded with a single
+// atomic increment.
+const (
+	subBucketBits  = 5
+	subBuckets     = 1 << subBucketBits
+	octaves        = 40 // covers up to ~2^40 ns ≈ 18 minutes
+	histogramSlots = octaves * subBuckets
+)
+
+// Histogram is a concurrent-safe latency histogram. The zero value is
+// ready to use.
+type Histogram struct {
+	counts [histogramSlots]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+func slotOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - leadingZeros64(uint64(v))
+	// Top subBucketBits bits below the leading bit select the sub-bucket.
+	sub := (v >> (uint(exp) - subBucketBits)) & (subBuckets - 1)
+	slot := (exp-subBucketBits+1)*subBuckets + int(sub)
+	if slot >= histogramSlots {
+		slot = histogramSlots - 1
+	}
+	return slot
+}
+
+// slotValue returns a representative (upper-bound) value for a slot.
+func slotValue(slot int) int64 {
+	if slot < subBuckets {
+		return int64(slot)
+	}
+	exp := slot/subBuckets + subBucketBits - 1
+	sub := slot % subBuckets
+	return (1 << uint(exp)) + int64(sub+1)<<(uint(exp)-subBucketBits) - 1
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := d.Nanoseconds()
+	h.counts[slotOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histogramSlots; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(slotValue(i))
+		}
+	}
+	return h.Max()
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < histogramSlots; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		m, o := h.max.Load(), other.max.Load()
+		if o <= m || h.max.CompareAndSwap(m, o) {
+			break
+		}
+	}
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := 0; i < histogramSlots; i++ {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Summary is an immutable digest of a histogram window.
+type Summary struct {
+	Count  int64
+	Mean   time.Duration
+	Median time.Duration
+	P99    time.Duration
+	P999   time.Duration
+	Max    time.Duration
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Median: h.Median(),
+		P99:    h.Percentile(99),
+		P999:   h.Percentile(99.9),
+		Max:    h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d median=%v p99.9=%v max=%v", s.Count, s.Median, s.P999, s.Max)
+}
+
+// Timeline collects observations into per-window histograms: the engine
+// behind the paper's time-series figures (9, 10). Writers call Record
+// concurrently; one sampler goroutine calls Rotate once per window.
+type Timeline struct {
+	mu      sync.Mutex
+	current *Histogram
+	windows []TimelineWindow
+	start   time.Time
+}
+
+// TimelineWindow is one completed window.
+type TimelineWindow struct {
+	Start   time.Duration // since timeline start
+	Summary Summary
+}
+
+// NewTimeline starts a timeline clocked from now.
+func NewTimeline() *Timeline {
+	return &Timeline{current: &Histogram{}, start: time.Now()}
+}
+
+// Record adds an observation to the current window.
+func (t *Timeline) Record(d time.Duration) {
+	t.mu.Lock()
+	h := t.current
+	t.mu.Unlock()
+	h.Record(d)
+}
+
+// Rotate closes the current window, storing its summary, and opens a new
+// one. Returns the closed window.
+func (t *Timeline) Rotate() TimelineWindow {
+	fresh := &Histogram{}
+	t.mu.Lock()
+	old := t.current
+	t.current = fresh
+	w := TimelineWindow{Start: time.Since(t.start), Summary: old.Summarize()}
+	t.windows = append(t.windows, w)
+	t.mu.Unlock()
+	return w
+}
+
+// Windows returns all completed windows.
+func (t *Timeline) Windows() []TimelineWindow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimelineWindow, len(t.windows))
+	copy(out, t.windows)
+	return out
+}
+
+// Gauge is a float sampled over time (throughput, utilization, rate).
+type Gauge struct {
+	At    time.Duration
+	Value float64
+}
+
+// GaugeSeries records one named time series.
+type GaugeSeries struct {
+	Name string
+
+	mu      sync.Mutex
+	samples []Gauge
+}
+
+// Add appends a sample.
+func (g *GaugeSeries) Add(at time.Duration, v float64) {
+	g.mu.Lock()
+	g.samples = append(g.samples, Gauge{At: at, Value: v})
+	g.mu.Unlock()
+}
+
+// Samples returns the series so far.
+func (g *GaugeSeries) Samples() []Gauge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Gauge, len(g.samples))
+	copy(out, g.samples)
+	return out
+}
+
+// Mean returns the series average.
+func (g *GaugeSeries) Mean() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range g.samples {
+		sum += s.Value
+	}
+	return sum / float64(len(g.samples))
+}
+
+// UtilizationProbe converts a cumulative busy-nanoseconds counter into
+// per-window utilization in "active cores" (the unit of Figures 11/14):
+// delta busy time divided by delta wall time.
+type UtilizationProbe struct {
+	read     func() int64
+	lastBusy int64
+	lastAt   time.Time
+}
+
+// NewUtilizationProbe wraps a cumulative busy-ns reader.
+func NewUtilizationProbe(read func() int64) *UtilizationProbe {
+	return &UtilizationProbe{read: read, lastBusy: read(), lastAt: time.Now()}
+}
+
+// Sample returns active cores since the previous Sample call.
+func (u *UtilizationProbe) Sample() float64 {
+	now := time.Now()
+	busy := u.read()
+	wall := now.Sub(u.lastAt).Nanoseconds()
+	var cores float64
+	if wall > 0 {
+		cores = float64(busy-u.lastBusy) / float64(wall)
+	}
+	u.lastBusy = busy
+	u.lastAt = now
+	return cores
+}
+
+// RateProbe converts a cumulative count into a per-second rate.
+type RateProbe struct {
+	read   func() int64
+	last   int64
+	lastAt time.Time
+}
+
+// NewRateProbe wraps a cumulative counter reader.
+func NewRateProbe(read func() int64) *RateProbe {
+	return &RateProbe{read: read, last: read(), lastAt: time.Now()}
+}
+
+// Sample returns the rate per second since the previous Sample call.
+func (r *RateProbe) Sample() float64 {
+	now := time.Now()
+	v := r.read()
+	wall := now.Sub(r.lastAt).Seconds()
+	var rate float64
+	if wall > 0 {
+		rate = float64(v-r.last) / wall
+	}
+	r.last = v
+	r.lastAt = now
+	return rate
+}
+
+// PercentileOfSlice computes a percentile of raw duration samples; used by
+// small experiments where exact values beat histogram buckets.
+func PercentileOfSlice(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

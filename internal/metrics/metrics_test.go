@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("zero histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	med := h.Median()
+	if med < 45*time.Microsecond || med > 56*time.Microsecond {
+		t.Errorf("median = %v", med)
+	}
+	p999 := h.Percentile(99.9)
+	if p999 < 95*time.Microsecond || p999 > 110*time.Microsecond {
+		t.Errorf("p99.9 = %v", p999)
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 49*time.Microsecond || mean > 52*time.Microsecond {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+// Relative error of the log-linear bucketing must stay within ~2/32.
+func TestHistogramRelativeErrorQuick(t *testing.T) {
+	f := func(v uint32) bool {
+		val := int64(v)
+		var h Histogram
+		h.Record(time.Duration(val))
+		got := h.Percentile(100).Nanoseconds()
+		if val < subBuckets {
+			return got == val
+		}
+		err := float64(got-val) / float64(val)
+		return err >= 0 && err <= 0.07
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Int63n(1e9)))
+	}
+	last := time.Duration(0)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("percentile %v not monotonic: %v < %v", p, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(10 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	b.Record(50 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 50*time.Microsecond {
+		t.Errorf("merged max = %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 || s.Median == 0 || s.P999 < s.Median || s.String() == "" {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestTimelineRotation(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record(5 * time.Microsecond)
+	tl.Record(15 * time.Microsecond)
+	w1 := tl.Rotate()
+	if w1.Summary.Count != 2 {
+		t.Fatalf("window 1 count = %d", w1.Summary.Count)
+	}
+	tl.Record(100 * time.Microsecond)
+	w2 := tl.Rotate()
+	if w2.Summary.Count != 1 {
+		t.Fatalf("window 2 count = %d", w2.Summary.Count)
+	}
+	ws := tl.Windows()
+	if len(ws) != 2 || ws[1].Start < ws[0].Start {
+		t.Fatalf("windows %+v", ws)
+	}
+}
+
+func TestGaugeSeries(t *testing.T) {
+	var g GaugeSeries
+	g.Add(time.Second, 1)
+	g.Add(2*time.Second, 3)
+	if g.Mean() != 2 {
+		t.Fatalf("mean = %v", g.Mean())
+	}
+	if len(g.Samples()) != 2 {
+		t.Fatal("samples lost")
+	}
+}
+
+func TestUtilizationProbe(t *testing.T) {
+	var busy int64
+	p := NewUtilizationProbe(func() int64 { return busy })
+	busy += (50 * time.Millisecond).Nanoseconds()
+	time.Sleep(100 * time.Millisecond)
+	cores := p.Sample()
+	if cores < 0.2 || cores > 0.9 {
+		t.Errorf("cores = %v, want ~0.5", cores)
+	}
+}
+
+func TestRateProbe(t *testing.T) {
+	var count int64
+	p := NewRateProbe(func() int64 { return count })
+	count = 1000
+	time.Sleep(100 * time.Millisecond)
+	rate := p.Sample()
+	if rate < 2000 || rate > 50000 {
+		t.Errorf("rate = %v, want ~10000/s", rate)
+	}
+}
+
+func TestPercentileOfSlice(t *testing.T) {
+	if PercentileOfSlice(nil, 50) != 0 {
+		t.Error("empty slice")
+	}
+	samples := []time.Duration{5, 1, 3, 2, 4}
+	if PercentileOfSlice(samples, 50) != 3 {
+		t.Errorf("median = %v", PercentileOfSlice(samples, 50))
+	}
+	if PercentileOfSlice(samples, 100) != 5 {
+		t.Error("p100")
+	}
+	if PercentileOfSlice(samples, 1) != 1 {
+		t.Error("p1")
+	}
+	// Input must not be mutated.
+	if samples[0] != 5 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSlotValueBounds(t *testing.T) {
+	for v := int64(0); v < 100000; v += 7 {
+		slot := slotOf(v)
+		upper := slotValue(slot)
+		if upper < v {
+			t.Fatalf("slotValue(%d)=%d below recorded %d", slot, upper, v)
+		}
+	}
+	if slotOf(-5) != 0 {
+		t.Error("negative values must clamp to slot 0")
+	}
+}

@@ -1,0 +1,150 @@
+// Package recovery implements crash recovery replay: reconstructing a
+// crashed master's live records from its backup segment replicas, and the
+// multi-log variant (§3.4) where a lineage dependency forces the records
+// of a migration peer's recovery-log tail to be replayed along with the
+// crashed server's own log.
+//
+// The replay itself is pure: segments in, newest-wins records out. The
+// cluster coordinator drives it (internal/coordinator).
+package recovery
+
+import (
+	"sort"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
+
+// keyState tracks the newest fact known about one key during replay.
+type keyState struct {
+	version uint64
+	deleted bool
+	record  wire.Record
+}
+
+// Replayer folds log segments into the newest version of every record.
+// Feed it segments from any number of logs (a crashed master's main log,
+// its side logs, and — under a lineage dependency — a peer's log tail);
+// versions order updates globally because a migration target always issues
+// versions above the source's ceiling.
+type Replayer struct {
+	// Filter restricts replay to matching records; nil accepts all.
+	Filter func(table wire.TableID, keyHash uint64) bool
+
+	state map[string]*keyState
+
+	// Malformed counts entries that failed checksum or structural checks
+	// (torn tail writes are expected and skipped).
+	Malformed int
+	// Entries counts entries scanned.
+	Entries int
+}
+
+// NewReplayer creates an empty replayer.
+func NewReplayer(filter func(table wire.TableID, keyHash uint64) bool) *Replayer {
+	return &Replayer{Filter: filter, state: make(map[string]*keyState)}
+}
+
+func stateKey(table wire.TableID, key []byte) string {
+	// 8-byte table prefix + raw key; tables cannot collide.
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(table) >> (8 * i))
+	}
+	return string(b[:]) + string(key)
+}
+
+// AddSegment scans one backup segment replica. Torn entries at the tail
+// (partial final write) stop the scan of that segment, matching log
+// semantics: everything before the tear was durable.
+func (r *Replayer) AddSegment(data []byte) {
+	off := 0
+	for off < len(data) {
+		h, key, value, err := storage.ParseEntryAt(data[off:])
+		if err != nil {
+			r.Malformed++
+			return
+		}
+		r.Entries++
+		r.apply(h, key, value)
+		off += h.Size()
+	}
+}
+
+func (r *Replayer) apply(h storage.EntryHeader, key, value []byte) {
+	switch h.Type {
+	case storage.EntryObject, storage.EntryTombstone:
+	default:
+		return // side-log commit markers carry no data
+	}
+	if r.Filter != nil && !r.Filter(h.Table, wire.HashKey(key)) {
+		return
+	}
+	sk := stateKey(h.Table, key)
+	st := r.state[sk]
+	if st == nil {
+		st = &keyState{}
+		r.state[sk] = st
+	}
+	if h.Version < st.version {
+		return
+	}
+	st.version = h.Version
+	if h.Type == storage.EntryTombstone {
+		st.deleted = true
+		st.record = wire.Record{}
+		return
+	}
+	st.deleted = false
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	st.record = wire.Record{Table: h.Table, Version: h.Version, Key: k, Value: v}
+}
+
+// AddBackupSegments scans a set of replicas, deduplicating by
+// (logID, segmentID): multiple backups hold copies of the same segment.
+func (r *Replayer) AddBackupSegments(segs []wire.BackupSegment) {
+	type segKey struct{ logID, segID uint64 }
+	seen := make(map[segKey][]byte, len(segs))
+	keys := make([]segKey, 0, len(segs))
+	for _, s := range segs {
+		k := segKey{s.LogID, s.SegmentID}
+		if prev, ok := seen[k]; !ok || len(s.Data) > len(prev) {
+			if !ok {
+				keys = append(keys, k)
+			}
+			seen[k] = s.Data
+		}
+	}
+	// Replay in segment-ID order for determinism (versions make order
+	// immaterial for correctness).
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].logID != keys[j].logID {
+			return keys[i].logID < keys[j].logID
+		}
+		return keys[i].segID < keys[j].segID
+	})
+	for _, k := range keys {
+		r.AddSegment(seen[k])
+	}
+}
+
+// Live returns every surviving record (deletions folded away), sorted by
+// key hash for deterministic output, plus the highest version observed
+// (the recovered master's version ceiling).
+func (r *Replayer) Live() (records []wire.Record, versionCeiling uint64) {
+	for _, st := range r.state {
+		if st.version > versionCeiling {
+			versionCeiling = st.version
+		}
+		if !st.deleted && st.record.Key != nil {
+			records = append(records, st.record)
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		return wire.HashKey(records[i].Key) < wire.HashKey(records[j].Key)
+	})
+	return records, versionCeiling
+}

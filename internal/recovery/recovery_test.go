@@ -1,0 +1,227 @@
+package recovery
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
+
+// buildSegments writes entries into a log and returns the raw segment
+// bytes as a backup would hold them.
+func buildSegments(t testing.TB, write func(l *storage.Log)) []wire.BackupSegment {
+	t.Helper()
+	l := storage.NewLog(1024, nil)
+	write(l)
+	var segs []wire.BackupSegment
+	for _, s := range l.Segments() {
+		segs = append(segs, wire.BackupSegment{
+			LogID: storage.MainLogID, SegmentID: s.ID, Data: s.Data(0, s.Len()),
+		})
+	}
+	return segs
+}
+
+func TestReplayerNewestWins(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		for i := 0; i < 3; i++ {
+			if _, _, err := l.AppendObject(1, []byte("key"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	r := NewReplayer(nil)
+	r.AddBackupSegments(segs)
+	live, ceiling := r.Live()
+	if len(live) != 1 {
+		t.Fatalf("live = %d records", len(live))
+	}
+	if string(live[0].Value) != "v2" || live[0].Version != 3 {
+		t.Fatalf("got %q v%d", live[0].Value, live[0].Version)
+	}
+	if ceiling != 3 {
+		t.Fatalf("ceiling = %d", ceiling)
+	}
+}
+
+func TestReplayerTombstoneFolding(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		ref, v, _ := l.AppendObject(1, []byte("dead"), []byte("x"))
+		_, _, _ = l.AppendObject(1, []byte("alive"), []byte("y"))
+		_, _ = l.AppendTombstone(1, v+10, ref.Seg.ID, []byte("dead"))
+	})
+	r := NewReplayer(nil)
+	r.AddBackupSegments(segs)
+	live, _ := r.Live()
+	if len(live) != 1 || string(live[0].Key) != "alive" {
+		t.Fatalf("live = %+v", live)
+	}
+}
+
+func TestReplayerDeleteThenRewrite(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		ref, v, _ := l.AppendObject(1, []byte("k"), []byte("v1"))
+		_, _ = l.AppendTombstone(1, v+1, ref.Seg.ID, []byte("k"))
+		_, _ = l.AppendObjectVersion(1, v+2, []byte("k"), []byte("v2"))
+	})
+	r := NewReplayer(nil)
+	r.AddBackupSegments(segs)
+	live, _ := r.Live()
+	if len(live) != 1 || string(live[0].Value) != "v2" {
+		t.Fatalf("live = %+v", live)
+	}
+}
+
+func TestReplayerFilter(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		for i := 0; i < 100; i++ {
+			_, _, _ = l.AppendObject(1, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		}
+		_, _, _ = l.AppendObject(2, []byte("other-table"), []byte("v"))
+	})
+	half := wire.FullRange().Split(2)[0]
+	r := NewReplayer(func(table wire.TableID, hash uint64) bool {
+		return table == 1 && half.Contains(hash)
+	})
+	r.AddBackupSegments(segs)
+	live, _ := r.Live()
+	for _, rec := range live {
+		if rec.Table != 1 || !half.Contains(wire.HashKey(rec.Key)) {
+			t.Fatalf("filter leak: %+v", rec)
+		}
+	}
+	if len(live) == 0 || len(live) == 100 {
+		t.Fatalf("suspicious filtered count %d", len(live))
+	}
+}
+
+func TestReplayerDeduplicatesReplicas(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		for i := 0; i < 10; i++ {
+			_, _, _ = l.AppendObject(1, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		}
+	})
+	// Three backups hold copies of the same segments.
+	tripled := append(append(append([]wire.BackupSegment{}, segs...), segs...), segs...)
+	r := NewReplayer(nil)
+	r.AddBackupSegments(tripled)
+	live, _ := r.Live()
+	if len(live) != 10 {
+		t.Fatalf("live = %d, want 10", len(live))
+	}
+	if r.Entries != 10 {
+		t.Fatalf("scanned %d entries; replicas not deduplicated", r.Entries)
+	}
+}
+
+func TestReplayerPrefersLongestReplica(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		_, _, _ = l.AppendObject(1, []byte("a"), []byte("v1"))
+		_, _, _ = l.AppendObject(1, []byte("b"), []byte("v2"))
+	})
+	// One backup missed the tail of the segment.
+	short := wire.BackupSegment{LogID: segs[0].LogID, SegmentID: segs[0].SegmentID,
+		Data: segs[0].Data[:len(segs[0].Data)/2]}
+	r := NewReplayer(nil)
+	r.AddBackupSegments([]wire.BackupSegment{short, segs[0]})
+	live, _ := r.Live()
+	if len(live) != 2 {
+		t.Fatalf("live = %d, want 2 (longest replica should win)", len(live))
+	}
+}
+
+func TestReplayerTornTail(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		_, _, _ = l.AppendObject(1, []byte("complete"), []byte("v"))
+		_, _, _ = l.AppendObject(1, []byte("torn"), []byte("vv"))
+	})
+	data := segs[0].Data
+	torn := data[:len(data)-3] // rip the tail of the last entry
+	r := NewReplayer(nil)
+	r.AddSegment(torn)
+	live, _ := r.Live()
+	if len(live) != 1 || string(live[0].Key) != "complete" {
+		t.Fatalf("live = %+v", live)
+	}
+	if r.Malformed != 1 {
+		t.Fatalf("Malformed = %d", r.Malformed)
+	}
+}
+
+func TestReplayerMultiLogMerge(t *testing.T) {
+	// Source log: original records up to version ceiling.
+	srcSegs := buildSegments(t, func(l *storage.Log) {
+		_, _ = l.AppendObjectVersion(1, 10, []byte("hot"), []byte("old"))
+		_, _ = l.AppendObjectVersion(1, 11, []byte("cold"), []byte("unchanged"))
+	})
+	// Target log tail: a write the target accepted during migration, with
+	// a version above the ceiling (§3.4's lineage dependency).
+	tgtSegs := buildSegments(t, func(l *storage.Log) {
+		_, _ = l.AppendObjectVersion(1, 100, []byte("hot"), []byte("new"))
+	})
+	r := NewReplayer(nil)
+	r.AddBackupSegments(srcSegs)
+	r.AddBackupSegments(tgtSegs)
+	live, ceiling := r.Live()
+	if len(live) != 2 {
+		t.Fatalf("live = %d", len(live))
+	}
+	byKey := map[string]wire.Record{}
+	for _, rec := range live {
+		byKey[string(rec.Key)] = rec
+	}
+	if string(byKey["hot"].Value) != "new" {
+		t.Fatalf("target write lost: %q", byKey["hot"].Value)
+	}
+	if string(byKey["cold"].Value) != "unchanged" {
+		t.Fatalf("source record lost")
+	}
+	if ceiling != 100 {
+		t.Fatalf("ceiling = %d", ceiling)
+	}
+}
+
+func TestReplayerOrderIndependenceQuick(t *testing.T) {
+	// Property: replay result is independent of segment arrival order
+	// because versions define the outcome.
+	f := func(perm []byte) bool {
+		segs := buildSegmentsQuick()
+		// Derive a permutation of segments from the fuzz input.
+		order := make([]int, len(segs))
+		for i := range order {
+			order[i] = i
+		}
+		for i, b := range perm {
+			j := int(b) % len(order)
+			k := i % len(order)
+			order[j], order[k] = order[k], order[j]
+		}
+		r := NewReplayer(nil)
+		for _, idx := range order {
+			r.AddSegment(segs[idx].Data)
+		}
+		live, _ := r.Live()
+		if len(live) != 1 {
+			return false
+		}
+		return bytes.Equal(live[0].Value, []byte("final")) && live[0].Version == 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildSegmentsQuick() []wire.BackupSegment {
+	l := storage.NewLog(128, nil) // tiny segments: one entry each
+	_, _ = l.AppendObjectVersion(1, 3, []byte("k"), []byte("a"))
+	_, _ = l.AppendObjectVersion(1, 9, []byte("k"), []byte("final"))
+	_, _ = l.AppendObjectVersion(1, 5, []byte("k"), []byte("b"))
+	var segs []wire.BackupSegment
+	for _, s := range l.Segments() {
+		segs = append(segs, wire.BackupSegment{SegmentID: s.ID, Data: s.Data(0, s.Len())})
+	}
+	return segs
+}

@@ -1,0 +1,839 @@
+// Package server implements a storage server: the master component
+// (tablets, log-structured memory, hash table, client operation handlers,
+// the source side of migration) and the backup component (segment replica
+// store), glued to the dispatch/worker scheduler and the RPC transport.
+//
+// The target side of migration — Rocksteady's migration manager — lives in
+// internal/core and plugs in via the MigrationHandler interface, keeping
+// the substrate/contribution boundary explicit.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/backup"
+	"rocksteady/internal/dispatch"
+	"rocksteady/internal/index"
+	"rocksteady/internal/storage"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// ID is the server's cluster address.
+	ID wire.ServerID
+	// Workers sizes the worker pool (paper: 12).
+	Workers int
+	// SegmentSize sizes log segments.
+	SegmentSize int
+	// HashTableCapacity hints the expected object count.
+	HashTableCapacity int
+	// Backups lists servers whose backup services replicate this master's
+	// log; empty disables replication.
+	Backups []wire.ServerID
+	// ReplicationFactor is the number of replicas per segment (paper: 3).
+	ReplicationFactor int
+	// BackupWriteBandwidth throttles this server's *backup service* in
+	// bytes/sec (0 = unthrottled); models the replication ceiling of §2.3.
+	BackupWriteBandwidth float64
+	// RetryHintMicros is the hint returned with StatusRetry while a
+	// PriorityPull is in flight (paper: a few tens of microseconds).
+	RetryHintMicros uint32
+	// CleanerInterval runs the log cleaner periodically when > 0; the
+	// cleaner relocates live entries out of mostly-dead segments, the
+	// normal-case reorganization that motivates Rocksteady's lazy
+	// partitioning (§1, §2.3).
+	CleanerInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 12
+	}
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = storage.DefaultSegmentSize
+	}
+	if c.HashTableCapacity <= 0 {
+		c.HashTableCapacity = 1 << 20
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 3
+	}
+	if c.RetryHintMicros == 0 {
+		c.RetryHintMicros = 40
+	}
+}
+
+// TabletState tracks what a server may do with a tablet it knows about.
+type TabletState int
+
+// Tablet states.
+const (
+	// TabletNormal serves all operations.
+	TabletNormal TabletState = iota
+	// TabletMigratingOut is immutable: client operations get
+	// StatusWrongServer (ownership already moved to the target); only
+	// Pull/PriorityPull touch it.
+	TabletMigratingOut
+	// TabletMigratingIn is owned here but still filling: reads of
+	// not-yet-arrived records trigger PriorityPulls.
+	TabletMigratingIn
+)
+
+type tabletEntry struct {
+	table wire.TableID
+	rng   wire.HashRange
+	state TabletState
+}
+
+// MigrationHandler is the target-side migration engine (internal/core).
+type MigrationHandler interface {
+	// HandleMigrateTablet starts pulling (table, rng) from source;
+	// ownership has not yet moved — the handler does that.
+	HandleMigrateTablet(table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status
+	// HandleMissingKey is consulted when a read misses in a migrating-in
+	// tablet. It schedules a PriorityPull (batched, de-duplicated) and
+	// returns the retry hint; knownMissing reports that the source has
+	// confirmed the key does not exist.
+	HandleMissingKey(table wire.TableID, hash uint64) (retryMicros uint32, knownMissing bool)
+	// CancelIncoming aborts an in-progress incoming migration (the
+	// coordinator recovered the tablet elsewhere).
+	CancelIncoming(table wire.TableID, rng wire.HashRange)
+}
+
+// Stats exposes the server counters the figures sample.
+type Stats struct {
+	Reads             atomic.Int64
+	Writes            atomic.Int64
+	ObjectsRead       atomic.Int64 // individual objects (multiget counts each)
+	ObjectsWritten    atomic.Int64
+	Retries           atomic.Int64 // StatusRetry responses sent
+	WrongServer       atomic.Int64
+	PullsServed       atomic.Int64
+	PullBytesServed   atomic.Int64
+	PriorityPulls     atomic.Int64
+	PriorityPullBytes atomic.Int64
+}
+
+// Server is one storage server.
+type Server struct {
+	cfg   Config
+	node  *transport.Node
+	sched *dispatch.Scheduler
+	log   *storage.Log
+	ht    *storage.HashTable
+	repl  *backup.Replicator
+	store *backup.Store
+	idx   *index.Manager
+
+	mu      sync.RWMutex
+	tablets []tabletEntry
+
+	migration atomic.Pointer[MigrationHandler]
+
+	cleaner     *storage.Cleaner
+	cleanerStop chan struct{}
+
+	stats Stats
+}
+
+// New creates a server on the given endpoint and starts serving.
+func New(cfg Config, ep transport.Endpoint) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:   cfg,
+		node:  transport.NewNode(ep),
+		sched: dispatch.NewScheduler(cfg.Workers),
+		ht:    storage.NewHashTable(cfg.HashTableCapacity),
+		store: backup.NewStore(),
+		idx:   index.NewManager(),
+	}
+	s.store.WriteBandwidth = cfg.BackupWriteBandwidth
+	s.repl = backup.NewReplicator(s.node, cfg.ID, cfg.Backups, cfg.ReplicationFactor)
+	s.log = storage.NewLog(cfg.SegmentSize, s.repl.OnAppend)
+	s.repl.SetSegmentResolver(func(logID, segID uint64) *storage.Segment {
+		if logID != storage.MainLogID {
+			return nil // side logs replicate whole segments already
+		}
+		seg, _ := s.log.Segment(segID)
+		return seg
+	})
+	s.cleaner = storage.NewCleaner(s.log, s.ht)
+	s.cleanerStop = make(chan struct{})
+	if cfg.CleanerInterval > 0 {
+		go s.cleanerLoop(cfg.CleanerInterval)
+	}
+	s.node.SetHandler(s.dispatchRequest)
+	s.node.Start()
+	return s
+}
+
+// cleanerLoop runs cleaning passes as a background task: each pass is
+// enqueued at PriorityBackground so client requests always win, exactly
+// like migration work (§3.1).
+func (s *Server) cleanerLoop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.cleanerStop:
+			return
+		case <-ticker.C:
+			done := make(chan struct{})
+			s.sched.Enqueue(wire.PriorityBackground, func() {
+				defer close(done)
+				s.cleaner.CleanOnce()
+			})
+			select {
+			case <-done:
+			case <-s.cleanerStop:
+				return
+			}
+		}
+	}
+}
+
+// Cleaner returns the server's log cleaner (manual passes in tests and
+// tools).
+func (s *Server) Cleaner() *storage.Cleaner { return s.cleaner }
+
+// Close stops the server (models an orderly shutdown; use the fabric's
+// Kill for crash semantics).
+func (s *Server) Close() {
+	select {
+	case <-s.cleanerStop:
+	default:
+		close(s.cleanerStop)
+	}
+	s.node.Close()
+	s.sched.Close()
+}
+
+// Crash severs the server abruptly: the log stops accepting appends and
+// the scheduler discards queued work. Combine with Fabric.Kill.
+func (s *Server) Crash() {
+	s.log.Close()
+	s.Close()
+}
+
+// ID returns the server's address.
+func (s *Server) ID() wire.ServerID { return s.cfg.ID }
+
+// Node returns the RPC node (the migration manager issues Pulls on it).
+func (s *Server) Node() *transport.Node { return s.node }
+
+// Scheduler returns the worker pool.
+func (s *Server) Scheduler() *dispatch.Scheduler { return s.sched }
+
+// Log returns the master's main log.
+func (s *Server) Log() *storage.Log { return s.log }
+
+// HashTable returns the master's primary-key index.
+func (s *Server) HashTable() *storage.HashTable { return s.ht }
+
+// Replicator returns the master's log replicator.
+func (s *Server) Replicator() *backup.Replicator { return s.repl }
+
+// Indexes returns the server's indexlet host.
+func (s *Server) Indexes() *index.Manager { return s.idx }
+
+// Stats returns the server's counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Config returns the server's configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// SetMigrationHandler installs the target-side migration engine.
+func (s *Server) SetMigrationHandler(h MigrationHandler) { s.migration.Store(&h) }
+
+func (s *Server) migrationHandler() MigrationHandler {
+	if p := s.migration.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Tablet registry
+// ---------------------------------------------------------------------------
+
+// RegisterTablet records ownership of (table, rng) in the given state.
+// Overlapping portions of existing entries are carved away: registering a
+// sub-range of a tablet splits the tablet, leaving the remainder in its
+// previous state. This is how "defer all repartitioning until the moment
+// of migration" works at the server: boundaries appear exactly when a
+// migration (or grant) names them.
+func (s *Server) RegisterTablet(table wire.TableID, rng wire.HashRange, state TabletState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var next []tabletEntry
+	for _, t := range s.tablets {
+		if t.table != table || !t.rng.Overlaps(rng) {
+			next = append(next, t)
+			continue
+		}
+		// Keep the non-overlapping remainders of the old entry.
+		if t.rng.Start < rng.Start {
+			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: t.rng.Start, End: rng.Start - 1}, state: t.state})
+		}
+		if t.rng.End > rng.End {
+			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: rng.End + 1, End: t.rng.End}, state: t.state})
+		}
+	}
+	next = append(next, tabletEntry{table: table, rng: rng, state: state})
+	s.tablets = next
+}
+
+// DropTablet forgets (table, rng) and discards its records.
+func (s *Server) DropTablet(table wire.TableID, rng wire.HashRange) int {
+	s.mu.Lock()
+	kept := s.tablets[:0]
+	for _, t := range s.tablets {
+		if t.table == table && rng.ContainsRange(t.rng) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.tablets = append([]tabletEntry(nil), kept...)
+	s.mu.Unlock()
+	return s.ht.RemoveRange(table, rng, func(ref storage.Ref) { s.log.MarkDead(ref) })
+}
+
+// SetTabletState transitions a registered tablet (and any sub-tablets the
+// range covers).
+func (s *Server) SetTabletState(table wire.TableID, rng wire.HashRange, state TabletState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	found := false
+	for i := range s.tablets {
+		t := &s.tablets[i]
+		if t.table == table && rng.ContainsRange(t.rng) {
+			t.state = state
+			found = true
+		}
+	}
+	return found
+}
+
+// tabletFor finds the tablet containing (table, hash).
+func (s *Server) tabletFor(table wire.TableID, hash uint64) (TabletState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.tablets {
+		t := &s.tablets[i]
+		if t.table == table && t.rng.Contains(hash) {
+			return t.state, true
+		}
+	}
+	return TabletNormal, false
+}
+
+// Tablets snapshots the registry (tests, debugging).
+func (s *Server) Tablets() []wire.Tablet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]wire.Tablet, 0, len(s.tablets))
+	for _, t := range s.tablets {
+		out = append(out, wire.Tablet{Table: t.table, Range: t.rng, Master: s.cfg.ID})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+// dispatchRequest runs on the dispatch pump: it assigns the request to the
+// worker pool at the sender's priority (clamped per-op so a misbehaving
+// sender cannot elevate bulk work).
+func (s *Server) dispatchRequest(m *wire.Message) {
+	pri := m.Priority
+	switch m.Op {
+	case wire.OpPull:
+		pri = wire.PriorityBackground
+	case wire.OpPriorityPull:
+		pri = wire.PriorityPriorityPull
+	case wire.OpReplicateSegment:
+		if pri > wire.PriorityReplication {
+			pri = wire.PriorityReplication
+		}
+	default:
+		if pri < wire.PriorityForeground {
+			pri = wire.PriorityForeground
+		}
+	}
+	s.sched.Enqueue(pri, func() { s.handle(m) })
+}
+
+// handle executes one request on a worker.
+func (s *Server) handle(m *wire.Message) {
+	switch req := m.Body.(type) {
+	case *wire.ReadRequest:
+		s.node.Reply(m, s.handleRead(req))
+	case *wire.WriteRequest:
+		s.node.Reply(m, s.handleWrite(req))
+	case *wire.DeleteRequest:
+		s.node.Reply(m, s.handleDelete(req))
+	case *wire.MultiGetRequest:
+		s.node.Reply(m, s.handleMultiGet(req))
+	case *wire.MultiPutRequest:
+		s.node.Reply(m, s.handleMultiPut(req))
+	case *wire.MultiGetByHashRequest:
+		s.node.Reply(m, s.handleMultiGetByHash(req))
+	case *wire.IndexLookupRequest:
+		s.node.Reply(m, &wire.IndexLookupResponse{
+			Status: wire.StatusOK,
+			Hashes: s.idx.Lookup(req.Index, req.Begin, req.End, int(req.Limit)),
+		})
+	case *wire.IndexInsertRequest:
+		s.idx.Insert(req.Index, req.SecondaryKey, req.KeyHash)
+		s.node.Reply(m, &wire.IndexInsertResponse{Status: wire.StatusOK})
+	case *wire.IndexRemoveRequest:
+		s.idx.Remove(req.Index, req.SecondaryKey, req.KeyHash)
+		s.node.Reply(m, &wire.IndexRemoveResponse{Status: wire.StatusOK})
+	case *wire.PrepareMigrationRequest:
+		s.node.Reply(m, s.handlePrepareMigration(req))
+	case *wire.PullRequest:
+		s.node.Reply(m, s.handlePull(req))
+	case *wire.PriorityPullRequest:
+		s.node.Reply(m, s.handlePriorityPull(req))
+	case *wire.DropTabletRequest:
+		s.node.Reply(m, s.handleDropTablet(req))
+	case *wire.ReplayRecordsRequest:
+		s.node.Reply(m, s.handleReplayRecords(req))
+	case *wire.PullTailRequest:
+		s.node.Reply(m, s.handlePullTail(req))
+	case *wire.MigrateTabletRequest:
+		status := wire.Status(wire.StatusInternalError)
+		if h := s.migrationHandler(); h != nil {
+			status = h.HandleMigrateTablet(req.Table, req.Range, req.Source)
+		}
+		s.node.Reply(m, &wire.MigrateTabletResponse{Status: status})
+	case *wire.ReplicateSegmentRequest:
+		s.node.Reply(m, &wire.ReplicateSegmentResponse{Status: s.store.HandleReplicate(req)})
+	case *wire.GetBackupSegmentsRequest:
+		s.node.Reply(m, s.store.HandleGetSegments(req))
+	case *wire.TakeTabletsRequest:
+		s.node.Reply(m, s.handleTakeTablets(req))
+	case *wire.PingRequest:
+		s.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
+	default:
+		// Unknown ops time out at the caller.
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleRead(req *wire.ReadRequest) *wire.ReadResponse {
+	s.stats.Reads.Add(1)
+	hash := wire.HashKey(req.Key)
+	state, owned := s.tabletFor(req.Table, hash)
+	if !owned || state == TabletMigratingOut {
+		s.stats.WrongServer.Add(1)
+		return &wire.ReadResponse{Status: wire.StatusWrongServer}
+	}
+	if ref, ok := s.ht.Get(req.Table, req.Key, hash); ok {
+		h, _, value, err := ref.Entry()
+		if err != nil {
+			return &wire.ReadResponse{Status: wire.StatusInternalError}
+		}
+		if h.Type == storage.EntryTombstone {
+			// A deletion parked in the hash table during migration: the
+			// key is authoritatively gone.
+			return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
+		}
+		s.stats.ObjectsRead.Add(1)
+		return &wire.ReadResponse{Status: wire.StatusOK, Version: h.Version, Value: value}
+	}
+	if state == TabletMigratingIn {
+		if h := s.migrationHandler(); h != nil {
+			retry, missing := h.HandleMissingKey(req.Table, hash)
+			if !missing {
+				if retry == 0 {
+					// Synchronous PriorityPull mode: the record arrived
+					// while this worker was stalled; answer directly.
+					if ref, ok := s.ht.Get(req.Table, req.Key, hash); ok {
+						if eh, _, value, err := ref.Entry(); err == nil {
+							s.stats.ObjectsRead.Add(1)
+							return &wire.ReadResponse{Status: wire.StatusOK, Version: eh.Version, Value: value}
+						}
+					}
+					return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
+				}
+				s.stats.Retries.Add(1)
+				return &wire.ReadResponse{Status: wire.StatusRetry, RetryAfterMicros: retry}
+			}
+		}
+	}
+	return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
+}
+
+func (s *Server) handleWrite(req *wire.WriteRequest) *wire.WriteResponse {
+	s.stats.Writes.Add(1)
+	hash := wire.HashKey(req.Key)
+	state, owned := s.tabletFor(req.Table, hash)
+	if !owned || state == TabletMigratingOut {
+		s.stats.WrongServer.Add(1)
+		return &wire.WriteResponse{Status: wire.StatusWrongServer}
+	}
+	version, status := s.applyWrite(req.Table, req.Key, hash, req.Value)
+	if status != wire.StatusOK {
+		return &wire.WriteResponse{Status: status}
+	}
+	if err := s.repl.Sync(); err != nil {
+		return &wire.WriteResponse{Status: wire.StatusInternalError}
+	}
+	s.stats.ObjectsWritten.Add(1)
+	return &wire.WriteResponse{Status: wire.StatusOK, Version: version}
+}
+
+// applyWrite appends and indexes one object; callers replicate.
+func (s *Server) applyWrite(table wire.TableID, key []byte, hash uint64, value []byte) (uint64, wire.Status) {
+	ref, version, err := s.log.AppendObject(table, key, value)
+	if err != nil {
+		return 0, wire.StatusInternalError
+	}
+	if prev, existed := s.ht.Put(table, key, hash, ref); existed {
+		s.log.MarkDead(prev)
+	}
+	return version, wire.StatusOK
+}
+
+func (s *Server) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
+	hash := wire.HashKey(req.Key)
+	state, owned := s.tabletFor(req.Table, hash)
+	if !owned || state == TabletMigratingOut {
+		s.stats.WrongServer.Add(1)
+		return &wire.DeleteResponse{Status: wire.StatusWrongServer}
+	}
+	if state == TabletMigratingIn {
+		return s.deleteDuringMigration(req, hash)
+	}
+	prev, existed := s.ht.Remove(req.Table, req.Key, hash)
+	if !existed {
+		return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
+	}
+	version := s.log.NextVersion()
+	if _, err := s.log.AppendTombstone(req.Table, version, prev.Seg.ID, req.Key); err != nil {
+		return &wire.DeleteResponse{Status: wire.StatusInternalError}
+	}
+	s.log.MarkDead(prev)
+	if err := s.repl.Sync(); err != nil {
+		return &wire.DeleteResponse{Status: wire.StatusInternalError}
+	}
+	return &wire.DeleteResponse{Status: wire.StatusOK, Version: version}
+}
+
+// deleteDuringMigration deletes a key in a migrating-in tablet. Simply
+// removing the hash-table entry would let a later-arriving bulk copy of
+// the old record resurrect the key, so the deletion is *parked in the
+// hash table* as a tombstone ref: its version (above the migration's
+// ceiling) makes PutIfNewer reject the stale copy. The migration epilogue
+// sweeps parked tombstones out.
+func (s *Server) deleteDuringMigration(req *wire.DeleteRequest, hash uint64) *wire.DeleteResponse {
+	prev, exists := s.ht.Get(req.Table, req.Key, hash)
+	if exists {
+		if h, err := prev.Header(); err == nil && h.Type == storage.EntryTombstone {
+			return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
+		}
+	} else {
+		// Not arrived yet: pull it over first so the tombstone's killed-
+		// segment bookkeeping is exact and "delete of absent key" is
+		// answered correctly.
+		if h := s.migrationHandler(); h != nil {
+			if _, missing := h.HandleMissingKey(req.Table, hash); missing {
+				return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
+			}
+			s.stats.Retries.Add(1)
+			return &wire.DeleteResponse{Status: wire.StatusRetry}
+		}
+		return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
+	}
+	version := s.log.NextVersion()
+	ref, err := s.log.AppendTombstone(req.Table, version, prev.Seg.ID, req.Key)
+	if err != nil {
+		return &wire.DeleteResponse{Status: wire.StatusInternalError}
+	}
+	if old, existed := s.ht.Put(req.Table, req.Key, hash, ref); existed {
+		s.log.MarkDead(old)
+	}
+	if err := s.repl.Sync(); err != nil {
+		return &wire.DeleteResponse{Status: wire.StatusInternalError}
+	}
+	return &wire.DeleteResponse{Status: wire.StatusOK, Version: version}
+}
+
+func (s *Server) handleMultiGet(req *wire.MultiGetRequest) *wire.MultiGetResponse {
+	s.stats.Reads.Add(1)
+	resp := &wire.MultiGetResponse{
+		Status:   wire.StatusOK,
+		Statuses: make([]wire.Status, len(req.Keys)),
+		Versions: make([]uint64, len(req.Keys)),
+		Values:   make([][]byte, len(req.Keys)),
+	}
+	for i, key := range req.Keys {
+		r := s.handleRead(&wire.ReadRequest{Table: req.Table, Key: key})
+		resp.Statuses[i] = r.Status
+		resp.Versions[i] = r.Version
+		resp.Values[i] = r.Value
+		if r.Status == wire.StatusWrongServer {
+			resp.Status = wire.StatusWrongServer
+		}
+		if r.Status == wire.StatusRetry && r.RetryAfterMicros > resp.RetryAfterMicros {
+			resp.RetryAfterMicros = r.RetryAfterMicros
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleMultiPut(req *wire.MultiPutRequest) *wire.MultiPutResponse {
+	resp := &wire.MultiPutResponse{
+		Status:   wire.StatusOK,
+		Statuses: make([]wire.Status, len(req.Keys)),
+		Versions: make([]uint64, len(req.Keys)),
+	}
+	wrote := false
+	for i, key := range req.Keys {
+		hash := wire.HashKey(key)
+		state, owned := s.tabletFor(req.Table, hash)
+		if !owned || state == TabletMigratingOut {
+			resp.Statuses[i] = wire.StatusWrongServer
+			resp.Status = wire.StatusWrongServer
+			continue
+		}
+		v, st := s.applyWrite(req.Table, key, hash, req.Values[i])
+		resp.Statuses[i] = st
+		resp.Versions[i] = v
+		wrote = wrote || st == wire.StatusOK
+	}
+	if wrote {
+		if err := s.repl.Sync(); err != nil {
+			resp.Status = wire.StatusInternalError
+		}
+		s.stats.ObjectsWritten.Add(int64(len(req.Keys)))
+	}
+	return resp
+}
+
+func (s *Server) handleMultiGetByHash(req *wire.MultiGetByHashRequest) *wire.MultiGetByHashResponse {
+	s.stats.Reads.Add(1)
+	resp := &wire.MultiGetByHashResponse{Status: wire.StatusOK}
+	for _, hash := range req.Hashes {
+		state, owned := s.tabletFor(req.Table, hash)
+		if !owned || state == TabletMigratingOut {
+			s.stats.WrongServer.Add(1)
+			return &wire.MultiGetByHashResponse{Status: wire.StatusWrongServer}
+		}
+		refs := s.ht.GetByHash(req.Table, hash)
+		if len(refs) == 0 && state == TabletMigratingIn {
+			if h := s.migrationHandler(); h != nil {
+				retry, missing := h.HandleMissingKey(req.Table, hash)
+				if !missing {
+					s.stats.Retries.Add(1)
+					resp.Status = wire.StatusRetry
+					if retry > resp.RetryAfterMicros {
+						resp.RetryAfterMicros = retry
+					}
+					continue
+				}
+			}
+		}
+		for _, ref := range refs {
+			rec, err := ref.Record()
+			if err == nil && !rec.Tombstone {
+				resp.Records = append(resp.Records, rec)
+				s.stats.ObjectsRead.Add(1)
+			}
+		}
+	}
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// Migration source side
+// ---------------------------------------------------------------------------
+
+func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire.PrepareMigrationResponse {
+	if _, owned := s.tabletFor(req.Table, req.Range.Start); !owned {
+		return &wire.PrepareMigrationResponse{Status: wire.StatusWrongServer}
+	}
+	if !req.KeepServing {
+		// Mark immutable-and-migrating; from here every client op on the
+		// range answers StatusWrongServer, shedding load instantly (§3).
+		// RegisterTablet carves the range out of any covering tablet, so
+		// the boundary materializes exactly now — never earlier.
+		s.RegisterTablet(req.Table, req.Range, TabletMigratingOut)
+	}
+	var head uint64
+	if h := s.log.Head(); h != nil {
+		head = h.ID
+	}
+	count, bytes := s.ht.CountRange(req.Table, req.Range)
+	return &wire.PrepareMigrationResponse{
+		Status:         wire.StatusOK,
+		VersionCeiling: s.log.CurrentVersion(),
+		NumBuckets:     s.ht.NumBuckets(),
+		RecordCount:    count,
+		ByteCount:      bytes,
+		HeadSegment:    head,
+	}
+}
+
+func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
+	s.stats.PullsServed.Add(1)
+	resp := &wire.PullResponse{Status: wire.StatusOK}
+	budget := int(req.ByteBudget)
+	used := 0
+	next, done := s.ht.ScanRange(req.Table, req.Range, req.ResumeToken, func(ref storage.Ref) bool {
+		rec, err := ref.Record()
+		if err != nil {
+			return true
+		}
+		// Zero-copy gather: the record's key/value alias log memory; the
+		// fabric hands the pointers to the target (§3.2).
+		resp.Records = append(resp.Records, rec)
+		used += rec.WireSize()
+		return used < budget
+	})
+	resp.ResumeToken = next
+	resp.Done = done
+	s.stats.PullBytesServed.Add(int64(used))
+	return resp
+}
+
+func (s *Server) handlePriorityPull(req *wire.PriorityPullRequest) *wire.PriorityPullResponse {
+	s.stats.PriorityPulls.Add(1)
+	resp := &wire.PriorityPullResponse{Status: wire.StatusOK}
+	var bytes int64
+	for _, hash := range req.Hashes {
+		refs := s.ht.GetByHash(req.Table, hash)
+		if len(refs) == 0 {
+			resp.Missing = append(resp.Missing, hash)
+			continue
+		}
+		for _, ref := range refs {
+			rec, err := ref.Record()
+			if err == nil {
+				resp.Records = append(resp.Records, rec)
+				bytes += int64(rec.WireSize())
+			}
+		}
+	}
+	s.stats.PriorityPullBytes.Add(bytes)
+	return resp
+}
+
+func (s *Server) handleDropTablet(req *wire.DropTabletRequest) *wire.DropTabletResponse {
+	if h := s.migrationHandler(); h != nil {
+		h.CancelIncoming(req.Table, req.Range)
+	}
+	s.DropTablet(req.Table, req.Range)
+	return &wire.DropTabletResponse{Status: wire.StatusOK}
+}
+
+// ---------------------------------------------------------------------------
+// Recovery / ownership grants
+// ---------------------------------------------------------------------------
+
+func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTabletsResponse {
+	if req.VersionCeiling > 0 {
+		s.log.BumpVersionTo(req.VersionCeiling)
+	}
+	s.RegisterTablet(req.Table, req.Range, TabletNormal)
+	for i := range req.Records {
+		rec := &req.Records[i]
+		if rec.Tombstone {
+			continue // Live() already folded deletions away
+		}
+		ref, err := s.log.AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
+		if err != nil {
+			return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
+		}
+		hash := wire.HashKey(rec.Key)
+		if prev, stored := s.ht.PutIfNewer(rec.Table, rec.Key, hash, ref, rec.Version); stored {
+			if !prev.IsZero() {
+				s.log.MarkDead(prev)
+			}
+		} else {
+			s.log.MarkDead(ref)
+		}
+	}
+	if len(req.Records) > 0 {
+		if err := s.repl.Sync(); err != nil {
+			return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
+		}
+	}
+	return &wire.TakeTabletsResponse{Status: wire.StatusOK}
+}
+
+// ---------------------------------------------------------------------------
+// Baseline migration paths (§2.3 pre-existing mechanism, §4.2 variants)
+// ---------------------------------------------------------------------------
+
+// handleReplayRecords is the target side of the pre-existing source-driven
+// migration: logically replay pushed records into the log and hash table,
+// optionally re-replicating synchronously — the phases Figure 5 toggles.
+func (s *Server) handleReplayRecords(req *wire.ReplayRecordsRequest) *wire.ReplayRecordsResponse {
+	if req.SkipReplay {
+		return &wire.ReplayRecordsResponse{Status: wire.StatusOK}
+	}
+	for i := range req.Records {
+		rec := &req.Records[i]
+		if rec.Tombstone {
+			continue
+		}
+		ref, err := s.log.AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
+		if err != nil {
+			return &wire.ReplayRecordsResponse{Status: wire.StatusInternalError}
+		}
+		hash := wire.HashKey(rec.Key)
+		if prev, stored := s.ht.PutIfNewer(rec.Table, rec.Key, hash, ref, rec.Version); stored {
+			if !prev.IsZero() {
+				s.log.MarkDead(prev)
+			}
+		} else {
+			s.log.MarkDead(ref)
+		}
+	}
+	if req.Replicate {
+		if err := s.repl.Sync(); err != nil {
+			return &wire.ReplayRecordsResponse{Status: wire.StatusInternalError}
+		}
+	}
+	return &wire.ReplayRecordsResponse{Status: wire.StatusOK}
+}
+
+// handlePullTail scans log segments newer than AfterSegment for live
+// records of the range: the delta catch-up that makes the
+// source-retains-ownership variant hand over writes accepted during
+// migration.
+func (s *Server) handlePullTail(req *wire.PullTailRequest) *wire.PullTailResponse {
+	resp := &wire.PullTailResponse{Status: wire.StatusOK}
+	for _, seg := range s.log.Segments() {
+		if seg.ID <= req.AfterSegment {
+			continue
+		}
+		_ = storage.IterateSegmentEntries(seg, func(ref storage.Ref) bool {
+			rec, err := ref.Record()
+			if err != nil || rec.Table != req.Table {
+				return true
+			}
+			hash := wire.HashKey(rec.Key)
+			if !req.Range.Contains(hash) {
+				return true
+			}
+			// Only current versions matter; stale overwrites are skipped.
+			if !rec.Tombstone && !s.ht.RefersTo(rec.Table, rec.Key, hash, ref) {
+				return true
+			}
+			resp.Records = append(resp.Records, rec)
+			return true
+		})
+	}
+	return resp
+}

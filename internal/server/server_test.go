@@ -1,0 +1,390 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// rig is a single server plus a raw RPC client on a private fabric.
+type rig struct {
+	fabric *transport.Fabric
+	srv    *Server
+	cli    *transport.Node
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	f := transport.NewFabric(transport.FabricConfig{})
+	if cfg.ID == 0 {
+		cfg.ID = 10
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv := New(cfg, f.Attach(cfg.ID))
+	cli := transport.NewNode(f.Attach(999))
+	cli.Start()
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return &rig{fabric: f, srv: srv, cli: cli}
+}
+
+func (r *rig) call(t *testing.T, body wire.Payload) wire.Payload {
+	t.Helper()
+	reply, err := r.cli.Call(r.srv.ID(), wire.PriorityForeground, body)
+	if err != nil {
+		t.Fatalf("%T: %v", body, err)
+	}
+	return reply
+}
+
+func TestServerReadWriteDelete(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+
+	w := r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v1")}).(*wire.WriteResponse)
+	if w.Status != wire.StatusOK || w.Version == 0 {
+		t.Fatalf("write: %+v", w)
+	}
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusOK || string(rd.Value) != "v1" || rd.Version != w.Version {
+		t.Fatalf("read: %+v", rd)
+	}
+	w2 := r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v2")}).(*wire.WriteResponse)
+	if w2.Version <= w.Version {
+		t.Fatalf("version did not advance: %d -> %d", w.Version, w2.Version)
+	}
+	d := r.call(t, &wire.DeleteRequest{Table: 1, Key: []byte("k")}).(*wire.DeleteResponse)
+	if d.Status != wire.StatusOK {
+		t.Fatalf("delete: %+v", d)
+	}
+	rd = r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusNoSuchKey {
+		t.Fatalf("read after delete: %+v", rd)
+	}
+	d = r.call(t, &wire.DeleteRequest{Table: 1, Key: []byte("k")}).(*wire.DeleteResponse)
+	if d.Status != wire.StatusNoSuchKey {
+		t.Fatalf("double delete: %+v", d)
+	}
+}
+
+func TestServerUnownedTablet(t *testing.T) {
+	r := newRig(t, Config{})
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusWrongServer {
+		t.Fatalf("read unowned: %+v", rd)
+	}
+	w := r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v")}).(*wire.WriteResponse)
+	if w.Status != wire.StatusWrongServer {
+		t.Fatalf("write unowned: %+v", w)
+	}
+	if r.srv.Stats().WrongServer.Load() != 2 {
+		t.Errorf("WrongServer counter = %d", r.srv.Stats().WrongServer.Load())
+	}
+}
+
+func TestServerMigratingOutRejectsClientOps(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v")})
+
+	prep := r.call(t, &wire.PrepareMigrationRequest{Table: 1, Range: wire.FullRange(), Target: 11}).(*wire.PrepareMigrationResponse)
+	if prep.Status != wire.StatusOK || prep.RecordCount != 1 || prep.VersionCeiling == 0 {
+		t.Fatalf("prepare: %+v", prep)
+	}
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusWrongServer {
+		t.Fatalf("read of migrating-out tablet: %+v", rd)
+	}
+	// Pulls still work.
+	pull := r.call(t, &wire.PullRequest{Table: 1, Range: wire.FullRange(), ByteBudget: 1 << 20}).(*wire.PullResponse)
+	if pull.Status != wire.StatusOK || len(pull.Records) != 1 || !pull.Done {
+		t.Fatalf("pull: %+v", pull)
+	}
+}
+
+func TestServerPrepareKeepServing(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v")})
+	prep := r.call(t, &wire.PrepareMigrationRequest{Table: 1, Range: wire.FullRange(), Target: 11, KeepServing: true}).(*wire.PrepareMigrationResponse)
+	if prep.Status != wire.StatusOK {
+		t.Fatalf("prepare: %+v", prep)
+	}
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusOK {
+		t.Fatalf("keep-serving read: %+v", rd)
+	}
+}
+
+func TestServerPrepareCarvesSubRange(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	// Two keys on opposite halves.
+	var loKey, hiKey []byte
+	half := wire.FullRange().Split(2)
+	for i := 0; loKey == nil || hiKey == nil; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if half[0].Contains(wire.HashKey(k)) {
+			if loKey == nil {
+				loKey = k
+			}
+		} else if hiKey == nil {
+			hiKey = k
+		}
+	}
+	r.call(t, &wire.WriteRequest{Table: 1, Key: loKey, Value: []byte("lo")})
+	r.call(t, &wire.WriteRequest{Table: 1, Key: hiKey, Value: []byte("hi")})
+
+	// Migrate out only the upper half.
+	prep := r.call(t, &wire.PrepareMigrationRequest{Table: 1, Range: half[1], Target: 11}).(*wire.PrepareMigrationResponse)
+	if prep.Status != wire.StatusOK {
+		t.Fatal(prep)
+	}
+	if rd := r.call(t, &wire.ReadRequest{Table: 1, Key: loKey}).(*wire.ReadResponse); rd.Status != wire.StatusOK {
+		t.Fatalf("lower half must keep serving: %+v", rd)
+	}
+	if rd := r.call(t, &wire.ReadRequest{Table: 1, Key: hiKey}).(*wire.ReadResponse); rd.Status != wire.StatusWrongServer {
+		t.Fatalf("upper half must redirect: %+v", rd)
+	}
+}
+
+func TestServerPullResumeAndBudget(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	for i := 0; i < 200; i++ {
+		r.call(t, &wire.WriteRequest{Table: 1, Key: []byte(fmt.Sprintf("k%03d", i)), Value: bytes.Repeat([]byte("x"), 100)})
+	}
+	seen := map[string]bool{}
+	token := uint64(0)
+	pulls := 0
+	for {
+		pull := r.call(t, &wire.PullRequest{Table: 1, Range: wire.FullRange(), ResumeToken: token, ByteBudget: 2048}).(*wire.PullResponse)
+		if pull.Status != wire.StatusOK {
+			t.Fatal(pull)
+		}
+		pulls++
+		for _, rec := range pull.Records {
+			if seen[string(rec.Key)] {
+				t.Fatalf("duplicate record %q", rec.Key)
+			}
+			seen[string(rec.Key)] = true
+		}
+		token = pull.ResumeToken
+		if pull.Done {
+			break
+		}
+		if pulls > 1000 {
+			t.Fatal("pull never completed")
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("pulled %d records, want 200", len(seen))
+	}
+	if pulls < 5 {
+		t.Fatalf("budget ignored: only %d pulls", pulls)
+	}
+}
+
+func TestServerPriorityPull(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("present"), Value: []byte("v")})
+	h1 := wire.HashKey([]byte("present"))
+	h2 := wire.HashKey([]byte("absent"))
+	pp := r.call(t, &wire.PriorityPullRequest{Table: 1, Hashes: []uint64{h1, h2}}).(*wire.PriorityPullResponse)
+	if pp.Status != wire.StatusOK || len(pp.Records) != 1 || len(pp.Missing) != 1 {
+		t.Fatalf("prio pull: %+v", pp)
+	}
+	if pp.Missing[0] != h2 || string(pp.Records[0].Key) != "present" {
+		t.Fatalf("prio pull contents: %+v", pp)
+	}
+}
+
+func TestServerTakeTabletsReplaysWithVersions(t *testing.T) {
+	r := newRig(t, Config{})
+	recs := []wire.Record{
+		{Table: 1, Version: 50, Key: []byte("a"), Value: []byte("v50")},
+		{Table: 1, Version: 40, Key: []byte("b"), Value: []byte("v40")},
+	}
+	resp := r.call(t, &wire.TakeTabletsRequest{Table: 1, Range: wire.FullRange(), Records: recs, VersionCeiling: 60}).(*wire.TakeTabletsResponse)
+	if resp.Status != wire.StatusOK {
+		t.Fatal(resp)
+	}
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("a")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusOK || rd.Version != 50 {
+		t.Fatalf("read recovered: %+v", rd)
+	}
+	// New writes must version above the ceiling.
+	w := r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("c"), Value: []byte("v")}).(*wire.WriteResponse)
+	if w.Version <= 60 {
+		t.Fatalf("write version %d not above ceiling", w.Version)
+	}
+	// Replaying an older duplicate must not clobber.
+	dup := []wire.Record{{Table: 1, Version: 45, Key: []byte("a"), Value: []byte("stale")}}
+	r.call(t, &wire.TakeTabletsRequest{Table: 1, Range: wire.FullRange(), Records: dup})
+	rd = r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("a")}).(*wire.ReadResponse)
+	if string(rd.Value) != "v50" {
+		t.Fatalf("stale replay clobbered: %q", rd.Value)
+	}
+}
+
+func TestServerReplayRecordsBaseline(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	recs := []wire.Record{{Table: 1, Version: 5, Key: []byte("k"), Value: []byte("v")}}
+	resp := r.call(t, &wire.ReplayRecordsRequest{Table: 1, Records: recs}).(*wire.ReplayRecordsResponse)
+	if resp.Status != wire.StatusOK {
+		t.Fatal(resp)
+	}
+	rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusOK || rd.Version != 5 {
+		t.Fatalf("read after replay: %+v", rd)
+	}
+	// SkipReplay drops the batch.
+	skip := []wire.Record{{Table: 1, Version: 9, Key: []byte("dropped"), Value: []byte("v")}}
+	r.call(t, &wire.ReplayRecordsRequest{Table: 1, Records: skip, SkipReplay: true})
+	rd = r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("dropped")}).(*wire.ReadResponse)
+	if rd.Status != wire.StatusNoSuchKey {
+		t.Fatalf("SkipReplay stored data: %+v", rd)
+	}
+}
+
+func TestServerPullTail(t *testing.T) {
+	r := newRig(t, Config{SegmentSize: 512})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	for i := 0; i < 20; i++ {
+		r.call(t, &wire.WriteRequest{Table: 1, Key: []byte(fmt.Sprintf("old-%02d", i)), Value: bytes.Repeat([]byte("o"), 64)})
+	}
+	head := r.srv.Log().Head().ID
+	for i := 0; i < 5; i++ {
+		r.call(t, &wire.WriteRequest{Table: 1, Key: []byte(fmt.Sprintf("new-%d", i)), Value: bytes.Repeat([]byte("n"), 64)})
+	}
+	tail := r.call(t, &wire.PullTailRequest{Table: 1, Range: wire.FullRange(), AfterSegment: head}).(*wire.PullTailResponse)
+	if tail.Status != wire.StatusOK {
+		t.Fatal(tail)
+	}
+	for _, rec := range tail.Records {
+		if len(rec.Key) >= 3 && string(rec.Key[:3]) == "old" {
+			// Old records may appear only if they live in segments after
+			// `head`; with 512 B segments and 99-byte entries they don't.
+			t.Fatalf("tail contains old record %q", rec.Key)
+		}
+	}
+	if len(tail.Records) < 5 {
+		t.Fatalf("tail missing new records: %d", len(tail.Records))
+	}
+}
+
+func TestServerMultiGetMixedStatuses(t *testing.T) {
+	r := newRig(t, Config{})
+	half := wire.FullRange().Split(2)
+	r.srv.RegisterTablet(1, half[0], TabletNormal)
+	var owned, unowned []byte
+	for i := 0; owned == nil || unowned == nil; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if half[0].Contains(wire.HashKey(k)) {
+			if owned == nil {
+				owned = k
+			}
+		} else if unowned == nil {
+			unowned = k
+		}
+	}
+	r.call(t, &wire.WriteRequest{Table: 1, Key: owned, Value: []byte("v")})
+	mg := r.call(t, &wire.MultiGetRequest{Table: 1, Keys: [][]byte{owned, unowned}}).(*wire.MultiGetResponse)
+	if mg.Statuses[0] != wire.StatusOK || mg.Statuses[1] != wire.StatusWrongServer {
+		t.Fatalf("multiget statuses: %+v", mg.Statuses)
+	}
+	if mg.Status != wire.StatusWrongServer {
+		t.Fatalf("aggregate status: %v", mg.Status)
+	}
+}
+
+func TestServerDropTabletDiscardsData(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	for i := 0; i < 50; i++ {
+		r.call(t, &wire.WriteRequest{Table: 1, Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v")})
+	}
+	_, liveBefore, _, _ := r.srv.Log().Stats()
+	resp := r.call(t, &wire.DropTabletRequest{Table: 1, Range: wire.FullRange()}).(*wire.DropTabletResponse)
+	if resp.Status != wire.StatusOK {
+		t.Fatal(resp)
+	}
+	if r.srv.HashTable().Len() != 0 {
+		t.Fatalf("hash table still has %d entries", r.srv.HashTable().Len())
+	}
+	_, liveAfter, _, _ := r.srv.Log().Stats()
+	if liveAfter >= liveBefore {
+		t.Fatalf("live bytes did not drop: %d -> %d", liveBefore, liveAfter)
+	}
+}
+
+func TestServerIndexOps(t *testing.T) {
+	r := newRig(t, Config{})
+	r.call(t, &wire.IndexInsertRequest{Index: 3, SecondaryKey: []byte("bob"), KeyHash: 42})
+	r.call(t, &wire.IndexInsertRequest{Index: 3, SecondaryKey: []byte("alice"), KeyHash: 41})
+	look := r.call(t, &wire.IndexLookupRequest{Index: 3, Begin: []byte("a"), End: []byte("z"), Limit: 10}).(*wire.IndexLookupResponse)
+	if len(look.Hashes) != 2 || look.Hashes[0] != 41 {
+		t.Fatalf("lookup: %+v", look)
+	}
+	r.call(t, &wire.IndexRemoveRequest{Index: 3, SecondaryKey: []byte("bob"), KeyHash: 42})
+	look = r.call(t, &wire.IndexLookupRequest{Index: 3, Begin: []byte("a"), End: []byte("z"), Limit: 10}).(*wire.IndexLookupResponse)
+	if len(look.Hashes) != 1 {
+		t.Fatalf("lookup after remove: %+v", look)
+	}
+}
+
+func TestServerStatsCounters(t *testing.T) {
+	r := newRig(t, Config{})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	r.call(t, &wire.WriteRequest{Table: 1, Key: []byte("k"), Value: []byte("v")})
+	r.call(t, &wire.ReadRequest{Table: 1, Key: []byte("k")})
+	s := r.srv.Stats()
+	if s.Writes.Load() != 1 || s.Reads.Load() != 1 || s.ObjectsRead.Load() != 1 || s.ObjectsWritten.Load() != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Dispatch pump accounted the traffic.
+	if r.srv.Node().DispatchedMessages() < 2 {
+		t.Error("dispatch pump counted nothing")
+	}
+	if r.srv.Scheduler().BusyNanos() <= 0 {
+		t.Error("worker busy time not recorded")
+	}
+}
+
+func TestServerCleanerReclaimsOverwrites(t *testing.T) {
+	r := newRig(t, Config{SegmentSize: 2048, CleanerInterval: 5 * time.Millisecond})
+	r.srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
+	// Write then heavily overwrite: most log bytes become dead.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 100; i++ {
+			r.call(t, &wire.WriteRequest{Table: 1,
+				Key:   []byte(fmt.Sprintf("k%03d", i)),
+				Value: bytes.Repeat([]byte{byte(round)}, 64)})
+		}
+	}
+	before := r.srv.Log().SegmentCount()
+	deadline := time.Now().Add(3 * time.Second)
+	for r.srv.Log().SegmentCount() >= before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := r.srv.Log().SegmentCount(); got >= before {
+		t.Fatalf("cleaner never reclaimed segments: %d -> %d", before, got)
+	}
+	// Data integrity after cleaning.
+	for i := 0; i < 100; i++ {
+		rd := r.call(t, &wire.ReadRequest{Table: 1, Key: []byte(fmt.Sprintf("k%03d", i))}).(*wire.ReadResponse)
+		if rd.Status != wire.StatusOK || len(rd.Value) != 64 || rd.Value[0] != 5 {
+			t.Fatalf("key k%03d after cleaning: %+v", i, rd)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package storage
+
+import (
+	"bytes"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"rocksteady/internal/wire"
+)
+
+// slotsPerBucket is the number of entries per hash-table bucket, sized in
+// the spirit of RAMCloud's cache-line buckets.
+const slotsPerBucket = 8
+
+// maxStripes bounds the number of region locks. Stripes cover contiguous
+// bucket ranges, and buckets are indexed by the *top* bits of the key
+// hash, so disjoint hash-range partitions (Pull partitions, §3.1.1) touch
+// disjoint stripes and never contend.
+const maxStripes = 256
+
+type slot struct {
+	hash uint64
+	ref  Ref
+}
+
+type bucket struct {
+	slots    [slotsPerBucket]slot
+	overflow *bucket
+}
+
+// HashTable is a master's primary-key index: it maps (table, key hash) to
+// a log Ref. Buckets are indexed by the top bits of the key hash, making
+// every contiguous hash range a contiguous bucket range; per-stripe RW
+// locks give parallel Pulls and parallel replay contention-free access to
+// disjoint partitions.
+//
+// The table does not grow; size it for the expected object count
+// (RAMCloud pre-sizes its hash table the same way). Overflow chains absorb
+// skew beyond slotsPerBucket.
+type HashTable struct {
+	bits        uint
+	buckets     []bucket
+	stripes     []sync.RWMutex
+	stripeShift uint
+	count       atomic.Int64
+}
+
+// NewHashTable creates a table sized for about capacityHint objects.
+func NewHashTable(capacityHint int) *HashTable {
+	if capacityHint < 1 {
+		capacityHint = 1
+	}
+	nb := nextPow2(capacityHint / slotsPerBucket * 2) // ~50% slot occupancy
+	if nb < 16 {
+		nb = 16
+	}
+	b := uint(bits.TrailingZeros(uint(nb)))
+	ns := nb
+	if ns > maxStripes {
+		ns = maxStripes
+	}
+	t := &HashTable{
+		bits:        b,
+		buckets:     make([]bucket, nb),
+		stripes:     make([]sync.RWMutex, ns),
+		stripeShift: b - uint(bits.TrailingZeros(uint(ns))),
+	}
+	return t
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(uint64(n-1)))
+}
+
+// NumBuckets returns the bucket count; Pull resume tokens index buckets.
+func (t *HashTable) NumBuckets() uint64 { return uint64(len(t.buckets)) }
+
+// Len returns the number of stored entries.
+func (t *HashTable) Len() int { return int(t.count.Load()) }
+
+// BucketOf returns the bucket index for a key hash.
+func (t *HashTable) BucketOf(hash uint64) uint64 { return hash >> (64 - t.bits) }
+
+func (t *HashTable) stripeOf(bucketIdx uint64) *sync.RWMutex {
+	return &t.stripes[bucketIdx>>t.stripeShift]
+}
+
+// refMatches reports whether ref's entry is for (table, key). Parses the
+// entry header and key in place; no checksum work on the hot path.
+func refMatches(ref Ref, table wire.TableID, key []byte) bool {
+	h, err := ref.Header()
+	if err != nil || h.Table != table || int(h.KeyLen) != len(key) {
+		return false
+	}
+	ek := ref.Seg.buf[ref.Off+EntryHeaderSize : int(ref.Off)+EntryHeaderSize+len(key)]
+	return bytes.Equal(ek, key)
+}
+
+// Get returns the ref stored for (table, key), if any.
+func (t *HashTable) Get(table wire.TableID, key []byte, hash uint64) (Ref, bool) {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.RLock()
+	defer mu.RUnlock()
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.hash == hash && !s.ref.IsZero() && refMatches(s.ref, table, key) {
+				return s.ref, true
+			}
+		}
+	}
+	return Ref{}, false
+}
+
+// GetByHash returns every ref for the table whose key hashes to hash.
+// Index lookups and PriorityPulls address records by hash (Figure 2).
+func (t *HashTable) GetByHash(table wire.TableID, hash uint64) []Ref {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.RLock()
+	defer mu.RUnlock()
+	var out []Ref
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.hash == hash && !s.ref.IsZero() {
+				if h, err := s.ref.Header(); err == nil && h.Table == table {
+					out = append(out, s.ref)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Put stores ref for (table, key), replacing any existing entry. It
+// returns the previous ref if one existed.
+func (t *HashTable) Put(table wire.TableID, key []byte, hash uint64, ref Ref) (Ref, bool) {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.Lock()
+	defer mu.Unlock()
+	return t.putLocked(bi, table, key, hash, ref)
+}
+
+func (t *HashTable) putLocked(bi uint64, table wire.TableID, key []byte, hash uint64, ref Ref) (Ref, bool) {
+	var empty *slot
+	for b := &t.buckets[bi]; ; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.ref.IsZero() {
+				if empty == nil {
+					empty = s
+				}
+				continue
+			}
+			if s.hash == hash && refMatches(s.ref, table, key) {
+				prev := s.ref
+				s.ref = ref
+				return prev, true
+			}
+		}
+		if b.overflow == nil {
+			if empty == nil {
+				b.overflow = &bucket{}
+				empty = &b.overflow.slots[0]
+			}
+			empty.hash = hash
+			empty.ref = ref
+			t.count.Add(1)
+			return Ref{}, false
+		}
+	}
+}
+
+// PutIfNewer stores ref only if (table, key) is absent or its current
+// version is strictly older than version. This is the replay rule that
+// makes immediate ownership transfer safe: a write accepted by the target
+// after migration start always has a version above the source's ceiling,
+// so a later-arriving bulk-Pull copy of the old record never clobbers it.
+// It returns the replaced ref (if any) and whether ref was stored.
+func (t *HashTable) PutIfNewer(table wire.TableID, key []byte, hash uint64, ref Ref, version uint64) (Ref, bool) {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.Lock()
+	defer mu.Unlock()
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if !s.ref.IsZero() && s.hash == hash && refMatches(s.ref, table, key) {
+				h, err := s.ref.Header()
+				if err == nil && h.Version >= version {
+					return Ref{}, false
+				}
+				prev := s.ref
+				s.ref = ref
+				return prev, true
+			}
+		}
+	}
+	_, _ = t.putLocked(bi, table, key, hash, ref)
+	return Ref{}, true
+}
+
+// Remove deletes the entry for (table, key) and returns its ref.
+func (t *HashTable) Remove(table wire.TableID, key []byte, hash uint64) (Ref, bool) {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.Lock()
+	defer mu.Unlock()
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if !s.ref.IsZero() && s.hash == hash && refMatches(s.ref, table, key) {
+				prev := s.ref
+				s.ref = Ref{}
+				t.count.Add(-1)
+				return prev, true
+			}
+		}
+	}
+	return Ref{}, false
+}
+
+// ReplaceRef swaps old for new for (table, key) only if old is still the
+// stored ref; the cleaner uses this so a concurrent write wins over
+// relocation.
+func (t *HashTable) ReplaceRef(table wire.TableID, key []byte, hash uint64, old, new Ref) bool {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.Lock()
+	defer mu.Unlock()
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			s := &b.slots[i]
+			if s.ref == old && s.hash == hash {
+				s.ref = new
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RefersTo reports whether ref is the current entry for (table, key).
+func (t *HashTable) RefersTo(table wire.TableID, key []byte, hash uint64, ref Ref) bool {
+	bi := t.BucketOf(hash)
+	mu := t.stripeOf(bi)
+	mu.RLock()
+	defer mu.RUnlock()
+	for b := &t.buckets[bi]; b != nil; b = b.overflow {
+		for i := range b.slots {
+			if b.slots[i].ref == ref {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ScanRange iterates entries of table whose key hash lies in rng, starting
+// from bucket index startBucket (0 resumes from the range's first bucket).
+// visit is called outside per-entry locks but under the bucket's stripe
+// read lock; if it returns false the scan stops *at the end of the current
+// bucket* so resume tokens always sit on bucket boundaries and no record
+// is delivered twice. Returns the resume token and whether the range is
+// exhausted.
+//
+// This is the source-side engine of Rocksteady Pulls: stateless at the
+// source (the token is the only cursor) and contention-free across
+// disjoint partitions (§3.1.1).
+func (t *HashTable) ScanRange(table wire.TableID, rng wire.HashRange, startBucket uint64, visit func(ref Ref) bool) (next uint64, done bool) {
+	first := t.BucketOf(rng.Start)
+	last := t.BucketOf(rng.End)
+	bi := first
+	if startBucket > bi {
+		bi = startBucket
+	}
+	for ; bi <= last; bi++ {
+		mu := t.stripeOf(bi)
+		mu.RLock()
+		keepGoing := true
+		for b := &t.buckets[bi]; b != nil; b = b.overflow {
+			for i := range b.slots {
+				s := &b.slots[i]
+				if s.ref.IsZero() || !rng.Contains(s.hash) {
+					continue
+				}
+				if h, err := s.ref.Header(); err != nil || h.Table != table {
+					continue
+				}
+				if !visit(s.ref) {
+					keepGoing = false
+				}
+			}
+		}
+		mu.RUnlock()
+		if !keepGoing {
+			return bi + 1, bi == last
+		}
+	}
+	return last + 1, true
+}
+
+// RemoveRange deletes every entry of table whose key hash lies in rng,
+// invoking onRemove for each (to mark log bytes dead). Used when a source
+// drops a migrated tablet.
+func (t *HashTable) RemoveRange(table wire.TableID, rng wire.HashRange, onRemove func(ref Ref)) int {
+	first := t.BucketOf(rng.Start)
+	last := t.BucketOf(rng.End)
+	removed := 0
+	for bi := first; bi <= last; bi++ {
+		mu := t.stripeOf(bi)
+		mu.Lock()
+		for b := &t.buckets[bi]; b != nil; b = b.overflow {
+			for i := range b.slots {
+				s := &b.slots[i]
+				if s.ref.IsZero() || !rng.Contains(s.hash) {
+					continue
+				}
+				h, err := s.ref.Header()
+				if err != nil || h.Table != table {
+					continue
+				}
+				if onRemove != nil {
+					onRemove(s.ref)
+				}
+				s.ref = Ref{}
+				t.count.Add(-1)
+				removed++
+			}
+		}
+		mu.Unlock()
+		if bi == last { // avoid wrap when last == max uint64 bucket
+			break
+		}
+	}
+	return removed
+}
+
+// RemoveTombstoneRefs deletes entries of table within rng whose log entry
+// is a tombstone. During migration the target parks deletions *in* the
+// hash table (so version checks beat late-arriving stale copies); this
+// sweep tidies them once no more replay can race.
+func (t *HashTable) RemoveTombstoneRefs(table wire.TableID, rng wire.HashRange) int {
+	first := t.BucketOf(rng.Start)
+	last := t.BucketOf(rng.End)
+	removed := 0
+	for bi := first; bi <= last; bi++ {
+		mu := t.stripeOf(bi)
+		mu.Lock()
+		for b := &t.buckets[bi]; b != nil; b = b.overflow {
+			for i := range b.slots {
+				s := &b.slots[i]
+				if s.ref.IsZero() || !rng.Contains(s.hash) {
+					continue
+				}
+				h, err := s.ref.Header()
+				if err != nil || h.Table != table || h.Type != EntryTombstone {
+					continue
+				}
+				MarkDeadRef(s.ref)
+				s.ref = Ref{}
+				t.count.Add(-1)
+				removed++
+			}
+		}
+		mu.Unlock()
+		if bi == last {
+			break
+		}
+	}
+	return removed
+}
+
+// CountRange counts entries and bytes of table within rng; used by
+// PrepareMigration to report migration size.
+func (t *HashTable) CountRange(table wire.TableID, rng wire.HashRange) (count, byteSize uint64) {
+	t.ScanRange(table, rng, 0, func(ref Ref) bool {
+		if h, err := ref.Header(); err == nil {
+			count++
+			byteSize += uint64(h.Size())
+		}
+		return true
+	})
+	return count, byteSize
+}
+
+// ForEach visits every entry in the table (any table ID), for tests and
+// debugging.
+func (t *HashTable) ForEach(visit func(hash uint64, ref Ref) bool) {
+	for bi := range t.buckets {
+		mu := t.stripeOf(uint64(bi))
+		mu.RLock()
+		for b := &t.buckets[bi]; b != nil; b = b.overflow {
+			for i := range b.slots {
+				s := &b.slots[i]
+				if !s.ref.IsZero() {
+					if !visit(s.hash, s.ref) {
+						mu.RUnlock()
+						return
+					}
+				}
+			}
+		}
+		mu.RUnlock()
+	}
+}

@@ -1,0 +1,360 @@
+package storage
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rocksteady/internal/wire"
+)
+
+// MainLogID is the log ID of every master's main log. Side logs receive
+// IDs above it.
+const MainLogID uint64 = 0
+
+// ErrLogClosed reports an append to a closed (crashed) log.
+var ErrLogClosed = errors.New("storage: log closed")
+
+// AppendEvent notifies the replication manager of new log bytes. Data
+// aliases segment memory (immutable once published).
+type AppendEvent struct {
+	LogID     uint64
+	SegmentID uint64
+	Offset    int
+	Data      []byte
+	Sealed    bool
+}
+
+// AppendFunc observes log growth; used to drive backup replication.
+type AppendFunc func(ev AppendEvent)
+
+// Log is an append-only segmented in-memory log. One goroutine may append
+// at a time (Append takes an internal lock); any number may read published
+// entries concurrently.
+type Log struct {
+	// ID distinguishes the main log (MainLogID) from side logs.
+	ID uint64
+
+	segSize   int
+	nextSegID *atomic.Uint64 // shared across a master's logs
+	onAppend  AppendFunc     // may be nil (side logs replicate lazily)
+
+	mu       sync.Mutex
+	head     *Segment
+	segments map[uint64]*Segment
+	closed   bool
+
+	// appended counts total bytes ever appended; the "offset into the log"
+	// used by lineage dependencies (§3.4).
+	appended atomic.Uint64
+	// versionCounter assigns object versions; shared by a master across
+	// its logs so versions are monotonic per master.
+	versionCounter *atomic.Uint64
+
+	stats LogStats
+}
+
+// LogStats aggregates counters the cleaner uses. Side logs accumulate
+// their own stats and merge them on commit, avoiding contention on the
+// main log's counters during parallel replay (§3.1.3).
+type LogStats struct {
+	EntryCount    atomic.Int64
+	LiveBytes     atomic.Int64
+	AppendedBytes atomic.Int64
+	CleanedBytes  atomic.Int64
+}
+
+// snapshot returns a copy of the counters.
+func (s *LogStats) snapshot() (entries, live, appended, cleaned int64) {
+	return s.EntryCount.Load(), s.LiveBytes.Load(), s.AppendedBytes.Load(), s.CleanedBytes.Load()
+}
+
+// NewLog creates a main log. segSize <= 0 selects DefaultSegmentSize.
+func NewLog(segSize int, onAppend AppendFunc) *Log {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	l := &Log{
+		ID:             MainLogID,
+		segSize:        segSize,
+		nextSegID:      &atomic.Uint64{},
+		versionCounter: &atomic.Uint64{},
+		onAppend:       onAppend,
+		segments:       make(map[uint64]*Segment),
+	}
+	return l
+}
+
+// NewSideLog creates a side log hanging off the main log: it shares the
+// segment-ID and version counters but has its own head segment, so a
+// replay worker appends without touching the main log's lock or stats.
+func (l *Log) NewSideLog(id uint64) *SideLog {
+	if id == MainLogID {
+		panic("storage: side log cannot use MainLogID")
+	}
+	return &SideLog{
+		parent: l,
+		log: &Log{
+			ID:             id,
+			segSize:        l.segSize,
+			nextSegID:      l.nextSegID,
+			versionCounter: l.versionCounter,
+			segments:       make(map[uint64]*Segment),
+		},
+	}
+}
+
+// NextVersion returns a fresh, master-monotonic object version.
+func (l *Log) NextVersion() uint64 { return l.versionCounter.Add(1) }
+
+// BumpVersionTo raises the version counter to at least v. Used when a
+// migration target adopts a source's version ceiling.
+func (l *Log) BumpVersionTo(v uint64) {
+	for {
+		cur := l.versionCounter.Load()
+		if cur >= v || l.versionCounter.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// CurrentVersion returns the last assigned version.
+func (l *Log) CurrentVersion() uint64 { return l.versionCounter.Load() }
+
+// AppendedBytes returns the total bytes ever appended: the log "offset"
+// that lineage dependencies reference.
+func (l *Log) AppendedBytes() uint64 { return l.appended.Load() }
+
+// Close marks the log closed; subsequent appends fail. Models a crash.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}
+
+// Append writes an entry and returns its ref. Version must already be
+// assigned (NextVersion) so that callers control version ordering.
+func (l *Log) Append(typ EntryType, table wire.TableID, version, aux uint64, key, value []byte) (Ref, error) {
+	size := EntrySize(len(key), len(value))
+	if size > l.segSize {
+		return Ref{}, errors.New("storage: entry exceeds segment size")
+	}
+	h := EntryHeader{Type: typ, Table: table, Version: version, Aux: aux}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Ref{}, ErrLogClosed
+	}
+	var sealedEv *AppendEvent
+	if l.head == nil || !l.head.hasRoom(size) {
+		if l.head != nil {
+			l.head.seal()
+			if l.onAppend != nil {
+				ev := AppendEvent{LogID: l.ID, SegmentID: l.head.ID, Offset: l.head.Len(), Sealed: true}
+				sealedEv = &ev
+			}
+		}
+		seg := newSegment(l.nextSegID.Add(1), l.ID, l.segSize)
+		l.segments[seg.ID] = seg
+		l.head = seg
+	}
+	seg := l.head
+	off := seg.appendEntry(&h, key, value)
+	seg.addLive(size)
+	l.appended.Add(uint64(size))
+	l.stats.EntryCount.Add(1)
+	l.stats.LiveBytes.Add(int64(size))
+	l.stats.AppendedBytes.Add(int64(size))
+	onAppend := l.onAppend
+	l.mu.Unlock()
+
+	if onAppend != nil {
+		if sealedEv != nil {
+			onAppend(*sealedEv)
+		}
+		onAppend(AppendEvent{
+			LogID:     l.ID,
+			SegmentID: seg.ID,
+			Offset:    int(off),
+			Data:      seg.Data(int(off), int(off)+size),
+		})
+	}
+	return Ref{Seg: seg, Off: off}, nil
+}
+
+// AppendObject writes an object entry with a freshly assigned version.
+func (l *Log) AppendObject(table wire.TableID, key, value []byte) (Ref, uint64, error) {
+	v := l.NextVersion()
+	ref, err := l.Append(EntryObject, table, v, 0, key, value)
+	return ref, v, err
+}
+
+// AppendObjectVersion writes an object entry with a caller-chosen version
+// (replay of migrated or recovered records).
+func (l *Log) AppendObjectVersion(table wire.TableID, version uint64, key, value []byte) (Ref, error) {
+	return l.Append(EntryObject, table, version, 0, key, value)
+}
+
+// AppendTombstone records the deletion of an object that lived in segment
+// killedSeg at the given version.
+func (l *Log) AppendTombstone(table wire.TableID, version, killedSeg uint64, key []byte) (Ref, error) {
+	return l.Append(EntryTombstone, table, version, killedSeg, key, nil)
+}
+
+// Segment returns the segment with the given ID, if it is part of this log.
+func (l *Log) Segment(id uint64) (*Segment, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.segments[id]
+	return s, ok
+}
+
+// Segments returns a snapshot of the log's segments sorted by ID.
+func (l *Log) Segments() []*Segment {
+	l.mu.Lock()
+	out := make([]*Segment, 0, len(l.segments))
+	for _, s := range l.segments {
+		out = append(out, s)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SegmentCount returns the number of live segments.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments)
+}
+
+// Head returns the current head segment (may be nil before first append).
+func (l *Log) Head() *Segment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// removeSegment detaches a cleaned segment.
+func (l *Log) removeSegment(id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.segments, id)
+}
+
+// hasSegment reports whether a segment is still part of the log; used by
+// tombstone liveness.
+func (l *Log) hasSegment(id uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.segments[id]
+	return ok
+}
+
+// ForEachEntry iterates every entry in every segment (published prefix
+// only), in segment-ID order. The pre-existing RAMCloud migration (§2.3)
+// and crash recovery replay use this.
+func (l *Log) ForEachEntry(fn func(ref Ref, h EntryHeader) bool) error {
+	for _, seg := range l.Segments() {
+		stop := false
+		err := iterateSegment(seg, seg.Len(), func(off uint32, h EntryHeader) bool {
+			if !fn(Ref{Seg: seg, Off: off}, h) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Seal closes the head segment (e.g. before lazy side-log replication or
+// at migration completion) so its full contents can be replicated.
+func (l *Log) Seal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.head != nil {
+		l.head.seal()
+	}
+	l.head = nil
+}
+
+// Stats returns current log statistics.
+func (l *Log) Stats() (entries, liveBytes, appendedBytes, cleanedBytes int64) {
+	return l.stats.snapshot()
+}
+
+// adjustLive records that bytes became dead (delta < 0) or live again.
+func (l *Log) adjustLive(delta int64) { l.stats.LiveBytes.Add(delta) }
+
+// SideLog is an independent chain of segments a single replay worker
+// appends to without contending with the main log; at migration end it is
+// committed into the main log with a metadata record (§3.1.3). The paper's
+// key observation: per-core side logs make parallel replay scale.
+type SideLog struct {
+	parent    *Log
+	log       *Log
+	committed bool
+}
+
+// Append writes an object entry with a caller-chosen version into the side
+// log.
+func (s *SideLog) Append(table wire.TableID, version uint64, key, value []byte) (Ref, error) {
+	if s.committed {
+		return Ref{}, errors.New("storage: append to committed side log")
+	}
+	return s.log.AppendObjectVersion(table, version, key, value)
+}
+
+// AppendTombstone writes a tombstone into the side log (replay of deletes).
+func (s *SideLog) AppendTombstone(table wire.TableID, version uint64, key []byte) (Ref, error) {
+	if s.committed {
+		return Ref{}, errors.New("storage: append to committed side log")
+	}
+	return s.log.AppendTombstone(table, version, 0, key)
+}
+
+// ID returns the side log's log ID.
+func (s *SideLog) ID() uint64 { return s.log.ID }
+
+// Segments returns the side log's segments (for lazy replication).
+func (s *SideLog) Segments() []*Segment { return s.log.Segments() }
+
+// AppendedBytes returns bytes appended to this side log.
+func (s *SideLog) AppendedBytes() uint64 { return s.log.AppendedBytes() }
+
+// Commit seals the side log, moves its segments into the main log, merges
+// its statistics into the main log's counters (one update instead of one
+// per entry), and appends a commit record to the main log.
+func (s *SideLog) Commit() error {
+	if s.committed {
+		return nil
+	}
+	s.committed = true
+	s.log.Seal()
+
+	segs := s.log.Segments()
+	s.parent.mu.Lock()
+	for _, seg := range segs {
+		seg.LogID = s.parent.ID
+		s.parent.segments[seg.ID] = seg
+	}
+	s.parent.mu.Unlock()
+
+	entries, live, appended, cleaned := s.log.stats.snapshot()
+	s.parent.stats.EntryCount.Add(entries)
+	s.parent.stats.LiveBytes.Add(live)
+	s.parent.stats.AppendedBytes.Add(appended)
+	s.parent.stats.CleanedBytes.Add(cleaned)
+	s.parent.appended.Add(s.log.appended.Load())
+
+	_, err := s.parent.Append(EntrySideLogCommit, 0, s.parent.NextVersion(), s.log.ID, nil, nil)
+	return err
+}

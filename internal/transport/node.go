@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// DefaultRPCTimeout bounds how long a Call waits for a response. It is
+// deliberately generous: timeouts signal crashes, not slowness.
+const DefaultRPCTimeout = 5 * time.Second
+
+// Handler processes one inbound request on the dispatch loop. It must be
+// cheap: real work belongs on a worker (enqueue via dispatch.Scheduler).
+type Handler func(m *wire.Message)
+
+// Call is an in-flight RPC future.
+type Call struct {
+	// Done is closed when the response (or failure) arrives.
+	Done chan struct{}
+	// Reply holds the response payload after Done; nil on failure.
+	Reply wire.Payload
+	// Err holds the failure after Done, if any.
+	Err error
+
+	id   uint64
+	node *Node
+}
+
+// Wait blocks until the call completes and returns its outcome.
+func (c *Call) Wait() (wire.Payload, error) {
+	<-c.Done
+	return c.Reply, c.Err
+}
+
+// Node is the RPC layer on one endpoint: it matches responses to pending
+// calls and pumps inbound requests into the server's handler. The pump
+// goroutine is the server's *dispatch core*; its busy time is the
+// dispatch-load metric of Figures 3, 11, and 14.
+type Node struct {
+	ep Endpoint
+	// timeoutNanos holds the RPC timeout; atomic because tests adjust it
+	// while calls are in flight.
+	timeoutNanos atomic.Int64
+
+	handler atomic.Pointer[Handler]
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	nextID  atomic.Uint64
+	closed  bool
+
+	dispatchBusy atomic.Int64 // ns spent handling messages on the pump
+	dispatched   atomic.Int64 // messages pumped
+
+	stopped chan struct{}
+}
+
+// NewNode wraps an endpoint; Start must be called to begin pumping.
+func NewNode(ep Endpoint) *Node {
+	n := &Node{
+		ep:      ep,
+		pending: make(map[uint64]*Call),
+		stopped: make(chan struct{}),
+	}
+	n.timeoutNanos.Store(int64(DefaultRPCTimeout))
+	return n
+}
+
+// SetTimeout overrides the RPC timeout (tests use short ones). Safe to
+// call while RPCs are in flight; it applies to calls issued afterwards.
+func (n *Node) SetTimeout(d time.Duration) { n.timeoutNanos.Store(int64(d)) }
+
+// ID returns the node's cluster address.
+func (n *Node) ID() wire.ServerID { return n.ep.LocalID() }
+
+// SetHandler installs the inbound-request handler.
+func (n *Node) SetHandler(h Handler) { n.handler.Store(&h) }
+
+// DispatchBusyNanos returns cumulative pump busy time.
+func (n *Node) DispatchBusyNanos() int64 { return n.dispatchBusy.Load() }
+
+// DispatchedMessages returns how many messages the pump has processed.
+func (n *Node) DispatchedMessages() int64 { return n.dispatched.Load() }
+
+// Start launches the dispatch pump.
+func (n *Node) Start() {
+	go n.pump()
+}
+
+// Close shuts the node down, failing every pending call.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	pending := n.pending
+	n.pending = make(map[uint64]*Call)
+	n.mu.Unlock()
+	_ = n.ep.Close()
+	for _, c := range pending {
+		c.fail(ErrClosed)
+	}
+}
+
+func (n *Node) pump() {
+	defer close(n.stopped)
+	for m := range n.ep.Inbound() {
+		start := time.Now()
+		if m.IsResponse {
+			n.complete(m)
+		} else if h := n.handler.Load(); h != nil {
+			(*h)(m)
+		}
+		n.dispatchBusy.Add(time.Since(start).Nanoseconds())
+		n.dispatched.Add(1)
+	}
+	// Endpoint closed (crash): fail everything outstanding.
+	n.mu.Lock()
+	pending := n.pending
+	n.pending = make(map[uint64]*Call)
+	n.closed = true
+	n.mu.Unlock()
+	for _, c := range pending {
+		c.fail(ErrClosed)
+	}
+}
+
+func (n *Node) complete(m *wire.Message) {
+	n.mu.Lock()
+	c, ok := n.pending[m.ID]
+	if ok {
+		delete(n.pending, m.ID)
+	}
+	n.mu.Unlock()
+	if ok {
+		c.Reply = m.Body
+		close(c.Done)
+	}
+}
+
+func (c *Call) fail(err error) {
+	c.Err = err
+	select {
+	case <-c.Done:
+	default:
+		close(c.Done)
+	}
+}
+
+// Go issues an asynchronous RPC and returns its future. A send failure
+// completes the future immediately with the error; otherwise a timer
+// guards against a silently dead peer.
+func (n *Node) Go(to wire.ServerID, pri wire.Priority, body wire.Payload) *Call {
+	c := &Call{Done: make(chan struct{}), node: n, id: n.nextID.Add(1)}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Err = ErrClosed
+		close(c.Done)
+		return c
+	}
+	n.pending[c.id] = c
+	n.mu.Unlock()
+
+	m := &wire.Message{
+		ID:       c.id,
+		From:     n.ep.LocalID(),
+		To:       to,
+		Op:       body.Op(),
+		Priority: pri,
+		Body:     body,
+	}
+	if err := n.ep.Send(m); err != nil {
+		n.abandon(c, err)
+		return c
+	}
+	// Timeout guard.
+	timer := time.AfterFunc(time.Duration(n.timeoutNanos.Load()), func() { n.abandon(c, ErrTimeout) })
+	go func() {
+		<-c.Done
+		timer.Stop()
+	}()
+	return c
+}
+
+func (n *Node) abandon(c *Call, err error) {
+	n.mu.Lock()
+	_, ok := n.pending[c.id]
+	if ok {
+		delete(n.pending, c.id)
+	}
+	n.mu.Unlock()
+	if ok {
+		c.fail(err)
+	}
+}
+
+// Call issues an RPC and waits for the response.
+func (n *Node) Call(to wire.ServerID, pri wire.Priority, body wire.Payload) (wire.Payload, error) {
+	return n.Go(to, pri, body).Wait()
+}
+
+// Reply sends a response to a request message.
+func (n *Node) Reply(req *wire.Message, body wire.Payload) {
+	m := &wire.Message{
+		ID:         req.ID,
+		From:       n.ep.LocalID(),
+		To:         req.From,
+		Op:         req.Op,
+		IsResponse: true,
+		Priority:   req.Priority,
+		Body:       body,
+	}
+	_ = n.ep.Send(m)
+}

@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rocksteady/internal/wire"
+)
+
+// maxFrame bounds a single TCP frame (64 MB covers whole-segment
+// replication).
+const maxFrame = 64 << 20
+
+// TCPConfig configures a TCP endpoint. Peer addresses are static: cluster
+// membership is fixed at deployment, as in the paper's testbed.
+type TCPConfig struct {
+	// ID is this endpoint's cluster address.
+	ID wire.ServerID
+	// ListenAddr is the local listen address ("host:port").
+	ListenAddr string
+	// Peers maps every other cluster member to its address.
+	Peers map[wire.ServerID]string
+	// QueueLen is the inbound queue depth.
+	QueueLen int
+}
+
+// TCP is a real-network Endpoint: messages are marshalled with the wire
+// encoding and framed with a 4-byte length prefix. Each peer pair uses one
+// unidirectional connection per direction, dialed lazily.
+type TCP struct {
+	cfg      TCPConfig
+	listener net.Listener
+	inbound  chan *wire.Message
+
+	mu       sync.Mutex
+	conns    map[wire.ServerID]*peerConn
+	learned  map[wire.ServerID]*peerConn // return routes via accepted conns
+	accepted map[net.Conn]*peerConn
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ Endpoint = (*TCP)(nil)
+
+// NewTCP starts listening and returns the endpoint.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		listener: ln,
+		inbound:  make(chan *wire.Message, cfg.QueueLen),
+		conns:    make(map[wire.ServerID]*peerConn),
+		learned:  make(map[wire.ServerID]*peerConn),
+		accepted: make(map[net.Conn]*peerConn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// SetPeers replaces the peer address map: a bootstrap helper for tests
+// and tools that learn addresses only after everyone listened on ":0".
+func (t *TCP) SetPeers(peers map[wire.ServerID]string) {
+	t.mu.Lock()
+	t.cfg.Peers = peers
+	t.mu.Unlock()
+}
+
+// LocalID implements Endpoint.
+func (t *TCP) LocalID() wire.ServerID { return t.cfg.ID }
+
+// Inbound implements Endpoint.
+func (t *TCP) Inbound() <-chan *wire.Message { return t.inbound }
+
+// Close implements Endpoint.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[wire.ServerID]*peerConn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+	_ = t.listener.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	// Accepted connections must be closed too or their readLoops would
+	// block in ReadFull forever and Close would never return.
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbound)
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = &peerConn{conn: conn}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		pc := t.accepted[conn]
+		delete(t.accepted, conn)
+		for id, l := range t.learned {
+			if l == pc {
+				delete(t.learned, id)
+			}
+		}
+		t.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := wire.UnmarshalMessage(buf)
+		if err != nil {
+			continue // skip malformed frames; sender bug, not fatal
+		}
+		// Learn the return route: replies to this sender can reuse the
+		// inbound connection, so clients (which dial in from ephemeral
+		// addresses) need no static peer entry on servers.
+		t.mu.Lock()
+		if pc := t.accepted[conn]; pc != nil {
+			t.learned[m.From] = pc
+		}
+		t.mu.Unlock()
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		func() {
+			defer func() { recover() }() // racing Close
+			t.inbound <- m
+		}()
+	}
+}
+
+// peerConn pairs a dialed connection with its write lock so slow writes
+// to one peer never stall sends to others.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Send implements Endpoint: marshal, frame, write on the (lazily dialed)
+// connection to the destination. Writes to one destination serialize on
+// that connection's lock, preserving per-destination ordering.
+func (t *TCP) Send(m *wire.Message) error {
+	m.From = t.cfg.ID
+	pc, err := t.connTo(m.To)
+	if err != nil {
+		return err
+	}
+	payload := wire.MarshalMessage(m)
+	frame := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+
+	pc.mu.Lock()
+	_, werr := pc.conn.Write(frame)
+	pc.mu.Unlock()
+	if werr != nil {
+		t.mu.Lock()
+		if t.conns[m.To] == pc {
+			delete(t.conns, m.To) // redial next time
+		}
+		t.mu.Unlock()
+		return ErrUnreachable
+	}
+	return nil
+}
+
+func (t *TCP) connTo(id wire.ServerID) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[id]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.cfg.Peers[id]
+	if !ok {
+		// No static route: fall back to a learned return route.
+		if pc, ok := t.learned[id]; ok {
+			t.mu.Unlock()
+			return pc, nil
+		}
+		t.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	t.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, ErrUnreachable
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[id]; ok {
+		c.Close()
+		return existing, nil
+	}
+	pc := &peerConn{conn: c}
+	t.conns[id] = pc
+	// Read from dialed connections too: peers without a static route back
+	// (ephemeral clients) reply on the connection the request arrived on.
+	t.wg.Add(1)
+	go t.readLoop(c)
+	return pc, nil
+}

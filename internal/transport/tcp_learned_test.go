@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+func TestTCPLearnedReturnRoute(t *testing.T) {
+	srv, err := NewTCP(TCPConfig{ID: 2, ListenAddr: "127.0.0.1:0"}) // no peers at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewTCP(TCPConfig{ID: 900, ListenAddr: "127.0.0.1:0",
+		Peers: map[wire.ServerID]string{2: srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	server := NewNode(srv)
+	server.SetHandler(func(m *wire.Message) {
+		server.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
+	})
+	server.Start()
+	client := NewNode(cli)
+	client.SetTimeout(2 * time.Second)
+	client.Start()
+	reply, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{})
+	if err != nil {
+		t.Fatalf("learned-route reply failed: %v", err)
+	}
+	if reply.(*wire.PingResponse).Status != wire.StatusOK {
+		t.Fatal("bad reply")
+	}
+}

@@ -1,0 +1,41 @@
+// Package transport moves wire.Messages between cluster members. Two
+// implementations exist: an in-process Fabric that models a kernel-bypass
+// datacenter network (per-NIC serialization bandwidth, optional propagation
+// delay, zero-copy payload handoff), and a TCP transport for real
+// multi-process deployments.
+//
+// On top of either, Node provides the RPC layer: request/response matching,
+// timeouts, and the per-server dispatch pump whose busy time substitutes
+// for the paper's dispatch-core utilization.
+package transport
+
+import (
+	"errors"
+
+	"rocksteady/internal/wire"
+)
+
+// ErrUnreachable reports a send to a dead or unknown destination.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrTimeout reports an RPC that received no response in time.
+var ErrTimeout = errors.New("transport: rpc timeout")
+
+// Endpoint is one attachment point to a network: it can send messages to
+// peers and exposes the stream of messages addressed to it.
+type Endpoint interface {
+	// LocalID returns the endpoint's cluster address.
+	LocalID() wire.ServerID
+	// Send transmits asynchronously; delivery order is preserved per
+	// destination. Send may apply backpressure (block) when the model's
+	// NIC queues are full.
+	Send(m *wire.Message) error
+	// Inbound returns the channel of received messages; closed when the
+	// endpoint closes.
+	Inbound() <-chan *wire.Message
+	// Close detaches the endpoint.
+	Close() error
+}

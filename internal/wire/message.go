@@ -1,0 +1,700 @@
+package wire
+
+// Payload is the interface implemented by every request and response body.
+// WireSize reports the encoded byte size, which drives the in-process
+// fabric's bandwidth/serialization model and Pull byte budgets.
+type Payload interface {
+	WireSize() int
+	Op() Op
+}
+
+// Message is the RPC envelope carried by transports.
+type Message struct {
+	// ID matches a response to its request; unique per sender.
+	ID uint64
+	// From and To address cluster members.
+	From, To ServerID
+	// Op names the operation; set on both request and response.
+	Op Op
+	// IsResponse distinguishes the two directions.
+	IsResponse bool
+	// Priority tells the receiving dispatch loop how to schedule the
+	// request. Ignored on responses (responses complete pending futures).
+	Priority Priority
+	// Body holds the typed payload.
+	Body Payload
+}
+
+// WireSize returns the total encoded message size: a fixed envelope header
+// plus the body.
+func (m *Message) WireSize() int {
+	const envelope = 28 // id(8) + from(8) + to(8) + op(1) + flags(1) + priority(1) + bodyLen hint(1)
+	if m.Body == nil {
+		return envelope
+	}
+	return envelope + m.Body.WireSize()
+}
+
+func byteSliceSize(b []byte) int { return 4 + len(b) }
+func byteSlicesSize(bs [][]byte) int {
+	n := 4
+	for _, b := range bs {
+		n += byteSliceSize(b)
+	}
+	return n
+}
+func recordsSize(rs []Record) int {
+	n := 4
+	for i := range rs {
+		n += rs[i].WireSize()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+// ReadRequest fetches one object by primary key.
+type ReadRequest struct {
+	Table TableID
+	Key   []byte
+}
+
+func (r *ReadRequest) WireSize() int { return 8 + byteSliceSize(r.Key) }
+func (r *ReadRequest) Op() Op        { return OpRead }
+
+// ReadResponse returns the object, or a status explaining its absence.
+type ReadResponse struct {
+	Status  Status
+	Version uint64
+	Value   []byte
+	// RetryAfterMicros accompanies StatusRetry: the target's estimate of
+	// when the record will have arrived via PriorityPull.
+	RetryAfterMicros uint32
+}
+
+func (r *ReadResponse) WireSize() int { return 13 + byteSliceSize(r.Value) }
+func (r *ReadResponse) Op() Op        { return OpRead }
+
+// WriteRequest stores one object.
+type WriteRequest struct {
+	Table TableID
+	Key   []byte
+	Value []byte
+}
+
+func (r *WriteRequest) WireSize() int { return 8 + byteSliceSize(r.Key) + byteSliceSize(r.Value) }
+func (r *WriteRequest) Op() Op        { return OpWrite }
+
+// WriteResponse acknowledges a durable write.
+type WriteResponse struct {
+	Status  Status
+	Version uint64
+}
+
+func (r *WriteResponse) WireSize() int { return 9 }
+func (r *WriteResponse) Op() Op        { return OpWrite }
+
+// DeleteRequest removes one object.
+type DeleteRequest struct {
+	Table TableID
+	Key   []byte
+}
+
+func (r *DeleteRequest) WireSize() int { return 8 + byteSliceSize(r.Key) }
+func (r *DeleteRequest) Op() Op        { return OpDelete }
+
+// DeleteResponse acknowledges a durable delete.
+type DeleteResponse struct {
+	Status  Status
+	Version uint64
+}
+
+func (r *DeleteResponse) WireSize() int { return 9 }
+func (r *DeleteResponse) Op() Op        { return OpDelete }
+
+// MultiGetRequest fetches several objects of one table from one server
+// with a single RPC (the locality optimization Figure 3 measures).
+type MultiGetRequest struct {
+	Table TableID
+	Keys  [][]byte
+}
+
+func (r *MultiGetRequest) WireSize() int { return 8 + byteSlicesSize(r.Keys) }
+func (r *MultiGetRequest) Op() Op        { return OpMultiGet }
+
+// MultiGetResponse returns per-key results aligned with the request keys.
+type MultiGetResponse struct {
+	Status   Status
+	Statuses []Status
+	Versions []uint64
+	Values   [][]byte
+	// RetryAfterMicros accompanies StatusRetry entries during migration.
+	RetryAfterMicros uint32
+}
+
+func (r *MultiGetResponse) WireSize() int {
+	return 9 + len(r.Statuses) + 8*len(r.Versions) + byteSlicesSize(r.Values)
+}
+func (r *MultiGetResponse) Op() Op { return OpMultiGet }
+
+// MultiPutRequest writes several objects of one table on one server.
+type MultiPutRequest struct {
+	Table  TableID
+	Keys   [][]byte
+	Values [][]byte
+}
+
+func (r *MultiPutRequest) WireSize() int {
+	return 8 + byteSlicesSize(r.Keys) + byteSlicesSize(r.Values)
+}
+func (r *MultiPutRequest) Op() Op { return OpMultiPut }
+
+// MultiPutResponse returns per-key statuses aligned with the request keys.
+type MultiPutResponse struct {
+	Status   Status
+	Statuses []Status
+	Versions []uint64
+}
+
+func (r *MultiPutResponse) WireSize() int { return 5 + len(r.Statuses) + 8*len(r.Versions) }
+func (r *MultiPutResponse) Op() Op        { return OpMultiPut }
+
+// MultiGetByHashRequest fetches objects by primary key hash; used by index
+// scans, which learn hashes (not keys) from indexlets (Figure 2).
+type MultiGetByHashRequest struct {
+	Table  TableID
+	Hashes []uint64
+}
+
+func (r *MultiGetByHashRequest) WireSize() int { return 12 + 8*len(r.Hashes) }
+func (r *MultiGetByHashRequest) Op() Op        { return OpMultiGetByHash }
+
+// MultiGetByHashResponse returns the records found for the hashes. Records
+// whose hash is absent are omitted.
+type MultiGetByHashResponse struct {
+	Status           Status
+	Records          []Record
+	RetryAfterMicros uint32
+}
+
+func (r *MultiGetByHashResponse) WireSize() int { return 9 + recordsSize(r.Records) }
+func (r *MultiGetByHashResponse) Op() Op        { return OpMultiGetByHash }
+
+// ---------------------------------------------------------------------------
+// Index path
+// ---------------------------------------------------------------------------
+
+// IndexLookupRequest asks an indexlet for the primary-key hashes of records
+// whose secondary key falls in [Begin, End), at most Limit of them.
+type IndexLookupRequest struct {
+	Index IndexID
+	Begin []byte
+	End   []byte
+	Limit uint32
+}
+
+func (r *IndexLookupRequest) WireSize() int {
+	return 12 + byteSliceSize(r.Begin) + byteSliceSize(r.End)
+}
+func (r *IndexLookupRequest) Op() Op { return OpIndexLookup }
+
+// IndexLookupResponse returns matching primary-key hashes in secondary-key
+// order.
+type IndexLookupResponse struct {
+	Status Status
+	Hashes []uint64
+}
+
+func (r *IndexLookupResponse) WireSize() int { return 5 + 8*len(r.Hashes) }
+func (r *IndexLookupResponse) Op() Op        { return OpIndexLookup }
+
+// IndexInsertRequest adds (SecondaryKey -> KeyHash) to an indexlet; issued
+// by masters applying writes to indexed tables.
+type IndexInsertRequest struct {
+	Index        IndexID
+	SecondaryKey []byte
+	KeyHash      uint64
+}
+
+func (r *IndexInsertRequest) WireSize() int { return 16 + byteSliceSize(r.SecondaryKey) }
+func (r *IndexInsertRequest) Op() Op        { return OpIndexInsert }
+
+// IndexInsertResponse acknowledges the insert.
+type IndexInsertResponse struct{ Status Status }
+
+func (r *IndexInsertResponse) WireSize() int { return 1 }
+func (r *IndexInsertResponse) Op() Op        { return OpIndexInsert }
+
+// IndexRemoveRequest removes (SecondaryKey -> KeyHash) from an indexlet.
+type IndexRemoveRequest struct {
+	Index        IndexID
+	SecondaryKey []byte
+	KeyHash      uint64
+}
+
+func (r *IndexRemoveRequest) WireSize() int { return 16 + byteSliceSize(r.SecondaryKey) }
+func (r *IndexRemoveRequest) Op() Op        { return OpIndexRemove }
+
+// IndexRemoveResponse acknowledges the removal.
+type IndexRemoveResponse struct{ Status Status }
+
+func (r *IndexRemoveResponse) WireSize() int { return 1 }
+func (r *IndexRemoveResponse) Op() Op        { return OpIndexRemove }
+
+// ---------------------------------------------------------------------------
+// Migration path
+// ---------------------------------------------------------------------------
+
+// MigrateTabletRequest starts a live migration. It is sent by a client to
+// the *target*, which drives the entire migration (§3).
+type MigrateTabletRequest struct {
+	Table  TableID
+	Range  HashRange
+	Source ServerID
+}
+
+func (r *MigrateTabletRequest) WireSize() int { return 32 }
+func (r *MigrateTabletRequest) Op() Op        { return OpMigrateTablet }
+
+// MigrateTabletResponse acknowledges that migration started (not that it
+// finished): ownership has already moved to the target.
+type MigrateTabletResponse struct{ Status Status }
+
+func (r *MigrateTabletResponse) WireSize() int { return 1 }
+func (r *MigrateTabletResponse) Op() Op        { return OpMigrateTablet }
+
+// PrepareMigrationRequest is sent target -> source before ownership moves.
+// The source marks the tablet immutable-and-migrating and returns what the
+// target needs to partition the source's hash space.
+type PrepareMigrationRequest struct {
+	Table TableID
+	Range HashRange
+	// Target tells the source where its records are going so it can
+	// redirect (it otherwise keeps no migration state).
+	Target ServerID
+	// KeepServing leaves the source serving client operations for the
+	// range (the source-retains-ownership baseline of §4.2); the normal
+	// protocol marks the range immutable-and-migrating instead.
+	KeepServing bool
+}
+
+func (r *PrepareMigrationRequest) WireSize() int { return 33 }
+func (r *PrepareMigrationRequest) Op() Op        { return OpPrepareMigration }
+
+// PrepareMigrationResponse carries the source-side facts a migration
+// manager needs.
+type PrepareMigrationResponse struct {
+	Status Status
+	// VersionCeiling is one above the highest object version the source
+	// ever assigned in the tablet; the target issues new versions above it
+	// so replay can always resolve newest-wins without coordination.
+	VersionCeiling uint64
+	// NumBuckets is the source hash table's bucket count; Pull resume
+	// tokens index into it.
+	NumBuckets uint64
+	// RecordCount and ByteCount estimate migration size for progress and
+	// benchmarks.
+	RecordCount uint64
+	ByteCount   uint64
+	// HeadSegment is the source's newest segment ID at preparation time;
+	// the retain-ownership baseline's final catch-up scans only segments
+	// from here on.
+	HeadSegment uint64
+}
+
+func (r *PrepareMigrationResponse) WireSize() int { return 41 }
+func (r *PrepareMigrationResponse) Op() Op        { return OpPrepareMigration }
+
+// PullRequest fetches the next batch of records from one partition of the
+// source's key-hash space. The source is stateless: ResumeToken encodes the
+// next hash-table bucket to scan, so concurrent Pulls over disjoint
+// partitions proceed without shared state (§3.1.1).
+type PullRequest struct {
+	Table TableID
+	Range HashRange
+	// ResumeToken is the bucket index to resume from within Range; zero
+	// means the first bucket of the partition.
+	ResumeToken uint64
+	// ByteBudget bounds the response size (paper default 20 KB) so source
+	// workers are never occupied for long.
+	ByteBudget uint32
+}
+
+func (r *PullRequest) WireSize() int { return 36 }
+func (r *PullRequest) Op() Op        { return OpPull }
+
+// PullResponse returns a batch of records and the token to continue from.
+type PullResponse struct {
+	Status      Status
+	Records     []Record
+	ResumeToken uint64
+	// Done reports that the partition is exhausted.
+	Done bool
+}
+
+func (r *PullResponse) WireSize() int { return 10 + recordsSize(r.Records) }
+func (r *PullResponse) Op() Op        { return OpPull }
+
+// PriorityPullRequest fetches specific records by key hash, on demand, at
+// the highest priority (§3.3). Requests are batched and de-duplicated by
+// the target's migration manager.
+type PriorityPullRequest struct {
+	Table  TableID
+	Hashes []uint64
+}
+
+func (r *PriorityPullRequest) WireSize() int { return 12 + 8*len(r.Hashes) }
+func (r *PriorityPullRequest) Op() Op        { return OpPriorityPull }
+
+// PriorityPullResponse returns the requested records. Hashes with no
+// record on the source are reported in Missing so the target can answer
+// StatusNoSuchKey instead of retrying forever.
+type PriorityPullResponse struct {
+	Status  Status
+	Records []Record
+	Missing []uint64
+}
+
+func (r *PriorityPullResponse) WireSize() int { return 5 + recordsSize(r.Records) + 8*len(r.Missing) }
+func (r *PriorityPullResponse) Op() Op        { return OpPriorityPull }
+
+// DropTabletRequest tells the source migration finished: it may free the
+// tablet's records (the log cleaner reclaims the space).
+type DropTabletRequest struct {
+	Table TableID
+	Range HashRange
+}
+
+func (r *DropTabletRequest) WireSize() int { return 24 }
+func (r *DropTabletRequest) Op() Op        { return OpDropTablet }
+
+// DropTabletResponse acknowledges the drop.
+type DropTabletResponse struct{ Status Status }
+
+func (r *DropTabletResponse) WireSize() int { return 1 }
+func (r *DropTabletResponse) Op() Op        { return OpDropTablet }
+
+// ReplayRecordsRequest pushes a batch of records source -> target: the
+// data path of the *pre-existing* RAMCloud migration Figure 5 dissects.
+// The flags select which phases the target performs, reproducing the
+// figure's Skip-* series.
+type ReplayRecordsRequest struct {
+	Table   TableID
+	Records []Record
+	// Replicate re-replicates the replayed records synchronously.
+	Replicate bool
+	// SkipReplay makes the target drop the batch after receipt (measures
+	// source-side work plus transmission only).
+	SkipReplay bool
+}
+
+func (r *ReplayRecordsRequest) WireSize() int { return 10 + recordsSize(r.Records) }
+func (r *ReplayRecordsRequest) Op() Op        { return OpReplayRecords }
+
+// ReplayRecordsResponse acknowledges a pushed batch.
+type ReplayRecordsResponse struct{ Status Status }
+
+func (r *ReplayRecordsResponse) WireSize() int { return 1 }
+func (r *ReplayRecordsResponse) Op() Op        { return OpReplayRecords }
+
+// PullTailRequest fetches records of a range written to log segments with
+// IDs above AfterSegment: the delta catch-up used when ownership stays at
+// the source during migration (§4.2's "Source Retains Ownership" variant).
+type PullTailRequest struct {
+	Table TableID
+	Range HashRange
+	// AfterSegment restricts the scan to segments with larger IDs.
+	AfterSegment uint64
+}
+
+func (r *PullTailRequest) WireSize() int { return 32 }
+func (r *PullTailRequest) Op() Op        { return OpPullTail }
+
+// PullTailResponse returns the live tail records of the range.
+type PullTailResponse struct {
+	Status  Status
+	Records []Record
+}
+
+func (r *PullTailResponse) WireSize() int { return 5 + recordsSize(r.Records) }
+func (r *PullTailResponse) Op() Op        { return OpPullTail }
+
+// ---------------------------------------------------------------------------
+// Replication path
+// ---------------------------------------------------------------------------
+
+// ReplicateSegmentRequest appends log data to a backup's replica of a
+// segment. Offset allows incremental tail replication.
+type ReplicateSegmentRequest struct {
+	Master    ServerID
+	LogID     uint64 // distinguishes main log and side logs
+	SegmentID uint64
+	Offset    uint32
+	Data      []byte
+	// Close seals the segment replica.
+	Close bool
+}
+
+func (r *ReplicateSegmentRequest) WireSize() int { return 29 + byteSliceSize(r.Data) }
+func (r *ReplicateSegmentRequest) Op() Op        { return OpReplicateSegment }
+
+// ReplicateSegmentResponse acknowledges durable receipt.
+type ReplicateSegmentResponse struct{ Status Status }
+
+func (r *ReplicateSegmentResponse) WireSize() int { return 1 }
+func (r *ReplicateSegmentResponse) Op() Op        { return OpReplicateSegment }
+
+// GetBackupSegmentsRequest asks a backup for every sealed or open segment
+// replica it holds for a crashed master; used by recovery.
+type GetBackupSegmentsRequest struct {
+	Master ServerID
+	// MinLogOffset restricts the reply to log data at or after the offset
+	// (used to replay only a lineage dependency's log tail).
+	MinLogOffset uint64
+}
+
+func (r *GetBackupSegmentsRequest) WireSize() int { return 16 }
+func (r *GetBackupSegmentsRequest) Op() Op        { return OpGetBackupSegments }
+
+// BackupSegment is one replicated segment returned for recovery.
+type BackupSegment struct {
+	LogID     uint64
+	SegmentID uint64
+	Data      []byte
+}
+
+// GetBackupSegmentsResponse returns the replicas.
+type GetBackupSegmentsResponse struct {
+	Status   Status
+	Segments []BackupSegment
+}
+
+func (r *GetBackupSegmentsResponse) WireSize() int {
+	n := 5
+	for i := range r.Segments {
+		n += 16 + byteSliceSize(r.Segments[i].Data)
+	}
+	return n
+}
+func (r *GetBackupSegmentsResponse) Op() Op { return OpGetBackupSegments }
+
+// TakeTabletsRequest instructs a recovery master to assume ownership of
+// tablets recovered from a crashed server and to replay the supplied
+// records into its log.
+type TakeTabletsRequest struct {
+	Table   TableID
+	Range   HashRange
+	Records []Record
+	// VersionCeiling carries the crashed master's version high-water mark.
+	VersionCeiling uint64
+}
+
+func (r *TakeTabletsRequest) WireSize() int { return 32 + recordsSize(r.Records) }
+func (r *TakeTabletsRequest) Op() Op        { return OpTakeTablets }
+
+// TakeTabletsResponse acknowledges recovery replay.
+type TakeTabletsResponse struct{ Status Status }
+
+func (r *TakeTabletsResponse) WireSize() int { return 1 }
+func (r *TakeTabletsResponse) Op() Op        { return OpTakeTablets }
+
+// ---------------------------------------------------------------------------
+// Coordinator control path
+// ---------------------------------------------------------------------------
+
+// Tablet is one entry of the coordinator's tablet map.
+type Tablet struct {
+	Table  TableID
+	Range  HashRange
+	Master ServerID
+}
+
+// Indexlet is one range-partition of a secondary index.
+type Indexlet struct {
+	Index IndexID
+	Table TableID
+	// Begin (inclusive) and End (exclusive) bound the secondary keys this
+	// indexlet covers; an empty End means +infinity.
+	Begin  []byte
+	End    []byte
+	Master ServerID
+}
+
+// GetTabletMapRequest fetches the current tablet and indexlet maps.
+type GetTabletMapRequest struct{}
+
+func (r *GetTabletMapRequest) WireSize() int { return 0 }
+func (r *GetTabletMapRequest) Op() Op        { return OpGetTabletMap }
+
+// GetTabletMapResponse returns the maps and their version.
+type GetTabletMapResponse struct {
+	Status    Status
+	Version   uint64
+	Tablets   []Tablet
+	Indexlets []Indexlet
+}
+
+func (r *GetTabletMapResponse) WireSize() int {
+	n := 9 + 32*len(r.Tablets)
+	for i := range r.Indexlets {
+		n += 24 + byteSliceSize(r.Indexlets[i].Begin) + byteSliceSize(r.Indexlets[i].End)
+	}
+	return n
+}
+func (r *GetTabletMapResponse) Op() Op { return OpGetTabletMap }
+
+// CreateTableRequest creates a table spread over the given servers (one
+// tablet per server, hash space split evenly).
+type CreateTableRequest struct {
+	Name    string
+	Servers []ServerID
+}
+
+func (r *CreateTableRequest) WireSize() int { return 4 + len(r.Name) + 4 + 8*len(r.Servers) }
+func (r *CreateTableRequest) Op() Op        { return OpCreateTable }
+
+// CreateTableResponse returns the new table's ID.
+type CreateTableResponse struct {
+	Status Status
+	Table  TableID
+}
+
+func (r *CreateTableResponse) WireSize() int { return 9 }
+func (r *CreateTableResponse) Op() Op        { return OpCreateTable }
+
+// CreateIndexRequest creates a secondary index over a table, range
+// partitioned into one indexlet per entry of Splits+1 servers.
+type CreateIndexRequest struct {
+	Table   TableID
+	Servers []ServerID
+	// SplitKeys are the secondary-key boundaries between indexlets; must
+	// have len(Servers)-1 entries.
+	SplitKeys [][]byte
+}
+
+func (r *CreateIndexRequest) WireSize() int {
+	return 12 + 8*len(r.Servers) + byteSlicesSize(r.SplitKeys)
+}
+func (r *CreateIndexRequest) Op() Op { return OpCreateIndex }
+
+// CreateIndexResponse returns the new index's ID.
+type CreateIndexResponse struct {
+	Status Status
+	Index  IndexID
+}
+
+func (r *CreateIndexResponse) WireSize() int { return 9 }
+func (r *CreateIndexResponse) Op() Op        { return OpCreateIndex }
+
+// MigrateStartRequest is sent target -> coordinator at migration start: it
+// atomically transfers tablet ownership to the target and registers the
+// lineage dependency of the source on the target's recovery-log tail
+// (§3.4).
+type MigrateStartRequest struct {
+	Table  TableID
+	Range  HashRange
+	Source ServerID
+	Target ServerID
+	// TargetLogOffset is the offset into the target's recovery log where
+	// the dependency starts.
+	TargetLogOffset uint64
+}
+
+func (r *MigrateStartRequest) WireSize() int { return 48 }
+func (r *MigrateStartRequest) Op() Op        { return OpMigrateStart }
+
+// MigrateStartResponse acknowledges the ownership transfer.
+type MigrateStartResponse struct {
+	Status     Status
+	MapVersion uint64
+}
+
+func (r *MigrateStartResponse) WireSize() int { return 9 }
+func (r *MigrateStartResponse) Op() Op        { return OpMigrateStart }
+
+// MigrateDoneRequest drops the lineage dependency once side logs are
+// replicated and committed.
+type MigrateDoneRequest struct {
+	Table  TableID
+	Range  HashRange
+	Source ServerID
+	Target ServerID
+}
+
+func (r *MigrateDoneRequest) WireSize() int { return 40 }
+func (r *MigrateDoneRequest) Op() Op        { return OpMigrateDone }
+
+// MigrateDoneResponse acknowledges dependency removal.
+type MigrateDoneResponse struct{ Status Status }
+
+func (r *MigrateDoneResponse) WireSize() int { return 1 }
+func (r *MigrateDoneResponse) Op() Op        { return OpMigrateDone }
+
+// SplitTabletRequest splits the tablet containing SplitAt into two tablets
+// at the boundary; both halves stay on the current master. Splitting is
+// the cheap, in-place precursor to migration (§3: "first splitting a
+// tablet, then issuing a MigrateTablet").
+type SplitTabletRequest struct {
+	Table   TableID
+	SplitAt uint64 // first hash of the upper tablet
+}
+
+func (r *SplitTabletRequest) WireSize() int { return 16 }
+func (r *SplitTabletRequest) Op() Op        { return OpSplitTablet }
+
+// SplitTabletResponse acknowledges the split.
+type SplitTabletResponse struct {
+	Status     Status
+	MapVersion uint64
+}
+
+func (r *SplitTabletResponse) WireSize() int { return 9 }
+func (r *SplitTabletResponse) Op() Op        { return OpSplitTablet }
+
+// EnlistServerRequest registers a server with the coordinator.
+type EnlistServerRequest struct {
+	Server ServerID
+}
+
+func (r *EnlistServerRequest) WireSize() int { return 8 }
+func (r *EnlistServerRequest) Op() Op        { return OpEnlistServer }
+
+// EnlistServerResponse acknowledges enlistment.
+type EnlistServerResponse struct{ Status Status }
+
+func (r *EnlistServerResponse) WireSize() int { return 1 }
+func (r *EnlistServerResponse) Op() Op        { return OpEnlistServer }
+
+// ReportCrashRequest notifies the coordinator of a suspected server crash,
+// triggering recovery.
+type ReportCrashRequest struct {
+	Server ServerID
+}
+
+func (r *ReportCrashRequest) WireSize() int { return 8 }
+func (r *ReportCrashRequest) Op() Op        { return OpReportCrash }
+
+// ReportCrashResponse acknowledges that recovery was initiated (or that
+// the server was already recovered).
+type ReportCrashResponse struct{ Status Status }
+
+func (r *ReportCrashResponse) WireSize() int { return 1 }
+func (r *ReportCrashResponse) Op() Op        { return OpReportCrash }
+
+// ---------------------------------------------------------------------------
+// Health
+// ---------------------------------------------------------------------------
+
+// PingRequest checks liveness.
+type PingRequest struct{}
+
+func (r *PingRequest) WireSize() int { return 0 }
+func (r *PingRequest) Op() Op        { return OpPing }
+
+// PingResponse answers a ping.
+type PingResponse struct{ Status Status }
+
+func (r *PingResponse) WireSize() int { return 1 }
+func (r *PingResponse) Op() Op        { return OpPing }

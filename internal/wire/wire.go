@@ -1,0 +1,311 @@
+// Package wire defines the RPC vocabulary of the store: operation codes,
+// status codes, identifier types, priorities, the message envelope, and a
+// compact binary encoding used both by the TCP transport and by the
+// in-process fabric's bandwidth model.
+//
+// Every request and response is a typed struct implementing Payload. The
+// in-process fabric passes these structs by pointer (modelling zero-copy
+// DMA); the TCP transport marshals them with the encoder in marshal.go.
+package wire
+
+import (
+	"fmt"
+)
+
+// ServerID uniquely identifies a server (master+backup pair) or the
+// coordinator within a cluster.
+type ServerID uint64
+
+// CoordinatorID is the well-known address of the cluster coordinator.
+const CoordinatorID ServerID = 1
+
+func (s ServerID) String() string {
+	if s == CoordinatorID {
+		return "coord"
+	}
+	return fmt.Sprintf("server-%d", uint64(s))
+}
+
+// TableID identifies a table. Tables are unordered key-value namespaces
+// partitioned into tablets by key hash.
+type TableID uint64
+
+// IndexID identifies a secondary index over a table.
+type IndexID uint64
+
+// Op enumerates RPC operations.
+type Op uint8
+
+// RPC operation codes.
+const (
+	OpInvalid Op = iota
+
+	// Data path.
+	OpRead
+	OpWrite
+	OpDelete
+	OpMultiGet
+	OpMultiPut
+	OpMultiGetByHash
+
+	// Index path.
+	OpIndexLookup
+	OpIndexInsert
+	OpIndexRemove
+
+	// Migration path (Rocksteady).
+	OpMigrateTablet // client -> target: start a migration
+	OpPrepareMigration
+	OpPull
+	OpPriorityPull
+	OpDropTablet
+
+	// Replication path.
+	OpReplicateSegment
+
+	// Coordinator control path.
+	OpGetTabletMap
+	OpCreateTable
+	OpCreateIndex
+	OpMigrateStart // target -> coordinator: transfer ownership, register lineage
+	OpMigrateDone  // target -> coordinator: drop lineage dependency
+	OpSplitTablet
+	OpEnlistServer
+	OpReportCrash
+
+	// Baseline migration path (§2.3's pre-existing mechanism and the
+	// source-retains-ownership variant of §4.2).
+	OpReplayRecords
+	OpPullTail
+
+	// Recovery path.
+	OpGetBackupSegments
+	OpTakeTablets
+
+	// Health.
+	OpPing
+)
+
+var opNames = map[Op]string{
+	OpInvalid:           "Invalid",
+	OpRead:              "Read",
+	OpWrite:             "Write",
+	OpDelete:            "Delete",
+	OpMultiGet:          "MultiGet",
+	OpMultiPut:          "MultiPut",
+	OpMultiGetByHash:    "MultiGetByHash",
+	OpIndexLookup:       "IndexLookup",
+	OpIndexInsert:       "IndexInsert",
+	OpIndexRemove:       "IndexRemove",
+	OpMigrateTablet:     "MigrateTablet",
+	OpPrepareMigration:  "PrepareMigration",
+	OpPull:              "Pull",
+	OpPriorityPull:      "PriorityPull",
+	OpDropTablet:        "DropTablet",
+	OpReplicateSegment:  "ReplicateSegment",
+	OpGetTabletMap:      "GetTabletMap",
+	OpCreateTable:       "CreateTable",
+	OpCreateIndex:       "CreateIndex",
+	OpMigrateStart:      "MigrateStart",
+	OpMigrateDone:       "MigrateDone",
+	OpSplitTablet:       "SplitTablet",
+	OpEnlistServer:      "EnlistServer",
+	OpReportCrash:       "ReportCrash",
+	OpReplayRecords:     "ReplayRecords",
+	OpPullTail:          "PullTail",
+	OpGetBackupSegments: "GetBackupSegments",
+	OpTakeTablets:       "TakeTablets",
+	OpPing:              "Ping",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status enumerates RPC outcome codes.
+type Status uint8
+
+// RPC status codes.
+const (
+	StatusOK Status = iota
+	// StatusWrongServer means the addressed server does not own the tablet
+	// (any more); the client must refresh its tablet map from the
+	// coordinator and retry.
+	StatusWrongServer
+	// StatusRetry asks the client to retry the same server after
+	// RetryAfterMicros; returned for reads of not-yet-migrated records.
+	StatusRetry
+	// StatusNoSuchKey is returned for reads of absent keys.
+	StatusNoSuchKey
+	StatusNoSuchTable
+	StatusNoSuchIndex
+	// StatusMigrationInProgress rejects conflicting migration requests.
+	StatusMigrationInProgress
+	// StatusServerDown marks an RPC that could not be delivered because the
+	// destination crashed; synthesized by the transport.
+	StatusServerDown
+	StatusInternalError
+)
+
+var statusNames = map[Status]string{
+	StatusOK:                  "OK",
+	StatusWrongServer:         "WrongServer",
+	StatusRetry:               "Retry",
+	StatusNoSuchKey:           "NoSuchKey",
+	StatusNoSuchTable:         "NoSuchTable",
+	StatusNoSuchIndex:         "NoSuchIndex",
+	StatusMigrationInProgress: "MigrationInProgress",
+	StatusServerDown:          "ServerDown",
+	StatusInternalError:       "InternalError",
+}
+
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Error converts a non-OK status into an error; StatusOK yields nil.
+func (s Status) Error() error {
+	if s == StatusOK {
+		return nil
+	}
+	return StatusError{s}
+}
+
+// StatusError wraps a Status as an error.
+type StatusError struct{ Status Status }
+
+func (e StatusError) Error() string { return "rpc status: " + e.Status.String() }
+
+// Priority orders task execution at a server. Lower numeric value runs
+// first. The assignment follows the paper: PriorityPulls run above client
+// traffic because they represent the target servicing a client request of
+// its own (§3.1.1); bulk migration Pulls run below everything.
+type Priority uint8
+
+// Task priorities, highest first.
+const (
+	PriorityPriorityPull Priority = iota
+	PriorityForeground            // normal client reads/writes
+	PriorityReplication
+	PriorityBackground // bulk Pulls, replay, cleaning
+	NumPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityPriorityPull:
+		return "prioritypull"
+	case PriorityForeground:
+		return "foreground"
+	case PriorityReplication:
+		return "replication"
+	case PriorityBackground:
+		return "background"
+	}
+	return fmt.Sprintf("Priority(%d)", uint8(p))
+}
+
+// HashKey returns the 64-bit hash of a primary key: FNV-1a followed by a
+// murmur3-style finalizer. The finalizer matters: hash-table buckets and
+// tablet boundaries use the *top* bits, which raw FNV-1a barely perturbs
+// for short sequential keys. Key hashes place records in tablets, in
+// hash-table buckets, and identify records in secondary indexes and
+// PriorityPulls.
+func HashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	for _, b := range key {
+		x ^= uint64(b)
+		x *= prime64
+	}
+	// fmix64 from MurmurHash3: full avalanche into the high bits.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// HashRange is an inclusive range [Start, End] of key-hash space. A tablet
+// owns one HashRange of one table.
+type HashRange struct {
+	Start uint64
+	End   uint64
+}
+
+// FullRange spans the entire 64-bit hash space.
+func FullRange() HashRange { return HashRange{Start: 0, End: ^uint64(0)} }
+
+// Contains reports whether h falls within the range.
+func (r HashRange) Contains(h uint64) bool { return h >= r.Start && h <= r.End }
+
+// ContainsRange reports whether other is fully contained in r.
+func (r HashRange) ContainsRange(other HashRange) bool {
+	return other.Start >= r.Start && other.End <= r.End
+}
+
+// Overlaps reports whether the two ranges intersect.
+func (r HashRange) Overlaps(other HashRange) bool {
+	return r.Start <= other.End && other.Start <= r.End
+}
+
+// Split divides the range into n near-equal contiguous pieces. n must be
+// at least 1; fewer pieces are returned when the range has fewer than n
+// distinct values.
+func (r HashRange) Split(n int) []HashRange {
+	if n < 1 {
+		panic("wire: HashRange.Split with n < 1")
+	}
+	span := r.End - r.Start // may be 2^64-1; width per part computed carefully
+	if uint64(n) > span && span != ^uint64(0) {
+		n = int(span + 1)
+	}
+	parts := make([]HashRange, 0, n)
+	step := span/uint64(n) + 1
+	start := r.Start
+	for i := 0; i < n; i++ {
+		end := start + step - 1
+		if end < start || end > r.End || i == n-1 { // overflow or final part
+			end = r.End
+		}
+		parts = append(parts, HashRange{Start: start, End: end})
+		if end == r.End {
+			break
+		}
+		start = end + 1
+	}
+	return parts
+}
+
+func (r HashRange) String() string {
+	return fmt.Sprintf("[%016x,%016x]", r.Start, r.End)
+}
+
+// Record is the unit of data transfer: one object with its table, version,
+// primary key, and value. Batches of records flow in Pull and PriorityPull
+// responses and in replication traffic.
+type Record struct {
+	Table   TableID
+	Version uint64
+	Key     []byte
+	Value   []byte
+	// Tombstone marks a deletion: the key was removed at Version.
+	Tombstone bool
+}
+
+// WireSize returns the encoded size of the record, used by the fabric's
+// bandwidth model and by Pull byte budgets.
+func (r *Record) WireSize() int {
+	// table(8) + version(8) + flags(1) + keyLen(4) + valLen(4) + payload
+	return 25 + len(r.Key) + len(r.Value)
+}

@@ -1,0 +1,212 @@
+// Package ycsb generates the evaluation's workloads: YCSB-style key-value
+// request streams with Zipfian, uniform, and hotspot key-choosers. The
+// paper's main experiment is YCSB-B (95% reads, 5% writes, Zipfian
+// θ = 0.99) over 100 B values with 30 B keys (§4.1); Figure 12 sweeps
+// θ ∈ {0, 0.5, 0.99, 1.5}.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KeyChooser picks item indices in [0, n).
+type KeyChooser interface {
+	// Next returns the next item index using the supplied source.
+	Next(rng *rand.Rand) uint64
+	// N returns the item count.
+	N() uint64
+}
+
+// Uniform chooses keys uniformly.
+type Uniform struct{ n uint64 }
+
+// NewUniform creates a uniform chooser over n items.
+func NewUniform(n uint64) *Uniform { return &Uniform{n: n} }
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(rng *rand.Rand) uint64 { return uint64(rng.Int63n(int64(u.n))) }
+
+// N implements KeyChooser.
+func (u *Uniform) N() uint64 { return u.n }
+
+// Zipfian chooses keys with a Zipfian distribution of parameter theta,
+// using Gray et al.'s method for theta < 1 and a continuous power-law
+// inverse for theta >= 1 (the paper's θ = 1.5 case). Item 0 is hottest.
+type Zipfian struct {
+	n     uint64
+	theta float64
+
+	// Gray method state (theta < 1).
+	zetan, zeta2, alpha, eta float64
+}
+
+// NewZipfian creates a Zipfian chooser over n items with skew theta.
+// theta = 0 degenerates to uniform.
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta}
+	if theta < 1 {
+		z.zetan = zeta(n, theta)
+		z.zeta2 = zeta(2, theta)
+		z.alpha = 1 / (1 - theta)
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	}
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	if z.theta >= 1 {
+		// Continuous bounded power-law inverse CDF: a close approximation
+		// of the discrete Zipf for heavy skews.
+		u := rng.Float64()
+		oneMinus := 1 - z.theta // negative
+		x := math.Pow(1+u*(math.Pow(float64(z.n), oneMinus)-1), 1/oneMinus)
+		idx := uint64(x) - 1
+		if idx >= z.n {
+			idx = z.n - 1
+		}
+		return idx
+	}
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// N implements KeyChooser.
+func (z *Zipfian) N() uint64 { return z.n }
+
+// Hotspot sends hotFraction of accesses to the first hotItems items.
+type Hotspot struct {
+	n           uint64
+	hotItems    uint64
+	hotFraction float64
+}
+
+// NewHotspot creates a hotspot chooser.
+func NewHotspot(n, hotItems uint64, hotFraction float64) *Hotspot {
+	if hotItems > n {
+		hotItems = n
+	}
+	return &Hotspot{n: n, hotItems: hotItems, hotFraction: hotFraction}
+}
+
+// Next implements KeyChooser.
+func (h *Hotspot) Next(rng *rand.Rand) uint64 {
+	if rng.Float64() < h.hotFraction {
+		return uint64(rng.Int63n(int64(h.hotItems)))
+	}
+	return h.hotItems + uint64(rng.Int63n(int64(h.n-h.hotItems)))
+}
+
+// N implements KeyChooser.
+func (h *Hotspot) N() uint64 { return h.n }
+
+// OpKind is a generated operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Workload describes a YCSB-style request mix.
+type Workload struct {
+	// Name identifies the mix ("ycsb-b").
+	Name string
+	// ReadFraction of operations are reads; the rest are writes.
+	ReadFraction float64
+	// Chooser picks keys.
+	Chooser KeyChooser
+	// KeySize and ValueSize follow §4.1 (30 B keys, 100 B values).
+	KeySize   int
+	ValueSize int
+}
+
+// WorkloadB returns YCSB-B (95/5) over n items with the given Zipfian
+// skew, sized per the paper.
+func WorkloadB(n uint64, theta float64) *Workload {
+	return &Workload{
+		Name:         fmt.Sprintf("ycsb-b/θ=%.2f", theta),
+		ReadFraction: 0.95,
+		Chooser:      NewZipfian(n, theta),
+		KeySize:      30,
+		ValueSize:    100,
+	}
+}
+
+// WorkloadA returns YCSB-A (50/50).
+func WorkloadA(n uint64, theta float64) *Workload {
+	w := WorkloadB(n, theta)
+	w.Name = fmt.Sprintf("ycsb-a/θ=%.2f", theta)
+	w.ReadFraction = 0.5
+	return w
+}
+
+// WorkloadC returns YCSB-C (read-only).
+func WorkloadC(n uint64, theta float64) *Workload {
+	w := WorkloadB(n, theta)
+	w.Name = fmt.Sprintf("ycsb-c/θ=%.2f", theta)
+	w.ReadFraction = 1.0
+	return w
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Item uint64
+}
+
+// NextOp generates one operation.
+func (w *Workload) NextOp(rng *rand.Rand) Op {
+	kind := OpRead
+	if rng.Float64() >= w.ReadFraction {
+		kind = OpWrite
+	}
+	return Op{Kind: kind, Item: w.Chooser.Next(rng)}
+}
+
+// Key materializes the primary key for an item, padded to KeySize.
+func (w *Workload) Key(item uint64) []byte {
+	return KeyOf(item, w.KeySize)
+}
+
+// KeyOf formats an item index as a fixed-width key ("user<digits>...").
+func KeyOf(item uint64, size int) []byte {
+	key := make([]byte, size)
+	copy(key, "user")
+	for i := size - 1; i >= 4; i-- {
+		key[i] = byte('0' + item%10)
+		item /= 10
+	}
+	return key
+}
+
+// Value materializes a value of ValueSize derived from the item.
+func (w *Workload) Value(item uint64) []byte {
+	v := make([]byte, w.ValueSize)
+	for i := range v {
+		v[i] = byte('a' + (item+uint64(i))%26)
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := NewUniform(100)
+	counts := make([]int, 100)
+	for i := 0; i < 100_000; i++ {
+		v := u.Next(rng)
+		if v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("item %d count %d far from uniform 1000", i, c)
+		}
+	}
+	if u.N() != 100 {
+		t.Error("N mismatch")
+	}
+}
+
+func TestZipfianSkewOrdering(t *testing.T) {
+	// Higher theta must concentrate more mass on item 0.
+	const n = 10_000
+	const samples = 200_000
+	share := func(theta float64) float64 {
+		rng := rand.New(rand.NewSource(2))
+		z := NewZipfian(n, theta)
+		hot := 0
+		for i := 0; i < samples; i++ {
+			if z.Next(rng) == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / samples
+	}
+	s0 := share(0.01)
+	s5 := share(0.5)
+	s99 := share(0.99)
+	s15 := share(1.5)
+	if !(s0 < s5 && s5 < s99 && s99 < s15) {
+		t.Errorf("hot-item share not increasing with skew: %v %v %v %v", s0, s5, s99, s15)
+	}
+	if s15 < 0.25 {
+		t.Errorf("θ=1.5 hottest-item share %v; expected extreme skew", s15)
+	}
+}
+
+func TestZipfianBoundsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, theta := range []float64{0, 0.5, 0.99, 1.2, 1.5} {
+		z := NewZipfian(1000, theta)
+		for i := 0; i < 50_000; i++ {
+			if v := z.Next(rng); v >= 1000 {
+				t.Fatalf("theta=%v: out of range %d", theta, v)
+			}
+		}
+	}
+}
+
+func TestZipfianMatchesTheory(t *testing.T) {
+	// For theta=0.99, P(item 0) = 1/zeta(n, theta); check within 15%.
+	const n = 1000
+	theta := 0.99
+	z := NewZipfian(n, theta)
+	rng := rand.New(rand.NewSource(4))
+	hot := 0
+	const samples = 500_000
+	for i := 0; i < samples; i++ {
+		if z.Next(rng) == 0 {
+			hot++
+		}
+	}
+	want := 1 / zeta(n, theta)
+	got := float64(hot) / samples
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("P(0) = %v, theory %v", got, want)
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewHotspot(1000, 10, 0.9)
+	inHot := 0
+	for i := 0; i < 100_000; i++ {
+		v := h.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range %d", v)
+		}
+		if v < 10 {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / 100_000
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot fraction %v, want ~0.9", frac)
+	}
+	if NewHotspot(5, 10, 0.5).N() != 5 {
+		t.Error("hotItems must clamp to n")
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct {
+		w    *Workload
+		want float64
+	}{
+		{WorkloadA(100, 0.99), 0.5},
+		{WorkloadB(100, 0.99), 0.95},
+		{WorkloadC(100, 0.99), 1.0},
+	} {
+		reads := 0
+		const ops = 100_000
+		for i := 0; i < ops; i++ {
+			if tc.w.NextOp(rng).Kind == OpRead {
+				reads++
+			}
+		}
+		got := float64(reads) / ops
+		if math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("%s: read fraction %v, want %v", tc.w.Name, got, tc.want)
+		}
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	w := WorkloadB(100, 0.5)
+	k := w.Key(42)
+	if len(k) != 30 {
+		t.Fatalf("key size %d", len(k))
+	}
+	if string(k[:4]) != "user" {
+		t.Fatalf("key prefix %q", k[:4])
+	}
+	if string(k[len(k)-2:]) != "42" {
+		t.Fatalf("key suffix %q", k)
+	}
+	// Distinct items give distinct keys.
+	if string(w.Key(1)) == string(w.Key(2)) {
+		t.Fatal("key collision")
+	}
+	// Values sized right and deterministic.
+	if len(w.Value(7)) != 100 || string(w.Value(7)) != string(w.Value(7)) {
+		t.Fatal("value generation broken")
+	}
+}

@@ -1,0 +1,285 @@
+// Package rocksteady is a Go implementation of Rocksteady — the live
+// migration protocol for low-latency in-memory key-value storage from
+// "Rocksteady: Fast Migration for Low-latency In-memory Storage"
+// (Kulkarni et al., SOSP 2017) — together with the RAMCloud-style storage
+// system it runs on: log-structured in-memory storage with a cleaner,
+// a dispatch/worker scheduler, segment-replicated durability with fast
+// crash recovery, secondary indexes, and a coordinator.
+//
+// The package exposes the system's public API:
+//
+//	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 2})
+//	defer c.Close()
+//	cl, _ := c.Client()
+//	table, _ := cl.CreateTable("users", c.ServerIDs()...)
+//	_ = cl.Write(table, []byte("alice"), []byte("v1"))
+//	m, _ := c.Migrate(table, rocksteady.FullRange().Split(2)[1], 0, 1)
+//	res := m.Wait() // live migration: reads/writes keep working throughout
+//
+// Everything underneath lives in internal/ packages; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for the paper reproduction.
+package rocksteady
+
+import (
+	"time"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/cluster"
+	"rocksteady/internal/core"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// TableID identifies a table.
+type TableID = wire.TableID
+
+// IndexID identifies a secondary index.
+type IndexID = wire.IndexID
+
+// ServerID identifies a cluster member.
+type ServerID = wire.ServerID
+
+// HashRange is an inclusive range of 64-bit key-hash space; tablets and
+// migrations are defined over hash ranges.
+type HashRange = wire.HashRange
+
+// FullRange spans the whole key-hash space.
+func FullRange() HashRange { return wire.FullRange() }
+
+// HashKey returns the key hash used for tablet placement.
+func HashKey(key []byte) uint64 { return wire.HashKey(key) }
+
+// MigrationOptions tunes Rocksteady. The zero value is the paper's
+// configuration: 8 pull partitions, 20 KB pulls, 16-hash PriorityPull
+// batches, asynchronous batched PriorityPulls, deferred re-replication.
+type MigrationOptions struct {
+	// Partitions of the source hash space pulled concurrently.
+	Partitions int
+	// PullBytes per Pull RPC.
+	PullBytes int
+	// PriorityPullBatch caps key hashes per PriorityPull.
+	PriorityPullBatch int
+
+	// Evaluation baselines (see EXPERIMENTS.md):
+	DisablePriorityPulls   bool
+	SyncPriorityPulls      bool
+	SourceRetainsOwnership bool
+	SyncRereplication      bool
+	DisableSideLogs        bool
+}
+
+func (o MigrationOptions) internal() core.Options {
+	return core.Options{
+		Partitions:             o.Partitions,
+		PullBytes:              o.PullBytes,
+		PriorityPullBatch:      o.PriorityPullBatch,
+		DisablePriorityPulls:   o.DisablePriorityPulls,
+		SyncPriorityPulls:      o.SyncPriorityPulls,
+		SourceRetainsOwnership: o.SourceRetainsOwnership,
+		SyncRereplication:      o.SyncRereplication,
+		DisableSideLogs:        o.DisableSideLogs,
+	}
+}
+
+// NetworkConfig models the cluster network (an in-process fabric standing
+// in for a kernel-bypass datacenter network).
+type NetworkConfig struct {
+	// BandwidthBytesPerSec caps each server NIC's egress; 0 = unlimited.
+	// The paper's testbed: 5e9 (40 Gbps).
+	BandwidthBytesPerSec float64
+	// Latency adds propagation delay per message; 0 relies on the
+	// in-process hop (~1 µs, already kernel-bypass scale).
+	Latency time.Duration
+}
+
+// ClusterConfig sizes a cluster.
+type ClusterConfig struct {
+	// Servers in the cluster (each is a master + backup pair).
+	Servers int
+	// Workers per server (default 12, as in the paper).
+	Workers int
+	// SegmentSize of log segments (default 1 MB).
+	SegmentSize int
+	// HashTableCapacity hints each server's expected object count.
+	HashTableCapacity int
+	// ReplicationFactor for durability; 0 disables replication.
+	ReplicationFactor int
+	// BackupWriteBandwidth throttles backup writes (bytes/sec, 0 = off),
+	// modelling the paper's ~380 MB/s replication ceiling.
+	BackupWriteBandwidth float64
+	// Network models the fabric.
+	Network NetworkConfig
+	// Migration configures every server's migration manager.
+	Migration MigrationOptions
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	return &Cluster{inner: cluster.New(cluster.Config{
+		Servers:              cfg.Servers,
+		Workers:              cfg.Workers,
+		SegmentSize:          cfg.SegmentSize,
+		HashTableCapacity:    cfg.HashTableCapacity,
+		ReplicationFactor:    cfg.ReplicationFactor,
+		BackupWriteBandwidth: cfg.BackupWriteBandwidth,
+		Fabric: transport.FabricConfig{
+			BandwidthBytesPerSec: cfg.Network.BandwidthBytesPerSec,
+			Latency:              cfg.Network.Latency,
+		},
+		Migration: cfg.Migration.internal(),
+		Quiet:     true,
+	})}
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// ServerIDs lists the cluster's storage servers.
+func (c *Cluster) ServerIDs() []ServerID { return c.inner.ServerIDs() }
+
+// Client attaches a new client.
+func (c *Cluster) Client() (*Client, error) {
+	cl, err := c.inner.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: cl}, nil
+}
+
+// BulkLoad populates a table directly through storage, bypassing the RPC
+// path; use it to preload large experiments.
+func (c *Cluster) BulkLoad(table TableID, keys, values [][]byte) error {
+	return c.inner.BulkLoad(table, keys, values)
+}
+
+// Migrate starts a Rocksteady live migration of (table, rng) from the
+// source server index to the target server index. It returns immediately
+// after ownership transfers; the returned handle tracks the background
+// transfer.
+func (c *Cluster) Migrate(table TableID, rng HashRange, source, target int) (*Migration, error) {
+	g, err := c.inner.Migrate(table, rng, source, target)
+	if err != nil {
+		return nil, err
+	}
+	return &Migration{inner: g}, nil
+}
+
+// CrashServer kills a server abruptly (for recovery experiments); pair
+// with Client.ReportCrash.
+func (c *Cluster) CrashServer(i int) { c.inner.Crash(i) }
+
+// Migration is a handle on one live migration.
+type Migration struct {
+	inner *core.Migration
+}
+
+// Done is closed when the migration completes.
+func (m *Migration) Done() <-chan struct{} { return m.inner.Done() }
+
+// Wait blocks until completion and returns the result.
+func (m *Migration) Wait() MigrationResult {
+	r := m.inner.Wait()
+	return MigrationResult{
+		Records:          r.RecordsPulled,
+		Bytes:            r.BytesPulled,
+		PullRPCs:         r.PullRPCs,
+		PriorityPullRPCs: r.PriorityPullRPCs,
+		Started:          r.Started,
+		Finished:         r.Finished,
+		Err:              r.Err,
+	}
+}
+
+// MigrationResult summarizes a finished migration.
+type MigrationResult struct {
+	Records          int64
+	Bytes            int64
+	PullRPCs         int64
+	PriorityPullRPCs int64
+	Started          time.Time
+	Finished         time.Time
+	Err              error
+}
+
+// Duration returns the migration's wall time.
+func (r MigrationResult) Duration() time.Duration { return r.Finished.Sub(r.Started) }
+
+// RateMBps returns the effective transfer rate.
+func (r MigrationResult) RateMBps() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / d
+}
+
+// Client is an application client: tablet-map caching, redirect handling,
+// migration-aware retries.
+type Client struct {
+	inner *client.Client
+}
+
+// ErrNoSuchKey reports a read of an absent key.
+var ErrNoSuchKey = client.ErrNoSuchKey
+
+// Close releases the client.
+func (c *Client) Close() { c.inner.Close() }
+
+// CreateTable creates a table spread across the given servers.
+func (c *Client) CreateTable(name string, servers ...ServerID) (TableID, error) {
+	return c.inner.CreateTable(name, servers...)
+}
+
+// CreateIndex creates a secondary index over a table, range partitioned
+// across servers at the given secondary-key split points.
+func (c *Client) CreateIndex(table TableID, servers []ServerID, splitKeys [][]byte) (IndexID, error) {
+	return c.inner.CreateIndex(table, servers, splitKeys)
+}
+
+// Read fetches one object.
+func (c *Client) Read(table TableID, key []byte) ([]byte, error) {
+	return c.inner.Read(table, key)
+}
+
+// Write stores one object durably.
+func (c *Client) Write(table TableID, key, value []byte) error {
+	return c.inner.Write(table, key, value)
+}
+
+// Delete removes one object durably.
+func (c *Client) Delete(table TableID, key []byte) error {
+	return c.inner.Delete(table, key)
+}
+
+// MultiGet fetches several keys with per-server RPC grouping (the
+// locality optimization of the paper's Figure 3).
+func (c *Client) MultiGet(table TableID, keys [][]byte) ([][]byte, error) {
+	return c.inner.MultiGet(table, keys)
+}
+
+// MultiPut stores several objects with per-server grouping.
+func (c *Client) MultiPut(table TableID, keys, values [][]byte) error {
+	return c.inner.MultiPut(table, keys, values)
+}
+
+// IndexInsert adds (secondaryKey -> primaryKey) to an index.
+func (c *Client) IndexInsert(id IndexID, secondaryKey, primaryKey []byte) error {
+	return c.inner.IndexInsert(id, secondaryKey, primaryKey)
+}
+
+// ScanResult is one index-scan hit.
+type ScanResult = client.ScanResult
+
+// IndexScan returns up to limit records whose secondary keys lie in
+// [begin, end).
+func (c *Client) IndexScan(table TableID, id IndexID, begin, end []byte, limit int) ([]ScanResult, error) {
+	return c.inner.IndexScan(table, id, begin, end, limit)
+}
+
+// ReportCrash asks the coordinator to recover a dead server.
+func (c *Client) ReportCrash(id ServerID) error { return c.inner.ReportCrash(id) }

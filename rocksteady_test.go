@@ -1,0 +1,191 @@
+package rocksteady_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rocksteady"
+)
+
+// TestPublicAPIEndToEnd exercises the exported facade the README promises:
+// cluster bring-up, table creation, CRUD, bulk load, live migration, index
+// scans — everything a downstream adopter touches.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{
+		Servers:           2,
+		Workers:           2,
+		SegmentSize:       64 << 10,
+		HashTableCapacity: 1 << 14,
+		ReplicationFactor: 1,
+	})
+	defer c.Close()
+
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	table, err := cl.CreateTable("users", c.ServerIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(table, []byte("alice"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Read(table, []byte("alice"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("read: %q %v", v, err)
+	}
+	if _, err := cl.Read(table, []byte("missing")); err != rocksteady.ErrNoSuchKey {
+		t.Fatalf("missing: %v", err)
+	}
+
+	// Bulk load + migration.
+	var keys, values [][]byte
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("user-%05d", i)))
+		values = append(values, []byte(fmt.Sprintf("payload-%05d", i)))
+	}
+	if err := c.BulkLoad(table, keys, values); err != nil {
+		t.Fatal(err)
+	}
+	half := rocksteady.FullRange().Split(2)[1]
+	m, err := c.Migrate(table, half, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Wait()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Records == 0 || res.Bytes == 0 || res.Duration() <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	for i, k := range keys {
+		v, err := cl.Read(table, k)
+		if err != nil || string(v) != string(values[i]) {
+			t.Fatalf("post-migration read %s: %q %v", k, v, err)
+		}
+	}
+
+	// Index path.
+	idx, err := cl.CreateIndex(table, []rocksteady.ServerID{c.ServerIDs()[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.IndexInsert(idx, []byte("secondary"), keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := cl.IndexScan(table, idx, []byte("s"), []byte("t"), 5)
+	if err != nil || len(hits) != 1 || string(hits[0].Key) != string(keys[0]) {
+		t.Fatalf("index scan: %+v %v", hits, err)
+	}
+
+	// Multi-ops.
+	got, err := cl.MultiGet(table, [][]byte{keys[0], []byte("nope"), keys[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != string(values[0]) || got[1] != nil {
+		t.Fatalf("multiget: %q", got)
+	}
+	if err := cl.MultiPut(table, [][]byte{[]byte("mp")}, [][]byte{[]byte("mv")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIMigrationVariants checks the baseline knobs are reachable
+// through the facade.
+func TestPublicAPIMigrationVariants(t *testing.T) {
+	for _, opts := range []rocksteady.MigrationOptions{
+		{DisablePriorityPulls: true},
+		{SourceRetainsOwnership: true},
+		{Partitions: 2, PullBytes: 4096, PriorityPullBatch: 4},
+	} {
+		c := rocksteady.NewCluster(rocksteady.ClusterConfig{
+			Servers: 2, Workers: 2, SegmentSize: 64 << 10,
+			HashTableCapacity: 1 << 12, Migration: opts,
+		})
+		cl, err := c.Client()
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := cl.CreateTable("t", c.ServerIDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys, values [][]byte
+		for i := 0; i < 500; i++ {
+			keys = append(keys, []byte(fmt.Sprintf("k%04d", i)))
+			values = append(values, []byte("v"))
+		}
+		if err := c.BulkLoad(table, keys, values); err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Migrate(table, rocksteady.FullRange(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := m.Wait(); res.Err != nil {
+			t.Fatalf("%+v: %v", opts, res.Err)
+		}
+		for _, k := range keys {
+			if _, err := cl.Read(table, k); err != nil {
+				t.Fatalf("%+v: read %s: %v", opts, k, err)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestPublicAPICrashRecovery drives the recovery path through the facade.
+func TestPublicAPICrashRecovery(t *testing.T) {
+	c := rocksteady.NewCluster(rocksteady.ClusterConfig{
+		Servers: 3, Workers: 2, SegmentSize: 64 << 10,
+		HashTableCapacity: 1 << 12, ReplicationFactor: 2,
+	})
+	defer c.Close()
+	cl, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := cl.CreateTable("t", c.ServerIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := cl.Write(table, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashServer(0)
+	if err := cl.ReportCrash(c.ServerIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery is asynchronous; reads chase the map until it lands.
+	for i := 0; i < 200; i++ {
+		v, err := cl.Read(table, []byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != "v" {
+			t.Fatalf("read after crash: %q %v", v, err)
+		}
+	}
+}
+
+func TestHashRangeHelpers(t *testing.T) {
+	full := rocksteady.FullRange()
+	parts := full.Split(4)
+	if len(parts) != 4 || parts[0].Start != 0 || parts[3].End != ^uint64(0) {
+		t.Fatalf("split: %+v", parts)
+	}
+	h := rocksteady.HashKey([]byte("key"))
+	found := false
+	for _, p := range parts {
+		if p.Contains(h) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hash outside every partition")
+	}
+}
