@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build check test race vet bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the tier-1 gate: vet plus the full test suite under the race
+# detector.
+check: vet
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the RPC hot-path microbenchmarks with allocation reporting and
+# records the machine-readable results in BENCH_hotpath.json.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMarshalRoundtrip|BenchmarkTCPSend|BenchmarkPullPath' -benchmem -count=1 .
+	BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestHotpathBenchArtifact -count=1 .
+
+clean:
+	rm -f BENCH_hotpath.json
+	$(GO) clean

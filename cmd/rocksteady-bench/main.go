@@ -11,6 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"rocksteady/internal/bench"
@@ -29,8 +32,17 @@ func main() {
 		samplems    = flag.Int("samplems", 0, "timeline sampling interval in ms (default 1000)")
 		quick       = flag.Bool("quick", false, "small fast run (CI-sized)")
 		verbose     = flag.Bool("v", true, "print progress lines")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	p := bench.DefaultParams()
 	if *quick {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,8 +38,10 @@ func main() {
 		replication = flag.Int("replication", 0, "replication factor across peer backups (0 = off)")
 		segSize     = flag.Int("segment-size", 0, "log segment size in bytes (default 1 MiB)")
 		htCap       = flag.Int("hashtable-capacity", 0, "expected object count (default 1M)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	if *id == 0 || *listen == "" || *peersFlag == "" {
 		flag.Usage()
@@ -119,4 +123,18 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// startPprof serves the net/http/pprof handlers on addr (no-op when empty),
+// for profiling the RPC hot path of a live server.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
+	log.Printf("pprof listening on http://%s/debug/pprof/", addr)
 }

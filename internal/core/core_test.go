@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,8 @@ import (
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
 )
+
+var errTest = errors.New("test failure")
 
 func TestOptionsDefaults(t *testing.T) {
 	var o Options
@@ -149,5 +152,79 @@ func TestMigrationWaitAfterFailure(t *testing.T) {
 	}
 	if res.Table != 1 || res.Source != 99 {
 		t.Fatalf("result identity: %+v", res)
+	}
+}
+
+// TestCancelUnblocksPriorityPullDrain: cancellation must wake a drain that
+// is waiting while hashes are still queued (the loop exits on cancel with a
+// non-empty queue, so only the fail-side broadcast can release the waiter).
+func TestCancelUnblocksPriorityPullDrain(t *testing.T) {
+	m, _ := newManagerRig(t, Options{})
+	g := newMigration(m, 1, wire.FullRange(), 99)
+	g.ppMu.Lock()
+	g.ppQueued[42] = struct{}{} // stranded hash, no loop running
+	g.ppMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		g.drainPriorityPulls()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("drain returned with queued hashes and no cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	g.fail(errTest)
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not wake drainPriorityPulls")
+	}
+}
+
+// TestCancelUnblocksRun: in PriorityPull-only mode run() parks on the
+// cancellation channel; fail() must release it promptly (event-driven, no
+// polling).
+func TestCancelUnblocksRun(t *testing.T) {
+	m, _ := newManagerRig(t, Options{DisableBackgroundPulls: true})
+	g := newMigration(m, 1, wire.FullRange(), 99)
+	go g.run()
+	select {
+	case <-g.Done():
+		t.Fatal("run finished without cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	start := time.Now()
+	g.fail(errTest)
+	select {
+	case <-g.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not complete the migration")
+	}
+	if wait := time.Since(start); wait > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v; want immediate wakeup", wait)
+	}
+	if g.Result().Err == nil {
+		t.Fatal("failure not recorded")
+	}
+}
+
+// TestFailIdempotent: repeated failures keep the first error and close the
+// cancellation channel exactly once.
+func TestFailIdempotent(t *testing.T) {
+	m, _ := newManagerRig(t, Options{})
+	g := newMigration(m, 1, wire.FullRange(), 99)
+	g.fail(errTest)
+	g.fail(errors.New("second"))
+	g.fail(nil) // no-op
+	select {
+	case <-g.cancelCh:
+	default:
+		t.Fatal("cancelCh not closed")
+	}
+	if got := g.Result().Err; got != errTest {
+		t.Fatalf("recorded error %v, want first failure", got)
 	}
 }

@@ -31,10 +31,12 @@ type Migration struct {
 	sideLogPool chan *storage.SideLog
 	nextSideLog uint64
 
-	replayWG  sync.WaitGroup
-	cancelled atomic.Bool
-	failure   atomic.Pointer[error]
-	done      chan struct{}
+	replayWG   sync.WaitGroup
+	cancelled  atomic.Bool
+	cancelCh   chan struct{} // closed (once) by fail; event-driven cancellation
+	cancelOnce sync.Once
+	failure    atomic.Pointer[error]
+	done       chan struct{}
 
 	// PriorityPull state (§3.3): queued hashes accumulate while one batch
 	// is in flight; de-duplication guarantees the source never serves the
@@ -65,6 +67,7 @@ func newMigration(m *Manager, table wire.TableID, rng wire.HashRange, source wir
 		mgr:        m,
 		opts:       m.opts,
 		done:       make(chan struct{}),
+		cancelCh:   make(chan struct{}),
 		ppQueued:   make(map[uint64]struct{}),
 		ppInflight: make(map[uint64]struct{}),
 		ppMissing:  make(map[uint64]struct{}),
@@ -109,6 +112,12 @@ func (g *Migration) fail(err error) {
 	e := err
 	g.failure.CompareAndSwap(nil, &e)
 	g.cancelled.Store(true)
+	// Wake everything blocked on migration progress: run()'s cancellation
+	// wait, waitForWorkerCapacity's select, and drainPriorityPulls' cond.
+	g.cancelOnce.Do(func() { close(g.cancelCh) })
+	g.ppMu.Lock()
+	g.ppDrained.Broadcast()
+	g.ppMu.Unlock()
 }
 
 func (g *Migration) cancel(err error) { g.fail(err) }
@@ -174,7 +183,7 @@ func (g *Migration) run() {
 	if g.opts.DisableBackgroundPulls {
 		// PriorityPull-only mode (Figures 13/14): wait until cancelled or
 		// externally completed; there is no bulk transfer to finish.
-		<-g.doneViaCancel()
+		<-g.cancelCh
 		return
 	}
 	parts := g.Range.Split(g.opts.Partitions)
@@ -189,18 +198,6 @@ func (g *Migration) run() {
 	wg.Wait()
 	g.replayWG.Wait()
 	g.drainPriorityPulls()
-}
-
-// doneViaCancel returns a channel closed when the migration is cancelled.
-func (g *Migration) doneViaCancel() <-chan struct{} {
-	ch := make(chan struct{})
-	go func() {
-		for !g.cancelled.Load() {
-			time.Sleep(time.Millisecond)
-		}
-		close(ch)
-	}()
-	return ch
 }
 
 // pullPartition issues pipelined Pulls over one partition: the next Pull
@@ -235,7 +232,13 @@ func (g *Migration) pullPartition(p wire.HashRange) {
 			srv.Scheduler().Enqueue(wire.PriorityBackground, func() {
 				defer g.replayWG.Done()
 				g.replayRecords(records)
+				// The log copied every key and value during replay; the
+				// record slice goes back to the wire pool (consumer-side
+				// release — see DESIGN.md, Transport performance model).
+				wire.ReleaseRecordSlice(records)
 			})
+		} else {
+			wire.ReleaseRecordSlice(resp.Records)
 		}
 		token = resp.ResumeToken
 		if resp.Done {
@@ -246,12 +249,17 @@ func (g *Migration) pullPartition(p wire.HashRange) {
 
 // waitForWorkerCapacity holds off new Pulls while the target's workers are
 // saturated; Pulls resume when workers free up (§3.1.2's built-in flow
-// control).
+// control). Event-driven: blocks on the scheduler's capacity channel (and
+// the migration's cancellation channel) instead of spin-polling.
 func (g *Migration) waitForWorkerCapacity() {
 	sched := g.mgr.srv.Scheduler()
 	for !g.cancelled.Load() && sched.IdleWorkers() == 0 &&
 		sched.QueuedAt(wire.PriorityBackground) > sched.Workers() {
-		time.Sleep(20 * time.Microsecond)
+		select {
+		case <-sched.CapacityChanged():
+		case <-g.cancelCh:
+			return
+		}
 	}
 }
 
@@ -452,6 +460,9 @@ func (g *Migration) completeRetainOwnership() {
 			inRange = append(inRange, rec)
 		}
 	}
+	// inRange copied the Record structs (key/value bytes are shared and
+	// outlive the slice), so the pooled response slice can go back now.
+	wire.ReleaseRecordSlice(tail.Records)
 	g.tailRecords.Add(int64(len(inRange)))
 	if len(inRange) > 0 {
 		g.replayRecords(inRange)

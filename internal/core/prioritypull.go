@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"time"
 
 	"rocksteady/internal/wire"
 )
@@ -68,6 +67,7 @@ func (g *Migration) syncPriorityPull(hash uint64) (uint32, bool) {
 		g.priorityPullRecords.Add(int64(len(resp.Records)))
 		g.replayRecords(resp.Records)
 	}
+	wire.ReleaseRecordSlice(resp.Records)
 	if len(resp.Missing) > 0 {
 		g.ppMu.Lock()
 		for _, h := range resp.Missing {
@@ -136,6 +136,9 @@ func (g *Migration) priorityPullLoop() {
 				g.replayRecords(records)
 			})
 			<-done
+			wire.ReleaseRecordSlice(records)
+		} else {
+			wire.ReleaseRecordSlice(resp.Records)
 		}
 		g.ppMu.Lock()
 		for _, h := range resp.Missing {
@@ -157,23 +160,16 @@ func (g *Migration) clearInflight(batch []uint64) {
 }
 
 // drainPriorityPulls waits for the loop to go idle before the migration
-// epilogue (every client-visible promise resolved).
+// epilogue (every client-visible promise resolved). A single condition wait
+// covers both the active loop and straggler reads that queued hashes after
+// the loop exited: requestPriorityPull restarts the loop whenever it queues
+// a hash, and the loop broadcasts on every exit. Cancellation also wakes the
+// wait (fail broadcasts), so a cancelled migration with queued hashes never
+// hangs here.
 func (g *Migration) drainPriorityPulls() {
 	g.ppMu.Lock()
-	for g.ppActive {
+	for !g.cancelled.Load() && (g.ppActive || len(g.ppQueued) > 0) {
 		g.ppDrained.Wait()
 	}
 	g.ppMu.Unlock()
-	// Belt and braces: the loop may have been restarted by a straggler
-	// read between the Wait and the epilogue; those reads target records
-	// that bulk pulls already delivered, so an extra moment suffices.
-	for {
-		g.ppMu.Lock()
-		idle := !g.ppActive && len(g.ppQueued) == 0
-		g.ppMu.Unlock()
-		if idle {
-			return
-		}
-		time.Sleep(100 * time.Microsecond)
-	}
 }

@@ -40,6 +40,11 @@ type Scheduler struct {
 	started     atomic.Int64 // tasks started, per-priority below
 	perPriority [wire.NumPriorities]atomic.Int64
 
+	// capCh carries edge-triggered capacity wakeups: a token is deposited
+	// (non-blocking) whenever a worker frees up or a queue shrinks, so flow
+	// control can wait for capacity instead of spin-polling.
+	capCh chan struct{}
+
 	wg sync.WaitGroup
 }
 
@@ -49,7 +54,7 @@ func NewScheduler(workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{workers: workers}
+	s := &Scheduler{workers: workers, capCh: make(chan struct{}, 1)}
 	s.cond = sync.NewCond(&s.mu)
 	s.idleWorkers.Store(int32(workers))
 	s.wg.Add(workers)
@@ -83,6 +88,20 @@ func (s *Scheduler) Enqueue(p wire.Priority, t Task) {
 // manager uses this as built-in flow control: it issues no new Pull when
 // every worker is busy (§3.1.2).
 func (s *Scheduler) IdleWorkers() int { return int(s.idleWorkers.Load()) }
+
+// CapacityChanged returns a channel that receives a token whenever worker
+// capacity may have freed up (a task finished or left a queue). Waiters
+// must re-check their predicate after every receive: tokens are coalesced,
+// not one-per-event. This replaces spin-polling in the migration manager's
+// flow control.
+func (s *Scheduler) CapacityChanged() <-chan struct{} { return s.capCh }
+
+func (s *Scheduler) notifyCapacity() {
+	select {
+	case s.capCh <- struct{}{}:
+	default:
+	}
+}
 
 // QueuedTasks returns the number of tasks waiting (all priorities).
 func (s *Scheduler) QueuedTasks() int {
@@ -122,6 +141,7 @@ func (s *Scheduler) Close() {
 	s.queued = 0
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	s.notifyCapacity()
 	s.wg.Wait()
 }
 
@@ -155,11 +175,13 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		s.idleWorkers.Add(-1)
+		s.notifyCapacity() // a queue shrank: waiters re-check their predicate
 		start := time.Now()
 		task()
 		s.busyNanos.Add(time.Since(start).Nanoseconds())
 		s.started.Add(1)
 		s.perPriority[pri].Add(1)
 		s.idleWorkers.Add(1)
+		s.notifyCapacity()
 	}
 }

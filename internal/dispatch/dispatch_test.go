@@ -223,3 +223,65 @@ func TestSchedulerParallelism(t *testing.T) {
 		t.Fatalf("peak parallelism %d; want >= 4 on 8 workers", peak.Load())
 	}
 }
+
+// TestCapacityChanged verifies the event-driven flow-control wakeup: a
+// waiter parked on CapacityChanged is woken when a task completes, without
+// polling.
+func TestCapacityChanged(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+
+	// Saturate the single worker.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	s.Enqueue(wire.PriorityForeground, func() {
+		close(running)
+		<-release
+	})
+	<-running
+
+	// Drain any stale token so the next receive observes fresh capacity.
+	select {
+	case <-s.CapacityChanged():
+	default:
+	}
+
+	woke := make(chan struct{})
+	go func() {
+		<-s.CapacityChanged()
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		t.Fatal("woke before any capacity change")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no capacity wakeup after task completion")
+	}
+	if s.IdleWorkers() != 1 {
+		t.Fatalf("idle workers = %d", s.IdleWorkers())
+	}
+}
+
+// TestCapacityTokensCoalesce: the channel holds at most one token; many
+// completions while nobody listens must not block workers.
+func TestCapacityTokensCoalesce(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		s.Enqueue(wire.PriorityBackground, wg.Done)
+	}
+	wg.Wait() // would deadlock if notifyCapacity blocked
+	select {
+	case <-s.CapacityChanged():
+	default:
+		t.Fatal("no token pending after completions")
+	}
+}

@@ -397,15 +397,22 @@ func (s *Server) handle(m *wire.Message) {
 	case *wire.PrepareMigrationRequest:
 		s.node.Reply(m, s.handlePrepareMigration(req))
 	case *wire.PullRequest:
-		s.node.Reply(m, s.handlePull(req))
+		resp := s.handlePull(req)
+		s.node.Reply(m, resp)
+		s.recycleRecords(resp.Records)
 	case *wire.PriorityPullRequest:
-		s.node.Reply(m, s.handlePriorityPull(req))
+		resp := s.handlePriorityPull(req)
+		s.node.Reply(m, resp)
+		s.recycleRecords(resp.Records)
 	case *wire.DropTabletRequest:
 		s.node.Reply(m, s.handleDropTablet(req))
 	case *wire.ReplayRecordsRequest:
 		s.node.Reply(m, s.handleReplayRecords(req))
+		s.recycleRecords(req.Records)
 	case *wire.PullTailRequest:
-		s.node.Reply(m, s.handlePullTail(req))
+		resp := s.handlePullTail(req)
+		s.node.Reply(m, resp)
+		s.recycleRecords(resp.Records)
 	case *wire.MigrateTabletRequest:
 		status := wire.Status(wire.StatusInternalError)
 		if h := s.migrationHandler(); h != nil {
@@ -418,10 +425,22 @@ func (s *Server) handle(m *wire.Message) {
 		s.node.Reply(m, s.store.HandleGetSegments(req))
 	case *wire.TakeTabletsRequest:
 		s.node.Reply(m, s.handleTakeTablets(req))
+		s.recycleRecords(req.Records)
 	case *wire.PingRequest:
 		s.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
 	default:
 		// Unknown ops time out at the caller.
+	}
+}
+
+// recycleRecords returns a record slice to the wire pool when this node's
+// transport copies payloads during Send (TCP). Over the zero-copy fabric the
+// receiver owns the slice after the handoff, so the handler must not touch
+// it again (see transport.Copying and DESIGN.md, Transport performance
+// model).
+func (s *Server) recycleRecords(records []wire.Record) {
+	if s.node.SendCopies() {
+		wire.ReleaseRecordSlice(records)
 	}
 }
 
@@ -686,7 +705,9 @@ func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire
 
 func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
 	s.stats.PullsServed.Add(1)
-	resp := &wire.PullResponse{Status: wire.StatusOK}
+	// Pooled gather slice: recycled after Reply on copying transports, or by
+	// the receiving migration manager after replay on the zero-copy fabric.
+	resp := &wire.PullResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
 	budget := int(req.ByteBudget)
 	used := 0
 	next, done := s.ht.ScanRange(req.Table, req.Range, req.ResumeToken, func(ref storage.Ref) bool {
@@ -708,7 +729,7 @@ func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
 
 func (s *Server) handlePriorityPull(req *wire.PriorityPullRequest) *wire.PriorityPullResponse {
 	s.stats.PriorityPulls.Add(1)
-	resp := &wire.PriorityPullResponse{Status: wire.StatusOK}
+	resp := &wire.PriorityPullResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
 	var bytes int64
 	for _, hash := range req.Hashes {
 		refs := s.ht.GetByHash(req.Table, hash)
@@ -813,7 +834,7 @@ func (s *Server) handleReplayRecords(req *wire.ReplayRecordsRequest) *wire.Repla
 // source-retains-ownership variant hand over writes accepted during
 // migration.
 func (s *Server) handlePullTail(req *wire.PullTailRequest) *wire.PullTailResponse {
-	resp := &wire.PullTailResponse{Status: wire.StatusOK}
+	resp := &wire.PullTailResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
 	for _, seg := range s.log.Segments() {
 		if seg.ID <= req.AfterSegment {
 			continue

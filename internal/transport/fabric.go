@@ -162,6 +162,10 @@ func (p *Port) shutdown() {
 // SentMessages returns how many messages this port transmitted.
 func (p *Port) SentMessages() int64 { return p.sentMsgs.Load() }
 
+// SendCopies implements Copying: the fabric hands payload pointers to the
+// receiver (modelling zero-copy DMA), so the receiver owns them after Send.
+func (p *Port) SendCopies() bool { return false }
+
 // Send transmits m to m.To. With no bandwidth model configured this is a
 // direct channel handoff; otherwise the message passes through the egress
 // pacer first.

@@ -40,7 +40,8 @@ func (c *Call) Wait() (wire.Payload, error) {
 // goroutine is the server's *dispatch core*; its busy time is the
 // dispatch-load metric of Figures 3, 11, and 14.
 type Node struct {
-	ep Endpoint
+	ep         Endpoint
+	sendCopies bool
 	// timeoutNanos holds the RPC timeout; atomic because tests adjust it
 	// while calls are in flight.
 	timeoutNanos atomic.Int64
@@ -65,9 +66,17 @@ func NewNode(ep Endpoint) *Node {
 		pending: make(map[uint64]*Call),
 		stopped: make(chan struct{}),
 	}
+	if c, ok := ep.(Copying); ok {
+		n.sendCopies = c.SendCopies()
+	}
 	n.timeoutNanos.Store(int64(DefaultRPCTimeout))
 	return n
 }
+
+// SendCopies reports whether the underlying endpoint serializes messages
+// during Send (see Copying). Handlers use this to decide whether a pooled
+// response slice may be recycled right after Reply.
+func (n *Node) SendCopies() bool { return n.sendCopies }
 
 // SetTimeout overrides the RPC timeout (tests use short ones). Safe to
 // call while RPCs are in flight; it applies to calls issued afterwards.

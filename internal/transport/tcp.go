@@ -30,10 +30,18 @@ type TCPConfig struct {
 // TCP is a real-network Endpoint: messages are marshalled with the wire
 // encoding and framed with a 4-byte length prefix. Each peer pair uses one
 // unidirectional connection per direction, dialed lazily.
+//
+// The send path is allocation-free in steady state: frames are marshalled
+// into pooled buffers (header and payload in one buffer, no coalescing
+// copy) and queued on the peer connection, where the first sender through
+// becomes the writer and drains the queue with one scatter-gather writev
+// (net.Buffers) per batch — back-to-back small frames from concurrent
+// senders share a syscall.
 type TCP struct {
 	cfg      TCPConfig
 	listener net.Listener
 	inbound  chan *wire.Message
+	done     chan struct{} // closed by Close; unblocks readLoop deliveries
 
 	mu       sync.Mutex
 	conns    map[wire.ServerID]*peerConn
@@ -59,6 +67,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		cfg:      cfg,
 		listener: ln,
 		inbound:  make(chan *wire.Message, cfg.QueueLen),
+		done:     make(chan struct{}),
 		conns:    make(map[wire.ServerID]*peerConn),
 		learned:  make(map[wire.ServerID]*peerConn),
 		accepted: make(map[net.Conn]*peerConn),
@@ -85,6 +94,10 @@ func (t *TCP) LocalID() wire.ServerID { return t.cfg.ID }
 // Inbound implements Endpoint.
 func (t *TCP) Inbound() <-chan *wire.Message { return t.inbound }
 
+// SendCopies implements Copying: Send marshals the message, so the caller
+// may recycle payload memory as soon as Send returns.
+func (t *TCP) SendCopies() bool { return true }
+
 // Close implements Endpoint.
 func (t *TCP) Close() error {
 	t.mu.Lock()
@@ -100,6 +113,9 @@ func (t *TCP) Close() error {
 		accepted = append(accepted, c)
 	}
 	t.mu.Unlock()
+	// Unblock readLoops parked on a full inbound queue before closing their
+	// sockets, so Close never deadlocks against a slow consumer.
+	close(t.done)
 	_ = t.listener.Close()
 	for _, c := range conns {
 		_ = c.conn.Close()
@@ -127,7 +143,7 @@ func (t *TCP) acceptLoop() {
 			conn.Close()
 			return
 		}
-		t.accepted[conn] = &peerConn{conn: conn}
+		t.accepted[conn] = newPeerConn(conn)
 		t.mu.Unlock()
 		t.wg.Add(1)
 		go t.readLoop(conn)
@@ -153,64 +169,165 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
-		n := binary.LittleEndian.Uint32(hdr[:])
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
 		if n == 0 || n > maxFrame {
 			return
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(conn, buf); err != nil {
+		fb := wire.GetBuffer()
+		if cap(fb.B) < n {
+			fb.B = make([]byte, n)
+		} else {
+			fb.B = fb.B[:n]
+		}
+		if _, err := io.ReadFull(conn, fb.B); err != nil {
+			wire.ReleaseBuffer(fb)
 			return
 		}
-		m, err := wire.UnmarshalMessage(buf)
+		m, aliases, err := wire.UnmarshalMessageShared(fb.B)
 		if err != nil {
+			wire.ReleaseBuffer(fb)
 			continue // skip malformed frames; sender bug, not fatal
 		}
-		// Learn the return route: replies to this sender can reuse the
-		// inbound connection, so clients (which dial in from ephemeral
-		// addresses) need no static peer entry on servers.
+		if !aliases {
+			// Scalar-only body: nothing references the frame, recycle it
+			// now. Blob-bearing bodies pin the buffer and ride to GC with
+			// the message.
+			wire.ReleaseBuffer(fb)
+		}
+		// Learn the return route (replies to this sender can reuse the
+		// inbound connection, so clients dialing in from ephemeral
+		// addresses need no static peer entry) and check for shutdown in
+		// the same critical section.
 		t.mu.Lock()
 		if pc := t.accepted[conn]; pc != nil {
 			t.learned[m.From] = pc
 		}
-		t.mu.Unlock()
-		t.mu.Lock()
 		closed := t.closed
 		t.mu.Unlock()
 		if closed {
 			return
 		}
-		func() {
-			defer func() { recover() }() // racing Close
-			t.inbound <- m
-		}()
+		select {
+		case t.inbound <- m:
+		case <-t.done:
+			return
+		}
 	}
 }
 
-// peerConn pairs a dialed connection with its write lock so slow writes
-// to one peer never stall sends to others.
+// peerConn pairs a dialed connection with its write-coalescing queue. Slow
+// writes to one peer never stall sends to others, and concurrent senders to
+// the same peer share syscalls: the first sender through becomes the writer
+// and flushes everything queued behind it with one writev per pass.
 type peerConn struct {
 	mu   sync.Mutex
+	cond *sync.Cond
 	conn net.Conn
+
+	pending []*wire.Buffer // frames queued for the active writer
+	spare   []*wire.Buffer // recycled backing array for pending
+	iov     net.Buffers    // reusable scatter-gather vector
+	writing bool           // a writer goroutine is draining pending
+	enq     uint64         // frames ever queued
+	wrote   uint64         // frames ever written (or abandoned on error)
+	werr    error          // sticky write error; connection is dead
 }
 
-// Send implements Endpoint: marshal, frame, write on the (lazily dialed)
-// connection to the destination. Writes to one destination serialize on
-// that connection's lock, preserving per-destination ordering.
+func newPeerConn(conn net.Conn) *peerConn {
+	pc := &peerConn{conn: conn}
+	pc.cond = sync.NewCond(&pc.mu)
+	return pc
+}
+
+// writeFrame queues one framed message and returns once it has reached the
+// socket (or the connection failed). Ownership of fb transfers to
+// writeFrame: it is released to the wire pool after the write, never
+// before — a pooled buffer is never recycled while its frame is in flight.
+func (pc *peerConn) writeFrame(fb *wire.Buffer) error {
+	pc.mu.Lock()
+	if pc.werr != nil {
+		pc.mu.Unlock()
+		wire.ReleaseBuffer(fb)
+		return pc.werr
+	}
+	pc.pending = append(pc.pending, fb)
+	pc.enq++
+	seq := pc.enq
+	if pc.writing {
+		// A writer is active and will pick this frame up on its next pass;
+		// wait until it has hit the wire.
+		for pc.wrote < seq && pc.werr == nil {
+			pc.cond.Wait()
+		}
+		err := pc.werr
+		pc.mu.Unlock()
+		return err
+	}
+	pc.writing = true
+	for pc.werr == nil && len(pc.pending) > 0 {
+		batch := pc.pending
+		pc.pending = pc.spare[:0]
+		pc.spare = nil
+		pc.mu.Unlock()
+
+		// One writev for the whole batch: every frame queued since the
+		// last pass leaves in a single syscall. WriteTo consumes iov, so
+		// keep the full header in pc.iov to reuse its capacity.
+		iov := pc.iov[:0]
+		for _, b := range batch {
+			iov = append(iov, b.B)
+		}
+		pc.iov = iov
+		_, err := iov.WriteTo(pc.conn)
+		for i, b := range batch {
+			wire.ReleaseBuffer(b)
+			batch[i] = nil
+		}
+		for i := range pc.iov[:len(batch)] {
+			pc.iov[i] = nil
+		}
+
+		pc.mu.Lock()
+		pc.spare = batch[:0]
+		pc.wrote += uint64(len(batch))
+		if err != nil {
+			pc.werr = err
+		}
+		pc.cond.Broadcast()
+	}
+	if pc.werr != nil {
+		// Failed mid-drain: frames queued during the last write can never
+		// be sent; their waiters observe werr, so just recycle the buffers.
+		for i, b := range pc.pending {
+			wire.ReleaseBuffer(b)
+			pc.pending[i] = nil
+		}
+		pc.pending = pc.pending[:0]
+		pc.wrote = pc.enq
+	}
+	pc.writing = false
+	err := pc.werr
+	pc.mu.Unlock()
+	return err
+}
+
+// Send implements Endpoint: marshal into a pooled buffer (length prefix and
+// payload share one buffer — no second framing copy) and queue it on the
+// (lazily dialed) connection to the destination. Writes to one destination
+// serialize on that connection's queue, preserving per-destination
+// ordering; Send returns only after the frame is on the wire.
 func (t *TCP) Send(m *wire.Message) error {
 	m.From = t.cfg.ID
 	pc, err := t.connTo(m.To)
 	if err != nil {
 		return err
 	}
-	payload := wire.MarshalMessage(m)
-	frame := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	fb := wire.GetBuffer()
+	fb.B = append(fb.B, 0, 0, 0, 0)
+	fb.B = wire.AppendMessage(fb.B, m)
+	binary.LittleEndian.PutUint32(fb.B, uint32(len(fb.B)-4))
 
-	pc.mu.Lock()
-	_, werr := pc.conn.Write(frame)
-	pc.mu.Unlock()
-	if werr != nil {
+	if werr := pc.writeFrame(fb); werr != nil {
 		t.mu.Lock()
 		if t.conns[m.To] == pc {
 			delete(t.conns, m.To) // redial next time
@@ -256,7 +373,7 @@ func (t *TCP) connTo(id wire.ServerID) (*peerConn, error) {
 		c.Close()
 		return existing, nil
 	}
-	pc := &peerConn{conn: c}
+	pc := newPeerConn(c)
 	t.conns[id] = pc
 	// Read from dialed connections too: peers without a static route back
 	// (ephemeral clients) reply on the connection the request arrived on.

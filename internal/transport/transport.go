@@ -24,6 +24,16 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // ErrTimeout reports an RPC that received no response in time.
 var ErrTimeout = errors.New("transport: rpc timeout")
 
+// Copying is optionally implemented by endpoints to describe payload
+// ownership across Send. An endpoint whose SendCopies returns true
+// serializes the message inside Send and retains no reference to it
+// afterwards, so callers may recycle payload memory (pooled record slices)
+// as soon as Send returns. Zero-copy endpoints (the in-process fabric) hand
+// payload pointers to the receiver, which then owns them.
+type Copying interface {
+	SendCopies() bool
+}
+
 // Endpoint is one attachment point to a network: it can send messages to
 // peers and exposes the stream of messages addressed to it.
 type Endpoint interface {

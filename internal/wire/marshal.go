@@ -99,9 +99,10 @@ func (e *Encoder) Range(r HashRange) {
 // sticky: after the first failure every read returns zero values and Err
 // reports the failure.
 type Decoder struct {
-	buf []byte
-	off int
-	err error
+	buf     []byte
+	off     int
+	err     error
+	aliased bool
 }
 
 // NewDecoder returns a decoder reading from buf.
@@ -109,6 +110,13 @@ func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
+
+// Aliased reports whether any decoded value references the input buffer
+// (Blob and everything built on it are zero-copy). A caller that wants to
+// recycle the buffer may only do so when Aliased is false.
+func (d *Decoder) Aliased() bool { return d.aliased }
+
+func (d *Decoder) remaining() int { return len(d.buf) - d.off }
 
 func (d *Decoder) need(n int) bool {
 	if d.err != nil {
@@ -163,13 +171,16 @@ func (d *Decoder) Blob() []byte {
 	}
 	v := d.buf[d.off : d.off+n : d.off+n]
 	d.off += n
+	d.aliased = true
 	return v
 }
 
-// Blobs reads a count-prefixed sequence of blobs.
+// Blobs reads a count-prefixed sequence of blobs. The count is validated
+// against the minimum encoded size per element (a 4-byte length prefix) so
+// a corrupt count can never over-allocate.
 func (d *Decoder) Blobs() [][]byte {
 	n := int(d.U32())
-	if d.err != nil || n < 0 || n > len(d.buf) {
+	if d.err != nil || n < 0 || n*4 > d.remaining() {
 		if d.err == nil {
 			d.err = ErrTruncated
 		}
@@ -185,7 +196,7 @@ func (d *Decoder) Blobs() [][]byte {
 // U64s reads a count-prefixed sequence of uint64s.
 func (d *Decoder) U64s() []uint64 {
 	n := int(d.U32())
-	if d.err != nil || n < 0 || n*8 > len(d.buf)-d.off {
+	if d.err != nil || n < 0 || n*8 > d.remaining() {
 		if d.err == nil {
 			d.err = ErrTruncated
 		}
@@ -201,7 +212,7 @@ func (d *Decoder) U64s() []uint64 {
 // Statuses reads a count-prefixed sequence of status bytes.
 func (d *Decoder) Statuses() []Status {
 	n := int(d.U32())
-	if d.err != nil || n < 0 || n > len(d.buf)-d.off {
+	if d.err != nil || n < 0 || n > d.remaining() {
 		if d.err == nil {
 			d.err = ErrTruncated
 		}
@@ -225,16 +236,30 @@ func (d *Decoder) Record() Record {
 	}
 }
 
-// Records reads a count-prefixed sequence of records.
+// minRecordWire is the smallest possible encoded record: table(8) +
+// version(8) + tombstone(1) + two empty length-prefixed blobs (4+4).
+const minRecordWire = 25
+
+// Records reads a count-prefixed sequence of records into a pooled slice
+// (exact-capacity allocation when the batch outgrows the pool's cap). The
+// count is validated against the minimum encoded record size, so capacity
+// is sized right in one step and a corrupt count cannot over-allocate.
 func (d *Decoder) Records() []Record {
 	n := int(d.U32())
-	if d.err != nil || n < 0 || n > len(d.buf) {
+	if d.err != nil || n < 0 || n*minRecordWire > d.remaining() {
 		if d.err == nil {
 			d.err = ErrTruncated
 		}
 		return nil
 	}
-	out := make([]Record, 0, n)
+	if n == 0 {
+		return []Record{}
+	}
+	out := GetRecordSlice()
+	if cap(out) < n {
+		ReleaseRecordSlice(out)
+		out = make([]Record, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		out = append(out, d.Record())
 	}
@@ -244,21 +269,52 @@ func (d *Decoder) Records() []Record {
 // Range reads a HashRange.
 func (d *Decoder) Range() HashRange { return HashRange{Start: d.U64(), End: d.U64()} }
 
-// MarshalMessage encodes the full envelope and body.
-func MarshalMessage(m *Message) []byte {
-	e := NewEncoder(make([]byte, 0, m.WireSize()))
+// AppendMessage appends m's full wire encoding (envelope and body) to buf
+// and returns the extended slice. It grows buf at most once, to WireSize,
+// so marshalling into a warm pooled buffer performs zero allocations.
+func AppendMessage(buf []byte, m *Message) []byte {
+	if need := m.WireSize(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	e := Encoder{buf: buf}
 	e.U64(m.ID)
 	e.U64(uint64(m.From))
 	e.U64(uint64(m.To))
 	e.U8(uint8(m.Op))
 	e.Bool(m.IsResponse)
 	e.U8(uint8(m.Priority))
-	marshalBody(e, m.Body)
-	return e.Bytes()
+	marshalBody(&e, m.Body)
+	return e.buf
+}
+
+// MarshalMessage encodes the full envelope and body into a fresh buffer
+// owned by the caller.
+func MarshalMessage(m *Message) []byte {
+	return AppendMessage(make([]byte, 0, m.WireSize()), m)
+}
+
+// MarshalMessagePooled encodes the full envelope and body into a pooled
+// buffer. The caller owns the buffer until it calls ReleaseBuffer.
+func MarshalMessagePooled(m *Message) *Buffer {
+	b := GetBuffer()
+	b.B = AppendMessage(b.B, m)
+	return b
 }
 
 // UnmarshalMessage decodes a full envelope and body.
 func UnmarshalMessage(buf []byte) (*Message, error) {
+	m, _, err := UnmarshalMessageShared(buf)
+	return m, err
+}
+
+// UnmarshalMessageShared decodes a full envelope and body from buf, which
+// the caller may intend to recycle: the second result reports whether the
+// decoded message retains references into buf (blob-bearing bodies decode
+// zero-copy). Only when it is false may the caller reuse buf while the
+// message is live.
+func UnmarshalMessageShared(buf []byte) (*Message, bool, error) {
 	d := NewDecoder(buf)
 	m := &Message{
 		ID:         d.U64(),
@@ -269,17 +325,17 @@ func UnmarshalMessage(buf []byte) (*Message, error) {
 		Priority:   Priority(d.U8()),
 	}
 	if d.err != nil {
-		return nil, d.err
+		return nil, d.aliased, d.err
 	}
 	body, err := unmarshalBody(d, m.Op, m.IsResponse)
 	if err != nil {
-		return nil, err
+		return nil, d.aliased, err
 	}
 	m.Body = body
 	if d.err != nil {
-		return nil, d.err
+		return nil, d.aliased, d.err
 	}
-	return m, nil
+	return m, d.aliased, nil
 }
 
 func marshalBody(e *Encoder, p Payload) {
@@ -575,7 +631,8 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpGetBackupSegments:
 		resp := &GetBackupSegmentsResponse{Status: Status(d.U8())}
 		n := int(d.U32())
-		if d.err == nil && n >= 0 && n <= len(d.buf) {
+		// Minimum per segment: logID(8) + segmentID(8) + empty blob(4).
+		if d.err == nil && n >= 0 && n*20 <= d.remaining() {
 			resp.Segments = make([]BackupSegment, 0, n)
 			for i := 0; i < n; i++ {
 				resp.Segments = append(resp.Segments, BackupSegment{LogID: d.U64(), SegmentID: d.U64(), Data: d.Blob()})
@@ -593,7 +650,8 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpGetTabletMap:
 		resp := &GetTabletMapResponse{Status: Status(d.U8()), Version: d.U64()}
 		nt := int(d.U32())
-		if d.err != nil || nt < 0 || nt > len(d.buf) {
+		// Minimum per tablet: table(8) + range(16) + master(8).
+		if d.err != nil || nt < 0 || nt*32 > d.remaining() {
 			if d.err == nil {
 				d.err = ErrTruncated
 			}
@@ -604,7 +662,8 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 			resp.Tablets = append(resp.Tablets, Tablet{Table: TableID(d.U64()), Range: d.Range(), Master: ServerID(d.U64())})
 		}
 		ni := int(d.U32())
-		if d.err != nil || ni < 0 || ni > len(d.buf) {
+		// Minimum per indexlet: ids(24) + two empty blobs(8).
+		if d.err != nil || ni < 0 || ni*32 > d.remaining() {
 			if d.err == nil {
 				d.err = ErrTruncated
 			}

@@ -1,0 +1,101 @@
+package wire
+
+import "sync"
+
+// Pooling for the RPC hot path. Two resources dominate steady-state
+// allocation during migration: the byte buffers frames are marshalled into
+// (and read out of) and the []Record slices Pull-family responses carry.
+// Both are recycled here so a saturating migration allocates nothing per
+// message once warm.
+//
+// Ownership rules (see DESIGN.md "Transport performance model"):
+//
+//   - A *Buffer obtained from GetBuffer is owned by exactly one goroutine at
+//     a time. Whoever calls ReleaseBuffer must hold the only live reference;
+//     a buffer must never be released while a frame built from it is still
+//     queued for writing or while a decoded message aliasing it is live.
+//   - A record slice travels with the response that carries it: the RPC
+//     *consumer* (the migration replay path) releases it after the records
+//     have been copied into the log. Transports that marshal (TCP) copy the
+//     records during Send, so the *server* additionally recycles its
+//     response slices right after Reply; the zero-copy fabric instead hands
+//     the slice to the consumer, which returns it to the shared pool.
+
+const (
+	// maxPooledBuffer caps the capacity of buffers kept in the pool.
+	// Whole-segment replication frames (up to 64 MB) are handed to GC
+	// rather than pinning that much memory per pooled buffer.
+	maxPooledBuffer = 8 << 20
+
+	// maxPooledRecordCap caps the capacity of record slices kept in the
+	// pool, bounding worst-case pool residency to
+	// recordSlicePoolSize * maxPooledRecordCap * sizeof(Record).
+	maxPooledRecordCap = 1 << 10
+
+	recordSlicePoolSize = 128
+)
+
+// Buffer is a pooled, reusable byte buffer for marshalling and framing
+// messages. The indirection (rather than pooling []byte directly) keeps
+// Get/Release allocation-free: the same *Buffer pointer cycles through the
+// pool.
+type Buffer struct {
+	// B is the buffer contents; append to it freely. Get returns it with
+	// length zero and whatever capacity the previous user grew it to.
+	B []byte
+}
+
+var bufferPool = sync.Pool{
+	New: func() any { return &Buffer{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuffer returns a pooled buffer with len(b.B) == 0.
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// ReleaseBuffer returns b to the pool. The caller must not touch b (or any
+// slice of b.B) afterwards. Oversized buffers are dropped for GC.
+func ReleaseBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > maxPooledBuffer {
+		return
+	}
+	bufferPool.Put(b)
+}
+
+// recordSlices is a fixed-size free list rather than a sync.Pool: putting a
+// bare []Record into a sync.Pool boxes the slice header (one allocation per
+// Put), which would defeat the point on the zero-alloc path. A buffered
+// channel moves slice headers by value.
+var recordSlices = make(chan []Record, recordSlicePoolSize)
+
+// GetRecordSlice returns an empty record slice, reusing pooled capacity
+// when available.
+func GetRecordSlice() []Record {
+	select {
+	case rs := <-recordSlices:
+		return rs
+	default:
+		return make([]Record, 0, 64)
+	}
+}
+
+// ReleaseRecordSlice returns rs to the pool. Elements are cleared first so
+// a parked slice never pins log segments or frame buffers its records
+// aliased. Slices that grew past maxPooledRecordCap (and the shared empty
+// slice, cap 0) are dropped.
+func ReleaseRecordSlice(rs []Record) {
+	if cap(rs) == 0 || cap(rs) > maxPooledRecordCap {
+		return
+	}
+	rs = rs[:cap(rs)]
+	for i := range rs {
+		rs[i] = Record{}
+	}
+	select {
+	case recordSlices <- rs[:0]:
+	default:
+	}
+}
