@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: all build check test race vet bench clean
+.PHONY: all build check test race vet lint fuzz bench bins clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the tier-1 gate: vet plus the full test suite under the race
-# detector.
-check: vet
+# check is the tier-1 gate: vet, the repo's own static analyzers, and the
+# full test suite under the race detector.
+check: vet lint
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo-specific invariant analyzers (pool pairing, no
+# sleep-polling, no blocking sends under locks, no dropped hot-path errors).
+# Exit codes: 0 clean, 1 findings, 2 tool error.
+lint:
+	$(GO) run ./cmd/rocksteady-lint ./...
 
 test:
 	$(GO) test ./...
@@ -21,12 +27,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz gives each wire-protocol fuzz target a short budget on top of the
+# checked-in seed corpus; CI-friendly, not a soak.
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzMarshalRoundtrip -fuzztime 10s
+
 # bench runs the RPC hot-path microbenchmarks with allocation reporting and
 # records the machine-readable results in BENCH_hotpath.json.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMarshalRoundtrip|BenchmarkTCPSend|BenchmarkPullPath' -benchmem -count=1 .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestHotpathBenchArtifact -count=1 .
 
+bins:
+	$(GO) build -o bin/ ./cmd/...
+
 clean:
 	rm -f BENCH_hotpath.json
+	rm -rf bin
 	$(GO) clean
+	$(GO) clean -fuzzcache

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture packages under testdata carry expected-diagnostic comments:
+//
+//	stmt() // want:poolcheck "fragment of the message"
+//
+// want-next expects the diagnostic on the line below the comment (used when
+// the flagged line cannot carry a second comment, e.g. a lint:ignore
+// directive that is itself diagnosed as malformed).
+var wantRe = regexp.MustCompile(`//\s*want(-next)?:(\w+)\s+"([^"]*)"`)
+
+type wantDiag struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+}
+
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	loaderErr  error
+)
+
+// fixtureLoader shares one Loader (and its stdlib export-data cache) across
+// subtests.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		testLoader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return testLoader
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := nonTestGoFiles(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", abs)
+	}
+	return files
+}
+
+func parseWants(t *testing.T, files []string) []wantDiag {
+	t.Helper()
+	var wants []wantDiag
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ln := i + 1
+			if m[1] == "-next" {
+				ln++
+			}
+			wants = append(wants, wantDiag{file: filepath.Base(f), line: ln, analyzer: m[2], substr: m[3]})
+		}
+	}
+	return wants
+}
+
+// TestAnalyzers runs each analyzer over its fixture package and requires an
+// exact bidirectional match between planted want comments and emitted
+// diagnostics: every want must be found at its file:line with the expected
+// message fragment, and no diagnostic may appear without a want.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		fixture  string
+		// importPath places the fixture where the analyzer's PathPrefixes
+		// (if any) apply.
+		importPath string
+	}{
+		{poolcheckAnalyzer, "poolcheck", "rocksteady/lintfixture/poolcheck"},
+		{nopollAnalyzer, "nopoll", "rocksteady/internal/core/nopollfixture"},
+		{lockholdAnalyzer, "lockhold", "rocksteady/lintfixture/lockhold"},
+		{errdropAnalyzer, "errdrop", "rocksteady/internal/server/errdropfixture"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			l := fixtureLoader(t)
+			dir := filepath.Join("testdata", tc.fixture)
+			files := fixtureFiles(t, dir)
+			pkg, err := l.LoadFiles(tc.importPath, dir, files)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			wants := parseWants(t, files)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", tc.fixture)
+			}
+			matched := make([]bool, len(diags))
+		outer:
+			for _, w := range wants {
+				for i, d := range diags {
+					if matched[i] {
+						continue
+					}
+					if filepath.Base(d.Pos.Filename) == w.file && d.Pos.Line == w.line &&
+						d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+						matched[i] = true
+						continue outer
+					}
+				}
+				t.Errorf("missing diagnostic: %s:%d [%s] containing %q", w.file, w.line, w.analyzer, w.substr)
+			}
+			for i, d := range diags {
+				if !matched[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestAppliesTo pins the hot-path scoping: path-restricted analyzers must
+// cover exactly the latency-critical packages.
+func TestAppliesTo(t *testing.T) {
+	for _, a := range []*Analyzer{nopollAnalyzer, errdropAnalyzer} {
+		for _, path := range []string{
+			"rocksteady/internal/core",
+			"rocksteady/internal/dispatch",
+			"rocksteady/internal/transport",
+			"rocksteady/internal/server",
+		} {
+			if !a.AppliesTo(path) {
+				t.Errorf("%s should apply to %s", a.Name, path)
+			}
+		}
+		for _, path := range []string{
+			"rocksteady/internal/cluster",
+			"rocksteady/internal/corelike", // prefix match must be segment-aware
+			"rocksteady/cmd/rocksteady-lint",
+		} {
+			if a.AppliesTo(path) {
+				t.Errorf("%s should not apply to %s", a.Name, path)
+			}
+		}
+	}
+	for _, a := range []*Analyzer{poolcheckAnalyzer, lockholdAnalyzer} {
+		if !a.AppliesTo("rocksteady/internal/cluster") {
+			t.Errorf("%s should apply module-wide", a.Name)
+		}
+	}
+}
+
+// TestDiagnosticFormat pins the shared file:line:col: [analyzer] message
+// output format that editors and CI grep for.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{Analyzer: "poolcheck", Message: "b leaks"}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+	if got, want := d.String(), "x.go:7:3: [poolcheck] b leaks"; got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}
+
+// TestCleanTree runs every analyzer over the real module and requires zero
+// findings: the tree stays lint-clean, with deliberate exceptions carrying
+// lint:ignore annotations.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	l := fixtureLoader(t)
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, d := range RunAnalyzers(pkgs, allAnalyzers) {
+		t.Errorf("finding in tree: %s", d)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Analyzers are purely intra-procedural
+// and run independently per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// PathPrefixes restricts the analyzer to packages whose import path
+	// starts with one of these prefixes. Empty means every package.
+	PathPrefixes []string
+	Run          func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer covers the given import path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.PathPrefixes) == 0 {
+		return true
+	}
+	for _, p := range a.PathPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Diagnostic is one finding, ordered by position for stable output.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreKey identifies one suppressed (file, line, analyzer) site.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans a package's comments for lint:ignore directives:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The directive suppresses diagnostics from <analyzer> on its own line and
+// on the line directly below it (so it can sit above the flagged statement
+// or trail it). A missing reason is itself reported as a diagnostic.
+func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed lint:ignore directive: need \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ignores[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// RunAnalyzers applies every enabled analyzer to every package and returns
+// surviving diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg, func(d Diagnostic) { diags = append(diags, d) })
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if ignores[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// isPkgFunc reports whether call is a call of pkgPath.name (package-level
+// function), resolved through the type checker so aliases and renamed
+// imports are handled.
+func isPkgFunc(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Same-package call: plain identifier.
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := p.ObjectOf(id)
+		return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+	}
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, isField := obj.(*types.Var); isField {
+		return false
+	}
+	return obj.Name() == name && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockhold guards against the dispatch/TCP coalescing deadlock class: a
+// goroutine that blocks on a transport Send or an unbuffered/full channel
+// while holding a sync.Mutex or sync.RWMutex can deadlock the whole
+// dispatch loop (the peer needs the same lock to drain the queue that
+// would unblock the send). The TCP write path is explicitly structured to
+// drop the peer lock before writev for exactly this reason.
+//
+// The analysis tracks, per function and path, the set of mutexes held
+// (x.Lock()/x.RLock() ... x.Unlock()/x.RUnlock(); defer x.Unlock() holds
+// to the end) and flags while any are held:
+//
+//   - channel send statements (ch <- v) outside a select with a default
+//   - select statements containing a send with no default case
+//   - calls to a Send method on a transport endpoint (anything whose Send
+//     has the func(*wire.Message) error signature)
+//
+// sync.Cond operations are exempt: Wait atomically releases the mutex.
+var lockholdAnalyzer = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking transport Send or channel send while a sync mutex is held",
+	Run:  runLockhold,
+}
+
+func runLockhold(pass *Pass) {
+	lc := &lockChecker{pass: pass}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lc.block(n.Body.List, make(lockSet))
+				}
+			case *ast.FuncLit:
+				// A literal runs on its own goroutine or call frame: it
+				// holds no locks on entry.
+				lc.block(n.Body.List, make(lockSet))
+			}
+			return true
+		})
+	}
+}
+
+// lockSet maps the object of a mutex-typed variable or field to "held on
+// some path reaching here".
+type lockSet map[types.Object]bool
+
+func (ls lockSet) clone() lockSet {
+	out := make(lockSet, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions two path states: held anywhere is held (conservative).
+func (ls lockSet) merge(other lockSet) lockSet {
+	out := ls.clone()
+	for k, v := range other {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (ls lockSet) anyHeld() (types.Object, bool) {
+	for k, v := range ls {
+		if v {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+type lockChecker struct {
+	pass *Pass
+}
+
+func (lc *lockChecker) block(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = lc.stmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (lc *lockChecker) stmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.ExprStmt:
+		lc.expr(s.X, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lc.expr(r, held)
+		}
+		return held, false
+	case *ast.SendStmt:
+		lc.flagSend(s.Pos(), held, "channel send")
+		return held, false
+	case *ast.IfStmt:
+		held, _ = lc.stmt(s.Init, held)
+		lc.expr(s.Cond, held)
+		thenHeld, thenTerm := lc.block(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = lc.stmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return thenHeld.merge(elseHeld), false
+		}
+	case *ast.BlockStmt:
+		return lc.block(s.List, held)
+	case *ast.ForStmt:
+		held, _ = lc.stmt(s.Init, held)
+		lc.expr(s.Cond, held)
+		bodyHeld, bodyTerm := lc.block(s.Body.List, held.clone())
+		if !bodyTerm {
+			bodyHeld, _ = lc.stmt(s.Post, bodyHeld)
+			held = held.merge(bodyHeld)
+		}
+		return held, false
+	case *ast.RangeStmt:
+		lc.expr(s.X, held)
+		bodyHeld, bodyTerm := lc.block(s.Body.List, held.clone())
+		if !bodyTerm {
+			held = held.merge(bodyHeld)
+		}
+		return held, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			held, _ = lc.stmt(sw.Init, held)
+			lc.expr(sw.Tag, held)
+			body = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			held, _ = lc.stmt(ts.Init, held)
+			body = ts.Body
+		}
+		merged := held
+		for _, clause := range body.List {
+			if c, ok := clause.(*ast.CaseClause); ok {
+				branch, term := lc.block(c.Body, held.clone())
+				if !term {
+					merged = merged.merge(branch)
+				}
+			}
+		}
+		return merged, false
+	case *ast.SelectStmt:
+		// A select with a default case never blocks; without one, a send
+		// clause is a blocking send.
+		hasDefault := hasDefaultCommClause(s.Body)
+		merged := held
+		for _, clause := range s.Body.List {
+			c, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, isSend := c.Comm.(*ast.SendStmt); isSend && !hasDefault {
+				lc.flagSend(send.Pos(), held, "blocking select send")
+			}
+			branch, term := lc.block(c.Body, held.clone())
+			if !term {
+				merged = merged.merge(branch)
+			}
+		}
+		return merged, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lc.expr(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.DeferStmt:
+		// defer mu.Unlock() means the lock is held for the rest of the
+		// function: deliberately do NOT clear it. Everything else inside
+		// a defer runs at exit; scan it with the current held set.
+		if obj, op := lc.mutexOp(s.Call); obj != nil && (op == "Unlock" || op == "RUnlock") {
+			return held, false
+		}
+		lc.expr(s.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the holder's locks.
+		lc.exprInner(s.Call, make(lockSet))
+		return held, false
+	case *ast.LabeledStmt:
+		return lc.stmt(s.Stmt, held)
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.IncDecStmt:
+		return held, false
+	default:
+		return held, false
+	}
+}
+
+// expr scans an expression for lock transitions and blocking calls.
+func (lc *lockChecker) expr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			// Literal bodies are analyzed separately with an empty lock
+			// set; they do not run under the creator's locks.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, op := lc.mutexOp(call); obj != nil {
+			switch op {
+			case "Lock", "RLock":
+				held[obj] = true
+			case "Unlock", "RUnlock":
+				held[obj] = false
+			}
+			return false
+		}
+		if lc.isTransportSend(call) {
+			if obj, any := held.anyHeld(); any {
+				lc.pass.Reportf(call.Pos(), "transport Send while %s is held: a blocked write deadlocks everyone needing the lock; release it first", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// exprInner is expr with a fresh lock set (used for goroutine bodies).
+func (lc *lockChecker) exprInner(e ast.Expr, held lockSet) { lc.expr(e, held) }
+
+func (lc *lockChecker) flagSend(pos token.Pos, held lockSet, what string) {
+	if obj, any := held.anyHeld(); any {
+		lc.pass.Reportf(pos, "%s while %s is held: if the channel is full this blocks with the lock taken; release it first", what, obj.Name())
+	}
+}
+
+// hasDefaultCommClause reports whether a select body has a default case
+// (select clauses are CommClauses, unlike switch's CaseClauses).
+func hasDefaultCommClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp recognizes x.Lock()/x.Unlock()/x.RLock()/x.RUnlock() where x is
+// a sync.Mutex or sync.RWMutex (possibly behind a pointer) and returns the
+// object identifying x plus the operation name.
+func (lc *lockChecker) mutexOp(call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	t := lc.pass.TypeOf(sel.X)
+	if t == nil || !isSyncMutex(t) {
+		return nil, ""
+	}
+	// Identify the mutex by the last selector component (field or var).
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return lc.pass.ObjectOf(x), op
+	case *ast.SelectorExpr:
+		return lc.pass.ObjectOf(x.Sel), op
+	default:
+		return nil, ""
+	}
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isTransportSend recognizes calls to a Send method with the transport
+// Endpoint signature func(*wire.Message) error, on either the interface or
+// a concrete endpoint.
+func (lc *lockChecker) isTransportSend(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" {
+		return false
+	}
+	obj := lc.pass.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	param, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := param.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Message" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != wirePkgPath {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// stdImporter resolves non-module (standard library) imports. It prefers
+// compiled export data located with `go list -export` — fast and immune to
+// cgo-bearing packages like net — and falls back to the compiler's source
+// importer when the go tool is unavailable. Both paths are stdlib-only.
+type stdImporter struct {
+	moduleRoot string
+	fset       *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+	src     types.Importer
+	noTool  bool // go tool missing or failing; use source importer only
+}
+
+func newStdImporter(moduleRoot string, fset *token.FileSet) *stdImporter {
+	si := &stdImporter{
+		moduleRoot: moduleRoot,
+		fset:       fset,
+		exports:    make(map[string]string),
+	}
+	si.gc = importer.ForCompiler(fset, "gc", si.lookup)
+	si.src = importer.ForCompiler(fset, "source", nil)
+	return si
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if !si.noTool {
+		if err := si.ensureExport(path); err == nil {
+			pkg, err := si.gc.Import(path)
+			if err == nil {
+				return pkg, nil
+			}
+		} else {
+			si.noTool = true
+		}
+	}
+	return si.src.Import(path)
+}
+
+// ensureExport populates the export-data map for path and its transitive
+// dependencies with one go list invocation.
+func (si *stdImporter) ensureExport(path string) error {
+	if path == "unsafe" {
+		return nil // handled specially by the gc importer
+	}
+	if _, ok := si.exports[path]; ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", path)
+	cmd.Dir = si.moduleRoot
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export %s: %v: %s", path, err, errb.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		ip, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || file == "" {
+			continue
+		}
+		si.exports[ip] = file
+	}
+	if _, ok := si.exports[path]; !ok {
+		return fmt.Errorf("no export data for %s", path)
+	}
+	return nil
+}
+
+// lookup feeds export data files to the gc importer.
+func (si *stdImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := si.exports[path]
+	if !ok {
+		if err := si.ensureExport(path); err != nil {
+			return nil, err
+		}
+		file = si.exports[path]
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,64 @@
+// Package errdropfixture plants errdrop violations: silently discarded
+// error returns in a hot-path package.
+package errdropfixture
+
+import (
+	"errors"
+	"fmt"
+	"net"
+)
+
+func mayFail() error { return errors.New("nope") }
+
+func twoResults() (int, error) { return 0, nil }
+
+func bareCall(conn net.Conn) {
+	conn.Close() // want:errdrop "conn.Close"
+}
+
+func bareLocal() {
+	mayFail() // want:errdrop "mayFail"
+}
+
+func bareTuple() {
+	twoResults() // want:errdrop "twoResults"
+}
+
+func goDrop(conn net.Conn) {
+	go conn.Close() // want:errdrop "go statement discards"
+}
+
+func deferLiteralBody(conn net.Conn) {
+	defer func() {
+		conn.Close() // want:errdrop "conn.Close"
+	}()
+}
+
+//lint:ignore errdrop fixture exercises the escape hatch on the next line
+func okIgnoredDirectiveAbove() {
+	// The directive above covers its own line and the one below it; this
+	// call sits two lines down, so it needs its own trailing directive.
+	mayFail() //lint:ignore errdrop fixture exercises the trailing form
+}
+
+// The directive below is missing its reason, so the framework reports the
+// directive itself instead of honoring it.
+// want-next:lint "malformed lint:ignore"
+//lint:ignore errdrop
+func afterMalformedDirective() {}
+
+func okExplicitDiscard(conn net.Conn) {
+	_ = conn.Close()
+}
+
+func okDeferred(conn net.Conn) {
+	defer conn.Close()
+}
+
+func okHandled(conn net.Conn) error {
+	return conn.Close()
+}
+
+func okNoError() {
+	fmt.Sprintf("no error result %d", 1)
+}

@@ -1,0 +1,89 @@
+// Package lockholdfixture plants lockhold violations: blocking sends with
+// a sync.Mutex held.
+package lockholdfixture
+
+import (
+	"sync"
+
+	"rocksteady/internal/wire"
+)
+
+type fakeEndpoint struct{}
+
+func (fakeEndpoint) Send(m *wire.Message) error { return nil }
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	ep  fakeEndpoint
+	val int
+}
+
+func (g *guarded) badChanSend() {
+	g.mu.Lock()
+	g.ch <- 1 // want:lockhold "channel send while mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) badTransportSend(m *wire.Message) {
+	g.mu.Lock()
+	_ = g.ep.Send(m) // want:lockhold "transport Send while mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) badUnderDefer(m *wire.Message) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = g.ep.Send(m) // want:lockhold "transport Send while mu is held"
+}
+
+func (g *guarded) badAfterMergedBranch(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return
+	}
+	g.ch <- 2 // want:lockhold "channel send while mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) badSelectSend() {
+	g.rw.RLock()
+	select {
+	case g.ch <- 3: // want:lockhold "blocking select send while rw is held"
+	}
+	g.rw.RUnlock()
+}
+
+func (g *guarded) okSendAfterUnlock(m *wire.Message) {
+	g.mu.Lock()
+	v := g.val
+	g.mu.Unlock()
+	g.ch <- v
+	_ = g.ep.Send(m)
+}
+
+func (g *guarded) okNonBlockingSend() {
+	g.mu.Lock()
+	select {
+	case g.ch <- 4:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) okGoroutineDoesNotInheritLock() {
+	g.mu.Lock()
+	go func() {
+		g.ch <- 5
+	}()
+	g.mu.Unlock()
+}
+
+func (g *guarded) okIgnored() {
+	g.mu.Lock()
+	//lint:ignore lockhold fixture exercises the escape hatch
+	g.ch <- 6
+	g.mu.Unlock()
+}

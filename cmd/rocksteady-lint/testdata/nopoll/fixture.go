@@ -1,0 +1,53 @@
+// Package nopollfixture plants nopoll violations. The test harness loads
+// it under a hot-path import path (rocksteady/internal/core/...), where
+// the analyzer applies.
+package nopollfixture
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+func sleeper() {
+	time.Sleep(time.Millisecond) // want:nopoll "time.Sleep"
+}
+
+func sleepInLoop(done *atomic.Bool) {
+	for !done.Load() {
+		time.Sleep(100 * time.Microsecond) // want:nopoll "time.Sleep"
+	}
+}
+
+func spin(ready *atomic.Bool) {
+	for !ready.Load() { // want:nopoll "busy-wait"
+	}
+}
+
+func yieldLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		runtime.Gosched() // want:nopoll "runtime.Gosched"
+	}
+}
+
+func okEventDriven(done chan struct{}, work chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-work:
+			total += v
+		case <-done:
+			return total
+		}
+	}
+}
+
+func okAnnotatedModelSleep() {
+	//lint:ignore nopoll fixture models NIC serialization delay
+	time.Sleep(time.Microsecond)
+}

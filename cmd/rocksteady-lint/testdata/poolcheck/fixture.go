@@ -1,0 +1,129 @@
+// Package poolfixture plants poolcheck violations; every line carrying a
+// deliberate violation has a trailing // want:poolcheck comment with a
+// fragment of the expected diagnostic. Functions prefixed ok… must produce
+// no diagnostics.
+package poolfixture
+
+import "rocksteady/internal/wire"
+
+func use(b *wire.Buffer) {}
+
+func leakOnErrorPath(fail bool) int {
+	b := wire.GetBuffer() // want:poolcheck "not released on every path"
+	if fail {
+		return 0
+	}
+	wire.ReleaseBuffer(b)
+	return 1
+}
+
+func leakRecordSlice(fail bool) int {
+	rs := wire.GetRecordSlice() // want:poolcheck "not released on every path"
+	if fail {
+		return len(rs)
+	}
+	wire.ReleaseRecordSlice(rs)
+	return 1
+}
+
+func useAfterRelease() int {
+	b := wire.GetBuffer()
+	wire.ReleaseBuffer(b)
+	return len(b.B) // want:poolcheck "used after wire.ReleaseBuffer"
+}
+
+func doubleRelease(cond bool) {
+	b := wire.GetBuffer()
+	if cond {
+		wire.ReleaseBuffer(b)
+	}
+	wire.ReleaseBuffer(b) // want:poolcheck "released more than once"
+}
+
+func leakPerIteration(n int) {
+	for i := 0; i < n; i++ {
+		b := wire.GetBuffer() // want:poolcheck "goes out of scope"
+		b.B = b.B[:0]
+	}
+}
+
+func discarded() {
+	wire.GetBuffer() // want:poolcheck "discarded"
+}
+
+func overwriteWhileLive() {
+	b := wire.GetBuffer()
+	b = wire.GetBuffer() // want:poolcheck "overwritten"
+	wire.ReleaseBuffer(b)
+}
+
+func okPaired() {
+	b := wire.GetBuffer()
+	b.B = append(b.B, 1)
+	wire.ReleaseBuffer(b)
+}
+
+func okReturn() *wire.Buffer {
+	b := wire.GetBuffer()
+	return b
+}
+
+func okDefer() {
+	b := wire.GetBuffer()
+	defer wire.ReleaseBuffer(b)
+	b.B = append(b.B, 2)
+}
+
+func okConditionalEarlyOut(cond bool) {
+	b := wire.GetBuffer()
+	if cond {
+		wire.ReleaseBuffer(b)
+		return
+	}
+	b.B = append(b.B, 3)
+	wire.ReleaseBuffer(b)
+}
+
+func okOwnershipTransfer() {
+	b := wire.GetBuffer()
+	use(b)
+}
+
+func okClosureTakesOver() func() {
+	b := wire.GetBuffer()
+	return func() { wire.ReleaseBuffer(b) }
+}
+
+func okGrowPattern(n int) []wire.Record {
+	out := wire.GetRecordSlice()
+	if cap(out) < n {
+		wire.ReleaseRecordSlice(out)
+		out = make([]wire.Record, 0, n)
+	}
+	out = append(out, wire.Record{})
+	return out
+}
+
+func okCompositeLiteral() *wire.PullResponse {
+	return &wire.PullResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
+}
+
+func okIgnoredRideToGC(cond bool) {
+	//lint:ignore poolcheck fixture models a frame that rides to GC with its message
+	b := wire.GetBuffer()
+	if cond {
+		return
+	}
+	wire.ReleaseBuffer(b)
+}
+
+func closureLeak(fail bool) func() int {
+	return func() int {
+		rs := wire.GetRecordSlice() // want:poolcheck "not released on every path"
+		if fail {
+			return 0
+		}
+		wire.ReleaseRecordSlice(rs)
+		return 1
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rocksteady/internal/client"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// TestMigrationUnderLoadStress hammers a migrating cluster from many client
+// goroutines at once. Unlike TestReadsAndWritesDuringMigration (which
+// audits exact last-write-wins consistency with a few writers), this test
+// maximizes interleaving — every worker mixes single reads, writes, and
+// MultiGets over overlapping keys — and relies on the race detector to
+// catch unsynchronized access anywhere on the dispatch/migration/transport
+// path. It is deliberately bounded (< 30s under -race).
+func TestMigrationUnderLoadStress(t *testing.T) {
+	c := testCluster(t, Config{
+		Servers: 2,
+		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 2 << 20},
+	})
+	cl := c.MustClient()
+	table, err := cl.CreateTable("stress", c.Server(0).ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := loadN(t, c, table, 5000)
+
+	half := wire.FullRange().Split(2)[1]
+	g, err := c.Migrate(table, half, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		ops  atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcl := c.MustClient()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Workers deliberately collide on the same keys: the point
+				// is interleaving, not value tracking.
+				idx := (w*37 + i*13) % len(keys)
+				switch i % 4 {
+				case 0:
+					if err := wcl.Write(table, keys[idx], []byte(fmt.Sprintf("stress-w%d-%d", w, i))); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				case 1, 2:
+					if _, err := wcl.Read(table, keys[idx]); err != nil && err != client.ErrNoSuchKey {
+						t.Errorf("read: %v", err)
+						return
+					}
+				case 3:
+					batch := make([][]byte, 0, 8)
+					for j := 0; j < 8; j++ {
+						batch = append(batch, keys[(idx+j*61)%len(keys)])
+					}
+					if _, err := wcl.MultiGet(table, batch); err != nil {
+						t.Errorf("multiget: %v", err)
+						return
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	res := g.Wait()
+	close(stop)
+	wg.Wait()
+	if res.Err != nil {
+		t.Fatalf("migration under load: %v", res.Err)
+	}
+	if n := ops.Load(); n == 0 {
+		t.Fatal("no client operations overlapped the migration")
+	} else {
+		t.Logf("migration pulled %d records while %d client ops ran", res.RecordsPulled, n)
+	}
+
+	// Light sanity pass: no key may have vanished (the workload never
+	// deletes), whatever interleaving won.
+	for i := 0; i < len(keys); i += 50 {
+		if _, err := cl.Read(table, keys[i]); err != nil {
+			t.Fatalf("post-stress read %s: %v", keys[i], err)
+		}
+	}
+}

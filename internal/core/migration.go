@@ -222,6 +222,11 @@ func (g *Migration) pullPartition(p wire.HashRange) {
 		}
 		resp, ok := reply.(*wire.PullResponse)
 		if !ok || resp.Status != wire.StatusOK {
+			if ok {
+				// The decoder handed us a pooled slice even on a rejected
+				// pull; give it back before bailing.
+				wire.ReleaseRecordSlice(resp.Records)
+			}
 			g.fail(errors.New("pull rejected"))
 			return
 		}
@@ -451,6 +456,9 @@ func (g *Migration) completeRetainOwnership() {
 	}
 	tail, ok := reply.(*wire.PullTailResponse)
 	if !ok || tail.Status != wire.StatusOK {
+		if ok {
+			wire.ReleaseRecordSlice(tail.Records)
+		}
 		g.fail(errors.New("tail pull rejected"))
 		return
 	}

@@ -60,6 +60,9 @@ func (g *Migration) syncPriorityPull(hash uint64) (uint32, bool) {
 	}
 	resp, ok := reply.(*wire.PriorityPullResponse)
 	if !ok || resp.Status != wire.StatusOK {
+		if ok {
+			wire.ReleaseRecordSlice(resp.Records)
+		}
 		return g.opts.RetryHintMicros, false
 	}
 	g.priorityPullRPCs.Add(1)
@@ -118,6 +121,9 @@ func (g *Migration) priorityPullLoop() {
 		}
 		resp, ok := reply.(*wire.PriorityPullResponse)
 		if !ok || resp.Status != wire.StatusOK {
+			if ok {
+				wire.ReleaseRecordSlice(resp.Records)
+			}
 			g.fail(errors.New("priority pull rejected"))
 			g.clearInflight(batch)
 			continue

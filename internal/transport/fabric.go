@@ -222,10 +222,12 @@ func (p *Port) egressLoop() {
 			debt := p.nicFree.Sub(now)
 			p.nicMu.Unlock()
 			if debt > 50*time.Microsecond {
+				//lint:ignore nopoll deliberate: models NIC serialization delay, not a poll
 				time.Sleep(debt)
 			}
 		}
 		if lat > 0 {
+			//lint:ignore nopoll deliberate: models one-way network latency, not a poll
 			time.Sleep(lat)
 		}
 		_ = p.deliver(m)

@@ -140,7 +140,7 @@ func (t *TCP) acceptLoop() {
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		t.accepted[conn] = newPeerConn(conn)
@@ -153,7 +153,7 @@ func (t *TCP) acceptLoop() {
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		t.mu.Lock()
 		pc := t.accepted[conn]
 		delete(t.accepted, conn)
@@ -173,6 +173,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return
 		}
+		//lint:ignore poolcheck blob-bearing frames ride to GC pinned by their message; only the non-aliasing cases below release
 		fb := wire.GetBuffer()
 		if cap(fb.B) < n {
 			fb.B = make([]byte, n)
@@ -366,11 +367,11 @@ func (t *TCP) connTo(id wire.ServerID) (*peerConn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		c.Close()
+		_ = c.Close()
 		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[id]; ok {
-		c.Close()
+		_ = c.Close()
 		return existing, nil
 	}
 	pc := newPeerConn(c)

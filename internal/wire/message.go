@@ -28,7 +28,7 @@ type Message struct {
 // WireSize returns the total encoded message size: a fixed envelope header
 // plus the body.
 func (m *Message) WireSize() int {
-	const envelope = 28 // id(8) + from(8) + to(8) + op(1) + flags(1) + priority(1) + bodyLen hint(1)
+	const envelope = 27 // id(8) + from(8) + to(8) + op(1) + flags(1) + priority(1)
 	if m.Body == nil {
 		return envelope
 	}
@@ -135,7 +135,8 @@ type MultiGetResponse struct {
 }
 
 func (r *MultiGetResponse) WireSize() int {
-	return 9 + len(r.Statuses) + 8*len(r.Versions) + byteSlicesSize(r.Values)
+	// status(1) + retry(4) + statuses(4+n) + versions(4+8n) + values
+	return 13 + len(r.Statuses) + 8*len(r.Versions) + byteSlicesSize(r.Values)
 }
 func (r *MultiGetResponse) Op() Op { return OpMultiGet }
 
@@ -158,7 +159,8 @@ type MultiPutResponse struct {
 	Versions []uint64
 }
 
-func (r *MultiPutResponse) WireSize() int { return 5 + len(r.Statuses) + 8*len(r.Versions) }
+// WireSize is status(1) + statuses(4+n) + versions(4+8n).
+func (r *MultiPutResponse) WireSize() int { return 9 + len(r.Statuses) + 8*len(r.Versions) }
 func (r *MultiPutResponse) Op() Op        { return OpMultiPut }
 
 // MultiGetByHashRequest fetches objects by primary key hash; used by index
@@ -179,7 +181,8 @@ type MultiGetByHashResponse struct {
 	RetryAfterMicros uint32
 }
 
-func (r *MultiGetByHashResponse) WireSize() int { return 9 + recordsSize(r.Records) }
+// WireSize is status(1) + retry(4) + records (recordsSize includes the count).
+func (r *MultiGetByHashResponse) WireSize() int { return 5 + recordsSize(r.Records) }
 func (r *MultiGetByHashResponse) Op() Op        { return OpMultiGetByHash }
 
 // ---------------------------------------------------------------------------
@@ -418,7 +421,8 @@ type PullTailResponse struct {
 	Records []Record
 }
 
-func (r *PullTailResponse) WireSize() int { return 5 + recordsSize(r.Records) }
+// WireSize is status(1) + records (recordsSize includes the count).
+func (r *PullTailResponse) WireSize() int { return 1 + recordsSize(r.Records) }
 func (r *PullTailResponse) Op() Op        { return OpPullTail }
 
 // ---------------------------------------------------------------------------
@@ -537,7 +541,8 @@ type GetTabletMapResponse struct {
 }
 
 func (r *GetTabletMapResponse) WireSize() int {
-	n := 9 + 32*len(r.Tablets)
+	// status(1) + version(8) + tablet count(4) + indexlet count(4) + entries
+	n := 17 + 32*len(r.Tablets)
 	for i := range r.Indexlets {
 		n += 24 + byteSliceSize(r.Indexlets[i].Begin) + byteSliceSize(r.Indexlets[i].End)
 	}
