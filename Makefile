@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test race vet lint fuzz bench bins clean
+.PHONY: all build check test race vet lint fuzz faults bench bins clean
 
 all: build
 
@@ -32,6 +32,14 @@ race:
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzMarshalRoundtrip -fuzztime 10s
+
+# faults runs the fault-injection scenario and chaos suites under the race
+# detector: three fixed seeds for reproducible coverage plus one
+# time-derived seed (printed on failure) to keep exploring new schedules.
+# Replay a failure exactly with the FAULT_SEEDS=<seed> line it logs.
+faults:
+	FAULT_SEEDS=1,7,42 FAULT_RANDOM_SEED=1 $(GO) test -race -count=1 \
+		./internal/cluster/ -run 'TestFaultScenario|TestChaosMigrationsVsOperations'
 
 # bench runs the RPC hot-path microbenchmarks with allocation reporting and
 # records the machine-readable results in BENCH_hotpath.json.

@@ -142,14 +142,21 @@ func (r *Replicator) markDead(b wire.ServerID) {
 }
 
 // awaitReplicas waits for a batch of per-replica calls grouped by batch
-// index and returns the per-batch success counts. Failed replicas are
-// marked dead; durability degrades rather than halting the master — the
-// availability call RAMCloud makes, with recovery and full-segment
-// re-replication responsible for restoring redundancy.
-func (r *Replicator) awaitReplicas(calls []*transport.Call, backups []wire.ServerID, batch []int, nbatches int) []int {
+// index and returns the per-batch success counts. A replica whose RPC
+// fails gets one synchronous retry (ReplicateSegment is idempotent: the
+// backup rewrites prefixes) so a transient fault — an injected drop, a
+// momentary queue overflow — does not permanently shrink the backup set.
+// A replica that fails twice is marked dead; durability degrades rather
+// than halting the master — the availability call RAMCloud makes, with
+// recovery and full-segment re-replication responsible for restoring
+// redundancy.
+func (r *Replicator) awaitReplicas(calls []*transport.Call, backups []wire.ServerID, batch []int, reqs []*wire.ReplicateSegmentRequest, nbatches int) []int {
 	okPerBatch := make([]int, nbatches)
 	for i, c := range calls {
 		reply, err := c.Wait()
+		if err != nil {
+			reply, err = r.node.Call(backups[i], wire.PriorityReplication, reqs[i])
+		}
 		if err != nil {
 			r.markDead(backups[i])
 			continue
@@ -224,6 +231,7 @@ func (r *Replicator) flush(batch []storage.AppendEvent) error {
 	var calls []*transport.Call
 	var callBackups []wire.ServerID
 	var callBatch []int
+	var callReqs []*wire.ReplicateSegmentRequest
 	var sent int64
 	for bi, sb := range coalesced {
 		req := &wire.ReplicateSegmentRequest{
@@ -238,10 +246,11 @@ func (r *Replicator) flush(batch []storage.AppendEvent) error {
 			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
 			callBackups = append(callBackups, b)
 			callBatch = append(callBatch, bi)
+			callReqs = append(callReqs, req)
 			sent += int64(len(sb.data))
 		}
 	}
-	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, len(coalesced))
+	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, callReqs, len(coalesced))
 	for bi, n := range okPerBatch {
 		if n > 0 {
 			continue
@@ -270,6 +279,7 @@ func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
 	var calls []*transport.Call
 	var callBackups []wire.ServerID
 	var callBatch []int
+	var callReqs []*wire.ReplicateSegmentRequest
 	var sent int64
 	for bi, seg := range segs {
 		data := seg.Data(0, seg.Len())
@@ -285,11 +295,12 @@ func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
 			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
 			callBackups = append(callBackups, b)
 			callBatch = append(callBatch, bi)
+			callReqs = append(callReqs, req)
 			sent += int64(len(data))
 		}
 		seg.SetReplicatedTo(seg.Len())
 	}
-	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, len(segs))
+	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, callReqs, len(segs))
 	for bi, n := range okPerBatch {
 		if n > 0 {
 			continue

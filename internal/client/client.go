@@ -175,6 +175,14 @@ func (b *backoff) sleep(c *Client, hintMicros uint32) bool {
 
 // Read fetches one object.
 func (c *Client) Read(table wire.TableID, key []byte) ([]byte, error) {
+	v, _, err := c.ReadVersioned(table, key)
+	return v, err
+}
+
+// ReadVersioned fetches one object along with its version. Invariant
+// checkers use the version to assert per-key monotonicity across
+// migrations and recoveries.
+func (c *Client) ReadVersioned(table wire.TableID, key []byte) ([]byte, uint64, error) {
 	c.stats.Ops.Add(1)
 	hash := wire.HashKey(key)
 	bo := c.newBackoff()
@@ -182,10 +190,10 @@ func (c *Client) Read(table wire.TableID, key []byte) ([]byte, error) {
 		owner, ok := c.ownerOf(table, hash)
 		if !ok {
 			if err := c.RefreshMap(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if _, ok = c.ownerOf(table, hash); !ok {
-				return nil, ErrNoSuchTable
+				return nil, 0, ErrNoSuchTable
 			}
 			continue
 		}
@@ -193,34 +201,34 @@ func (c *Client) Read(table wire.TableID, key []byte) ([]byte, error) {
 		reply, err := c.node.Call(owner, wire.PriorityForeground, &wire.ReadRequest{Table: table, Key: key})
 		if err != nil {
 			if refreshErr := c.RefreshMap(); refreshErr != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			continue
 		}
 		resp, ok := reply.(*wire.ReadResponse)
 		if !ok {
-			return nil, errors.New("client: bad read response")
+			return nil, 0, errors.New("client: bad read response")
 		}
 		switch resp.Status {
 		case wire.StatusOK:
-			return resp.Value, nil
+			return resp.Value, resp.Version, nil
 		case wire.StatusNoSuchKey:
-			return nil, ErrNoSuchKey
+			return nil, 0, ErrNoSuchKey
 		case wire.StatusWrongServer:
 			if err := c.RefreshMap(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		case wire.StatusRetry:
 			c.stats.Retries.Add(1)
 			if !bo.sleep(c, resp.RetryAfterMicros) {
-				return nil, ErrRetriesExhausted
+				return nil, 0, ErrRetriesExhausted
 			}
 			attempt-- // retry hints don't consume the redirect budget
 		default:
-			return nil, wire.StatusError{Status: resp.Status}
+			return nil, 0, wire.StatusError{Status: resp.Status}
 		}
 	}
-	return nil, ErrRetriesExhausted
+	return nil, 0, ErrRetriesExhausted
 }
 
 // Write stores one object durably.

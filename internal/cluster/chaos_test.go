@@ -1,195 +1,174 @@
 package cluster
 
-// Chaos test: random client operations race with random migrations (and,
-// in the long mode, a crash) while a sequential per-key model tracks every
-// acknowledged effect. At the end the store must agree with the model for
-// every key — the system-wide linearizability-per-key check that all of
-// Rocksteady's version machinery exists to preserve.
+// Chaos suite: random client operations race with migrations while
+// check.KeyModel oracles track every acknowledged effect per key. Each
+// table case pairs a workload mix with a fault plan; every case runs once
+// per fault seed (forEachFaultSeed), so a failing combination replays
+// exactly from its logged seed. This is the system-wide
+// linearizability-per-key check that all of Rocksteady's version
+// machinery exists to preserve.
 
 import (
-	"fmt"
 	"math/rand"
-	"sync"
 	"testing"
+	"time"
 
-	"rocksteady/internal/client"
+	"rocksteady/internal/faultinject"
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
 )
 
-// keyModel is the oracle for one key: the last acknowledged value (nil
-// means "absent"). Each key is owned by exactly one worker goroutine, so
-// the oracle is exact.
-type keyModel struct {
-	value []byte
+// chaosBase is the shared cluster shape for the chaos and stress tests.
+// Tests must not use it directly: Clone() hands each subtest an isolated
+// deep copy, so one case mutating its config (fault network, timeouts)
+// can never leak into a sibling running from the same table.
+var chaosBase = Config{
+	Servers:           3,
+	ReplicationFactor: 2,
+	Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 16 << 20},
 }
 
 func TestChaosMigrationsVsOperations(t *testing.T) {
-	const (
-		servers      = 3
-		keyCount     = 900
-		workers      = 3
-		opsPerWorker = 400
-		migrations   = 6
-	)
-	c := testCluster(t, Config{
-		Servers:           servers,
-		ReplicationFactor: 1,
-		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 16 << 20},
-	})
-	cl := c.MustClient()
-	table, err := cl.CreateTable("chaos", c.Server(0).ID())
-	if err != nil {
-		t.Fatal(err)
+	// Replication and recovery fetches stay exempt: a dropped backup RPC
+	// models a lost disk write, which is RAMCloud's job to mask, not ours
+	// (scenario coverage for backup death lives in faults_test.go).
+	exempt := []wire.Op{wire.OpReplicateSegment, wire.OpGetBackupSegments}
+	cases := []struct {
+		name       string
+		plan       *faultinject.Plan
+		deleteCut  int // op mix: draws in [0,deleteCut) delete...
+		writeCut   int // ...in [deleteCut,writeCut) write, rest read
+		migrations int
+	}{
+		{name: "baseline", plan: nil, deleteCut: 2, writeCut: 5, migrations: 6},
+		{name: "drops", plan: &faultinject.Plan{DropProb: 0.02, ExemptOps: exempt},
+			deleteCut: 1, writeCut: 4, migrations: 4},
+		{name: "dup-reorder", plan: &faultinject.Plan{DupProb: 0.05, ReorderProb: 0.05, ExemptOps: exempt},
+			deleteCut: 1, writeCut: 4, migrations: 4},
+		{name: "delays", plan: &faultinject.Plan{DelayProb: 0.2, MaxDelay: time.Millisecond, ExemptOps: exempt},
+			deleteCut: 3, writeCut: 6, migrations: 4},
 	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+				cfg := chaosBase.Clone()
+				var net *faultinject.Network
+				if tc.plan != nil {
+					net = faultinject.NewNetwork(seed)
+					cfg.Faults = net
+				}
+				c := testCluster(t, cfg)
+				cl := c.MustClient()
+				table, err := cl.CreateTable("chaos", c.Server(0).ID())
+				if err != nil {
+					t.Fatal(err)
+				}
+				wl := newFaultWorkload(t, c, table, 900, 3, seed)
+				wl.deleteCut, wl.writeCut = tc.deleteCut, tc.writeCut
+				stopWatch := watchOwnership(t, c)
+				wl.start()
+				if net != nil {
+					net.SetPlan(tc.plan)
+				}
 
-	// Seed every key so migrations always have data to move.
-	keys := make([][]byte, keyCount)
-	values := make([][]byte, keyCount)
-	models := make([]keyModel, keyCount)
-	for i := range keys {
-		keys[i] = []byte(fmt.Sprintf("chaos-%06d", i))
-		values[i] = []byte(fmt.Sprintf("seed-%06d", i))
-		models[i].value = values[i]
-	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
-		t.Fatal(err)
-	}
+				migrated := runChaosMigrations(t, c, net, table, tc.migrations, seed)
 
-	// Ops: each worker owns keys where i % workers == w.
-	var wg sync.WaitGroup
-	var mu sync.Mutex // guards models (read at the end only, but be safe)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wcl := c.MustClient()
-			rng := rand.New(rand.NewSource(int64(w) * 31))
-			for op := 0; op < opsPerWorker; op++ {
-				i := (rng.Intn(keyCount/workers))*workers + w
-				switch rng.Intn(10) {
-				case 0, 1: // delete
-					err := wcl.Delete(table, keys[i])
-					if err != nil && err != client.ErrNoSuchKey {
-						t.Errorf("delete %s: %v", keys[i], err)
-						return
+				if net != nil {
+					net.ClearPlan()
+				}
+				wl.stopWait()
+				stopWatch()
+				wl.audit(cl)
+
+				if tc.plan == nil {
+					// Without faults every migration must finish and the data
+					// must actually have spread across servers.
+					if migrated != tc.migrations {
+						t.Errorf("baseline completed %d/%d migrations", migrated, tc.migrations)
 					}
-					mu.Lock()
-					models[i].value = nil
-					mu.Unlock()
-				case 2, 3, 4: // write
-					val := []byte(fmt.Sprintf("w%d-op%d", w, op))
-					if err := wcl.Write(table, keys[i], val); err != nil {
-						t.Errorf("write %s: %v", keys[i], err)
-						return
+					spread := 0
+					for i := 0; i < cfg.Servers; i++ {
+						if n, _ := c.Server(i).HashTable().CountRange(table, wire.FullRange()); n > 0 {
+							spread++
+						}
 					}
-					mu.Lock()
-					models[i].value = val
-					mu.Unlock()
-				default: // read, checked against the model
-					mu.Lock()
-					want := models[i].value
-					mu.Unlock()
-					got, err := wcl.Read(table, keys[i])
-					switch {
-					case err == client.ErrNoSuchKey:
-						if want != nil {
-							t.Errorf("read %s: absent, model has %q", keys[i], want)
-							return
-						}
-					case err != nil:
-						t.Errorf("read %s: %v", keys[i], err)
-						return
-					default:
-						if string(got) != string(want) {
-							t.Errorf("read %s: %q, model %q", keys[i], got, want)
-							return
-						}
+					if spread < 2 {
+						t.Errorf("chaos migrations never spread data (%d servers hold data)", spread)
+					}
+				}
+			})
+		})
+	}
+}
+
+// runChaosMigrations migrates successive slices of the hash space between
+// randomly chosen servers, discovering the current owner before each move.
+// Under an active fault plan a migration may be killed by injected faults;
+// the operator remedy (convergeMigration) is applied and the chaos stops
+// there — the workload and audit still judge the aftermath. Returns the
+// number of migrations that completed cleanly.
+func runChaosMigrations(t *testing.T, c *Cluster, net *faultinject.Network, table wire.TableID, migrations int, seed uint64) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5ca1ab1e))
+	parts := wire.FullRange().Split(migrations)
+	mcl := c.MustClient()
+	done := 0
+	for mi, p := range parts {
+		ownerIdx := -1
+		var reply wire.Payload
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			reply, err = mcl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			if net != nil {
+				t.Logf("chaos migration %d: map fetch eaten (%v); stopping chaos", mi, err)
+				return done
+			}
+			t.Errorf("map: %v", err)
+			return done
+		}
+		for _, tb := range reply.(*wire.GetTabletMapResponse).Tablets {
+			if tb.Table == table && tb.Range.Contains(p.Start) {
+				for i := 0; i < len(c.Servers); i++ {
+					if c.Server(i).ID() == tb.Master {
+						ownerIdx = i
 					}
 				}
 			}
-		}(w)
-	}
-
-	// Chaos driver: random migrations of random slices between random
-	// servers while the ops run.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		rng := rand.New(rand.NewSource(4242))
-		parts := wire.FullRange().Split(migrations)
-		mcl := c.MustClient()
-		for mi, p := range parts {
-			// Discover the current owner (migrations moved things around).
-			if err := mcl.RefreshMap(); err != nil {
-				t.Errorf("refresh: %v", err)
-				return
-			}
-			ownerIdx := -1
-			reply, err := mcl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
-			if err != nil {
-				t.Errorf("map: %v", err)
-				return
-			}
-			for _, tb := range reply.(*wire.GetTabletMapResponse).Tablets {
-				if tb.Table == table && tb.Range.Contains(p.Start) {
-					for i := 0; i < servers; i++ {
-						if c.Server(i).ID() == tb.Master {
-							ownerIdx = i
-						}
-					}
-				}
-			}
-			if ownerIdx < 0 {
-				t.Errorf("migration %d: no owner found", mi)
-				return
-			}
-			target := (ownerIdx + 1 + rng.Intn(servers-1)) % servers
-			g, err := c.Migrate(table, p, ownerIdx, target)
-			if err != nil {
-				// Overlap with an in-flight migration is a legal rejection.
-				if se, ok := err.(wire.StatusError); ok && se.Status == wire.StatusMigrationInProgress {
-					continue
-				}
-				t.Errorf("migration %d: %v", mi, err)
-				return
-			}
-			if res := g.Wait(); res.Err != nil {
-				t.Errorf("migration %d: %v", mi, res.Err)
-				return
-			}
 		}
-	}()
-	wg.Wait()
-	if t.Failed() {
-		return
-	}
-
-	// Final audit: the store equals the model everywhere.
-	for i, k := range keys {
-		want := models[i].value
-		got, err := cl.Read(table, k)
-		switch {
-		case err == client.ErrNoSuchKey:
-			if want != nil {
-				t.Fatalf("final %s: absent, model %q", k, want)
-			}
-		case err != nil:
-			t.Fatalf("final %s: %v", k, err)
-		default:
-			if string(got) != string(want) {
-				t.Fatalf("final %s: %q, model %q", k, got, want)
-			}
+		if ownerIdx < 0 {
+			t.Errorf("chaos migration %d: no owner found", mi)
+			return done
 		}
-	}
-	// Data must have actually spread across servers.
-	spread := 0
-	for i := 0; i < servers; i++ {
-		if n, _ := c.Server(i).HashTable().CountRange(table, wire.FullRange()); n > 0 {
-			spread++
+		target := (ownerIdx + 1 + rng.Intn(len(c.Servers)-1)) % len(c.Servers)
+		g, err := c.Migrate(table, p, ownerIdx, target)
+		if err != nil {
+			if se, ok := err.(wire.StatusError); ok && se.Status == wire.StatusMigrationInProgress {
+				continue
+			}
+			if net != nil {
+				t.Logf("chaos migration %d: start eaten (%v); stopping chaos", mi, err)
+				return done
+			}
+			t.Errorf("chaos migration %d: %v", mi, err)
+			return done
 		}
+		if res := g.Wait(); res.Err != nil {
+			if net == nil {
+				t.Errorf("chaos migration %d: %v", mi, res.Err)
+				return done
+			}
+			// A fault killed the pull mid-flight: apply the §3.4 remedy and
+			// stop migrating — the cluster is now down a server.
+			convergeMigration(t, c, c.firstClient(), net, g, target)
+			return done
+		}
+		done++
 	}
-	if spread < 2 {
-		t.Errorf("chaos migrations never spread data (%d servers hold data)", spread)
-	}
+	return done
 }

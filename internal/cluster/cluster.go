@@ -7,10 +7,12 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"rocksteady/internal/client"
 	"rocksteady/internal/coordinator"
 	"rocksteady/internal/core"
+	"rocksteady/internal/faultinject"
 	"rocksteady/internal/server"
 	"rocksteady/internal/storage"
 	"rocksteady/internal/transport"
@@ -43,6 +45,27 @@ type Config struct {
 	Migration core.Options
 	// Quiet silences coordinator recovery logging.
 	Quiet bool
+	// Faults, when non-nil, wraps every endpoint the cluster attaches
+	// (coordinator, servers, clients) in the fault-injection layer. The
+	// network is inert until its SetPlan/Block/AtMessage knobs are used,
+	// so a cluster built with Faults behaves identically to one without
+	// until a test arms a plan.
+	Faults *faultinject.Network
+	// RPCTimeout, when non-zero, overrides transport.DefaultRPCTimeout on
+	// every node the cluster creates. Fault tests shorten it so injected
+	// partitions surface as timeouts in test time, not wall-clock minutes.
+	RPCTimeout time.Duration
+}
+
+// Clone returns an independent copy of the configuration, so a base config
+// shared across subtests can be specialized per test case without the
+// cases seeing each other's mutations. Every field is a value type except
+// Faults, which is a runtime handle — cloners that want fault injection
+// install their own Network.
+func (c Config) Clone() Config {
+	out := c
+	out.Faults = nil
+	return out
 }
 
 func (c *Config) applyDefaults() {
@@ -73,7 +96,10 @@ func New(cfg Config) *Cluster {
 	cfg.applyDefaults()
 	c := &Cluster{cfg: cfg, Fabric: transport.NewFabric(cfg.Fabric)}
 
-	coordNode := transport.NewNode(c.Fabric.Attach(wire.CoordinatorID))
+	coordNode := transport.NewNode(c.attach(wire.CoordinatorID))
+	if cfg.RPCTimeout > 0 {
+		coordNode.SetTimeout(cfg.RPCTimeout)
+	}
 	c.Coordinator = coordinator.New(coordNode)
 	if cfg.Quiet {
 		c.Coordinator.Logf = func(string, ...any) {}
@@ -84,23 +110,7 @@ func New(cfg Config) *Cluster {
 		ids[i] = FirstServerID + wire.ServerID(i)
 	}
 	for _, id := range ids {
-		var backups []wire.ServerID
-		if cfg.ReplicationFactor > 0 {
-			for _, b := range ids {
-				if b != id {
-					backups = append(backups, b)
-				}
-			}
-		}
-		srv := server.New(server.Config{
-			ID:                   id,
-			Workers:              cfg.Workers,
-			SegmentSize:          cfg.SegmentSize,
-			HashTableCapacity:    cfg.HashTableCapacity,
-			Backups:              backups,
-			ReplicationFactor:    cfg.ReplicationFactor,
-			BackupWriteBandwidth: cfg.BackupWriteBandwidth,
-		}, c.Fabric.Attach(id))
+		srv := c.startServer(id, ids)
 		c.Servers = append(c.Servers, srv)
 		c.Managers = append(c.Managers, core.NewManager(srv, cfg.Migration))
 	}
@@ -114,6 +124,61 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	return c
+}
+
+// attach creates an endpoint on the fabric, wrapped in the fault-injection
+// layer when one is configured.
+func (c *Cluster) attach(id wire.ServerID) transport.Endpoint {
+	ep := c.Fabric.Attach(id)
+	if c.cfg.Faults != nil {
+		return c.cfg.Faults.Wrap(ep)
+	}
+	return ep
+}
+
+// startServer builds and starts one storage server process. ids is the
+// full membership (backup placement spans every other server when
+// replication is on).
+func (c *Cluster) startServer(id wire.ServerID, ids []wire.ServerID) *server.Server {
+	var backups []wire.ServerID
+	if c.cfg.ReplicationFactor > 0 {
+		for _, b := range ids {
+			if b != id {
+				backups = append(backups, b)
+			}
+		}
+	}
+	srv := server.New(server.Config{
+		ID:                   id,
+		Workers:              c.cfg.Workers,
+		SegmentSize:          c.cfg.SegmentSize,
+		HashTableCapacity:    c.cfg.HashTableCapacity,
+		Backups:              backups,
+		ReplicationFactor:    c.cfg.ReplicationFactor,
+		BackupWriteBandwidth: c.cfg.BackupWriteBandwidth,
+	}, c.attach(id))
+	if c.cfg.RPCTimeout > 0 {
+		srv.Node().SetTimeout(c.cfg.RPCTimeout)
+	}
+	return srv
+}
+
+// Restart replaces a crashed server with a fresh, empty process at the
+// same address and enlists it with the coordinator, modelling the paper's
+// crash-restart cycle: the restarted process owns nothing (its pre-crash
+// tablets were recovered elsewhere — or lost with it) and rejoins as new
+// capacity. Fabric.Attach atomically swaps the dead port for the live one.
+func (c *Cluster) Restart(i int) error {
+	id := c.Servers[i].ID()
+	c.Servers[i].Close()
+	srv := c.startServer(id, c.ServerIDs())
+	c.Servers[i] = srv
+	c.Managers[i] = core.NewManager(srv, c.cfg.Migration)
+	cl := c.firstClient()
+	if _, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+		return fmt.Errorf("cluster: re-enlist %v: %w", id, err)
+	}
+	return nil
 }
 
 // ServerIDs returns the storage servers' addresses in order.
@@ -138,9 +203,12 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 	id := c.nextClientID
 	c.nextClientID++
 	c.clientMu.Unlock()
-	cl, err := client.New(c.Fabric.Attach(id))
+	cl, err := client.New(c.attach(id))
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.RPCTimeout > 0 {
+		cl.Node().SetTimeout(c.cfg.RPCTimeout)
 	}
 	c.clientMu.Lock()
 	c.clients = append(c.clients, cl)
@@ -249,6 +317,13 @@ func (c *Cluster) BulkLoad(table wire.TableID, keys, values [][]byte) error {
 func (c *Cluster) Migrate(table wire.TableID, rng wire.HashRange, source, target int) (*core.Migration, error) {
 	cl := c.firstClient()
 	if err := cl.MigrateTablet(table, rng, c.Servers[source].ID(), c.Servers[target].ID()); err != nil {
+		// Under fault injection the RPC can fail (dropped response, timed
+		// out request) after the target actually started the migration.
+		// The manager is the ground truth: if it registered the migration,
+		// hand it back so the caller tracks the real thing.
+		if g := c.Managers[target].Migration(table, rng); g != nil {
+			return g, nil
+		}
 		return nil, err
 	}
 	g := c.Managers[target].Migration(table, rng)

@@ -1,0 +1,429 @@
+package cluster
+
+// faults_test.go is the deterministic fault-tolerance scenario suite: one
+// test per failure mode of the paper's §4 fault-tolerance design, each
+// driven by the seeded fault-injection network (internal/faultinject) so
+// a failing run replays exactly from its printed seed. Every scenario
+// asserts the machine-checkable invariants from faultinject/check: no
+// acknowledged write lost, no deleted record resurrected, at most one
+// owner per tablet at every observed instant, per-key versions monotone.
+//
+// DESIGN.md §5 maps each §4 claim to its scenario here.
+
+import (
+	"testing"
+	"time"
+
+	"rocksteady/internal/faultinject"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/wire"
+)
+
+// faultPlan is the standard message-fault mix scenarios arm: mild drops,
+// frequent small delays, duplicated responses, adjacent reorders.
+// Replication and recovery-fetch ops are exempt so an injected fault is
+// never mistakable for genuine data loss — those paths have their own
+// retry hardening, but exempting them keeps each scenario's assertion
+// about exactly one failure mode.
+func faultPlan() *faultinject.Plan {
+	return &faultinject.Plan{
+		DropProb:    0.01,
+		DelayProb:   0.10,
+		DupProb:     0.02,
+		ReorderProb: 0.02,
+		ExemptOps:   []wire.Op{wire.OpReplicateSegment, wire.OpGetBackupSegments},
+	}
+}
+
+// TestFaultScenarioSourceCrashMidMigration is §4's headline failure mode:
+// the migration source crashes mid-pull, with message faults active.
+// Ownership already moved to the target (immediate transfer), whose
+// lineage dependency makes the coordinator recover the source's log such
+// that every record — including writes the target acknowledged during the
+// migration — survives exactly once.
+func TestFaultScenarioSourceCrashMidMigration(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 4, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		half := wire.FullRange().Split(2)[1]
+		g, err := c.Migrate(table, half, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash the source in "message time": after 500 more messages have
+		// crossed the fault layer — a point that lands mid-pull for every
+		// seed because the workload keeps the network busy.
+		crashed := make(chan struct{})
+		net.AtMessage(net.MessageCount()+500, func() { close(crashed) })
+		net.SetPlan(faultPlan())
+		wl.start()
+
+		<-crashed
+		net.ClearPlan() // recovery must run clean: faults stay scoped to the migration window
+		c.Crash(0)
+		if err := cl.ReportCrash(c.Server(0).ID()); err != nil {
+			t.Fatal(err)
+		}
+		c.Coordinator.WaitForRecoveries()
+		g.Wait() // terminates either way: completed, or cancelled by recovery
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+// TestFaultScenarioTargetCrashMidMigration crashes the migration target
+// instead: the lineage record lets the coordinator revert ownership to
+// the source side, replaying the target's log (which holds writes it
+// acknowledged as the new owner) from its backups. Afterwards no tablet
+// may still name the dead target.
+func TestFaultScenarioTargetCrashMidMigration(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 4, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		half := wire.FullRange().Split(2)[1]
+		g, err := c.Migrate(table, half, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed := make(chan struct{})
+		net.AtMessage(net.MessageCount()+500, func() { close(crashed) })
+		net.SetPlan(faultPlan())
+		wl.start()
+
+		<-crashed
+		net.ClearPlan()
+		dead := c.Server(1).ID()
+		c.Crash(1)
+		if err := cl.ReportCrash(dead); err != nil {
+			t.Fatal(err)
+		}
+		c.Coordinator.WaitForRecoveries()
+		g.Wait()
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range reply.(*wire.GetTabletMapResponse).Tablets {
+			if tb.Master == dead {
+				t.Errorf("tablet %+v still owned by dead target %v", tb.Range, dead)
+			}
+		}
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+// TestFaultScenarioBackupFailureDuringRereplication kills a pure backup
+// while a migration is re-replicating through it: the replicator must
+// fail over by re-shipping whole segments to surviving backups (a delta
+// would leave a gap) and the migration must still complete. Crashing the
+// target afterwards proves durability really survived the failover — the
+// recovered state passes the full audit.
+func TestFaultScenarioBackupFailureDuringRereplication(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 4, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 2 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1000, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl.start()
+
+		// Server 3 owns no tablets: a pure backup. Killing it mid-migration
+		// hits the replication path of every live master. (Deliberately not
+		// the source — with four servers and RF2, killing a backup *and* the
+		// source can genuinely lose the segments placed on exactly that
+		// pair, which no protocol survives.)
+		c.Crash(3)
+		if err := cl.ReportCrash(c.Server(3).ID()); err != nil {
+			t.Fatal(err)
+		}
+		c.Coordinator.WaitForRecoveries()
+
+		if res := g.Wait(); res.Err != nil {
+			t.Fatalf("migration must survive a backup death via whole-segment failover: %v", res.Err)
+		}
+
+		// Prove the failover preserved durability: crash the target and
+		// recover everything — side logs included — from what remains.
+		c.Crash(1)
+		if err := cl.ReportCrash(c.Server(1).ID()); err != nil {
+			t.Fatal(err)
+		}
+		c.Coordinator.WaitForRecoveries()
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+// TestFaultScenarioCoordinatorChurnDuringPulls churns the coordinator's
+// view — tablet splits, table creates, a second concurrent migration —
+// while message faults hit the coordinator's own links, and polls the map
+// continuously: at no observed instant may two tablets of a table
+// overlap, and the workload's oracles must hold through the churn.
+func TestFaultScenarioCoordinatorChurnDuringPulls(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 3, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		quarters := wire.FullRange().Split(4)
+		g1, err := c.Migrate(table, quarters[1], 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetPlan(faultPlan())
+		wl.start()
+
+		// View churn while pulls run. Individual churn RPCs may be eaten by
+		// the fault plan — that is the point; the invariant poller and the
+		// final audit judge the outcome, not these statuses.
+		ccl := c.MustClient()
+		for i := 0; i < 6; i++ {
+			splitAt := quarters[0].Start + uint64(i+1)*(quarters[0].End-quarters[0].Start)/8
+			_, _ = ccl.Node().Call(wire.CoordinatorID, wire.PriorityForeground,
+				&wire.SplitTabletRequest{Table: table, SplitAt: splitAt})
+			_, _ = ccl.CreateTable(names(seed, i), c.Server(i%3).ID())
+		}
+		g2, err := c.Migrate(table, quarters[3], 0, 2)
+		if err != nil && g2 == nil {
+			// The MigrateTablet RPC was eaten before the target registered
+			// anything: nothing started, nothing to converge.
+			t.Logf("second migration never started: %v", err)
+		}
+
+		convergeMigration(t, c, cl, net, g1, 1)
+		if g2 != nil {
+			convergeMigration(t, c, cl, net, g2, 2)
+		}
+		net.ClearPlan()
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+func names(seed uint64, i int) string {
+	return "churn-" + string(rune('a'+int(seed%26))) + "-" + string(rune('0'+i))
+}
+
+// TestFaultScenarioPartitionHealDuringPriorityPulls severs the
+// target→source direction (Pulls and PriorityPulls black-hole; everything
+// else flows) for longer than one RPC timeout, then heals. The pull retry
+// budget must ride out the outage and finish the migration; if a seed's
+// timing lands the outage beyond the budget, the operator remedy converges
+// the cluster instead. Either way the audit must pass.
+func TestFaultScenarioPartitionHealDuringPriorityPulls(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 3, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: 400 * time.Millisecond,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl.start() // reads of unmigrated keys drive PriorityPulls target→source
+
+		src, dst := c.Server(0).ID(), c.Server(1).ID()
+		net.Block(dst, src, true)
+		// Hold the outage across one full RPC timeout — in-flight Pulls and
+		// PriorityPulls time out and retry straight into the partition —
+		// then heal inside the retry budget (3 attempts × 400ms).
+		time.Sleep(600 * time.Millisecond)
+		net.Block(dst, src, false)
+
+		if res := g.Wait(); res.Err != nil {
+			t.Logf("migration did not survive the partition (%v); converging", res.Err)
+			c.Crash(1)
+			if err := cl.ReportCrash(dst); err != nil {
+				t.Fatal(err)
+			}
+			c.Coordinator.WaitForRecoveries()
+		}
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+// TestFaultScenarioPrologueResponseLoss replays, deterministically, the
+// failure mode behind chaos seed 7: the source processes PrepareMigration
+// but every response back to the target is lost. The source flips its
+// tablet to MigratingOut and refuses clients with WrongServer, yet
+// ownership never transfers at the coordinator — without an abort path the
+// range is owned by the map's master and served by nobody, forever. The
+// target must give up on the prologue, send AbortMigration (which still
+// reaches the source — only the reverse direction is blocked), and leave
+// the source serving as if the migration had never been attempted.
+func TestFaultScenarioPrologueResponseLoss(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 3, ReplicationFactor: 2,
+			Faults:     net,
+			RPCTimeout: 250 * time.Millisecond,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable("t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys, values := loadN(t, c, table, 400)
+
+		src, dst := c.Server(0).ID(), c.Server(1).ID()
+		net.Block(src, dst, true) // the source's responses never reach the target
+		g, err := c.Migrate(table, wire.FullRange().Split(2)[1], 0, 1)
+		if err == nil {
+			// The client's MigrateTablet RPC can time out before begin()
+			// resolves, handing back a live handle; it must still fail.
+			if res := g.Wait(); res.Err == nil {
+				t.Fatal("migration succeeded through a blocked prologue")
+			}
+		}
+		net.Block(src, dst, false)
+
+		// The abort must have un-prepped the source: every key readable at
+		// its pre-migration owner, and writes land — no range in limbo.
+		for i, k := range keys {
+			v, err := cl.Read(table, k)
+			if err != nil || string(v) != string(values[i]) {
+				t.Fatalf("key %s after aborted prologue: %q %v", k, v, err)
+			}
+		}
+		if err := cl.Write(table, keys[len(keys)-1], []byte("post-abort")); err != nil {
+			t.Fatalf("write after aborted prologue: %v", err)
+		}
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("aborted migration left lineage dependencies: %+v", deps)
+		}
+	})
+}
+
+// TestFaultScenarioCrashRestartRejoin exercises the crash/restart hook:
+// a crashed-and-recovered server restarts as a fresh, empty process at
+// the same address, re-enlists, and serves as a migration target — the
+// coordinator must treat it as new capacity, not a ghost of its old self.
+func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
+	c := testCluster(t, Config{Servers: 3, ReplicationFactor: 2})
+	cl := c.MustClient()
+	table, err := cl.CreateTable("t", c.Server(0).ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, values := loadN(t, c, table, 800)
+
+	// Server 2 owns nothing (the table lives on 0): a pure backup.
+	c.Crash(2)
+	if err := cl.ReportCrash(c.Server(2).ID()); err != nil {
+		t.Fatal(err)
+	}
+	c.Coordinator.WaitForRecoveries()
+
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	// The reborn server must be usable as a migration target immediately.
+	half := wire.FullRange().Split(2)[1]
+	g, err := c.Migrate(table, half, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := g.Wait(); res.Err != nil {
+		t.Fatalf("migration onto restarted server: %v", res.Err)
+	}
+	for i, k := range keys {
+		v, err := cl.Read(table, k)
+		if err != nil || string(v) != string(values[i]) {
+			t.Fatalf("key %s after restart+migration: %q %v", k, v, err)
+		}
+	}
+	if n, _ := c.Server(2).HashTable().CountRange(table, half); n == 0 {
+		t.Error("restarted server holds nothing after migrating onto it")
+	}
+}

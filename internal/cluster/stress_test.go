@@ -19,10 +19,11 @@ import (
 // catch unsynchronized access anywhere on the dispatch/migration/transport
 // path. It is deliberately bounded (< 30s under -race).
 func TestMigrationUnderLoadStress(t *testing.T) {
-	c := testCluster(t, Config{
-		Servers: 2,
-		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 2 << 20},
-	})
+	cfg := chaosBase.Clone()
+	cfg.Servers = 2
+	cfg.ReplicationFactor = 0 // no backups: maximize op throughput
+	cfg.Fabric = transport.FabricConfig{BandwidthBytesPerSec: 2 << 20}
+	c := testCluster(t, cfg)
 	cl := c.MustClient()
 	table, err := cl.CreateTable("stress", c.Server(0).ID())
 	if err != nil {

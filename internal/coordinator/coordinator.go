@@ -83,6 +83,10 @@ func (c *Coordinator) process(m *wire.Message) {
 	case *wire.EnlistServerRequest:
 		c.mu.Lock()
 		c.servers[req.Server] = true
+		// A re-enlisting server is a fresh process at an old address:
+		// clear the recovered guard so a future crash of the restarted
+		// server triggers recovery again.
+		delete(c.recovered, req.Server)
 		c.mu.Unlock()
 		c.node.Reply(m, &wire.EnlistServerResponse{Status: wire.StatusOK})
 	case *wire.GetTabletMapRequest:
@@ -233,6 +237,15 @@ func (c *Coordinator) splitTablet(req *wire.SplitTabletRequest) *wire.SplitTable
 func (c *Coordinator) migrateStart(req *wire.MigrateStartRequest) *wire.MigrateStartResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Idempotent retry: if this exact transfer already registered (the
+	// target resent after losing our response), everything below already
+	// happened — re-flipping would reject on Master != Source and strand
+	// the migration. Answer OK again instead.
+	for _, d := range c.deps {
+		if d.Table == req.Table && d.Range == req.Range && d.Source == req.Source && d.Target == req.Target {
+			return &wire.MigrateStartResponse{Status: wire.StatusOK, MapVersion: c.version}
+		}
+	}
 	if !c.splitLocked(req.Table, req.Range.Start) {
 		return &wire.MigrateStartResponse{Status: wire.StatusNoSuchTable}
 	}
@@ -342,7 +355,10 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 			// (writes the target accepted after ownership transfer).
 			rep := recovery.NewReplayer(rangeFilter(d.Table, d.Range))
 			rep.AddBackupSegments(crashedSegs)
-			records, ceiling := rep.Live()
+			// Tombstones included: the source still holds its pre-migration
+			// copies, so deletions the target accepted must be replayed as
+			// deletions or those copies would resurrect.
+			records, ceiling := rep.LiveWithTombstones()
 			if err := c.installTablet(d.Table, d.Range, d.Source, records, ceiling); err != nil {
 				return err
 			}
@@ -368,11 +384,34 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 		}
 	}
 
-	// Normal recovery for the crashed server's own tablets.
+	// Normal recovery for the crashed server's own tablets. Ranges already
+	// resolved by a lineage dependency above are excluded: when the crashed
+	// server was a migration target, the map lists it as master of the
+	// migrating range, but that range has just been re-installed on the
+	// source *with tombstones*. Recovering it here a second time via Live()
+	// would ship deletion-folded records after ownership reverted and
+	// traffic resumed — a post-revert delete leaves no hash-table entry to
+	// version-fence against, so the stale copy would resurrect the key.
 	for i, t := range ownTablets {
+		resolved := false
+		for _, d := range involved {
+			// Splits inside a migrating range only produce fragments
+			// contained in it, so Overlaps is containment in practice.
+			if d.Table == t.Table && d.Range.Overlaps(t.Range) {
+				resolved = true
+				break
+			}
+		}
+		if resolved {
+			continue
+		}
 		rep := recovery.NewReplayer(rangeFilter(t.Table, t.Range))
 		rep.AddBackupSegments(crashedSegs)
-		records, ceiling := rep.Live()
+		// Tombstones ship here too: the chosen master may still hold stale
+		// pre-migration copies of this range (a source whose DropTablet was
+		// lost after the migration committed). On a fresh master parking
+		// them is a no-op; on a stale one they are the only fence.
+		records, ceiling := rep.LiveWithTombstones()
 		master := c.pickRecoveryMaster(live, i)
 		if err := c.installTablet(t.Table, t.Range, master, records, ceiling); err != nil {
 			return err
@@ -405,7 +444,10 @@ func (c *Coordinator) fetchBackupSegments(master wire.ServerID, live []wire.Serv
 	var segs []wire.BackupSegment
 	responded := 0
 	for _, s := range live {
-		reply, err := c.node.Call(s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master})
+		// Retried: under fault injection a dropped fetch must not silently
+		// shrink the replica set recovery reads from — that could turn an
+		// injected message loss into a genuine data loss.
+		reply, err := c.node.CallWithRetries(s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master}, 3)
 		if err != nil {
 			continue // a backup may have crashed too; others hold copies
 		}
@@ -425,9 +467,12 @@ func (c *Coordinator) fetchBackupSegments(master wire.ServerID, live []wire.Serv
 // installTablet sends recovered records to their new master and flips the
 // tablet map.
 func (c *Coordinator) installTablet(table wire.TableID, rng wire.HashRange, master wire.ServerID, records []wire.Record, ceiling uint64) error {
-	reply, err := c.node.Call(master, wire.PriorityForeground, &wire.TakeTabletsRequest{
+	// TakeTablets is idempotent at the master (version-gated PutIfNewer),
+	// so retrying a timed-out install is safe; without the retry a single
+	// injected drop would strand the tablet unowned.
+	reply, err := c.node.CallWithRetries(master, wire.PriorityForeground, &wire.TakeTabletsRequest{
 		Table: table, Range: rng, Records: records, VersionCeiling: ceiling,
-	})
+	}, 3)
 	if err != nil {
 		return err
 	}

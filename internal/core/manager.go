@@ -66,6 +66,15 @@ func (m *Manager) HandleMigrateTablet(table wire.TableID, rng wire.HashRange, so
 func (m *Manager) HandleMissingKey(table wire.TableID, hash uint64) (uint32, bool) {
 	g := m.migrationFor(table, hash)
 	if g == nil {
+		if f := m.lastMigrationFor(table, hash); f != nil && f.Result().Err != nil {
+			// The covering migration died (a fault killed its pulls) and the
+			// tablet has not been reverted yet. The record may well still
+			// exist at the source, so absence must not be asserted: answer
+			// "retry" until the operator's revert or recovery resolves the
+			// limbo. Claiming NoSuchKey here would teach clients a deletion
+			// that never happened.
+			return m.opts.RetryHintMicros, false
+		}
 		// No migration covers the key (it just completed): truly absent.
 		return 0, true
 	}
@@ -94,6 +103,21 @@ func (m *Manager) migrationFor(table wire.TableID, hash uint64) *Migration {
 	for _, g := range m.active {
 		if g.Table == table && g.Range.Contains(hash) {
 			return g
+		}
+	}
+	return nil
+}
+
+// lastMigrationFor returns the most recent finished migration covering the
+// hash, or nil. The newest one decides whether absence is assertable: a
+// clean finish pulled everything, a failed one may have left records
+// stranded at the source.
+func (m *Manager) lastMigrationFor(table wire.TableID, hash uint64) *Migration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.past) - 1; i >= 0; i-- {
+		if m.past[i].Table == table && m.past[i].Range.Contains(hash) {
+			return m.past[i]
 		}
 	}
 	return nil

@@ -129,11 +129,22 @@ func (g *Migration) begin() wire.Status {
 	g.started = time.Now()
 	srv := g.mgr.srv
 
-	reply, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PrepareMigrationRequest{
+	// Both prologue RPCs are idempotent (re-preparing an already-prepared
+	// range and re-registering an identical transfer both answer OK), so
+	// transport faults are retried rather than failing the migration — and,
+	// more importantly, rather than leaving the cluster in the half-started
+	// states the failure branches below must then clean up.
+	reply, err := g.callSource(wire.PriorityForeground, &wire.PrepareMigrationRequest{
 		Table: g.Table, Range: g.Range, Target: srv.ID(),
 		KeepServing: g.opts.SourceRetainsOwnership,
 	})
 	if err != nil {
+		// The prepare may have landed with only its response lost — the
+		// source then refuses the range (migrating-out) while the
+		// coordinator still routes every client to it, serving nobody.
+		// Abort (idempotent, no-op if the prepare never arrived) so the
+		// source resumes serving.
+		g.abortSource()
 		g.fail(err)
 		return wire.StatusServerDown
 	}
@@ -158,21 +169,78 @@ func (g *Migration) begin() wire.Status {
 	// Own the tablet locally before the coordinator redirects clients.
 	srv.RegisterTablet(g.Table, g.Range, server.TabletMigratingIn)
 
-	reply, err = srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+	reply, err = srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: g.Table, Range: g.Range,
 		Source: g.Source, Target: srv.ID(),
 		TargetLogOffset: srv.Log().AppendedBytes(),
-	})
+	}, 3)
 	if err != nil {
-		g.fail(err)
-		return wire.StatusServerDown
+		// Ambiguous: the transfer may have registered with every response
+		// lost. Read the coordinator's map to find out — only a confirmed
+		// non-transfer may be rolled back (rolling back a transfer that DID
+		// register would leave the map pointing at a target that dropped
+		// the tablet).
+		switch transferred, known := g.ownershipTransferred(); {
+		case transferred:
+			return wire.StatusOK // it registered; the migration proceeds
+		case known:
+			srv.DropTablet(g.Table, g.Range)
+			g.abortSource()
+			g.fail(err)
+			return wire.StatusServerDown
+		default:
+			// Coordinator unreachable: leave the prepared/migrating-in
+			// state for the operator remedy (declare the target crashed;
+			// recovery reverts via the lineage dependency if one exists).
+			g.fail(err)
+			return wire.StatusServerDown
+		}
 	}
 	if ms, ok := reply.(*wire.MigrateStartResponse); !ok || ms.Status != wire.StatusOK {
 		g.fail(errors.New("coordinator rejected ownership transfer"))
 		srv.DropTablet(g.Table, g.Range)
+		g.abortSource()
 		return ms.Status
 	}
 	return wire.StatusOK
+}
+
+// abortSource tells the source to resume serving after a failed prologue.
+// Best-effort, retried, idempotent: without it a lost PrepareMigration
+// response leaves the range served by nobody — the source refuses
+// (migrating-out) while the coordinator still routes clients to it.
+func (g *Migration) abortSource() {
+	srv := g.mgr.srv
+	_, _ = srv.Node().CallWithRetries(g.Source, wire.PriorityForeground, &wire.AbortMigrationRequest{
+		Table: g.Table, Range: g.Range, Target: srv.ID(),
+	}, 3)
+}
+
+// ownershipTransferred resolves an ambiguous MigrateStart outcome by
+// reading the coordinator's tablet map: transferred reports whether every
+// tablet of the range is mastered by this target (the transfer registered
+// before its response was lost); known is false when the coordinator could
+// not be reached and nothing may be concluded.
+func (g *Migration) ownershipTransferred() (transferred, known bool) {
+	srv := g.mgr.srv
+	reply, err := srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{}, 3)
+	if err != nil {
+		return false, false
+	}
+	tm, ok := reply.(*wire.GetTabletMapResponse)
+	if !ok || tm.Status != wire.StatusOK {
+		return false, false
+	}
+	covered := false
+	for _, t := range tm.Tablets {
+		if t.Table == g.Table && t.Range.Overlaps(g.Range) {
+			if t.Master != srv.ID() {
+				return false, true
+			}
+			covered = true
+		}
+	}
+	return covered, true
 }
 
 // run drives the migration to completion: the paper's migration manager
@@ -200,6 +268,29 @@ func (g *Migration) run() {
 	g.drainPriorityPulls()
 }
 
+// callSource issues an idempotent RPC to the source, retrying
+// transport-level failures up to opts.PullRetries extra times. Retries
+// keep a transient fault (an injected drop, a momentary partition) from
+// failing the whole migration: Pulls resume by token and replay is
+// version-gated, so re-execution is safe. The backoff wait is event-driven
+// — cancellation (e.g. the source declared crashed) aborts it immediately.
+func (g *Migration) callSource(pri wire.Priority, body wire.Payload) (wire.Payload, error) {
+	srv := g.mgr.srv
+	var reply wire.Payload
+	var err error
+	for attempt := 0; ; attempt++ {
+		reply, err = srv.Node().Call(g.Source, pri, body)
+		if err == nil || attempt >= g.opts.PullRetries || g.cancelled.Load() {
+			return reply, err
+		}
+		select {
+		case <-time.After(time.Millisecond):
+		case <-g.cancelCh:
+			return nil, err
+		}
+	}
+}
+
 // pullPartition issues pipelined Pulls over one partition: the next Pull
 // goes out as soon as the previous response arrives, while its records
 // replay on whatever worker is idle (§3.1.2). Flow control is built in:
@@ -212,7 +303,7 @@ func (g *Migration) pullPartition(p wire.HashRange) {
 		if g.cancelled.Load() {
 			return
 		}
-		reply, err := srv.Node().Call(g.Source, wire.PriorityBackground, &wire.PullRequest{
+		reply, err := g.callSource(wire.PriorityBackground, &wire.PullRequest{
 			Table: g.Table, Range: p,
 			ResumeToken: token, ByteBudget: uint32(g.opts.PullBytes),
 		})
@@ -345,14 +436,19 @@ func (g *Migration) replayRecords(records []wire.Record) {
 		hash := wire.HashKey(rec.Key)
 		if prev, stored := srv.HashTable().PutIfNewer(rec.Table, rec.Key, hash, ref, rec.Version); stored {
 			storage.MarkDeadRef(prev)
+			// Count only records that took effect: a bulk-Pull copy of a
+			// record a PriorityPull already delivered (or a version below a
+			// client write above the ceiling) loses the race here and must
+			// not inflate Records — each version lands at most once, so the
+			// total is deterministic however pulls interleave.
+			n++
+			bytes += int64(rec.WireSize())
 		} else {
-			// A newer version beat us here (a client write above the
-			// ceiling, or a PriorityPull'd copy): the replayed bytes are
+			// A newer-or-equal version beat us here (a client write above
+			// the ceiling, or a PriorityPull'd copy): the replayed bytes are
 			// immediately dead.
 			storage.MarkDeadRef(ref)
 		}
-		n++
-		bytes += int64(rec.WireSize())
 	}
 	if g.opts.SyncRereplication {
 		if err := srv.Replicator().Sync(); err != nil {
@@ -408,15 +504,18 @@ func (g *Migration) complete() {
 		}
 	}
 
-	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+	// The epilogue RPCs are idempotent (dependency removal, tablet drop),
+	// so transport faults get retried rather than failing a migration whose
+	// data is already durably re-replicated.
+	if _, err := srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
 		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
-	}); err != nil {
+	}, 3); err != nil {
 		g.fail(err)
 		return
 	}
-	if _, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
+	if _, err := srv.Node().CallWithRetries(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
 		Table: g.Table, Range: g.Range,
-	}); err != nil {
+	}, 3); err != nil {
 		g.fail(err)
 		return
 	}

@@ -33,6 +33,12 @@ type Options struct {
 	// RetryHintMicros is the client retry hint while a PriorityPull is in
 	// flight (paper: "a few tens of microseconds").
 	RetryHintMicros uint32
+	// PullRetries is how many extra attempts a transport-failed Pull or
+	// PriorityPull RPC gets before the migration fails (default 2; -1
+	// disables retries). Retries ride out transient faults — an injected
+	// drop, a brief partition — while a dead source still fails the
+	// migration after the attempts are exhausted.
+	PullRetries int
 
 	// DisablePriorityPulls reproduces Figure 9(b): reads of unmigrated
 	// records keep retrying until background Pulls deliver them.
@@ -69,6 +75,11 @@ func (o *Options) applyDefaults() {
 	}
 	if o.RetryHintMicros == 0 {
 		o.RetryHintMicros = 40
+	}
+	if o.PullRetries == 0 {
+		o.PullRetries = 2
+	} else if o.PullRetries < 0 {
+		o.PullRetries = 0
 	}
 	if o.SourceRetainsOwnership {
 		o.SyncRereplication = true

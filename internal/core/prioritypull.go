@@ -111,7 +111,7 @@ func (g *Migration) priorityPullLoop() {
 		}
 		g.ppMu.Unlock()
 
-		reply, err := srv.Node().Call(g.Source, wire.PriorityPriorityPull, &wire.PriorityPullRequest{
+		reply, err := g.callSource(wire.PriorityPriorityPull, &wire.PriorityPullRequest{
 			Table: g.Table, Hashes: batch,
 		})
 		if err != nil {

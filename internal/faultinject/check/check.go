@@ -1,0 +1,163 @@
+// Package check provides the machine-checkable invariants shared by the
+// fault-injection scenario suite: per-key no-loss/no-duplication
+// linearizability under in-doubt operations, per-key version
+// monotonicity, and tablet-map ownership exclusivity.
+//
+// The key model assumes the single-writer discipline every scenario
+// worker follows: each key is mutated by exactly one goroutine, so the
+// admissible states of a key are its last acknowledged value plus the
+// ordered list of in-doubt operations (issued but not acknowledged —
+// typically because a fault turned the RPC into a timeout). An
+// observation (a read, or the final audit) resolves the doubt: the store
+// may legally show the acknowledged state or any in-doubt state, and
+// anything else is a lost or resurrected update.
+package check
+
+import (
+	"fmt"
+
+	"rocksteady/internal/wire"
+)
+
+// pendingOp is one in-doubt mutation: issued, never acknowledged.
+type pendingOp struct {
+	value  []byte // nil for a delete
+	delete bool
+}
+
+// KeyModel is the oracle for one key under a single writer.
+//
+// Soundness of the resolution rule: the writer is synchronous, so every
+// in-doubt operation was issued (and either applied or permanently lost)
+// before any later observation. Server versions are monotone per key,
+// meaning an applied later operation always supersedes earlier ones in
+// the store. Hence observing state S implies every in-doubt operation
+// issued after S was never applied — the whole pending list collapses.
+// This argument requires the fault layer's bounded-delay contract (see
+// package faultinject): a message may be dropped or briefly delayed, but
+// never delivered after its sender already acted on a timeout.
+type KeyModel struct {
+	acked   []byte // last acknowledged value; nil = absent
+	pending []pendingOp
+}
+
+// NewKeyModel starts a model with a known loaded value (nil = absent).
+func NewKeyModel(loaded []byte) *KeyModel {
+	return &KeyModel{acked: loaded}
+}
+
+// AckWrite records an acknowledged write: the store state is determinate.
+func (k *KeyModel) AckWrite(value []byte) {
+	k.acked = value
+	k.pending = nil
+}
+
+// FailWrite records a write whose RPC failed: it may or may not have
+// been applied.
+func (k *KeyModel) FailWrite(value []byte) {
+	k.pending = append(k.pending, pendingOp{value: value})
+}
+
+// AckDelete records an acknowledged delete.
+func (k *KeyModel) AckDelete() {
+	k.acked = nil
+	k.pending = nil
+}
+
+// FailDelete records a delete whose RPC failed (in-doubt).
+func (k *KeyModel) FailDelete() {
+	k.pending = append(k.pending, pendingOp{delete: true})
+}
+
+// Observe checks a read result (value, or absent=true) against the
+// admissible states and resolves the in-doubt list. It returns an error
+// if the observation matches neither the acknowledged state nor any
+// in-doubt operation — i.e. an update was lost or resurrected.
+func (k *KeyModel) Observe(value []byte, absent bool) error {
+	matches := func(p pendingOp) bool {
+		if absent {
+			return p.delete
+		}
+		return !p.delete && string(p.value) == string(value)
+	}
+	admissible := false
+	if absent {
+		admissible = k.acked == nil
+	} else {
+		admissible = k.acked != nil && string(k.acked) == string(value)
+	}
+	for _, p := range k.pending {
+		if matches(p) {
+			admissible = true
+		}
+	}
+	if !admissible {
+		return fmt.Errorf("observed %s; admissible: acked=%s plus %d in-doubt op(s)",
+			describe(value, absent), describe(k.acked, k.acked == nil), len(k.pending))
+	}
+	// Any legal observation resolves every in-doubt op (see type comment).
+	if absent {
+		k.acked = nil
+	} else {
+		k.acked = value
+	}
+	k.pending = nil
+	return nil
+}
+
+// InDoubt reports how many unresolved operations the model carries.
+func (k *KeyModel) InDoubt() int { return len(k.pending) }
+
+func describe(v []byte, absent bool) string {
+	if absent {
+		return "<absent>"
+	}
+	return fmt.Sprintf("%q", v)
+}
+
+// VersionWatch asserts per-key version monotonicity as observed by one
+// goroutine: versioned reads of a key must never go backwards, across
+// migrations and crash recoveries alike.
+type VersionWatch struct {
+	last map[string]uint64
+}
+
+// NewVersionWatch creates an empty watch.
+func NewVersionWatch() *VersionWatch {
+	return &VersionWatch{last: make(map[string]uint64)}
+}
+
+// Observe records a versioned read and returns an error if the version
+// regressed relative to this watcher's previous read of the key.
+func (w *VersionWatch) Observe(key []byte, version uint64) error {
+	k := string(key)
+	if prev, ok := w.last[k]; ok && version < prev {
+		return fmt.Errorf("version regression on %q: %d after %d", key, version, prev)
+	}
+	w.last[k] = version
+	return nil
+}
+
+// CheckOwnershipExclusive verifies that a tablet map names at most one
+// owner for every point of every table's hash space: tablets of one
+// table must not overlap. This is the "at most one owner per tablet at
+// any time" invariant; it must hold at every instant, including mid-
+// migration and mid-recovery, because the coordinator mutates the map
+// atomically under its lock.
+func CheckOwnershipExclusive(tablets []wire.Tablet) error {
+	byTable := make(map[wire.TableID][]wire.Tablet)
+	for _, t := range tablets {
+		byTable[t.Table] = append(byTable[t.Table], t)
+	}
+	for table, ts := range byTable {
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				if ts[i].Range.Overlaps(ts[j].Range) {
+					return fmt.Errorf("table %d: tablet %v@%v overlaps %v@%v",
+						table, ts[i].Range, ts[i].Master, ts[j].Range, ts[j].Master)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package check
+
+import (
+	"testing"
+
+	"rocksteady/internal/wire"
+)
+
+func TestKeyModelExactTracking(t *testing.T) {
+	m := NewKeyModel([]byte("seed"))
+	if err := m.Observe([]byte("seed"), false); err != nil {
+		t.Fatal(err)
+	}
+	m.AckWrite([]byte("v1"))
+	if err := m.Observe([]byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe([]byte("seed"), false); err == nil {
+		t.Fatal("stale value accepted after acked overwrite (lost update)")
+	}
+	m2 := NewKeyModel([]byte("x"))
+	m2.AckDelete()
+	if err := m2.Observe(nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Observe([]byte("x"), false); err == nil {
+		t.Fatal("deleted value resurfaced but was accepted")
+	}
+}
+
+func TestKeyModelInDoubtResolution(t *testing.T) {
+	// An unacked write may or may not have landed; both observations are
+	// legal, and either one resolves the doubt.
+	m := NewKeyModel([]byte("old"))
+	m.FailWrite([]byte("new"))
+	if m.InDoubt() != 1 {
+		t.Fatalf("in-doubt = %d", m.InDoubt())
+	}
+	if err := m.Observe([]byte("new"), false); err != nil {
+		t.Fatalf("in-doubt write observed: %v", err)
+	}
+	if m.InDoubt() != 0 {
+		t.Fatal("observation did not resolve the doubt")
+	}
+	// After resolution the other branch becomes illegal.
+	if err := m.Observe([]byte("old"), false); err == nil {
+		t.Fatal("resolved write regressed but was accepted")
+	}
+
+	m = NewKeyModel([]byte("old"))
+	m.FailWrite([]byte("new"))
+	if err := m.Observe([]byte("old"), false); err != nil {
+		t.Fatalf("lost in-doubt write observed: %v", err)
+	}
+	if err := m.Observe([]byte("new"), false); err == nil {
+		t.Fatal("dropped write resurfaced but was accepted")
+	}
+
+	// In-doubt delete: absent and present are both legal until observed.
+	m = NewKeyModel([]byte("v"))
+	m.FailDelete()
+	if err := m.Observe(nil, true); err != nil {
+		t.Fatalf("in-doubt delete observed: %v", err)
+	}
+
+	// Chained in-doubt writes: any of them (or the acked base) is legal.
+	m = NewKeyModel([]byte("base"))
+	m.FailWrite([]byte("a"))
+	m.FailWrite([]byte("b"))
+	if err := m.Observe([]byte("a"), false); err != nil {
+		t.Fatalf("first in-doubt write observed: %v", err)
+	}
+	// Observing "a" implies "b" was never applied.
+	if err := m.Observe([]byte("b"), false); err == nil {
+		t.Fatal("later in-doubt write resurfaced after resolution")
+	}
+	// A value never written is always illegal.
+	m = NewKeyModel(nil)
+	if err := m.Observe([]byte("phantom"), false); err == nil {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestVersionWatch(t *testing.T) {
+	w := NewVersionWatch()
+	k := []byte("k")
+	for _, v := range []uint64{3, 3, 7, 9} {
+		if err := w.Observe(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Observe(k, 8); err == nil {
+		t.Fatal("version regression accepted")
+	}
+	// Other keys are independent.
+	if err := w.Observe([]byte("other"), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnershipExclusive(t *testing.T) {
+	halves := wire.FullRange().Split(2)
+	good := []wire.Tablet{
+		{Table: 1, Range: halves[0], Master: 10},
+		{Table: 1, Range: halves[1], Master: 11},
+		{Table: 2, Range: wire.FullRange(), Master: 12}, // other table may cover all
+	}
+	if err := CheckOwnershipExclusive(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := append(append([]wire.Tablet(nil), good...),
+		wire.Tablet{Table: 1, Range: wire.HashRange{Start: halves[0].End - 10, End: halves[1].Start + 10}, Master: 12})
+	if err := CheckOwnershipExclusive(bad); err == nil {
+		t.Fatal("overlapping tablets accepted")
+	}
+}

@@ -341,3 +341,26 @@ func PercentileOfSlice(samples []time.Duration, p float64) time.Duration {
 	}
 	return sorted[idx]
 }
+
+// Counter is a named, concurrent-safe event counter. Fault-injection
+// harnesses and probes use it for cheap "how many times did X happen"
+// accounting alongside the histogram machinery.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter creates a named counter starting at zero.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }

@@ -202,3 +202,25 @@ func TestSlotValueBounds(t *testing.T) {
 		t.Error("negative values must clamp to slot 0")
 	}
 }
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("faults.dropped")
+	if c.Name() != "faults.dropped" || c.Load() != 0 {
+		t.Fatalf("fresh counter: %q %d", c.Name(), c.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*5 {
+		t.Fatalf("counter = %d, want %d", got, 8*1000+8*5)
+	}
+}

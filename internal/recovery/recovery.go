@@ -92,7 +92,9 @@ func (r *Replayer) apply(h storage.EntryHeader, key, value []byte) {
 	st.version = h.Version
 	if h.Type == storage.EntryTombstone {
 		st.deleted = true
-		st.record = wire.Record{}
+		k := make([]byte, len(key))
+		copy(k, key)
+		st.record = wire.Record{Table: h.Table, Version: h.Version, Key: k, Tombstone: true}
 		return
 	}
 	st.deleted = false
@@ -135,13 +137,28 @@ func (r *Replayer) AddBackupSegments(segs []wire.BackupSegment) {
 // key hash for deterministic output, plus the highest version observed
 // (the recovered master's version ceiling).
 func (r *Replayer) Live() (records []wire.Record, versionCeiling uint64) {
+	return r.live(false)
+}
+
+// LiveWithTombstones additionally emits a tombstone record for every key
+// whose newest fact is a deletion. Recovery paths that install onto a
+// master which may still hold *older* copies of the keys — the migration
+// source re-assuming a tablet after its target died (§3.4) — need them:
+// folding deletions away would resurrect the source's pre-migration copy
+// of any record the target deleted.
+func (r *Replayer) LiveWithTombstones() (records []wire.Record, versionCeiling uint64) {
+	return r.live(true)
+}
+
+func (r *Replayer) live(tombstones bool) (records []wire.Record, versionCeiling uint64) {
 	for _, st := range r.state {
 		if st.version > versionCeiling {
 			versionCeiling = st.version
 		}
-		if !st.deleted && st.record.Key != nil {
-			records = append(records, st.record)
+		if st.record.Key == nil || (st.deleted && !tombstones) {
+			continue
 		}
+		records = append(records, st.record)
 	}
 	sort.Slice(records, func(i, j int) bool {
 		return wire.HashKey(records[i].Key) < wire.HashKey(records[j].Key)

@@ -184,6 +184,149 @@ func TestReplayerMultiLogMerge(t *testing.T) {
 	}
 }
 
+// TestReplayerCrashBeforeAck models a master crashing after appending an
+// entry locally but before the append reached any backup: the replicas
+// hold only the acked prefix, and recovery must reconstruct exactly the
+// pre-crash acknowledged state — the unacked suffix never happened.
+func TestReplayerCrashBeforeAck(t *testing.T) {
+	l := storage.NewLog(1024, nil)
+	if _, _, err := l.AppendObject(1, []byte("k"), []byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	seg := l.Segments()[0]
+	ackedLen := seg.Len()
+	// The crash interrupts replication of this second append: it exists in
+	// the master's memory only.
+	if _, _, err := l.AppendObject(1, []byte("k"), []byte("never-acked")); err != nil {
+		t.Fatal(err)
+	}
+	replica := wire.BackupSegment{LogID: storage.MainLogID, SegmentID: seg.ID,
+		Data: seg.Data(0, ackedLen)}
+	r := NewReplayer(nil)
+	r.AddBackupSegments([]wire.BackupSegment{replica})
+	live, ceiling := r.Live()
+	if len(live) != 1 || string(live[0].Value) != "acked" {
+		t.Fatalf("live = %+v, want only the acked write", live)
+	}
+	if ceiling != live[0].Version {
+		t.Fatalf("ceiling %d leaked past the acked prefix (version %d)", ceiling, live[0].Version)
+	}
+}
+
+// TestReplayerCrashAfterPartialPull models a migration target crashing
+// mid-pull: its side log holds copies of some source records (original
+// versions) plus writes it accepted after ownership transfer (versions
+// above the ceiling). Merging with the source's log must yield the exact
+// union — newest version per key, nothing lost, nothing duplicated.
+func TestReplayerCrashAfterPartialPull(t *testing.T) {
+	srcSegs := buildSegments(t, func(l *storage.Log) {
+		_, _ = l.AppendObjectVersion(1, 1, []byte("a"), []byte("a-old"))
+		_, _ = l.AppendObjectVersion(1, 2, []byte("b"), []byte("b-src"))
+		_, _ = l.AppendObjectVersion(1, 3, []byte("c"), []byte("c-unpulled"))
+	})
+	// Target side log: pulled copies of a and b retain source versions; the
+	// post-transfer write to a gets a version above the ceiling (3).
+	tgtSegs := buildSegments(t, func(l *storage.Log) {
+		_, _ = l.AppendObjectVersion(1, 1, []byte("a"), []byte("a-old"))
+		_, _ = l.AppendObjectVersion(1, 2, []byte("b"), []byte("b-src"))
+		_, _ = l.AppendObjectVersion(1, 50, []byte("a"), []byte("a-target-write"))
+	})
+	for i := range tgtSegs {
+		tgtSegs[i].LogID = 7 // a side log, not the main log
+	}
+	r := NewReplayer(nil)
+	r.AddBackupSegments(srcSegs)
+	r.AddBackupSegments(tgtSegs)
+	live, ceiling := r.Live()
+	if len(live) != 3 {
+		t.Fatalf("live = %d records (%+v), want exactly 3", len(live), live)
+	}
+	byKey := map[string]wire.Record{}
+	for _, rec := range live {
+		byKey[string(rec.Key)] = rec
+	}
+	if string(byKey["a"].Value) != "a-target-write" || byKey["a"].Version != 50 {
+		t.Fatalf("post-transfer write lost: %+v", byKey["a"])
+	}
+	if string(byKey["b"].Value) != "b-src" || string(byKey["c"].Value) != "c-unpulled" {
+		t.Fatalf("pulled/unpulled records corrupted: %+v", byKey)
+	}
+	if ceiling != 50 {
+		t.Fatalf("ceiling = %d", ceiling)
+	}
+}
+
+// TestReplayerDoubleRecoveryIdempotent feeds the same replica set twice
+// (a retried recovery) and compares against a single-pass replay: the
+// outputs must be identical, byte for byte — recovery can always be
+// safely re-run.
+func TestReplayerDoubleRecoveryIdempotent(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		ref, _, _ := l.AppendObject(1, []byte("del"), []byte("x"))
+		_, _ = l.AppendTombstone(1, 100, ref.Seg.ID, []byte("del"))
+		for i := 0; i < 20; i++ {
+			_, _ = l.AppendObjectVersion(1, uint64(200+i), []byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+		}
+	})
+	once := NewReplayer(nil)
+	once.AddBackupSegments(segs)
+	twice := NewReplayer(nil)
+	twice.AddBackupSegments(segs)
+	twice.AddBackupSegments(segs)
+	for _, tombstones := range []bool{false, true} {
+		a, ca := once.live(tombstones)
+		b, cb := twice.live(tombstones)
+		if ca != cb {
+			t.Fatalf("ceilings diverge: %d vs %d", ca, cb)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("tombstones=%v: %d vs %d records", tombstones, len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) ||
+				a[i].Version != b[i].Version || a[i].Tombstone != b[i].Tombstone {
+				t.Fatalf("record %d diverges: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestReplayerLiveWithTombstones: a key whose newest fact is a deletion is
+// folded away by Live but emitted as a tombstone record by
+// LiveWithTombstones — the fence an install needs when the receiving
+// master still holds older copies (§3.4 ownership reversion).
+func TestReplayerLiveWithTombstones(t *testing.T) {
+	segs := buildSegments(t, func(l *storage.Log) {
+		ref, v, _ := l.AppendObject(1, []byte("gone"), []byte("x"))
+		_, _ = l.AppendTombstone(1, v+10, ref.Seg.ID, []byte("gone"))
+		ref2, v2, _ := l.AppendObject(1, []byte("back"), []byte("y"))
+		_, _ = l.AppendTombstone(1, v2+1, ref2.Seg.ID, []byte("back"))
+		_, _ = l.AppendObjectVersion(1, v2+2, []byte("back"), []byte("rewritten"))
+	})
+	r := NewReplayer(nil)
+	r.AddBackupSegments(segs)
+
+	plain, _ := r.Live()
+	if len(plain) != 1 || string(plain[0].Key) != "back" {
+		t.Fatalf("Live = %+v, want only the rewritten key", plain)
+	}
+
+	withTombs, _ := r.LiveWithTombstones()
+	if len(withTombs) != 2 {
+		t.Fatalf("LiveWithTombstones = %+v, want rewrite + tombstone", withTombs)
+	}
+	byKey := map[string]wire.Record{}
+	for _, rec := range withTombs {
+		byKey[string(rec.Key)] = rec
+	}
+	if !byKey["gone"].Tombstone || byKey["gone"].Version == 0 {
+		t.Fatalf("deletion not emitted as versioned tombstone: %+v", byKey["gone"])
+	}
+	if byKey["back"].Tombstone || string(byKey["back"].Value) != "rewritten" {
+		t.Fatalf("delete-then-rewrite must surface the rewrite: %+v", byKey["back"])
+	}
+}
+
 func TestReplayerOrderIndependenceQuick(t *testing.T) {
 	// Property: replay result is independent of segment arrival order
 	// because versions define the outcome.

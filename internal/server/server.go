@@ -396,6 +396,8 @@ func (s *Server) handle(m *wire.Message) {
 		s.node.Reply(m, &wire.IndexRemoveResponse{Status: wire.StatusOK})
 	case *wire.PrepareMigrationRequest:
 		s.node.Reply(m, s.handlePrepareMigration(req))
+	case *wire.AbortMigrationRequest:
+		s.node.Reply(m, s.handleAbortMigration(req))
 	case *wire.PullRequest:
 		resp := s.handlePull(req)
 		s.node.Reply(m, resp)
@@ -703,6 +705,24 @@ func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire
 	}
 }
 
+// handleAbortMigration undoes a PrepareMigration whose migration never got
+// ownership: every tablet inside the range still marked migrating-out flips
+// back to normal service. Idempotent by construction — if the prepare was
+// itself lost, or a previous abort already landed, nothing is in the
+// migrating-out state and the scan changes nothing — so the target retries
+// it freely whenever the prologue outcome is in doubt.
+func (s *Server) handleAbortMigration(req *wire.AbortMigrationRequest) *wire.AbortMigrationResponse {
+	s.mu.Lock()
+	for i := range s.tablets {
+		t := &s.tablets[i]
+		if t.table == req.Table && req.Range.ContainsRange(t.rng) && t.state == TabletMigratingOut {
+			t.state = TabletNormal
+		}
+	}
+	s.mu.Unlock()
+	return &wire.AbortMigrationResponse{Status: wire.StatusOK}
+}
+
 func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
 	s.stats.PullsServed.Add(1)
 	// Pooled gather slice: recycled after Reply on copying transports, or by
@@ -766,10 +786,27 @@ func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTable
 		s.log.BumpVersionTo(req.VersionCeiling)
 	}
 	s.RegisterTablet(req.Table, req.Range, TabletNormal)
+	tombstones := false
 	for i := range req.Records {
 		rec := &req.Records[i]
 		if rec.Tombstone {
-			continue // Live() already folded deletions away
+			// A recovered deletion: park the tombstone so an older copy this
+			// server may still hold (a migration source re-assuming the
+			// tablet after its target died) loses the version race.
+			tref, err := s.log.AppendTombstone(rec.Table, rec.Version, 0, rec.Key)
+			if err != nil {
+				return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
+			}
+			tombstones = true
+			hash := wire.HashKey(rec.Key)
+			if prev, stored := s.ht.PutIfNewer(rec.Table, rec.Key, hash, tref, rec.Version); stored {
+				if !prev.IsZero() {
+					s.log.MarkDead(prev)
+				}
+			} else {
+				s.log.MarkDead(tref)
+			}
+			continue
 		}
 		ref, err := s.log.AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
 		if err != nil {
@@ -783,6 +820,12 @@ func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTable
 		} else {
 			s.log.MarkDead(ref)
 		}
+	}
+	if tombstones {
+		// The parked tombstones have done their job (any stale copies are
+		// dead); drop them from the hash table so the keys read as absent
+		// without occupying slots.
+		s.ht.RemoveTombstoneRefs(req.Table, req.Range)
 	}
 	if len(req.Records) > 0 {
 		if err := s.repl.Sync(); err != nil {

@@ -57,6 +57,7 @@ func (f *Fabric) Attach(id wire.ServerID) *Port {
 		id:      id,
 		fab:     f,
 		inbound: make(chan *wire.Message, f.cfg.QueueLen),
+		done:    make(chan struct{}),
 	}
 	if f.cfg.BandwidthBytesPerSec > 0 || f.cfg.Latency > 0 {
 		p.egress = make(chan *wire.Message, f.cfg.QueueLen)
@@ -121,6 +122,12 @@ type Port struct {
 	inbound chan *wire.Message
 	egress  chan *wire.Message // nil on the fast path (no bandwidth model)
 
+	// done closes before inbound does; in-flight deliveries select on it
+	// so shutdown never closes inbound under a blocked sender. inMu
+	// brackets every inbound send (read side) against the close (write
+	// side).
+	done   chan struct{}
+	inMu   sync.RWMutex
 	closed atomic.Bool
 	once   sync.Once
 
@@ -155,7 +162,12 @@ func (p *Port) Close() error {
 func (p *Port) shutdown() {
 	p.once.Do(func() {
 		p.closed.Store(true)
+		// Unblock every delivery parked on a full inbound queue, then wait
+		// for in-flight deliveries to drain before ending the stream.
+		close(p.done)
+		p.inMu.Lock()
 		close(p.inbound)
+		p.inMu.Unlock()
 	})
 }
 
@@ -241,18 +253,26 @@ func (p *Port) deliver(m *wire.Message) error {
 	if !ok || dst.closed.Load() {
 		return ErrUnreachable
 	}
-	defer func() {
-		// The destination may close concurrently; a send on its closed
-		// inbound channel panics, which we translate into "unreachable".
-		recover()
-	}()
 	// Account before handoff: after the channel send the receiver owns the
 	// message and may mutate its payload.
 	size := int64(m.WireSize())
+	dst.inMu.RLock()
+	if dst.closed.Load() {
+		dst.inMu.RUnlock()
+		return ErrUnreachable
+	}
+	// inMu deliberately read-brackets this send against shutdown's
+	// close(inbound): the send cannot block past close(done), and the only
+	// write-side holder is the one-shot shutdown drain.
 	select {
+	//lint:ignore lockhold read-lock send races only the one-shot close; done unblocks it
 	case dst.inbound <- m:
-	default:
-		dst.inbound <- m // backpressure when RX ring is full
+		dst.inMu.RUnlock()
+	case <-dst.done:
+		// Destination crashed while our message sat in its RX queue's
+		// backpressure; the RPC layer surfaces this as a timeout/retry.
+		dst.inMu.RUnlock()
+		return ErrUnreachable
 	}
 	p.fab.delivered.Add(1)
 	p.fab.deliveredBytes.Add(size)

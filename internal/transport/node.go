@@ -214,6 +214,30 @@ func (n *Node) Call(to wire.ServerID, pri wire.Priority, body wire.Payload) (wir
 	return n.Go(to, pri, body).Wait()
 }
 
+// CallWithRetries issues an RPC, retrying transport-level failures
+// (timeouts, unreachable peers) up to attempts times in total. It does
+// not sleep between attempts: each failed attempt already consumed the
+// RPC timeout, which is the natural pacing. Callers must only use it for
+// idempotent requests. Application-level rejections (a response carrying
+// a non-OK status) are returned to the caller, not retried.
+func (n *Node) CallWithRetries(to wire.ServerID, pri wire.Priority, body wire.Payload, attempts int) (wire.Payload, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var reply wire.Payload
+	var err error
+	for i := 0; i < attempts; i++ {
+		reply, err = n.Call(to, pri, body)
+		if err == nil {
+			return reply, nil
+		}
+		if err == ErrClosed {
+			return nil, err // our own endpoint is gone; retrying is futile
+		}
+	}
+	return nil, err
+}
+
 // Reply sends a response to a request message.
 func (n *Node) Reply(req *wire.Message, body wire.Payload) {
 	m := &wire.Message{

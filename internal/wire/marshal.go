@@ -424,6 +424,12 @@ func marshalBody(e *Encoder, p Payload) {
 		e.U64(b.RecordCount)
 		e.U64(b.ByteCount)
 		e.U64(b.HeadSegment)
+	case *AbortMigrationRequest:
+		e.U64(uint64(b.Table))
+		e.Range(b.Range)
+		e.U64(uint64(b.Target))
+	case *AbortMigrationResponse:
+		e.U8(uint8(b.Status))
 	case *PullRequest:
 		e.U64(uint64(b.Table))
 		e.Range(b.Range)
@@ -602,6 +608,10 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 		return &PrepareMigrationRequest{Table: TableID(d.U64()), Range: d.Range(), Target: ServerID(d.U64()), KeepServing: d.Bool()}, d.err
 	case op == OpPrepareMigration:
 		return &PrepareMigrationResponse{Status: Status(d.U8()), VersionCeiling: d.U64(), NumBuckets: d.U64(), RecordCount: d.U64(), ByteCount: d.U64(), HeadSegment: d.U64()}, d.err
+	case op == OpAbortMigration && !isResponse:
+		return &AbortMigrationRequest{Table: TableID(d.U64()), Range: d.Range(), Target: ServerID(d.U64())}, d.err
+	case op == OpAbortMigration:
+		return &AbortMigrationResponse{Status: Status(d.U8())}, d.err
 	case op == OpPull && !isResponse:
 		return &PullRequest{Table: TableID(d.U64()), Range: d.Range(), ResumeToken: d.U64(), ByteBudget: d.U32()}, d.err
 	case op == OpPull:

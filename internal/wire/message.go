@@ -310,6 +310,29 @@ type PrepareMigrationResponse struct {
 func (r *PrepareMigrationResponse) WireSize() int { return 41 }
 func (r *PrepareMigrationResponse) Op() Op        { return OpPrepareMigration }
 
+// AbortMigrationRequest is sent target -> source when the migration
+// prologue fails after PrepareMigration may have landed: ownership never
+// moved, so the source must flip the range back to normal service.
+// Idempotent — aborting a range that was never prepared is a no-op, so the
+// target can send it whenever the prologue outcome is in doubt.
+type AbortMigrationRequest struct {
+	Table TableID
+	Range HashRange
+	// Target identifies the aborting migration for diagnostics; the source
+	// keeps no per-migration state, so it is not validated.
+	Target ServerID
+}
+
+func (r *AbortMigrationRequest) WireSize() int { return 32 }
+func (r *AbortMigrationRequest) Op() Op        { return OpAbortMigration }
+
+// AbortMigrationResponse acknowledges that the source serves the range
+// again (or never stopped).
+type AbortMigrationResponse struct{ Status Status }
+
+func (r *AbortMigrationResponse) WireSize() int { return 1 }
+func (r *AbortMigrationResponse) Op() Op        { return OpAbortMigration }
+
 // PullRequest fetches the next batch of records from one partition of the
 // source's key-hash space. The source is stateless: ResumeToken encodes the
 // next hash-table bucket to scan, so concurrent Pulls over disjoint

@@ -84,6 +84,12 @@ const (
 
 	// Health.
 	OpPing
+
+	// Migration prologue cleanup: target -> source when the ownership
+	// transfer never happened, so the source must resume serving.
+	// (Appended last to keep existing op codes — and the checked-in fuzz
+	// corpus that encodes them — stable.)
+	OpAbortMigration
 )
 
 var opNames = map[Op]string{
@@ -116,6 +122,7 @@ var opNames = map[Op]string{
 	OpGetBackupSegments: "GetBackupSegments",
 	OpTakeTablets:       "TakeTablets",
 	OpPing:              "Ping",
+	OpAbortMigration:    "AbortMigration",
 }
 
 func (o Op) String() string {

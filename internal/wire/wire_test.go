@@ -154,6 +154,8 @@ func sampleMessages(rng *rand.Rand) []*Message {
 		&MigrateTabletResponse{Status: StatusOK},
 		&PrepareMigrationRequest{Table: 9, Range: HashRange{10, 20}, Target: 4},
 		&PrepareMigrationResponse{Status: StatusOK, VersionCeiling: 1000, NumBuckets: 1 << 20, RecordCount: 5, ByteCount: 500},
+		&AbortMigrationRequest{Table: 9, Range: HashRange{10, 20}, Target: 4},
+		&AbortMigrationResponse{Status: StatusOK},
 		&PullRequest{Table: 9, Range: HashRange{10, 20}, ResumeToken: 42, ByteBudget: 20 << 10},
 		&PullResponse{Status: StatusOK, Records: recs, ResumeToken: 43, Done: true},
 		&PriorityPullRequest{Table: 9, Hashes: []uint64{5, 6}},
