@@ -9,6 +9,7 @@ package rocksteady_test
 // reproduction summary.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -255,7 +256,7 @@ func BenchmarkMigrationEndToEnd(b *testing.B) {
 		b.StopTimer()
 		c, table := setupLoadedPair(b, p)
 		b.StartTimer()
-		g, err := c.Migrate(table, wire.FullRange().Split(2)[1], 0, 1)
+		g, err := c.Migrate(context.Background(), table, wire.FullRange().Split(2)[1], 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -287,11 +288,11 @@ func setupLoadedPair(b *testing.B, p bench.Params) (*cluster.Cluster, wire.Table
 		values[i] = make([]byte, p.ValueSize)
 	}
 	cl := c.MustClient()
-	table, err := cl.CreateTable("bench", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "bench", c.Server(0).ID())
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
 		b.Fatal(err)
 	}
 	return c, table

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,9 @@ import (
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 func main() {
 	var (
@@ -50,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cl, err := client.New(ep)
+	cl, err := client.New(ctx, ep)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,24 +67,24 @@ func main() {
 		for _, a := range args[2:] {
 			servers = append(servers, wire.ServerID(mustU64(a)))
 		}
-		table, err := cl.CreateTable(args[1], servers...)
+		table, err := cl.CreateTable(ctx, args[1], servers...)
 		check(err)
 		fmt.Printf("table %q id=%d\n", args[1], table)
 	case "write":
 		need(args, 4, "write <tableID|name-unsupported> <key> <value>")
-		check(cl.Write(wire.TableID(mustU64(args[1])), []byte(args[2]), []byte(args[3])))
+		check(cl.Write(ctx, wire.TableID(mustU64(args[1])), []byte(args[2]), []byte(args[3])))
 		fmt.Println("ok")
 	case "read":
 		need(args, 3, "read <tableID> <key>")
-		v, err := cl.Read(wire.TableID(mustU64(args[1])), []byte(args[2]))
+		v, err := cl.Read(ctx, wire.TableID(mustU64(args[1])), []byte(args[2]))
 		check(err)
 		fmt.Printf("%s\n", v)
 	case "delete":
 		need(args, 3, "delete <tableID> <key>")
-		check(cl.Delete(wire.TableID(mustU64(args[1])), []byte(args[2])))
+		check(cl.Delete(ctx, wire.TableID(mustU64(args[1])), []byte(args[2])))
 		fmt.Println("ok")
 	case "map":
-		reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+		reply, err := cl.Node().Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 		check(err)
 		tm := reply.(*wire.GetTabletMapResponse)
 		fmt.Printf("map version %d\n", tm.Version)
@@ -93,13 +97,13 @@ func main() {
 	case "migrate":
 		need(args, 6, "migrate <tableID> <startHash> <endHash> <sourceID> <targetID>")
 		rng := wire.HashRange{Start: mustU64(args[2]), End: mustU64(args[3])}
-		err := cl.MigrateTablet(wire.TableID(mustU64(args[1])), rng,
+		err := cl.MigrateTablet(ctx, wire.TableID(mustU64(args[1])), rng,
 			wire.ServerID(mustU64(args[4])), wire.ServerID(mustU64(args[5])))
 		check(err)
 		fmt.Println("migration started (ownership already transferred)")
 	case "crash":
 		need(args, 2, "crash <serverID>")
-		check(cl.ReportCrash(wire.ServerID(mustU64(args[1]))))
+		check(cl.ReportCrash(ctx, wire.ServerID(mustU64(args[1]))))
 		fmt.Println("recovery initiated")
 	default:
 		usage()

@@ -99,6 +99,7 @@ func TestAnalyzers(t *testing.T) {
 		{nopollAnalyzer, "nopoll", "rocksteady/internal/core/nopollfixture"},
 		{lockholdAnalyzer, "lockhold", "rocksteady/lintfixture/lockhold"},
 		{errdropAnalyzer, "errdrop", "rocksteady/internal/server/errdropfixture"},
+		{ctxcheckAnalyzer, "ctxcheck", "rocksteady/lintfixture/ctxcheck"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -162,7 +163,7 @@ func TestAppliesTo(t *testing.T) {
 			}
 		}
 	}
-	for _, a := range []*Analyzer{poolcheckAnalyzer, lockholdAnalyzer} {
+	for _, a := range []*Analyzer{poolcheckAnalyzer, lockholdAnalyzer, ctxcheckAnalyzer} {
 		if !a.AppliesTo("rocksteady/internal/cluster") {
 			t.Errorf("%s should apply module-wide", a.Name)
 		}

@@ -31,6 +31,7 @@ var allAnalyzers = []*Analyzer{
 	nopollAnalyzer,
 	lockholdAnalyzer,
 	errdropAnalyzer,
+	ctxcheckAnalyzer,
 }
 
 func main() {

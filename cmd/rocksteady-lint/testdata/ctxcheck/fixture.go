@@ -1,0 +1,52 @@
+// Package ctxcheckfixture plants ctxcheck violations. The test harness
+// loads it as a module package and demands exactly the diagnostics below.
+package ctxcheckfixture
+
+import (
+	"context"
+	"time"
+)
+
+// ctxFirst is the blessed shape: ctx leads, everything else follows.
+func ctxFirst(ctx context.Context, table uint64) error {
+	return ctx.Err()
+}
+
+// ctxSecond buries the context behind another parameter.
+func ctxSecond(table uint64, ctx context.Context) error { // want:ctxcheck "first parameter"
+	return ctx.Err()
+}
+
+// ctxTrailing has the context dead last among several parameters.
+func ctxTrailing(a, b string, d time.Duration, ctx context.Context) { // want:ctxcheck "first parameter"
+	_ = ctx
+}
+
+// litViolation hides the misplaced ctx inside a function literal.
+var litViolation = func(n int, ctx context.Context) { // want:ctxcheck "first parameter"
+	_ = ctx
+}
+
+// noCtx takes no context at all: nothing to report.
+func noCtx(a, b int) int { return a + b }
+
+// freshRoot conjures a root mid-stack, detaching from any caller deadline.
+func freshRoot() context.Context {
+	return context.Background() // want:ctxcheck "context.Background"
+}
+
+// todoRoot is the same sin with the other constructor.
+func todoRoot() context.Context {
+	return context.TODO() // want:ctxcheck "context.TODO"
+}
+
+// annotatedRoot exercises the escape hatch for deliberate lifetime roots.
+func annotatedRoot() context.Context {
+	//lint:ignore ctxcheck fixture models a server root that outlives requests
+	return context.Background()
+}
+
+// detached shows the blessed way to shed cancellation without a new root.
+func detached(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}

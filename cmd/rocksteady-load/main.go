@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,9 @@ import (
 	"rocksteady/internal/wire"
 	"rocksteady/internal/ycsb"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 func main() {
 	var (
@@ -76,7 +80,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl, err := client.New(ep)
+		cl, err := client.New(ctx, ep)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,7 +91,7 @@ func main() {
 		log.Printf("preloading %d keys...", *objects)
 		cl := newClient(0)
 		for i := uint64(0); i < *objects; i++ {
-			if err := cl.Write(table, w.Key(i), w.Value(i)); err != nil {
+			if err := cl.Write(ctx, table, w.Key(i), w.Value(i)); err != nil {
 				log.Fatalf("preload key %d: %v", i, err)
 			}
 		}
@@ -116,9 +120,9 @@ func main() {
 				start := time.Now()
 				var err error
 				if op.Kind == ycsb.OpRead {
-					_, err = cl.Read(table, w.Key(op.Item))
+					_, err = cl.Read(ctx, table, w.Key(op.Item))
 				} else {
-					err = cl.Write(table, w.Key(op.Item), w.Value(op.Item))
+					err = cl.Write(ctx, table, w.Key(op.Item), w.Value(op.Item))
 				}
 				if err != nil && err != client.ErrNoSuchKey {
 					errs.Add(1)

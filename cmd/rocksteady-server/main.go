@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,9 @@ import (
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 func main() {
 	var (
@@ -94,7 +98,7 @@ func main() {
 
 	// Enlist with the coordinator.
 	node := srv.Node()
-	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: self}); err != nil {
+	if _, err := node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: self}); err != nil {
 		log.Printf("warning: enlist failed (%v); start the coordinator first", err)
 	}
 	log.Printf("server %v listening on %s (workers=%d replication=%d)",

@@ -1,6 +1,7 @@
 package rocksteady_test
 
 import (
+	"context"
 	"fmt"
 
 	"rocksteady"
@@ -16,21 +17,21 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	table, err := cl.CreateTable("users", c.ServerIDs()[0])
+	table, err := cl.CreateTable(context.Background(), "users", c.ServerIDs()[0])
 	if err != nil {
 		panic(err)
 	}
-	if err := cl.Write(table, []byte("alice"), []byte("hello")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("alice"), []byte("hello")); err != nil {
 		panic(err)
 	}
 
 	// Live-migrate the whole table to the second server; the read below
 	// works regardless of whether it lands before, during, or after.
-	m, err := c.Migrate(table, rocksteady.FullRange(), 0, 1)
+	m, err := c.Migrate(context.Background(), table, rocksteady.FullRange(), 0, 1)
 	if err != nil {
 		panic(err)
 	}
-	v, err := cl.Read(table, []byte("alice"))
+	v, err := cl.Read(context.Background(), table, []byte("alice"))
 	if err != nil {
 		panic(err)
 	}
@@ -48,15 +49,15 @@ func ExampleClient_IndexScan() {
 	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 1})
 	defer c.Close()
 	cl, _ := c.Client()
-	table, _ := cl.CreateTable("pets", c.ServerIDs()...)
-	index, _ := cl.CreateIndex(table, c.ServerIDs(), nil)
+	table, _ := cl.CreateTable(context.Background(), "pets", c.ServerIDs()...)
+	index, _ := cl.CreateIndex(context.Background(), table, c.ServerIDs(), nil)
 
 	for i, name := range []string{"rex", "bella", "milo"} {
 		pk := []byte(fmt.Sprintf("pet-%d", i))
-		_ = cl.Write(table, pk, []byte(name))
-		_ = cl.IndexInsert(index, []byte(name), pk)
+		_ = cl.Write(context.Background(), table, pk, []byte(name))
+		_ = cl.IndexInsert(context.Background(), index, []byte(name), pk)
 	}
-	hits, _ := cl.IndexScan(table, index, []byte("a"), []byte("z"), 10)
+	hits, _ := cl.IndexScan(context.Background(), table, index, []byte("a"), []byte("z"), 10)
 	for _, h := range hits {
 		fmt.Println(string(h.Value))
 	}

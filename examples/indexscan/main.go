@@ -6,11 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"rocksteady"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 func main() {
 	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 2})
@@ -23,13 +27,13 @@ func main() {
 	servers := c.ServerIDs()
 
 	// User table hash partitioned on uid across both servers.
-	table, err := cl.CreateTable("users", servers...)
+	table, err := cl.CreateTable(ctx, "users", servers...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// FirstName index range partitioned: [A, m) on server 0, [m, ∞) on
 	// server 1 — the paper's "FirstName Indexlet 1 / 2".
-	index, err := cl.CreateIndex(table, servers, [][]byte{[]byte("m")})
+	index, err := cl.CreateIndex(ctx, table, servers, [][]byte{[]byte("m")})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,11 +45,11 @@ func main() {
 	}
 	for uid, name := range users {
 		// The record: primary key uid, value holds the name.
-		if err := cl.Write(table, []byte(uid), []byte(name)); err != nil {
+		if err := cl.Write(ctx, table, []byte(uid), []byte(name)); err != nil {
 			log.Fatal(err)
 		}
 		// Index entry: lowercase first name -> primary key hash.
-		if err := cl.IndexInsert(index, []byte(lower(name)), []byte(uid)); err != nil {
+		if err := cl.IndexInsert(ctx, index, []byte(lower(name)), []byte(uid)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -56,7 +60,7 @@ func main() {
 		{"s", "u"}, // Sofia, Tiana
 		{"n", "z"}, // Nala ... (second indexlet)
 	} {
-		res, err := cl.IndexScan(table, index, []byte(q.begin), []byte(q.end), 10)
+		res, err := cl.IndexScan(ctx, table, index, []byte(q.begin), []byte(q.end), 10)
 		if err != nil {
 			log.Fatal(err)
 		}

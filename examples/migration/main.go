@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,9 @@ import (
 	"rocksteady/internal/metrics"
 	"rocksteady/internal/ycsb"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 const (
 	objects    = 100_000
@@ -36,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	table, err := cl.CreateTable("ycsb", c.ServerIDs()[0])
+	table, err := cl.CreateTable(ctx, "ycsb", c.ServerIDs()[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +53,7 @@ func main() {
 		keys[i] = w.Key(uint64(i))
 		values[i] = w.Value(uint64(i))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(ctx, table, keys, values); err != nil {
 		log.Fatal(err)
 	}
 
@@ -76,9 +80,9 @@ func main() {
 				op := w.NextOp(rng)
 				start := time.Now()
 				if op.Kind == ycsb.OpRead {
-					_, err = lcl.Read(table, w.Key(op.Item))
+					_, err = lcl.Read(ctx, table, w.Key(op.Item))
 				} else {
-					err = lcl.Write(table, w.Key(op.Item), w.Value(op.Item))
+					err = lcl.Write(ctx, table, w.Key(op.Item), w.Value(op.Item))
 				}
 				if err == nil || err == rocksteady.ErrNoSuchKey {
 					timeline.Record(time.Since(start))
@@ -101,7 +105,7 @@ func main() {
 
 		if sec == runSeconds/3 {
 			half := rocksteady.FullRange().Split(2)[1]
-			mig, err = c.Migrate(table, half, 0, 1)
+			mig, err = c.Migrate(ctx, table, half, 0, 1)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -3,11 +3,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"rocksteady"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 func main() {
 	// A cluster is coordinator + N servers (each a master and a backup)
@@ -25,26 +29,26 @@ func main() {
 	}
 
 	// Create a table hosted entirely on the first server.
-	table, err := cl.CreateTable("users", c.ServerIDs()[0])
+	table, err := cl.CreateTable(ctx, "users", c.ServerIDs()[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Basic operations.
-	if err := cl.Write(table, []byte("alice"), []byte("alice@example.com")); err != nil {
+	if err := cl.Write(ctx, table, []byte("alice"), []byte("alice@example.com")); err != nil {
 		log.Fatal(err)
 	}
-	if err := cl.Write(table, []byte("bob"), []byte("bob@example.com")); err != nil {
+	if err := cl.Write(ctx, table, []byte("bob"), []byte("bob@example.com")); err != nil {
 		log.Fatal(err)
 	}
-	v, err := cl.Read(table, []byte("alice"))
+	v, err := cl.Read(ctx, table, []byte("alice"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("alice -> %s\n", v)
 
 	// Multiget groups keys by owning server into single RPCs.
-	vs, err := cl.MultiGet(table, [][]byte{[]byte("alice"), []byte("bob")})
+	vs, err := cl.MultiGet(ctx, table, [][]byte{[]byte("alice"), []byte("bob")})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,20 +60,20 @@ func main() {
 		keys = append(keys, []byte(fmt.Sprintf("user-%05d", i)))
 		values = append(values, []byte(fmt.Sprintf("payload-%05d", i)))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(ctx, table, keys, values); err != nil {
 		log.Fatal(err)
 	}
 
 	// Live-migrate the upper half of the hash space to server 1.
 	// Ownership moves instantly; reads/writes keep working throughout.
 	half := rocksteady.FullRange().Split(2)[1]
-	m, err := c.Migrate(table, half, 0, 1)
+	m, err := c.Migrate(ctx, table, half, 0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The table stays fully available while the transfer runs.
-	if v, err = cl.Read(table, []byte("user-00042")); err != nil {
+	if v, err = cl.Read(ctx, table, []byte("user-00042")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read during migration -> %s\n", v)
@@ -83,7 +87,7 @@ func main() {
 		res.PullRPCs, res.PriorityPullRPCs)
 
 	// Everything still reads correctly from its new home.
-	if v, err = cl.Read(table, []byte("user-00042")); err != nil {
+	if v, err = cl.Read(ctx, table, []byte("user-00042")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read after migration  -> %s\n", v)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,9 @@ import (
 	"rocksteady"
 	"rocksteady/internal/ycsb"
 )
+
+// ctx drives every RPC this command issues; commands run to completion.
+var ctx = context.Background()
 
 const objects = 50_000
 
@@ -32,7 +36,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Everything starts on server 0 — the "hot" node.
-	table, err := cl.CreateTable("hot", c.ServerIDs()[0])
+	table, err := cl.CreateTable(ctx, "hot", c.ServerIDs()[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +48,7 @@ func main() {
 		keys[i] = w.Key(uint64(i))
 		values[i] = w.Value(uint64(i))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(ctx, table, keys, values); err != nil {
 		log.Fatal(err)
 	}
 
@@ -69,9 +73,9 @@ func main() {
 				}
 				op := w.NextOp(rng)
 				if op.Kind == ycsb.OpRead {
-					_, _ = lcl.Read(table, w.Key(op.Item))
+					_, _ = lcl.Read(ctx, table, w.Key(op.Item))
 				} else {
-					_ = lcl.Write(table, w.Key(op.Item), w.Value(op.Item))
+					_ = lcl.Write(ctx, table, w.Key(op.Item), w.Value(op.Item))
 				}
 				total.Add(1)
 			}
@@ -99,7 +103,7 @@ func main() {
 		if sec == 2 || sec == 4 {
 			mv := moves[0]
 			moves = moves[1:]
-			m, err := c.Migrate(table, mv.rng, 0, mv.target)
+			m, err := c.Migrate(ctx, table, mv.rng, 0, mv.target)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@ package rocksteady_test
 // them with -benchmem and records the results in BENCH_hotpath.json.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"rocksteady/internal/coordinator"
+	"rocksteady/internal/metrics"
 	"rocksteady/internal/server"
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
@@ -118,7 +120,63 @@ func benchmarkTCPSend(b *testing.B) {
 // TCP, both sides: sender framing plus the receiver's concurrent decode.
 func BenchmarkTCPSend(b *testing.B) { benchmarkTCPSend(b) }
 
-func benchmarkPullPath(b *testing.B) {
+// priorityNames maps wire priorities to artifact labels.
+var priorityNames = [wire.NumPriorities]string{"priority-pull", "foreground", "replication", "background"}
+
+// histSummary is a histogram digest in nanoseconds, JSON-friendly.
+type histSummary struct {
+	Count    int64 `json:"count"`
+	MeanNs   int64 `json:"mean_ns"`
+	MedianNs int64 `json:"median_ns"`
+	P99Ns    int64 `json:"p99_ns"`
+	MaxNs    int64 `json:"max_ns"`
+}
+
+func summarize(h *metrics.Histogram) histSummary {
+	s := h.Summarize()
+	return histSummary{
+		Count:    s.Count,
+		MeanNs:   s.Mean.Nanoseconds(),
+		MedianNs: s.Median.Nanoseconds(),
+		P99Ns:    s.P99.Nanoseconds(),
+		MaxNs:    s.Max.Nanoseconds(),
+	}
+}
+
+// dispatchStats is the per-priority scheduler decomposition recorded in
+// the bench artifact: time-in-queue vs time-on-worker, plus shed counts —
+// the measured inputs behind the paper's Figure 14 core-utilization story.
+type dispatchStats struct {
+	Priority  string      `json:"priority"`
+	Started   int64       `json:"tasks_started"`
+	Shed      int64       `json:"tasks_shed"`
+	QueueWait histSummary `json:"queue_wait"`
+	Service   histSummary `json:"service"`
+}
+
+func captureDispatchStats(srv *server.Server) []dispatchStats {
+	sched := srv.Scheduler()
+	_, started := sched.TasksStarted()
+	_, shed := sched.TasksShed()
+	out := make([]dispatchStats, 0, wire.NumPriorities)
+	for p := wire.Priority(0); p < wire.NumPriorities; p++ {
+		out = append(out, dispatchStats{
+			Priority:  priorityNames[p],
+			Started:   started[p],
+			Shed:      shed[p],
+			QueueWait: summarize(sched.QueueWaitHistogram(p)),
+			Service:   summarize(sched.ServiceHistogram(p)),
+		})
+	}
+	return out
+}
+
+func benchmarkPullPath(b *testing.B) { benchmarkPullPathStats(b, nil) }
+
+// benchmarkPullPathStats optionally captures the server's dispatch
+// decomposition into *stats after the run (the artifact test passes a
+// destination; plain benchmark runs pass nil).
+func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
 	mk := func(id wire.ServerID) *transport.TCP {
 		ep, err := transport.NewTCP(transport.TCPConfig{ID: id, ListenAddr: "127.0.0.1:0"})
 		if err != nil {
@@ -150,16 +208,16 @@ func benchmarkPullPath(b *testing.B) {
 	node := transport.NewNode(benchEP)
 	node.Start()
 	defer node.Close()
-	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: 10}); err != nil {
+	if _, err := node.Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: 10}); err != nil {
 		b.Fatal(err)
 	}
-	reply, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.CreateTableRequest{Name: "bench", Servers: []wire.ServerID{10}})
+	reply, err := node.Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.CreateTableRequest{Name: "bench", Servers: []wire.ServerID{10}})
 	if err != nil {
 		b.Fatal(err)
 	}
 	table := reply.(*wire.CreateTableResponse).Table
 	for i := 0; i < 2000; i++ {
-		wreply, err := node.Call(10, wire.PriorityForeground, &wire.WriteRequest{
+		wreply, err := node.Call(context.Background(), 10, wire.PriorityForeground, &wire.WriteRequest{
 			Table: table, Key: []byte(fmt.Sprintf("user%026d", i)), Value: make([]byte, 100),
 		})
 		if err != nil || wreply.(*wire.WriteResponse).Status != wire.StatusOK {
@@ -171,7 +229,7 @@ func benchmarkPullPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		reply, err := node.Call(10, wire.PriorityBackground, req)
+		reply, err := node.Call(context.Background(), 10, wire.PriorityBackground, req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,6 +238,13 @@ func benchmarkPullPath(b *testing.B) {
 			b.Fatalf("bad pull reply %T", reply)
 		}
 		wire.ReleaseRecordSlice(resp.Records)
+	}
+	b.StopTimer()
+	if stats != nil {
+		// testing.Benchmark re-invokes with growing b.N; each invocation
+		// builds a fresh server, so the last capture wins with the largest
+		// sample.
+		*stats = captureDispatchStats(srv)
 	}
 }
 
@@ -204,13 +269,14 @@ func TestHotpathBenchArtifact(t *testing.T) {
 		MBPerSec    float64 `json:"mb_per_sec"`
 	}
 	var rows []row
+	var dispatch []dispatchStats
 	for _, bench := range []struct {
 		name string
 		fn   func(*testing.B)
 	}{
 		{"MarshalRoundtrip", benchmarkMarshalRoundtrip},
 		{"TCPSend", benchmarkTCPSend},
-		{"PullPath", benchmarkPullPath},
+		{"PullPath", func(b *testing.B) { benchmarkPullPathStats(b, &dispatch) }},
 	} {
 		r := testing.Benchmark(bench.fn)
 		rows = append(rows, row{
@@ -222,7 +288,11 @@ func TestHotpathBenchArtifact(t *testing.T) {
 		})
 		t.Logf("%s: %.0f ns/op  %d allocs/op  %d B/op", bench.name, rows[len(rows)-1].NsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
-	data, err := json.MarshalIndent(rows, "", "  ")
+	artifact := struct {
+		Benchmarks []row           `json:"benchmarks"`
+		Dispatch   []dispatchStats `json:"dispatch"`
+	}{Benchmarks: rows, Dispatch: dispatch}
+	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package backup
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -132,7 +133,7 @@ func TestReplicatorSyncDurability(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := rig.repl.Sync(); err != nil {
+	if err := rig.repl.Sync(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// With factor 2 of 3 backups, total replica bytes = 2 x appended.
@@ -160,7 +161,7 @@ func TestReplicatorGroupCommit(t *testing.T) {
 					done <- err
 					return
 				}
-				if err := rig.repl.Sync(); err != nil {
+				if err := rig.repl.Sync(context.Background()); err != nil {
 					done <- err
 					return
 				}
@@ -189,7 +190,7 @@ func TestReplicatorSurvivesBackupFailure(t *testing.T) {
 	if _, _, err := log.AppendObject(1, []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if err := rig.repl.Sync(); err != nil {
+	if err := rig.repl.Sync(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Kill one backup; replication must keep succeeding on survivors.
@@ -198,7 +199,7 @@ func TestReplicatorSurvivesBackupFailure(t *testing.T) {
 		if _, _, err := log.AppendObject(1, []byte(fmt.Sprintf("post-%d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
-		if err := rig.repl.Sync(); err != nil {
+		if err := rig.repl.Sync(context.Background()); err != nil {
 			t.Fatalf("sync after backup death: %v", err)
 		}
 	}
@@ -209,11 +210,11 @@ func TestReplicatorDisabled(t *testing.T) {
 	if r.Enabled() {
 		t.Fatal("nil replicator enabled")
 	}
-	if err := r.Sync(); err != nil {
+	if err := r.Sync(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	r.OnAppend(storage.AppendEvent{}) // must not panic
-	if err := r.ReplicateSegments(nil); err != nil {
+	if err := r.ReplicateSegments(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -229,7 +230,7 @@ func TestReplicateSegmentsWhole(t *testing.T) {
 		}
 	}
 	segs := sl.Segments()
-	if err := rig.repl.ReplicateSegments(segs); err != nil {
+	if err := rig.repl.ReplicateSegments(context.Background(), segs); err != nil {
 		t.Fatal(err)
 	}
 	var total int64

@@ -1,6 +1,7 @@
 package backup
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,10 @@ type Replicator struct {
 	master  wire.ServerID
 	backups []wire.ServerID
 	factor  int
+	// root anchors group-commit flush RPCs: a flush serves every writer
+	// waiting on the generation, so no single writer's deadline may
+	// cancel it (see Sync).
+	root context.Context
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -50,6 +55,8 @@ func NewReplicator(node *transport.Node, master wire.ServerID, backups []wire.Se
 	}
 	r := &Replicator{node: node, master: master, backups: backups, factor: factor,
 		dead: make(map[wire.ServerID]bool)}
+	//lint:ignore ctxcheck server root: group-commit flushes outlive any one writer's request
+	r.root = context.Background()
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
@@ -83,10 +90,16 @@ func (r *Replicator) OnAppend(ev storage.AppendEvent) {
 }
 
 // Sync blocks until every event accepted before the call is durable on
-// the replication factor's worth of backups.
-func (r *Replicator) Sync() error {
+// the replication factor's worth of backups. A done ctx aborts before
+// any waiting starts; once a flush is joined it runs to completion under
+// the replicator's root context, because one flush commits many writers'
+// events — a single caller's deadline must not fail its neighbours.
+func (r *Replicator) Sync(ctx context.Context) error {
 	if !r.Enabled() {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -150,12 +163,12 @@ func (r *Replicator) markDead(b wire.ServerID) {
 // than halting the master — the availability call RAMCloud makes, with
 // recovery and full-segment re-replication responsible for restoring
 // redundancy.
-func (r *Replicator) awaitReplicas(calls []*transport.Call, backups []wire.ServerID, batch []int, reqs []*wire.ReplicateSegmentRequest, nbatches int) []int {
+func (r *Replicator) awaitReplicas(ctx context.Context, calls []*transport.Call, backups []wire.ServerID, batch []int, reqs []*wire.ReplicateSegmentRequest, nbatches int) []int {
 	okPerBatch := make([]int, nbatches)
 	for i, c := range calls {
 		reply, err := c.Wait()
 		if err != nil {
-			reply, err = r.node.Call(backups[i], wire.PriorityReplication, reqs[i])
+			reply, err = r.node.Call(ctx, backups[i], wire.PriorityReplication, reqs[i])
 		}
 		if err != nil {
 			r.markDead(backups[i])
@@ -173,7 +186,7 @@ func (r *Replicator) awaitReplicas(calls []*transport.Call, backups []wire.Serve
 // replicateWholeSegment sends a segment's full contents to one live backup
 // (failover after a replica loss: a delta append would leave a gap, so the
 // replacement gets the whole prefix).
-func (r *Replicator) replicateWholeSegment(seg *storage.Segment) error {
+func (r *Replicator) replicateWholeSegment(ctx context.Context, seg *storage.Segment) error {
 	if seg == nil {
 		return fmt.Errorf("%w: segment vanished during failover", ErrReplicationFailed)
 	}
@@ -190,7 +203,7 @@ func (r *Replicator) replicateWholeSegment(seg *storage.Segment) error {
 		if len(targets) == 0 {
 			break
 		}
-		reply, err := r.node.Call(targets[0], wire.PriorityReplication, req)
+		reply, err := r.node.Call(ctx, targets[0], wire.PriorityReplication, req)
 		if err != nil {
 			r.markDead(targets[0])
 			continue
@@ -243,14 +256,14 @@ func (r *Replicator) flush(batch []storage.AppendEvent) error {
 			Close:     sb.close,
 		}
 		for _, b := range r.backupsFor(sb.segID) {
-			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
+			calls = append(calls, r.node.Go(r.root, b, wire.PriorityReplication, req))
 			callBackups = append(callBackups, b)
 			callBatch = append(callBatch, bi)
 			callReqs = append(callReqs, req)
 			sent += int64(len(sb.data))
 		}
 	}
-	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, callReqs, len(coalesced))
+	okPerBatch := r.awaitReplicas(r.root, calls, callBackups, callBatch, callReqs, len(coalesced))
 	for bi, n := range okPerBatch {
 		if n > 0 {
 			continue
@@ -259,7 +272,7 @@ func (r *Replicator) flush(batch []storage.AppendEvent) error {
 		if r.resolve != nil {
 			seg = r.resolve(coalesced[bi].logID, coalesced[bi].segID)
 		}
-		if err := r.replicateWholeSegment(seg); err != nil {
+		if err := r.replicateWholeSegment(r.root, seg); err != nil {
 			return err
 		}
 	}
@@ -271,8 +284,9 @@ func (r *Replicator) flush(batch []storage.AppendEvent) error {
 
 // ReplicateSegments ships whole segments (sealed side logs at migration
 // end — the *lazy* re-replication of §3.4). Events bypass the pending
-// queue: the caller owns ordering.
-func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
+// queue: the caller owns ordering, so unlike Sync the caller's ctx
+// governs every RPC.
+func (r *Replicator) ReplicateSegments(ctx context.Context, segs []*storage.Segment) error {
 	if !r.Enabled() {
 		return nil
 	}
@@ -292,7 +306,7 @@ func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
 			Close:     true,
 		}
 		for _, b := range r.backupsFor(seg.ID) {
-			calls = append(calls, r.node.Go(b, wire.PriorityReplication, req))
+			calls = append(calls, r.node.Go(ctx, b, wire.PriorityReplication, req))
 			callBackups = append(callBackups, b)
 			callBatch = append(callBatch, bi)
 			callReqs = append(callReqs, req)
@@ -300,12 +314,12 @@ func (r *Replicator) ReplicateSegments(segs []*storage.Segment) error {
 		}
 		seg.SetReplicatedTo(seg.Len())
 	}
-	okPerBatch := r.awaitReplicas(calls, callBackups, callBatch, callReqs, len(segs))
+	okPerBatch := r.awaitReplicas(ctx, calls, callBackups, callBatch, callReqs, len(segs))
 	for bi, n := range okPerBatch {
 		if n > 0 {
 			continue
 		}
-		if err := r.replicateWholeSegment(segs[bi]); err != nil {
+		if err := r.replicateWholeSegment(ctx, segs[bi]); err != nil {
 			return err
 		}
 	}

@@ -69,7 +69,7 @@ func ablationRun(p Params, opts core.Options) (mbps, secs float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(benchCtx, table, wire.FullRange(), 0, 1)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -84,7 +84,7 @@ func fig12Run(p Params, theta float64) (*Fig12Series, error) {
 			beforeN++
 			if sec >= beforeSecs {
 				cl := c.MustClient()
-				if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+				if err := cl.MigrateTablet(benchCtx, table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
 					return nil, err
 				}
 				mig = c.Managers[1].Migration(table, half)

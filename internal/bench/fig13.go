@@ -80,7 +80,7 @@ func Fig13PriorityPullStrategies(p Params, mode Fig13Mode) (*Fig13Result, error)
 			res.Points[len(res.Points)-1].TargetWorkers, phase)
 		if phase == "before" && sec >= beforeSecs {
 			cl := c.MustClient()
-			if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+			if err := cl.MigrateTablet(benchCtx, table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
 				return nil, err
 			}
 			mig = c.Managers[1].Migration(table, half)

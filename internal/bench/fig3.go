@@ -48,7 +48,7 @@ func Fig3MultigetSpread(p Params) ([]Fig3Row, error) {
 		serverIdx[id] = i
 	}
 	cl := c.MustClient()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(benchCtx); err != nil {
 		return nil, err
 	}
 	tabletOwner := func(h uint64) int {
@@ -130,7 +130,7 @@ func fig3RunSpread(c *cluster.Cluster, table wire.TableID, perServer [][][]byte,
 					pool := perServer[(base+n+si)%servers]
 					keys[k] = pool[rng.Intn(len(pool))]
 				}
-				vals, err := cc.MultiGet(table, keys)
+				vals, err := cc.MultiGet(benchCtx, table, keys)
 				if err != nil {
 					errCh <- err
 					return

@@ -63,7 +63,7 @@ func fig4RunConfig(p Params, cfg Fig4Config) ([]Fig4Point, error) {
 	indexServers := ids[cfg.Tablets : cfg.Tablets+cfg.Indexlets]
 
 	cl := c.MustClient()
-	table, err := cl.CreateTable("fig4", tabletServers...)
+	table, err := cl.CreateTable(benchCtx, "fig4", tabletServers...)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func fig4RunConfig(p Params, cfg Fig4Config) ([]Fig4Point, error) {
 	if cfg.Indexlets == 2 {
 		splits = [][]byte{secondaryKey(uint64(n / 2))}
 	}
-	index, err := cl.CreateIndex(table, indexServers, splits)
+	index, err := cl.CreateIndex(benchCtx, table, indexServers, splits)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func fig4RunConfig(p Params, cfg Fig4Config) ([]Fig4Point, error) {
 		keys = append(keys, w.Key(uint64(i)))
 		values = append(values, w.Value(uint64(i)))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(benchCtx, table, keys, values); err != nil {
 		return nil, err
 	}
 	// Index entries bulk-load straight into the hosting indexlets.
@@ -161,7 +161,7 @@ func fig4Measure(p Params, c *cluster.Cluster, table wire.TableID, index wire.In
 				begin := secondaryKey(start)
 				end := secondaryKey(start + scanLen)
 				t0 := time.Now()
-				res, err := cc.IndexScan(table, index, begin, end, scanLen)
+				res, err := cc.IndexScan(benchCtx, table, index, begin, end, scanLen)
 				if err != nil {
 					errCh <- err
 					return

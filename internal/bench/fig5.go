@@ -72,7 +72,7 @@ func Fig5BaselineBreakdown(p Params) ([]Fig5Series, error) {
 				lastAt = now
 			}
 		}
-		res, err := c.MigrateBaseline(table, wire.FullRange(), 0, 1, opts)
+		res, err := c.MigrateBaseline(benchCtx, table, wire.FullRange(), 0, 1, opts)
 		c.Close()
 		if err != nil {
 			return nil, err

@@ -105,7 +105,7 @@ func Fig9MigrationImpact(p Params, variant Variant) (*Fig9Result, error) {
 		case "before":
 			if sec >= beforeSecs {
 				cl := c.MustClient()
-				if err := cl.MigrateTablet(table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
+				if err := cl.MigrateTablet(benchCtx, table, half, c.Server(0).ID(), c.Server(1).ID()); err != nil {
 					return nil, fmt.Errorf("start migration: %w", err)
 				}
 				mig = c.Managers[1].Migration(table, half)

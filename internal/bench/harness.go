@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,6 +28,12 @@ import (
 	"rocksteady/internal/wire"
 	"rocksteady/internal/ycsb"
 )
+
+// benchCtx anchors every harness-driven RPC: Fig* functions are drivers
+// that own their experiments' lifetimes, like a main.
+//
+//lint:ignore ctxcheck bench harness root: experiment drivers own their lifetimes
+var benchCtx = context.Background()
 
 // Params scales an experiment.
 type Params struct {
@@ -115,7 +122,7 @@ func buildCluster(p Params, servers int, migration core.Options) *cluster.Cluste
 // workload's records.
 func loadTable(c *cluster.Cluster, w *ycsb.Workload, name string, servers ...wire.ServerID) (wire.TableID, error) {
 	cl := c.MustClient()
-	table, err := cl.CreateTable(name, servers...)
+	table, err := cl.CreateTable(benchCtx, name, servers...)
 	if err != nil {
 		return 0, err
 	}
@@ -127,7 +134,7 @@ func loadTable(c *cluster.Cluster, w *ycsb.Workload, name string, servers ...wir
 		keys = append(keys, w.Key(uint64(i)))
 		values = append(values, w.Value(uint64(i)))
 		if len(keys) == chunk || i == n-1 {
-			if err := c.BulkLoad(table, keys, values); err != nil {
+			if err := c.BulkLoad(benchCtx, table, keys, values); err != nil {
 				return 0, err
 			}
 			keys = keys[:0]
@@ -172,9 +179,9 @@ func startLoad(c *cluster.Cluster, table wire.TableID, w *ycsb.Workload, clients
 				start := time.Now()
 				var err error
 				if op.Kind == ycsb.OpRead {
-					_, err = cl.Read(table, w.Key(op.Item))
+					_, err = cl.Read(benchCtx, table, w.Key(op.Item))
 				} else {
-					err = cl.Write(table, w.Key(op.Item), w.Value(op.Item))
+					err = cl.Write(benchCtx, table, w.Key(op.Item), w.Value(op.Item))
 				}
 				if err != nil && err != client.ErrNoSuchKey {
 					g.errs.Add(1)

@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sort"
 	"sync/atomic"
@@ -61,11 +62,19 @@ type Client struct {
 	SleepOnRetry bool
 }
 
-// New creates a client on the given endpoint and fetches the tablet map.
-func New(ep transport.Endpoint) (*Client, error) {
-	c := &Client{node: transport.NewNode(ep), SleepOnRetry: true}
+// New creates a client on the given endpoint and fetches the tablet map
+// under ctx.
+func New(ctx context.Context, ep transport.Endpoint) (*Client, error) {
+	return NewWithTimeout(ctx, ep, 0)
+}
+
+// NewWithTimeout is New with a custom per-attempt RPC timeout for the
+// client's node (0 means the transport default); fault harnesses use
+// short ones so injected drops surface quickly.
+func NewWithTimeout(ctx context.Context, ep transport.Endpoint, timeout time.Duration) (*Client, error) {
+	c := &Client{node: transport.NewNodeWithTimeout(ep, timeout), SleepOnRetry: true}
 	c.node.Start()
-	if err := c.RefreshMap(); err != nil {
+	if err := c.RefreshMap(ctx); err != nil {
 		c.node.Close()
 		return nil, err
 	}
@@ -82,9 +91,9 @@ func (c *Client) Stats() *Stats { return &c.stats }
 func (c *Client) Node() *transport.Node { return c.node }
 
 // RefreshMap fetches the tablet and indexlet maps from the coordinator.
-func (c *Client) RefreshMap() error {
+func (c *Client) RefreshMap(ctx context.Context) error {
 	c.stats.MapRefreshes.Add(1)
-	reply, err := c.node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+	reply, err := c.node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 	if err != nil {
 		return err
 	}
@@ -149,10 +158,11 @@ func (c *Client) newBackoff() backoff {
 	return backoff{deadline: time.Now().Add(retryBudget)}
 }
 
-// sleep waits before the next retry; returns false once the budget is
-// exhausted.
-func (b *backoff) sleep(c *Client, hintMicros uint32) bool {
-	if time.Now().After(b.deadline) {
+// sleep waits before the next retry; it returns false once the budget is
+// exhausted or ctx is done, so a caller-imposed deadline cuts a retry
+// storm short immediately.
+func (b *backoff) sleep(ctx context.Context, c *Client, hintMicros uint32) bool {
+	if time.Now().After(b.deadline) || ctx.Err() != nil {
 		return false
 	}
 	if !c.SleepOnRetry {
@@ -165,7 +175,9 @@ func (b *backoff) sleep(c *Client, hintMicros uint32) bool {
 	if b.next < hint {
 		b.next = hint
 	}
-	time.Sleep(b.next)
+	if transport.Sleep(ctx, b.next) != nil {
+		return false
+	}
 	b.next *= 2
 	if b.next > maxRetrySleep {
 		b.next = maxRetrySleep
@@ -174,22 +186,22 @@ func (b *backoff) sleep(c *Client, hintMicros uint32) bool {
 }
 
 // Read fetches one object.
-func (c *Client) Read(table wire.TableID, key []byte) ([]byte, error) {
-	v, _, err := c.ReadVersioned(table, key)
+func (c *Client) Read(ctx context.Context, table wire.TableID, key []byte) ([]byte, error) {
+	v, _, err := c.ReadVersioned(ctx, table, key)
 	return v, err
 }
 
 // ReadVersioned fetches one object along with its version. Invariant
 // checkers use the version to assert per-key monotonicity across
 // migrations and recoveries.
-func (c *Client) ReadVersioned(table wire.TableID, key []byte) ([]byte, uint64, error) {
+func (c *Client) ReadVersioned(ctx context.Context, table wire.TableID, key []byte) ([]byte, uint64, error) {
 	c.stats.Ops.Add(1)
 	hash := wire.HashKey(key)
 	bo := c.newBackoff()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		owner, ok := c.ownerOf(table, hash)
 		if !ok {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return nil, 0, err
 			}
 			if _, ok = c.ownerOf(table, hash); !ok {
@@ -198,9 +210,9 @@ func (c *Client) ReadVersioned(table wire.TableID, key []byte) ([]byte, uint64, 
 			continue
 		}
 		c.stats.RPCs.Add(1)
-		reply, err := c.node.Call(owner, wire.PriorityForeground, &wire.ReadRequest{Table: table, Key: key})
+		reply, err := c.node.Call(ctx, owner, wire.PriorityForeground, &wire.ReadRequest{Table: table, Key: key})
 		if err != nil {
-			if refreshErr := c.RefreshMap(); refreshErr != nil {
+			if refreshErr := c.RefreshMap(ctx); refreshErr != nil {
 				return nil, 0, err
 			}
 			continue
@@ -215,12 +227,12 @@ func (c *Client) ReadVersioned(table wire.TableID, key []byte) ([]byte, uint64, 
 		case wire.StatusNoSuchKey:
 			return nil, 0, ErrNoSuchKey
 		case wire.StatusWrongServer:
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return nil, 0, err
 			}
 		case wire.StatusRetry:
 			c.stats.Retries.Add(1)
-			if !bo.sleep(c, resp.RetryAfterMicros) {
+			if !bo.sleep(ctx, c, resp.RetryAfterMicros) {
 				return nil, 0, ErrRetriesExhausted
 			}
 			attempt-- // retry hints don't consume the redirect budget
@@ -232,14 +244,14 @@ func (c *Client) ReadVersioned(table wire.TableID, key []byte) ([]byte, uint64, 
 }
 
 // Write stores one object durably.
-func (c *Client) Write(table wire.TableID, key, value []byte) error {
+func (c *Client) Write(ctx context.Context, table wire.TableID, key, value []byte) error {
 	c.stats.Ops.Add(1)
 	hash := wire.HashKey(key)
 	bo := c.newBackoff()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		owner, ok := c.ownerOf(table, hash)
 		if !ok {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return err
 			}
 			if _, ok = c.ownerOf(table, hash); !ok {
@@ -248,9 +260,9 @@ func (c *Client) Write(table wire.TableID, key, value []byte) error {
 			continue
 		}
 		c.stats.RPCs.Add(1)
-		reply, err := c.node.Call(owner, wire.PriorityForeground, &wire.WriteRequest{Table: table, Key: key, Value: value})
+		reply, err := c.node.Call(ctx, owner, wire.PriorityForeground, &wire.WriteRequest{Table: table, Key: key, Value: value})
 		if err != nil {
-			if refreshErr := c.RefreshMap(); refreshErr != nil {
+			if refreshErr := c.RefreshMap(ctx); refreshErr != nil {
 				return err
 			}
 			continue
@@ -263,12 +275,12 @@ func (c *Client) Write(table wire.TableID, key, value []byte) error {
 		case wire.StatusOK:
 			return nil
 		case wire.StatusWrongServer:
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return err
 			}
 		case wire.StatusRetry:
 			c.stats.Retries.Add(1)
-			if !bo.sleep(c, 0) {
+			if !bo.sleep(ctx, c, 0) {
 				return ErrRetriesExhausted
 			}
 			attempt--
@@ -280,20 +292,20 @@ func (c *Client) Write(table wire.TableID, key, value []byte) error {
 }
 
 // Delete removes one object durably.
-func (c *Client) Delete(table wire.TableID, key []byte) error {
+func (c *Client) Delete(ctx context.Context, table wire.TableID, key []byte) error {
 	c.stats.Ops.Add(1)
 	hash := wire.HashKey(key)
 	bo := c.newBackoff()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		owner, ok := c.ownerOf(table, hash)
 		if !ok {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return err
 			}
 			continue
 		}
 		c.stats.RPCs.Add(1)
-		reply, err := c.node.Call(owner, wire.PriorityForeground, &wire.DeleteRequest{Table: table, Key: key})
+		reply, err := c.node.Call(ctx, owner, wire.PriorityForeground, &wire.DeleteRequest{Table: table, Key: key})
 		if err != nil {
 			return err
 		}
@@ -307,12 +319,12 @@ func (c *Client) Delete(table wire.TableID, key []byte) error {
 		case wire.StatusNoSuchKey:
 			return ErrNoSuchKey
 		case wire.StatusWrongServer:
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return err
 			}
 		case wire.StatusRetry:
 			c.stats.Retries.Add(1)
-			if !bo.sleep(c, 0) {
+			if !bo.sleep(ctx, c, 0) {
 				return ErrRetriesExhausted
 			}
 			attempt--
@@ -326,7 +338,7 @@ func (c *Client) Delete(table wire.TableID, key []byte) error {
 // MultiGet fetches several keys of one table, grouping them by owning
 // server and issuing the per-server RPCs in parallel. The returned values
 // align with keys; absent keys yield nil entries.
-func (c *Client) MultiGet(table wire.TableID, keys [][]byte) ([][]byte, error) {
+func (c *Client) MultiGet(ctx context.Context, table wire.TableID, keys [][]byte) ([][]byte, error) {
 	c.stats.Ops.Add(1)
 	values := make([][]byte, len(keys))
 	remaining := make([]int, len(keys))
@@ -347,7 +359,7 @@ func (c *Client) MultiGet(table wire.TableID, keys [][]byte) ([][]byte, error) {
 			groups[owner] = append(groups[owner], i)
 		}
 		if needRefresh {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return nil, err
 			}
 			continue
@@ -363,7 +375,7 @@ func (c *Client) MultiGet(table wire.TableID, keys [][]byte) ([][]byte, error) {
 				req.Keys[j] = keys[i]
 			}
 			c.stats.RPCs.Add(1)
-			calls = append(calls, pending{call: c.node.Go(owner, wire.PriorityForeground, req), idxs: idxs})
+			calls = append(calls, pending{call: c.node.Go(ctx, owner, wire.PriorityForeground, req), idxs: idxs})
 		}
 		var retryHint uint32
 		var next []int
@@ -404,12 +416,12 @@ func (c *Client) MultiGet(table wire.TableID, keys [][]byte) ([][]byte, error) {
 		}
 		remaining = next
 		if refresh {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return nil, err
 			}
 		}
 		if retryHint > 0 {
-			if !bo.sleep(c, retryHint) {
+			if !bo.sleep(ctx, c, retryHint) {
 				return nil, ErrRetriesExhausted
 			}
 			attempt--
@@ -422,7 +434,7 @@ func (c *Client) MultiGet(table wire.TableID, keys [][]byte) ([][]byte, error) {
 }
 
 // MultiPut stores several objects of one table, grouped by owner.
-func (c *Client) MultiPut(table wire.TableID, keys, values [][]byte) error {
+func (c *Client) MultiPut(ctx context.Context, table wire.TableID, keys, values [][]byte) error {
 	if len(keys) != len(values) {
 		return errors.New("client: keys/values length mismatch")
 	}
@@ -436,7 +448,7 @@ func (c *Client) MultiPut(table wire.TableID, keys, values [][]byte) error {
 		for _, i := range remaining {
 			owner, ok := c.ownerOf(table, wire.HashKey(keys[i]))
 			if !ok {
-				if err := c.RefreshMap(); err != nil {
+				if err := c.RefreshMap(ctx); err != nil {
 					return err
 				}
 				groups = nil
@@ -460,7 +472,7 @@ func (c *Client) MultiPut(table wire.TableID, keys, values [][]byte) error {
 				req.Values[j] = values[i]
 			}
 			c.stats.RPCs.Add(1)
-			reply, err := c.node.Call(owner, wire.PriorityForeground, req)
+			reply, err := c.node.Call(ctx, owner, wire.PriorityForeground, req)
 			if err != nil {
 				refresh = true
 				next = append(next, idxs...)
@@ -483,7 +495,7 @@ func (c *Client) MultiPut(table wire.TableID, keys, values [][]byte) error {
 		}
 		remaining = next
 		if refresh {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return err
 			}
 		}
@@ -495,10 +507,10 @@ func (c *Client) MultiPut(table wire.TableID, keys, values [][]byte) error {
 }
 
 // IndexInsert adds (secondaryKey -> primary key) to an index.
-func (c *Client) IndexInsert(id wire.IndexID, secondaryKey, primaryKey []byte) error {
+func (c *Client) IndexInsert(ctx context.Context, id wire.IndexID, secondaryKey, primaryKey []byte) error {
 	il, ok := c.indexletOf(id, secondaryKey)
 	if !ok {
-		if err := c.RefreshMap(); err != nil {
+		if err := c.RefreshMap(ctx); err != nil {
 			return err
 		}
 		if il, ok = c.indexletOf(id, secondaryKey); !ok {
@@ -506,7 +518,7 @@ func (c *Client) IndexInsert(id wire.IndexID, secondaryKey, primaryKey []byte) e
 		}
 	}
 	c.stats.RPCs.Add(1)
-	reply, err := c.node.Call(il.Master, wire.PriorityForeground, &wire.IndexInsertRequest{
+	reply, err := c.node.Call(ctx, il.Master, wire.PriorityForeground, &wire.IndexInsertRequest{
 		Index: id, SecondaryKey: secondaryKey, KeyHash: wire.HashKey(primaryKey),
 	})
 	if err != nil {
@@ -530,11 +542,11 @@ type ScanResult struct {
 // a multiget-by-hash fan-out to the owning tablets (Figure 2). The number
 // of distinct servers contacted is 1 (indexlet) plus however many tablets
 // back the hashes — the dispatch amplification Figure 4 measures.
-func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byte, limit int) ([]ScanResult, error) {
+func (c *Client) IndexScan(ctx context.Context, table wire.TableID, id wire.IndexID, begin, end []byte, limit int) ([]ScanResult, error) {
 	c.stats.Ops.Add(1)
 	il, ok := c.indexletOf(id, begin)
 	if !ok {
-		if err := c.RefreshMap(); err != nil {
+		if err := c.RefreshMap(ctx); err != nil {
 			return nil, err
 		}
 		if il, ok = c.indexletOf(id, begin); !ok {
@@ -542,7 +554,7 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 		}
 	}
 	c.stats.RPCs.Add(1)
-	reply, err := c.node.Call(il.Master, wire.PriorityForeground, &wire.IndexLookupRequest{
+	reply, err := c.node.Call(ctx, il.Master, wire.PriorityForeground, &wire.IndexLookupRequest{
 		Index: id, Begin: begin, End: end, Limit: uint32(limit),
 	})
 	if err != nil {
@@ -570,7 +582,7 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 			groups[owner] = append(groups[owner], h)
 		}
 		if stale {
-			if err := c.RefreshMap(); err != nil {
+			if err := c.RefreshMap(ctx); err != nil {
 				return nil, err
 			}
 			continue
@@ -579,7 +591,7 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 		var calls []pending
 		for owner, hashes := range groups {
 			c.stats.RPCs.Add(1)
-			calls = append(calls, pending{call: c.node.Go(owner, wire.PriorityForeground,
+			calls = append(calls, pending{call: c.node.Go(ctx, owner, wire.PriorityForeground,
 				&wire.MultiGetByHashRequest{Table: table, Hashes: hashes})})
 		}
 		order := make(map[uint64]int, len(lookup.Hashes))
@@ -621,7 +633,7 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 				}
 			case wire.StatusWrongServer:
 				retry = true
-				if err := c.RefreshMap(); err != nil {
+				if err := c.RefreshMap(ctx); err != nil {
 					return nil, err
 				}
 			default:
@@ -638,7 +650,7 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 			}
 			return results, nil
 		}
-		if !bo.sleep(c, retryHint) {
+		if !bo.sleep(ctx, c, retryHint) {
 			return nil, ErrRetriesExhausted
 		}
 		attempt--
@@ -648,8 +660,8 @@ func (c *Client) IndexScan(table wire.TableID, id wire.IndexID, begin, end []byt
 
 // MigrateTablet asks target to live-migrate (table, rng) away from source
 // (§3: "Migration is initiated by a client").
-func (c *Client) MigrateTablet(table wire.TableID, rng wire.HashRange, source, target wire.ServerID) error {
-	reply, err := c.node.Call(target, wire.PriorityForeground, &wire.MigrateTabletRequest{
+func (c *Client) MigrateTablet(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target wire.ServerID) error {
+	reply, err := c.node.Call(ctx, target, wire.PriorityForeground, &wire.MigrateTabletRequest{
 		Table: table, Range: rng, Source: source,
 	})
 	if err != nil {
@@ -662,12 +674,12 @@ func (c *Client) MigrateTablet(table wire.TableID, rng wire.HashRange, source, t
 	if resp.Status != wire.StatusOK {
 		return wire.StatusError{Status: resp.Status}
 	}
-	return c.RefreshMap()
+	return c.RefreshMap(ctx)
 }
 
 // CreateTable creates a table spread over the given servers.
-func (c *Client) CreateTable(name string, servers ...wire.ServerID) (wire.TableID, error) {
-	reply, err := c.node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.CreateTableRequest{
+func (c *Client) CreateTable(ctx context.Context, name string, servers ...wire.ServerID) (wire.TableID, error) {
+	reply, err := c.node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.CreateTableRequest{
 		Name: name, Servers: servers,
 	})
 	if err != nil {
@@ -677,13 +689,13 @@ func (c *Client) CreateTable(name string, servers ...wire.ServerID) (wire.TableI
 	if !ok || resp.Status != wire.StatusOK {
 		return 0, errors.New("client: create table failed")
 	}
-	return resp.Table, c.RefreshMap()
+	return resp.Table, c.RefreshMap(ctx)
 }
 
 // CreateIndex creates a secondary index over a table, range partitioned
 // across the servers at the given split keys.
-func (c *Client) CreateIndex(table wire.TableID, servers []wire.ServerID, splitKeys [][]byte) (wire.IndexID, error) {
-	reply, err := c.node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.CreateIndexRequest{
+func (c *Client) CreateIndex(ctx context.Context, table wire.TableID, servers []wire.ServerID, splitKeys [][]byte) (wire.IndexID, error) {
+	reply, err := c.node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.CreateIndexRequest{
 		Table: table, Servers: servers, SplitKeys: splitKeys,
 	})
 	if err != nil {
@@ -693,11 +705,11 @@ func (c *Client) CreateIndex(table wire.TableID, servers []wire.ServerID, splitK
 	if !ok || resp.Status != wire.StatusOK {
 		return 0, errors.New("client: create index failed")
 	}
-	return resp.Index, c.RefreshMap()
+	return resp.Index, c.RefreshMap(ctx)
 }
 
 // ReportCrash notifies the coordinator that a server appears dead.
-func (c *Client) ReportCrash(id wire.ServerID) error {
-	_, err := c.node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.ReportCrashRequest{Server: id})
+func (c *Client) ReportCrash(ctx context.Context, id wire.ServerID) error {
+	_, err := c.node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.ReportCrashRequest{Server: id})
 	return err
 }

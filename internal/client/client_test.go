@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,16 +25,16 @@ func newTestCluster(t *testing.T, servers int) (*cluster.Cluster, *client.Client
 
 func TestClientReadYourWrites(t *testing.T) {
 	c, cl := newTestCluster(t, 2)
-	table, err := cl.CreateTable("t", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
 		k := []byte(fmt.Sprintf("k%03d", i))
-		if err := cl.Write(table, k, []byte(fmt.Sprintf("v%03d", i))); err != nil {
+		if err := cl.Write(context.Background(), table, k, []byte(fmt.Sprintf("v%03d", i))); err != nil {
 			t.Fatal(err)
 		}
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != fmt.Sprintf("v%03d", i) {
 			t.Fatalf("read-your-write %s: %q %v", k, v, err)
 		}
@@ -48,37 +49,37 @@ func TestClientReadYourWrites(t *testing.T) {
 
 func TestClientUnknownTable(t *testing.T) {
 	_, cl := newTestCluster(t, 1)
-	if _, err := cl.Read(99, []byte("k")); err != client.ErrNoSuchTable {
+	if _, err := cl.Read(context.Background(), 99, []byte("k")); err != client.ErrNoSuchTable {
 		t.Fatalf("read unknown table: %v", err)
 	}
-	if err := cl.Write(99, []byte("k"), []byte("v")); err != client.ErrNoSuchTable {
+	if err := cl.Write(context.Background(), 99, []byte("k"), []byte("v")); err != client.ErrNoSuchTable {
 		t.Fatalf("write unknown table: %v", err)
 	}
 }
 
 func TestClientStaleMapRecovery(t *testing.T) {
 	c, cl := newTestCluster(t, 2)
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Write(table, []byte("k"), []byte("v")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// A second client with its own (soon stale) map.
 	stale := c.MustClient()
-	if _, err := stale.Read(table, []byte("k")); err != nil {
+	if _, err := stale.Read(context.Background(), table, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
 	// Move everything; the stale client must chase the redirect.
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res := g.Wait(); res.Err != nil {
 		t.Fatal(res.Err)
 	}
-	v, err := stale.Read(table, []byte("k"))
+	v, err := stale.Read(context.Background(), table, []byte("k"))
 	if err != nil || string(v) != "v" {
 		t.Fatalf("stale client read: %q %v", v, err)
 	}
@@ -89,7 +90,7 @@ func TestClientStaleMapRecovery(t *testing.T) {
 
 func TestClientMultiGetGroupsByServer(t *testing.T) {
 	c, cl := newTestCluster(t, 4)
-	table, err := cl.CreateTable("t", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +99,11 @@ func TestClientMultiGetGroupsByServer(t *testing.T) {
 		keys = append(keys, []byte(fmt.Sprintf("k%02d", i)))
 		values = append(values, []byte(fmt.Sprintf("v%02d", i)))
 	}
-	if err := cl.MultiPut(table, keys, values); err != nil {
+	if err := cl.MultiPut(context.Background(), table, keys, values); err != nil {
 		t.Fatal(err)
 	}
 	before := cl.Stats().RPCs.Load()
-	got, err := cl.MultiGet(table, keys)
+	got, err := cl.MultiGet(context.Background(), table, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,25 +122,25 @@ func TestClientMultiGetGroupsByServer(t *testing.T) {
 
 func TestClientIndexScanOrdering(t *testing.T) {
 	c, cl := newTestCluster(t, 2)
-	table, err := cl.CreateTable("t", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := cl.CreateIndex(table, []wire.ServerID{c.Server(0).ID()}, nil)
+	idx, err := cl.CreateIndex(context.Background(), table, []wire.ServerID{c.Server(0).ID()}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	names := []string{"delta", "alpha", "echo", "bravo", "charlie"}
 	for i, n := range names {
 		pk := []byte(fmt.Sprintf("pk-%d", i))
-		if err := cl.Write(table, pk, []byte(n)); err != nil {
+		if err := cl.Write(context.Background(), table, pk, []byte(n)); err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.IndexInsert(idx, []byte(n), pk); err != nil {
+		if err := cl.IndexInsert(context.Background(), idx, []byte(n), pk); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := cl.IndexScan(table, idx, []byte("a"), []byte("z"), 10)
+	res, err := cl.IndexScan(context.Background(), table, idx, []byte("a"), []byte("z"), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestClientIndexScanOrdering(t *testing.T) {
 		}
 	}
 	// Limit honored.
-	res, err = cl.IndexScan(table, idx, []byte("a"), []byte("z"), 2)
+	res, err = cl.IndexScan(context.Background(), table, idx, []byte("a"), []byte("z"), 2)
 	if err != nil || len(res) != 2 {
 		t.Fatalf("limited scan: %d %v", len(res), err)
 	}
@@ -161,27 +162,27 @@ func TestClientIndexScanOrdering(t *testing.T) {
 
 func TestClientMultiPutLengthMismatch(t *testing.T) {
 	_, cl := newTestCluster(t, 1)
-	if err := cl.MultiPut(1, [][]byte{[]byte("a")}, nil); err == nil {
+	if err := cl.MultiPut(context.Background(), 1, [][]byte{[]byte("a")}, nil); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }
 
 func TestClientDeleteFlow(t *testing.T) {
 	c, cl := newTestCluster(t, 1)
-	table, err := cl.CreateTable("t", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Delete(table, []byte("nope")); err != client.ErrNoSuchKey {
+	if err := cl.Delete(context.Background(), table, []byte("nope")); err != client.ErrNoSuchKey {
 		t.Fatalf("delete missing: %v", err)
 	}
-	if err := cl.Write(table, []byte("k"), []byte("v")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Delete(table, []byte("k")); err != nil {
+	if err := cl.Delete(context.Background(), table, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Read(table, []byte("k")); err != client.ErrNoSuchKey {
+	if _, err := cl.Read(context.Background(), table, []byte("k")); err != client.ErrNoSuchKey {
 		t.Fatalf("read deleted: %v", err)
 	}
 }

@@ -9,6 +9,7 @@ package cluster
 // machinery exists to preserve.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -60,7 +61,7 @@ func TestChaosMigrationsVsOperations(t *testing.T) {
 				}
 				c := testCluster(t, cfg)
 				cl := c.MustClient()
-				table, err := cl.CreateTable("chaos", c.Server(0).ID())
+				table, err := cl.CreateTable(context.Background(), "chaos", c.Server(0).ID())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -119,7 +120,7 @@ func runChaosMigrations(t *testing.T, c *Cluster, net *faultinject.Network, tabl
 		var reply wire.Payload
 		var err error
 		for attempt := 0; attempt < 3; attempt++ {
-			reply, err = mcl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+			reply, err = mcl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 			if err == nil {
 				break
 			}
@@ -146,7 +147,7 @@ func runChaosMigrations(t *testing.T, c *Cluster, net *faultinject.Network, tabl
 			return done
 		}
 		target := (ownerIdx + 1 + rng.Intn(len(c.Servers)-1)) % len(c.Servers)
-		g, err := c.Migrate(table, p, ownerIdx, target)
+		g, err := c.Migrate(context.Background(), table, p, ownerIdx, target)
 		if err != nil {
 			if se, ok := err.(wire.StatusError); ok && se.Status == wire.StatusMigrationInProgress {
 				continue

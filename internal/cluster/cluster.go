@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -80,6 +81,9 @@ func (c *Config) applyDefaults() {
 // Cluster is a running in-process cluster.
 type Cluster struct {
 	cfg Config
+	// root anchors the harness's own control RPCs (enlist, restart); test
+	// operations that should carry deadlines take an explicit ctx instead.
+	root context.Context
 
 	Fabric      *transport.Fabric
 	Coordinator *coordinator.Coordinator
@@ -94,12 +98,10 @@ type Cluster struct {
 // New builds and starts a cluster.
 func New(cfg Config) *Cluster {
 	cfg.applyDefaults()
-	c := &Cluster{cfg: cfg, Fabric: transport.NewFabric(cfg.Fabric)}
+	//lint:ignore ctxcheck harness root: the cluster outlives any one test operation
+	c := &Cluster{cfg: cfg, root: context.Background(), Fabric: transport.NewFabric(cfg.Fabric)}
 
-	coordNode := transport.NewNode(c.attach(wire.CoordinatorID))
-	if cfg.RPCTimeout > 0 {
-		coordNode.SetTimeout(cfg.RPCTimeout)
-	}
+	coordNode := transport.NewNodeWithTimeout(c.attach(wire.CoordinatorID), cfg.RPCTimeout)
 	c.Coordinator = coordinator.New(coordNode)
 	if cfg.Quiet {
 		c.Coordinator.Logf = func(string, ...any) {}
@@ -119,7 +121,7 @@ func New(cfg Config) *Cluster {
 	// Enlist servers with the coordinator.
 	cl := c.MustClient()
 	for _, id := range ids {
-		if _, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+		if _, err := cl.Node().Call(c.root, wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
 			panic(fmt.Sprintf("cluster: enlist %v: %v", id, err))
 		}
 	}
@@ -156,10 +158,8 @@ func (c *Cluster) startServer(id wire.ServerID, ids []wire.ServerID) *server.Ser
 		Backups:              backups,
 		ReplicationFactor:    c.cfg.ReplicationFactor,
 		BackupWriteBandwidth: c.cfg.BackupWriteBandwidth,
+		RPCTimeout:           c.cfg.RPCTimeout,
 	}, c.attach(id))
-	if c.cfg.RPCTimeout > 0 {
-		srv.Node().SetTimeout(c.cfg.RPCTimeout)
-	}
 	return srv
 }
 
@@ -175,7 +175,7 @@ func (c *Cluster) Restart(i int) error {
 	c.Servers[i] = srv
 	c.Managers[i] = core.NewManager(srv, c.cfg.Migration)
 	cl := c.firstClient()
-	if _, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+	if _, err := cl.Node().Call(c.root, wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
 		return fmt.Errorf("cluster: re-enlist %v: %w", id, err)
 	}
 	return nil
@@ -203,12 +203,9 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 	id := c.nextClientID
 	c.nextClientID++
 	c.clientMu.Unlock()
-	cl, err := client.New(c.attach(id))
+	cl, err := client.NewWithTimeout(c.root, c.attach(id), c.cfg.RPCTimeout)
 	if err != nil {
 		return nil, err
-	}
-	if c.cfg.RPCTimeout > 0 {
-		cl.Node().SetTimeout(c.cfg.RPCTimeout)
 	}
 	c.clientMu.Lock()
 	c.clients = append(c.clients, cl)
@@ -260,12 +257,12 @@ func (c *Cluster) Crash(i int) {
 // server's storage, bypassing the RPC path: the equivalent of the paper
 // pre-loading 300 M records before an experiment. Records are replicated
 // in one batch at the end if replication is enabled.
-func (c *Cluster) BulkLoad(table wire.TableID, keys, values [][]byte) error {
+func (c *Cluster) BulkLoad(ctx context.Context, table wire.TableID, keys, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("cluster: keys/values mismatch")
 	}
 	cl := c.firstClient()
-	reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+	reply, err := cl.Node().Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 	if err != nil {
 		return err
 	}
@@ -304,7 +301,7 @@ func (c *Cluster) BulkLoad(table wire.TableID, keys, values [][]byte) error {
 		}
 	}
 	for _, s := range c.Servers {
-		if err := s.Replicator().Sync(); err != nil {
+		if err := s.Replicator().Sync(ctx); err != nil {
 			return err
 		}
 	}
@@ -313,10 +310,11 @@ func (c *Cluster) BulkLoad(table wire.TableID, keys, values [][]byte) error {
 
 // Migrate starts a Rocksteady migration of (table, rng) from the source
 // server index to the target server index and returns the target-side
-// migration object for progress tracking.
-func (c *Cluster) Migrate(table wire.TableID, rng wire.HashRange, source, target int) (*core.Migration, error) {
+// migration object for progress tracking. A deadline on ctx rides the
+// MigrateTablet envelope to the target and bounds the whole migration.
+func (c *Cluster) Migrate(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target int) (*core.Migration, error) {
 	cl := c.firstClient()
-	if err := cl.MigrateTablet(table, rng, c.Servers[source].ID(), c.Servers[target].ID()); err != nil {
+	if err := cl.MigrateTablet(ctx, table, rng, c.Servers[source].ID(), c.Servers[target].ID()); err != nil {
 		// Under fault injection the RPC can fail (dropped response, timed
 		// out request) after the target actually started the migration.
 		// The manager is the ground truth: if it registered the migration,
@@ -356,13 +354,13 @@ func (c *Cluster) SegmentSizeOrDefault() int {
 // catch up on racing writes, grant the tablet to the target, update the
 // coordinator, drop the source copy. Measurement-only variants (any Skip
 // knob) transfer without flipping ownership.
-func (c *Cluster) MigrateBaseline(table wire.TableID, rng wire.HashRange, source, target int, opts core.BaselineOptions) (core.BaselineResult, error) {
+func (c *Cluster) MigrateBaseline(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target int, opts core.BaselineOptions) (core.BaselineResult, error) {
 	src, dst := c.Servers[source], c.Servers[target]
 	var headBefore uint64
 	if h := src.Log().Head(); h != nil {
 		headBefore = h.ID
 	}
-	res := core.RunBaselineMigration(src, dst.ID(), table, rng, opts)
+	res := core.RunBaselineMigration(ctx, src, dst.ID(), table, rng, opts)
 	if res.Err != nil {
 		return res, res.Err
 	}
@@ -372,7 +370,7 @@ func (c *Cluster) MigrateBaseline(table wire.TableID, rng wire.HashRange, source
 	node := c.firstClient().Node()
 
 	// Freeze the source; client operations now bounce until the map flips.
-	reply, err := node.Call(src.ID(), wire.PriorityForeground, &wire.PrepareMigrationRequest{
+	reply, err := node.Call(ctx, src.ID(), wire.PriorityForeground, &wire.PrepareMigrationRequest{
 		Table: table, Range: rng, Target: dst.ID(),
 	})
 	if err != nil {
@@ -385,7 +383,7 @@ func (c *Cluster) MigrateBaseline(table wire.TableID, rng wire.HashRange, source
 	if headBefore > 1 {
 		after = headBefore - 1
 	}
-	reply, err = node.Call(src.ID(), wire.PriorityForeground, &wire.PullTailRequest{
+	reply, err = node.Call(ctx, src.ID(), wire.PriorityForeground, &wire.PullTailRequest{
 		Table: table, Range: rng, AfterSegment: after,
 	})
 	if err != nil {
@@ -396,28 +394,28 @@ func (c *Cluster) MigrateBaseline(table wire.TableID, rng wire.HashRange, source
 		return res, fmt.Errorf("cluster: baseline tail pull failed")
 	}
 	if len(tail.Records) > 0 {
-		if _, err := node.Call(dst.ID(), wire.PriorityForeground, &wire.ReplayRecordsRequest{
+		if _, err := node.Call(ctx, dst.ID(), wire.PriorityForeground, &wire.ReplayRecordsRequest{
 			Table: table, Records: tail.Records, Replicate: true,
 		}); err != nil {
 			return res, err
 		}
 	}
 	// Grant ownership at the target, then flip the map.
-	if _, err := node.Call(dst.ID(), wire.PriorityForeground, &wire.TakeTabletsRequest{Table: table, Range: rng}); err != nil {
+	if _, err := node.Call(ctx, dst.ID(), wire.PriorityForeground, &wire.TakeTabletsRequest{Table: table, Range: rng}); err != nil {
 		return res, err
 	}
-	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+	if _, err := node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: table, Range: rng, Source: src.ID(), Target: dst.ID(),
 		TargetLogOffset: dst.Log().AppendedBytes(),
 	}); err != nil {
 		return res, err
 	}
-	if _, err := node.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+	if _, err := node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
 		Table: table, Range: rng, Source: src.ID(), Target: dst.ID(),
 	}); err != nil {
 		return res, err
 	}
-	if _, err := node.Call(src.ID(), wire.PriorityForeground, &wire.DropTabletRequest{Table: table, Range: rng}); err != nil {
+	if _, err := node.Call(ctx, src.ID(), wire.PriorityForeground, &wire.DropTabletRequest{Table: table, Range: rng}); err != nil {
 		return res, err
 	}
 	return res, nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -38,7 +39,7 @@ func loadN(t *testing.T, c *Cluster, table wire.TableID, n int) (keys, values []
 		keys[i] = []byte(fmt.Sprintf("key-%06d", i))
 		values[i] = []byte(fmt.Sprintf("value-%06d-payload", i))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
 		t.Fatal(err)
 	}
 	return keys, values
@@ -47,34 +48,34 @@ func loadN(t *testing.T, c *Cluster, table wire.TableID, n int) (keys, values []
 func TestClusterBasicOps(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("users", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "users", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if err := cl.Write(table, []byte("alice"), []byte("v1")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("alice"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl.Read(table, []byte("alice"))
+	v, err := cl.Read(context.Background(), table, []byte("alice"))
 	if err != nil || string(v) != "v1" {
 		t.Fatalf("read: %q, %v", v, err)
 	}
-	if err := cl.Write(table, []byte("alice"), []byte("v2")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("alice"), []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := cl.Read(table, []byte("alice")); string(v) != "v2" {
+	if v, _ := cl.Read(context.Background(), table, []byte("alice")); string(v) != "v2" {
 		t.Fatalf("overwrite not visible: %q", v)
 	}
-	if _, err := cl.Read(table, []byte("missing")); err != client.ErrNoSuchKey {
+	if _, err := cl.Read(context.Background(), table, []byte("missing")); err != client.ErrNoSuchKey {
 		t.Fatalf("missing key: %v", err)
 	}
-	if err := cl.Delete(table, []byte("alice")); err != nil {
+	if err := cl.Delete(context.Background(), table, []byte("alice")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Read(table, []byte("alice")); err != client.ErrNoSuchKey {
+	if _, err := cl.Read(context.Background(), table, []byte("alice")); err != client.ErrNoSuchKey {
 		t.Fatalf("after delete: %v", err)
 	}
-	if err := cl.Delete(table, []byte("alice")); err != client.ErrNoSuchKey {
+	if err := cl.Delete(context.Background(), table, []byte("alice")); err != client.ErrNoSuchKey {
 		t.Fatalf("double delete: %v", err)
 	}
 }
@@ -82,7 +83,7 @@ func TestClusterBasicOps(t *testing.T) {
 func TestClusterMultiOps(t *testing.T) {
 	c := testCluster(t, Config{Servers: 3})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +92,10 @@ func TestClusterMultiOps(t *testing.T) {
 		keys = append(keys, []byte(fmt.Sprintf("mk-%03d", i)))
 		values = append(values, []byte(fmt.Sprintf("mv-%03d", i)))
 	}
-	if err := cl.MultiPut(table, keys, values); err != nil {
+	if err := cl.MultiPut(context.Background(), table, keys, values); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.MultiGet(table, keys)
+	got, err := cl.MultiGet(context.Background(), table, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestClusterMultiOps(t *testing.T) {
 		}
 	}
 	// Mixed present/absent.
-	got, err = cl.MultiGet(table, [][]byte{keys[0], []byte("nope"), keys[1]})
+	got, err = cl.MultiGet(context.Background(), table, [][]byte{keys[0], []byte("nope"), keys[1]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,14 +118,14 @@ func TestRocksteadyMigrationMovesEverything(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
 	// Table entirely on server 0.
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 3000)
 
 	half := wire.FullRange().Split(2)[1]
-	g, err := c.Migrate(table, half, 0, 1)
+	g, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestRocksteadyMigrationMovesEverything(t *testing.T) {
 	// Every key must still read correctly (client follows the new map).
 	moved := 0
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil {
 			t.Fatalf("read %s after migration: %v", k, err)
 		}
@@ -177,13 +178,13 @@ func TestMigrationRegistersLineageDependency(t *testing.T) {
 		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 2 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	loadN(t, c, table, 2000)
 	half := wire.FullRange().Split(2)[0]
-	g, err := c.Migrate(table, half, 0, 1)
+	g, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +211,14 @@ func TestReadsAndWritesDuringMigration(t *testing.T) {
 		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 8 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 4000)
 
 	half := wire.FullRange().Split(2)[1]
-	g, err := c.Migrate(table, half, 0, 1)
+	g, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,13 +249,13 @@ func TestReadsAndWritesDuringMigration(t *testing.T) {
 				i++
 				if i%3 == 0 {
 					val := []byte(fmt.Sprintf("updated-w%d-%d", w, i))
-					if err := wcl.Write(table, keys[idx], val); err == nil {
+					if err := wcl.Write(context.Background(), table, keys[idx], val); err == nil {
 						mu.Lock()
 						acked[string(keys[idx])] = lastWrite{key: keys[idx], value: val}
 						mu.Unlock()
 					}
 				} else {
-					_, err := wcl.Read(table, keys[idx])
+					_, err := wcl.Read(context.Background(), table, keys[idx])
 					if err != nil && err != client.ErrNoSuchKey {
 						t.Errorf("read during migration: %v", err)
 						return
@@ -279,7 +280,7 @@ func TestReadsAndWritesDuringMigration(t *testing.T) {
 		if lw, ok := acked[string(k)]; ok {
 			want = string(lw.value)
 		}
-		got, err := cl.Read(table, k)
+		got, err := cl.Read(context.Background(), table, k)
 		if err != nil {
 			t.Fatalf("post-migration read %s: %v", k, err)
 		}
@@ -295,12 +296,12 @@ func TestMissingKeyDuringMigration(t *testing.T) {
 		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	loadN(t, c, table, 2000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestMissingKeyDuringMigration(t *testing.T) {
 	// NoSuchKey *during* the migration (via PriorityPull Missing), not
 	// hang until the end.
 	start := time.Now()
-	_, err = cl.Read(table, []byte("never-written"))
+	_, err = cl.Read(context.Background(), table, []byte("never-written"))
 	if err != client.ErrNoSuchKey {
 		t.Fatalf("missing key during migration: %v", err)
 	}
@@ -323,19 +324,19 @@ func TestMigrationVariantNoPriorityPulls(t *testing.T) {
 		Migration: core.Options{DisablePriorityPulls: true},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reads retry until background pulls deliver; they must eventually
 	// succeed, and zero PriorityPulls must reach the source.
 	for i := 0; i < 50; i++ {
-		v, err := cl.Read(table, keys[i])
+		v, err := cl.Read(context.Background(), table, keys[i])
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("read %d: %q %v", i, v, err)
 		}
@@ -356,17 +357,17 @@ func TestMigrationVariantSyncPriorityPulls(t *testing.T) {
 		Migration: core.Options{SyncPriorityPulls: true},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		v, err := cl.Read(table, keys[i])
+		v, err := cl.Read(context.Background(), table, keys[i])
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("read %d during sync-pp migration: %q %v", i, v, err)
 		}
@@ -383,13 +384,13 @@ func TestMigrationVariantSourceRetainsOwnership(t *testing.T) {
 		Migration:         core.Options{SourceRetainsOwnership: true},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
 
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ func TestMigrationVariantSourceRetainsOwnership(t *testing.T) {
 	updated := map[int][]byte{}
 	for i := 0; i < 200; i += 10 {
 		val := []byte(fmt.Sprintf("racing-update-%d", i))
-		if err := cl.Write(table, keys[i], val); err != nil {
+		if err := cl.Write(context.Background(), table, keys[i], val); err != nil {
 			t.Fatalf("write during retain-ownership migration: %v", err)
 		}
 		updated[i] = val
@@ -412,7 +413,7 @@ func TestMigrationVariantSourceRetainsOwnership(t *testing.T) {
 		if u, ok := updated[i]; ok {
 			want = string(u)
 		}
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != want {
 			t.Fatalf("key %s after flip: %q %v (want %q)", k, v, err, want)
 		}
@@ -427,14 +428,14 @@ func TestMigrationVariantSourceRetainsOwnership(t *testing.T) {
 func TestBaselineMigrationFull(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2, ReplicationFactor: 1})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
 
 	half := wire.FullRange().Split(2)[0]
-	res, err := c.MigrateBaseline(table, half, 0, 1, core.BaselineOptions{})
+	res, err := c.MigrateBaseline(context.Background(), table, half, 0, 1, core.BaselineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +443,7 @@ func TestBaselineMigrationFull(t *testing.T) {
 		t.Fatal("baseline moved nothing")
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s after baseline migration: %q %v", k, v, err)
 		}
@@ -455,7 +456,7 @@ func TestBaselineMigrationFull(t *testing.T) {
 func TestBaselineSkipVariantsDontFlipOwnership(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +467,7 @@ func TestBaselineSkipVariantsDontFlipOwnership(t *testing.T) {
 		{SkipTx: true},
 		{SkipCopy: true},
 	} {
-		res, err := c.MigrateBaseline(table, wire.FullRange(), 0, 1, opts)
+		res, err := c.MigrateBaseline(context.Background(), table, wire.FullRange(), 0, 1, opts)
 		if err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
@@ -476,7 +477,7 @@ func TestBaselineSkipVariantsDontFlipOwnership(t *testing.T) {
 	}
 	// Source still owns and serves everything.
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s: %q %v", k, v, err)
 		}
@@ -486,7 +487,7 @@ func TestBaselineSkipVariantsDontFlipOwnership(t *testing.T) {
 func TestSplitAndMigrateSubRange(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,7 +495,7 @@ func TestSplitAndMigrateSubRange(t *testing.T) {
 	// Migrate an arbitrary fine-grained slice: [1/4, 3/8) of hash space.
 	quarter := wire.FullRange().Split(8)
 	sub := wire.HashRange{Start: quarter[2].Start, End: quarter[2].End}
-	g, err := c.Migrate(table, sub, 0, 1)
+	g, err := c.Migrate(context.Background(), table, sub, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,13 +503,13 @@ func TestSplitAndMigrateSubRange(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s: %q %v", k, v, err)
 		}
 	}
 	// The map must now contain a tablet exactly covering sub on server 1.
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := c.Server(1).HashTable().CountRange(table, sub)
@@ -520,26 +521,26 @@ func TestSplitAndMigrateSubRange(t *testing.T) {
 func TestIndexScanEndToEnd(t *testing.T) {
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("people", c.ServerIDs()...)
+	table, err := cl.CreateTable(context.Background(), "people", c.ServerIDs()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := cl.CreateIndex(table, []wire.ServerID{c.Server(0).ID(), c.Server(1).ID()}, [][]byte{[]byte("m")})
+	idx, err := cl.CreateIndex(context.Background(), table, []wire.ServerID{c.Server(0).ID(), c.Server(1).ID()}, [][]byte{[]byte("m")})
 	if err != nil {
 		t.Fatal(err)
 	}
 	names := []string{"alice", "bob", "carol", "dave", "erin", "mallory", "nina", "oscar", "peggy", "trent"}
 	for i, name := range names {
 		pk := []byte(fmt.Sprintf("uid-%04d", i))
-		if err := cl.Write(table, pk, []byte(name)); err != nil {
+		if err := cl.Write(context.Background(), table, pk, []byte(name)); err != nil {
 			t.Fatal(err)
 		}
-		if err := cl.IndexInsert(idx, []byte(name), pk); err != nil {
+		if err := cl.IndexInsert(context.Background(), idx, []byte(name), pk); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Scan [b, e): bob, carol, dave.
-	res, err := cl.IndexScan(table, idx, []byte("b"), []byte("e"), 10)
+	res, err := cl.IndexScan(context.Background(), table, idx, []byte("b"), []byte("e"), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,7 +558,7 @@ func TestIndexScanEndToEnd(t *testing.T) {
 	}
 	// Scan crossing into the second indexlet's range returns only the
 	// first indexlet's span (single-indexlet scans, as in the paper).
-	res, err = cl.IndexScan(table, idx, []byte("m"), []byte("p"), 10)
+	res, err = cl.IndexScan(context.Background(), table, idx, []byte("m"), []byte("p"), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -569,7 +570,7 @@ func TestIndexScanEndToEnd(t *testing.T) {
 func TestNormalCrashRecovery(t *testing.T) {
 	c := testCluster(t, Config{Servers: 3, ReplicationFactor: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -577,27 +578,27 @@ func TestNormalCrashRecovery(t *testing.T) {
 	// Overwrite some and delete some, so recovery must honor versions and
 	// tombstones.
 	for i := 0; i < 100; i++ {
-		if err := cl.Write(table, keys[i], []byte("rewritten")); err != nil {
+		if err := cl.Write(context.Background(), table, keys[i], []byte("rewritten")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 100; i < 150; i++ {
-		if err := cl.Delete(table, keys[i]); err != nil {
+		if err := cl.Delete(context.Background(), table, keys[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	c.Crash(0)
-	if err := cl.ReportCrash(c.Server(0).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(0).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		switch {
 		case i < 100:
 			if err != nil || string(v) != "rewritten" {
@@ -622,14 +623,14 @@ func TestCrashTargetDuringMigration(t *testing.T) {
 		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 3000)
 
 	half := wire.FullRange().Split(2)[1]
-	if _, err := c.Migrate(table, half, 0, 1); err != nil {
+	if _, err := c.Migrate(context.Background(), table, half, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Push a few writes through the target (it owns the range now) so the
@@ -640,18 +641,18 @@ func TestCrashTargetDuringMigration(t *testing.T) {
 			continue
 		}
 		val := []byte(fmt.Sprintf("target-write-%d", i))
-		if err := cl.Write(table, keys[i], val); err != nil {
+		if err := cl.Write(context.Background(), table, keys[i], val); err != nil {
 			t.Fatalf("write to migrating tablet: %v", err)
 		}
 		updated[string(keys[i])] = val
 	}
 
 	c.Crash(1) // kill the target mid-migration
-	if err := cl.ReportCrash(c.Server(1).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(1).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -662,7 +663,7 @@ func TestCrashTargetDuringMigration(t *testing.T) {
 		if u, ok := updated[string(k)]; ok {
 			want = string(u)
 		}
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil {
 			t.Fatalf("read %s after target crash: %v", k, err)
 		}
@@ -682,14 +683,14 @@ func TestCrashSourceDuringMigration(t *testing.T) {
 		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 3000)
 
 	half := wire.FullRange().Split(2)[1]
-	if _, err := c.Migrate(table, half, 0, 1); err != nil {
+	if _, err := c.Migrate(context.Background(), table, half, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	updated := map[string][]byte{}
@@ -698,18 +699,18 @@ func TestCrashSourceDuringMigration(t *testing.T) {
 			continue
 		}
 		val := []byte(fmt.Sprintf("during-mig-%d", i))
-		if err := cl.Write(table, keys[i], val); err != nil {
+		if err := cl.Write(context.Background(), table, keys[i], val); err != nil {
 			t.Fatalf("write: %v", err)
 		}
 		updated[string(keys[i])] = val
 	}
 
 	c.Crash(0) // kill the source mid-migration
-	if err := cl.ReportCrash(c.Server(0).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(0).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -718,7 +719,7 @@ func TestCrashSourceDuringMigration(t *testing.T) {
 		if u, ok := updated[string(k)]; ok {
 			want = string(u)
 		}
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil {
 			t.Fatalf("read %s after source crash: %v", k, err)
 		}
@@ -737,17 +738,17 @@ func TestConcurrentMigrationsRejectedOnOverlap(t *testing.T) {
 		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 2 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	loadN(t, c, table, 2000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Overlapping second migration to the same target must be rejected.
-	err = cl.MigrateTablet(table, wire.FullRange().Split(2)[0], c.Server(0).ID(), c.Server(1).ID())
+	err = cl.MigrateTablet(context.Background(), table, wire.FullRange().Split(2)[0], c.Server(0).ID(), c.Server(1).ID())
 	if err == nil {
 		t.Error("overlapping migration accepted")
 	}
@@ -761,22 +762,23 @@ func TestPartitionDuringMigrationThenRecovery(t *testing.T) {
 		Servers:           3,
 		ReplicationFactor: 2,
 		Fabric:            transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+		RPCTimeout:        200 * time.Millisecond,
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
 
 	half := wire.FullRange().Split(2)[1]
-	g, err := c.Migrate(table, half, 0, 1)
+	g, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Sever source<->target: Pulls (and their retries) black-hole, so the
-	// migration must fail cleanly rather than hang.
-	c.Server(1).Node().SetTimeout(200 * time.Millisecond)
+	// migration must fail cleanly rather than hang (the 200 ms RPCTimeout
+	// bounds each attempt).
 	c.Fabric.Partition(c.Server(0).ID(), c.Server(1).ID(), true)
 	res := g.Wait()
 	if res.Err == nil {
@@ -786,15 +788,15 @@ func TestPartitionDuringMigrationThenRecovery(t *testing.T) {
 	// tablet to the source side and service resumes for every key.
 	c.Fabric.Partition(c.Server(0).ID(), c.Server(1).ID(), false)
 	c.Crash(1)
-	if err := cl.ReportCrash(c.Server(1).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(1).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("read %s after partition recovery: %q %v", k, v, err)
 		}
@@ -809,12 +811,12 @@ func TestSideLogAblationStillCorrect(t *testing.T) {
 		Migration: core.Options{DisableSideLogs: true},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 2000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -822,7 +824,7 @@ func TestSideLogAblationStillCorrect(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s: %q %v", k, v, err)
 		}
@@ -834,13 +836,13 @@ func TestSequentialMigrationsRoundTrip(t *testing.T) {
 	// ownership transfer, DropTablet cleanup, and version monotonicity.
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 1500)
 	for hop, pair := range [][2]int{{0, 1}, {1, 0}, {0, 1}} {
-		g, err := c.Migrate(table, wire.FullRange(), pair[0], pair[1])
+		g, err := c.Migrate(context.Background(), table, wire.FullRange(), pair[0], pair[1])
 		if err != nil {
 			t.Fatalf("hop %d: %v", hop, err)
 		}
@@ -850,13 +852,13 @@ func TestSequentialMigrationsRoundTrip(t *testing.T) {
 		// Overwrite a few keys between hops so versions keep mattering.
 		for i := 0; i < 50; i++ {
 			values[i] = []byte(fmt.Sprintf("hop%d-%d", hop, i))
-			if err := cl.Write(table, keys[i], values[i]); err != nil {
+			if err := cl.Write(context.Background(), table, keys[i], values[i]); err != nil {
 				t.Fatalf("hop %d write: %v", hop, err)
 			}
 		}
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s after 3 hops: %q %v", k, v, err)
 		}
@@ -872,18 +874,18 @@ func TestConcurrentDisjointMigrations(t *testing.T) {
 	// source to two different targets: the scale-out scenario of §1.
 	c := testCluster(t, Config{Servers: 3})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, values := loadN(t, c, table, 3000)
 
 	quarters := wire.FullRange().Split(4)
-	g1, err := c.Migrate(table, quarters[1], 0, 1)
+	g1, err := c.Migrate(context.Background(), table, quarters[1], 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := c.Migrate(table, quarters[3], 0, 2)
+	g2, err := c.Migrate(context.Background(), table, quarters[3], 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -894,7 +896,7 @@ func TestConcurrentDisjointMigrations(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s: %q %v", k, v, err)
 		}
@@ -916,11 +918,11 @@ func TestMigrateEmptyRange(t *testing.T) {
 	// the bucket-token iteration and completion logic must handle).
 	c := testCluster(t, Config{Servers: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := c.Migrate(table, wire.FullRange().Split(2)[1], 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange().Split(2)[1], 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -945,12 +947,12 @@ func TestDeleteDuringMigration(t *testing.T) {
 		Fabric:  transport.FabricConfig{BandwidthBytesPerSec: 1 << 20},
 	})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := loadN(t, c, table, 20000)
-	g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+	g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -963,7 +965,7 @@ func TestDeleteDuringMigration(t *testing.T) {
 			t.Skip("migration finished before deletes interleaved; slow the fabric further")
 		default:
 		}
-		if err := cl.Delete(table, keys[i*37]); err != nil && err != client.ErrNoSuchKey {
+		if err := cl.Delete(context.Background(), table, keys[i*37]); err != nil && err != client.ErrNoSuchKey {
 			t.Fatalf("delete during migration: %v", err)
 		}
 		deleted[string(keys[i*37])] = true
@@ -972,7 +974,7 @@ func TestDeleteDuringMigration(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	for k := range deleted {
-		if _, err := cl.Read(table, []byte(k)); err != client.ErrNoSuchKey {
+		if _, err := cl.Read(context.Background(), table, []byte(k)); err != client.ErrNoSuchKey {
 			t.Fatalf("deleted key %q resurfaced: %v", k, err)
 		}
 	}

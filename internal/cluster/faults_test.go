@@ -11,6 +11,10 @@ package cluster
 // DESIGN.md §5 maps each §4 claim to its scenario here.
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -51,7 +55,7 @@ func TestFaultScenarioSourceCrashMidMigration(t *testing.T) {
 			RPCTimeout: time.Second,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +63,7 @@ func TestFaultScenarioSourceCrashMidMigration(t *testing.T) {
 		stopWatch := watchOwnership(t, c)
 
 		half := wire.FullRange().Split(2)[1]
-		g, err := c.Migrate(table, half, 0, 1)
+		g, err := c.Migrate(context.Background(), table, half, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +79,7 @@ func TestFaultScenarioSourceCrashMidMigration(t *testing.T) {
 		<-crashed
 		net.ClearPlan() // recovery must run clean: faults stay scoped to the migration window
 		c.Crash(0)
-		if err := cl.ReportCrash(c.Server(0).ID()); err != nil {
+		if err := cl.ReportCrash(context.Background(), c.Server(0).ID()); err != nil {
 			t.Fatal(err)
 		}
 		c.Coordinator.WaitForRecoveries()
@@ -105,7 +109,7 @@ func TestFaultScenarioTargetCrashMidMigration(t *testing.T) {
 			RPCTimeout: time.Second,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +117,7 @@ func TestFaultScenarioTargetCrashMidMigration(t *testing.T) {
 		stopWatch := watchOwnership(t, c)
 
 		half := wire.FullRange().Split(2)[1]
-		g, err := c.Migrate(table, half, 0, 1)
+		g, err := c.Migrate(context.Background(), table, half, 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +130,7 @@ func TestFaultScenarioTargetCrashMidMigration(t *testing.T) {
 		net.ClearPlan()
 		dead := c.Server(1).ID()
 		c.Crash(1)
-		if err := cl.ReportCrash(dead); err != nil {
+		if err := cl.ReportCrash(context.Background(), dead); err != nil {
 			t.Fatal(err)
 		}
 		c.Coordinator.WaitForRecoveries()
@@ -135,7 +139,7 @@ func TestFaultScenarioTargetCrashMidMigration(t *testing.T) {
 		wl.stopWait()
 		stopWatch()
 		wl.audit(cl)
-		reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+		reply, err := cl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,14 +170,14 @@ func TestFaultScenarioBackupFailureDuringRereplication(t *testing.T) {
 			RPCTimeout: time.Second,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
 		wl := newFaultWorkload(t, c, table, 1000, 3, seed)
 		stopWatch := watchOwnership(t, c)
 
-		g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+		g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +189,7 @@ func TestFaultScenarioBackupFailureDuringRereplication(t *testing.T) {
 		// source can genuinely lose the segments placed on exactly that
 		// pair, which no protocol survives.)
 		c.Crash(3)
-		if err := cl.ReportCrash(c.Server(3).ID()); err != nil {
+		if err := cl.ReportCrash(context.Background(), c.Server(3).ID()); err != nil {
 			t.Fatal(err)
 		}
 		c.Coordinator.WaitForRecoveries()
@@ -197,7 +201,7 @@ func TestFaultScenarioBackupFailureDuringRereplication(t *testing.T) {
 		// Prove the failover preserved durability: crash the target and
 		// recover everything — side logs included — from what remains.
 		c.Crash(1)
-		if err := cl.ReportCrash(c.Server(1).ID()); err != nil {
+		if err := cl.ReportCrash(context.Background(), c.Server(1).ID()); err != nil {
 			t.Fatal(err)
 		}
 		c.Coordinator.WaitForRecoveries()
@@ -226,7 +230,7 @@ func TestFaultScenarioCoordinatorChurnDuringPulls(t *testing.T) {
 			RPCTimeout: time.Second,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +238,7 @@ func TestFaultScenarioCoordinatorChurnDuringPulls(t *testing.T) {
 		stopWatch := watchOwnership(t, c)
 
 		quarters := wire.FullRange().Split(4)
-		g1, err := c.Migrate(table, quarters[1], 0, 1)
+		g1, err := c.Migrate(context.Background(), table, quarters[1], 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,11 +251,11 @@ func TestFaultScenarioCoordinatorChurnDuringPulls(t *testing.T) {
 		ccl := c.MustClient()
 		for i := 0; i < 6; i++ {
 			splitAt := quarters[0].Start + uint64(i+1)*(quarters[0].End-quarters[0].Start)/8
-			_, _ = ccl.Node().Call(wire.CoordinatorID, wire.PriorityForeground,
+			_, _ = ccl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground,
 				&wire.SplitTabletRequest{Table: table, SplitAt: splitAt})
-			_, _ = ccl.CreateTable(names(seed, i), c.Server(i%3).ID())
+			_, _ = ccl.CreateTable(context.Background(), names(seed, i), c.Server(i%3).ID())
 		}
-		g2, err := c.Migrate(table, quarters[3], 0, 2)
+		g2, err := c.Migrate(context.Background(), table, quarters[3], 0, 2)
 		if err != nil && g2 == nil {
 			// The MigrateTablet RPC was eaten before the target registered
 			// anything: nothing started, nothing to converge.
@@ -293,14 +297,14 @@ func TestFaultScenarioPartitionHealDuringPriorityPulls(t *testing.T) {
 			RPCTimeout: 400 * time.Millisecond,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
 		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
 		stopWatch := watchOwnership(t, c)
 
-		g, err := c.Migrate(table, wire.FullRange(), 0, 1)
+		g, err := c.Migrate(context.Background(), table, wire.FullRange(), 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +321,7 @@ func TestFaultScenarioPartitionHealDuringPriorityPulls(t *testing.T) {
 		if res := g.Wait(); res.Err != nil {
 			t.Logf("migration did not survive the partition (%v); converging", res.Err)
 			c.Crash(1)
-			if err := cl.ReportCrash(dst); err != nil {
+			if err := cl.ReportCrash(context.Background(), dst); err != nil {
 				t.Fatal(err)
 			}
 			c.Coordinator.WaitForRecoveries()
@@ -350,7 +354,7 @@ func TestFaultScenarioPrologueResponseLoss(t *testing.T) {
 			RPCTimeout: 250 * time.Millisecond,
 		})
 		cl := c.MustClient()
-		table, err := cl.CreateTable("t", c.Server(0).ID())
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -358,7 +362,7 @@ func TestFaultScenarioPrologueResponseLoss(t *testing.T) {
 
 		src, dst := c.Server(0).ID(), c.Server(1).ID()
 		net.Block(src, dst, true) // the source's responses never reach the target
-		g, err := c.Migrate(table, wire.FullRange().Split(2)[1], 0, 1)
+		g, err := c.Migrate(context.Background(), table, wire.FullRange().Split(2)[1], 0, 1)
 		if err == nil {
 			// The client's MigrateTablet RPC can time out before begin()
 			// resolves, handing back a live handle; it must still fail.
@@ -371,12 +375,12 @@ func TestFaultScenarioPrologueResponseLoss(t *testing.T) {
 		// The abort must have un-prepped the source: every key readable at
 		// its pre-migration owner, and writes land — no range in limbo.
 		for i, k := range keys {
-			v, err := cl.Read(table, k)
+			v, err := cl.Read(context.Background(), table, k)
 			if err != nil || string(v) != string(values[i]) {
 				t.Fatalf("key %s after aborted prologue: %q %v", k, v, err)
 			}
 		}
-		if err := cl.Write(table, keys[len(keys)-1], []byte("post-abort")); err != nil {
+		if err := cl.Write(context.Background(), table, keys[len(keys)-1], []byte("post-abort")); err != nil {
 			t.Fatalf("write after aborted prologue: %v", err)
 		}
 		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
@@ -392,7 +396,7 @@ func TestFaultScenarioPrologueResponseLoss(t *testing.T) {
 func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
 	c := testCluster(t, Config{Servers: 3, ReplicationFactor: 2})
 	cl := c.MustClient()
-	table, err := cl.CreateTable("t", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +404,7 @@ func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
 
 	// Server 2 owns nothing (the table lives on 0): a pure backup.
 	c.Crash(2)
-	if err := cl.ReportCrash(c.Server(2).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(2).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()
@@ -410,7 +414,7 @@ func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
 	}
 	// The reborn server must be usable as a migration target immediately.
 	half := wire.FullRange().Split(2)[1]
-	g, err := c.Migrate(table, half, 0, 2)
+	g, err := c.Migrate(context.Background(), table, half, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +422,7 @@ func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
 		t.Fatalf("migration onto restarted server: %v", res.Err)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("key %s after restart+migration: %q %v", k, v, err)
 		}
@@ -426,4 +430,85 @@ func TestFaultScenarioCrashRestartRejoin(t *testing.T) {
 	if n, _ := c.Server(2).HashTable().CountRange(table, half); n == 0 {
 		t.Error("restarted server holds nothing after migrating onto it")
 	}
+}
+
+// TestFaultScenarioClientDeadlineAbortsMigration: a MigrateTablet issued
+// under a client deadline hands that deadline to the whole pull chain
+// (client → target → source). With the fabric throttled so the transfer
+// cannot finish in time and message faults delaying pulls, the deadline
+// must abort the migration mid-transfer: Wait returns promptly with
+// context.DeadlineExceeded as the recorded failure, some but not all
+// records pulled, and the un-migrated half of the table still serving.
+func TestFaultScenarioClientDeadlineAbortsMigration(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 2,
+			// 256 KB/s: the ~128 KB half-table below needs ~500 ms of pure
+			// transfer, far past the 200 ms client deadline.
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 256 << 10},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1000
+		keys := make([][]byte, n)
+		values := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%06d", i))
+			values[i] = bytes.Repeat([]byte{byte('a' + i%26)}, 256)
+		}
+		if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
+			t.Fatal(err)
+		}
+
+		// Delay-only faults: the prologue must succeed so the abort is
+		// attributable to the deadline alone, not a dropped MigrateStart.
+		net.SetPlan(&faultinject.Plan{DelayProb: 0.10, DupProb: 0.02})
+
+		half := wire.FullRange().Split(2)[1]
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		g, err := c.Migrate(ctx, table, half, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res := g.Wait()
+		if res.Err == nil {
+			t.Fatal("migration finished despite an unmeetable deadline")
+		}
+		if !errors.Is(res.Err, context.DeadlineExceeded) {
+			t.Fatalf("migration failed with %v, want context.DeadlineExceeded", res.Err)
+		}
+		// Abort must be prompt (cancellation, not queue-drain): well under
+		// the ~4 s a full throttled transfer with retries would take.
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("Wait took %v after the deadline; cancellation is not immediate", waited)
+		}
+		migrated := 0
+		for _, k := range keys {
+			if half.Contains(wire.HashKey(k)) {
+				migrated++
+			}
+		}
+		if res.RecordsPulled >= int64(migrated) {
+			t.Fatalf("all %d records pulled; deadline did not abort mid-transfer", migrated)
+		}
+		net.ClearPlan()
+		// The untouched half still serves under its original owner.
+		for _, k := range keys {
+			if half.Contains(wire.HashKey(k)) {
+				continue
+			}
+			if _, err := cl.Read(context.Background(), table, k); err != nil {
+				t.Fatalf("read on un-migrated half: %v", err)
+			}
+			break
+		}
+	})
 }

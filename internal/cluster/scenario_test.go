@@ -7,6 +7,7 @@ package cluster
 // applies the operator remedy for a fault-killed migration.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -101,7 +102,7 @@ func newFaultWorkload(t *testing.T, c *Cluster, table wire.TableID, n, workers i
 		keys[i] = []byte(fmt.Sprintf("fk-%06d", i))
 		values[i] = []byte(fmt.Sprintf("seed-%06d", i))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
 		t.Fatal(err)
 	}
 	wl := &faultWorkload{
@@ -152,7 +153,7 @@ func (wl *faultWorkload) run(w int) {
 		trace := traceKeys != "" && strings.Contains(traceKeys, string(key))
 		switch draw := rng.Intn(10); {
 		case draw < wl.deleteCut: // delete
-			err := cl.Delete(wl.table, key)
+			err := cl.Delete(context.Background(), wl.table, key)
 			if trace {
 				wl.t.Logf("TRACE %s delete -> %v at %v", key, err, time.Now().Format("15:04:05.000000"))
 			}
@@ -172,7 +173,7 @@ func (wl *faultWorkload) run(w int) {
 			}
 		case draw < wl.writeCut: // write
 			val := []byte(fmt.Sprintf("s%d-w%d-op%d", wl.seed, w, op))
-			err := cl.Write(wl.table, key, val)
+			err := cl.Write(context.Background(), wl.table, key, val)
 			if trace {
 				wl.t.Logf("TRACE %s write %s -> %v at %v", key, val, err, time.Now().Format("15:04:05.000000"))
 			}
@@ -182,7 +183,7 @@ func (wl *faultWorkload) run(w int) {
 				m.FailWrite(val)
 			}
 		default: // versioned read, checked against the oracle
-			v, ver, err := cl.ReadVersioned(wl.table, key)
+			v, ver, err := cl.ReadVersioned(context.Background(), wl.table, key)
 			if trace {
 				wl.t.Logf("TRACE %s read -> %q ver=%d err=%v at %v", key, v, ver, err, time.Now().Format("15:04:05.000000"))
 			}
@@ -213,18 +214,18 @@ func (wl *faultWorkload) run(w int) {
 // a just-finished recovery); persistent ones are real failures.
 func (wl *faultWorkload) audit(cl *client.Client) {
 	wl.t.Helper()
-	if err := cl.RefreshMap(); err != nil {
+	if err := cl.RefreshMap(context.Background()); err != nil {
 		wl.t.Fatalf("audit refresh: %v", err)
 	}
 	for i, k := range wl.keys {
 		var v []byte
 		var err error
 		for attempt := 0; attempt < 5; attempt++ {
-			v, err = cl.Read(wl.table, k)
+			v, err = cl.Read(context.Background(), wl.table, k)
 			if err == nil || err == client.ErrNoSuchKey {
 				break
 			}
-			_ = cl.RefreshMap()
+			_ = cl.RefreshMap(context.Background())
 		}
 		switch {
 		case err == client.ErrNoSuchKey:
@@ -260,7 +261,7 @@ func watchOwnership(t *testing.T, c *Cluster) (stop func()) {
 				return
 			case <-time.After(2 * time.Millisecond):
 			}
-			reply, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
+			reply, err := cl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{})
 			if err != nil {
 				continue // faults may eat the poll; the next one will land
 			}
@@ -299,7 +300,7 @@ func convergeMigration(t *testing.T, c *Cluster, cl *client.Client, net *faultin
 		net.ClearPlan()
 	}
 	c.Crash(target)
-	if err := cl.ReportCrash(c.Server(target).ID()); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.Server(target).ID()); err != nil {
 		t.Fatal(err)
 	}
 	c.Coordinator.WaitForRecoveries()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,14 +26,14 @@ func TestMigrationUnderLoadStress(t *testing.T) {
 	cfg.Fabric = transport.FabricConfig{BandwidthBytesPerSec: 2 << 20}
 	c := testCluster(t, cfg)
 	cl := c.MustClient()
-	table, err := cl.CreateTable("stress", c.Server(0).ID())
+	table, err := cl.CreateTable(context.Background(), "stress", c.Server(0).ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	keys, _ := loadN(t, c, table, 5000)
 
 	half := wire.FullRange().Split(2)[1]
-	g, err := c.Migrate(table, half, 0, 1)
+	g, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,12 +60,12 @@ func TestMigrationUnderLoadStress(t *testing.T) {
 				idx := (w*37 + i*13) % len(keys)
 				switch i % 4 {
 				case 0:
-					if err := wcl.Write(table, keys[idx], []byte(fmt.Sprintf("stress-w%d-%d", w, i))); err != nil {
+					if err := wcl.Write(context.Background(), table, keys[idx], []byte(fmt.Sprintf("stress-w%d-%d", w, i))); err != nil {
 						t.Errorf("write: %v", err)
 						return
 					}
 				case 1, 2:
-					if _, err := wcl.Read(table, keys[idx]); err != nil && err != client.ErrNoSuchKey {
+					if _, err := wcl.Read(context.Background(), table, keys[idx]); err != nil && err != client.ErrNoSuchKey {
 						t.Errorf("read: %v", err)
 						return
 					}
@@ -73,7 +74,7 @@ func TestMigrationUnderLoadStress(t *testing.T) {
 					for j := 0; j < 8; j++ {
 						batch = append(batch, keys[(idx+j*61)%len(keys)])
 					}
-					if _, err := wcl.MultiGet(table, batch); err != nil {
+					if _, err := wcl.MultiGet(context.Background(), table, batch); err != nil {
 						t.Errorf("multiget: %v", err)
 						return
 					}
@@ -98,7 +99,7 @@ func TestMigrationUnderLoadStress(t *testing.T) {
 	// Light sanity pass: no key may have vanished (the workload never
 	// deletes), whatever interleaving won.
 	for i := 0; i < len(keys); i += 50 {
-		if _, err := cl.Read(table, keys[i]); err != nil {
+		if _, err := cl.Read(context.Background(), table, keys[i]); err != nil {
 			t.Fatalf("post-stress read %s: %v", keys[i], err)
 		}
 	}

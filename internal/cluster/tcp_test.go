@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -57,36 +58,36 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	defer srv2.Close()
 	core.NewManager(srv2, core.Options{})
 
-	cl, err := client.New(cliEP)
+	cl, err := client.New(context.Background(), cliEP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	for _, id := range []wire.ServerID{10, 11} {
-		if _, err := cl.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+		if _, err := cl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	table, err := cl.CreateTable("tcp-table", 10)
+	table, err := cl.CreateTable(context.Background(), "tcp-table", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
-		if err := cl.Write(table, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+		if err := cl.Write(context.Background(), table, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%04d", i))); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
 
 	// Live migration over TCP, initiated like the CLI does.
-	if err := cl.MigrateTablet(table, wire.FullRange(), 10, 11); err != nil {
+	if err := cl.MigrateTablet(context.Background(), table, wire.FullRange(), 10, 11); err != nil {
 		t.Fatal(err)
 	}
 	// The migration runs in the background on srv2; reads work throughout
 	// and must all land eventually on the target.
 	for i := 0; i < 500; i++ {
 		k := []byte(fmt.Sprintf("k%04d", i))
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != fmt.Sprintf("v%04d", i) {
 			t.Fatalf("read %s over TCP: %q %v", k, v, err)
 		}

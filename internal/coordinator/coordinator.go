@@ -6,6 +6,7 @@
 package coordinator
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -31,6 +32,9 @@ type Dependency struct {
 // instance runs per cluster at wire.CoordinatorID.
 type Coordinator struct {
 	node *transport.Node
+	// root anchors request-scoped contexts: each inbound RPC derives a ctx
+	// from it carrying the envelope's deadline and trace id.
+	root context.Context
 
 	mu         sync.Mutex
 	version    uint64
@@ -53,7 +57,9 @@ type Coordinator struct {
 // handling requests.
 func New(node *transport.Node) *Coordinator {
 	c := &Coordinator{
-		node:       node,
+		node: node,
+		//lint:ignore ctxcheck server root: requests derive their contexts from here
+		root:       context.Background(),
 		tableNames: make(map[string]wire.TableID),
 		servers:    make(map[wire.ServerID]bool),
 		recovered:  make(map[wire.ServerID]bool),
@@ -79,6 +85,10 @@ func (c *Coordinator) handle(m *wire.Message) {
 }
 
 func (c *Coordinator) process(m *wire.Message) {
+	// The request-scoped context carries the envelope's deadline and trace
+	// id into every nested RPC the handler issues.
+	ctx, cancel := transport.RequestContext(c.root, m)
+	defer cancel()
 	switch req := m.Body.(type) {
 	case *wire.EnlistServerRequest:
 		c.mu.Lock()
@@ -92,7 +102,7 @@ func (c *Coordinator) process(m *wire.Message) {
 	case *wire.GetTabletMapRequest:
 		c.node.Reply(m, c.tabletMapLocked())
 	case *wire.CreateTableRequest:
-		c.node.Reply(m, c.createTable(req))
+		c.node.Reply(m, c.createTable(transport.EnsureTraceID(ctx, m.TraceID), req))
 	case *wire.CreateIndexRequest:
 		c.node.Reply(m, c.createIndex(req))
 	case *wire.SplitTabletRequest:
@@ -102,7 +112,7 @@ func (c *Coordinator) process(m *wire.Message) {
 	case *wire.MigrateDoneRequest:
 		c.node.Reply(m, c.migrateDone(req))
 	case *wire.ReportCrashRequest:
-		c.reportCrash(req.Server)
+		c.reportCrash(transport.EnsureTraceID(ctx, m.TraceID), req.Server)
 		c.node.Reply(m, &wire.ReportCrashResponse{Status: wire.StatusOK})
 	case *wire.PingRequest:
 		c.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
@@ -135,7 +145,7 @@ func (c *Coordinator) Dependencies() []Dependency {
 	return append([]Dependency(nil), c.deps...)
 }
 
-func (c *Coordinator) createTable(req *wire.CreateTableRequest) *wire.CreateTableResponse {
+func (c *Coordinator) createTable(ctx context.Context, req *wire.CreateTableRequest) *wire.CreateTableResponse {
 	if len(req.Servers) == 0 {
 		return &wire.CreateTableResponse{Status: wire.StatusInternalError}
 	}
@@ -159,7 +169,7 @@ func (c *Coordinator) createTable(req *wire.CreateTableRequest) *wire.CreateTabl
 
 	// Grant ownership to the hosting masters (empty TakeTablets).
 	for _, tb := range created {
-		_, err := c.node.Call(tb.Master, wire.PriorityForeground, &wire.TakeTabletsRequest{
+		_, err := c.node.Call(ctx, tb.Master, wire.PriorityForeground, &wire.TakeTabletsRequest{
 			Table: tb.Table, Range: tb.Range,
 		})
 		if err != nil {
@@ -292,8 +302,10 @@ func (c *Coordinator) migrateDone(req *wire.MigrateDoneRequest) *wire.MigrateDon
 	return &wire.MigrateDoneResponse{Status: wire.StatusOK}
 }
 
-// reportCrash kicks off asynchronous recovery of a crashed server.
-func (c *Coordinator) reportCrash(crashed wire.ServerID) {
+// reportCrash kicks off asynchronous recovery of a crashed server. The
+// recovery outlives the ReportCrash reply, so it runs detached from the
+// request's cancellation and deadline while keeping its trace id.
+func (c *Coordinator) reportCrash(ctx context.Context, crashed wire.ServerID) {
 	c.mu.Lock()
 	if !c.servers[crashed] || c.recovered[crashed] {
 		c.mu.Unlock()
@@ -303,9 +315,10 @@ func (c *Coordinator) reportCrash(crashed wire.ServerID) {
 	c.recovered[crashed] = true
 	c.mu.Unlock()
 	c.recoveryWG.Add(1)
+	rctx := context.WithoutCancel(ctx)
 	go func() {
 		defer c.recoveryWG.Done()
-		if err := c.recoverServer(crashed); err != nil {
+		if err := c.recoverServer(rctx, crashed); err != nil {
 			c.Logf("coordinator: recovery of %v failed: %v", crashed, err)
 		}
 	}()
@@ -316,7 +329,7 @@ func (c *Coordinator) reportCrash(crashed wire.ServerID) {
 // dependencies per §3.4: ownership of any migrating tablet reverts to the
 // source side, replaying the target's recovery-log tail along with the
 // source's log.
-func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
+func (c *Coordinator) recoverServer(ctx context.Context, crashed wire.ServerID) error {
 	c.mu.Lock()
 	var ownTablets []wire.Tablet
 	for _, t := range c.tablets {
@@ -341,7 +354,7 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 		return fmt.Errorf("no live servers to recover onto")
 	}
 
-	crashedSegs, err := c.fetchBackupSegments(crashed, live)
+	crashedSegs, err := c.fetchBackupSegments(ctx, crashed, live)
 	if err != nil {
 		return err
 	}
@@ -359,7 +372,7 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 			// copies, so deletions the target accepted must be replayed as
 			// deletions or those copies would resurrect.
 			records, ceiling := rep.LiveWithTombstones()
-			if err := c.installTablet(d.Table, d.Range, d.Source, records, ceiling); err != nil {
+			if err := c.installTablet(ctx, d.Table, d.Range, d.Source, records, ceiling); err != nil {
 				return err
 			}
 		case d.Source:
@@ -368,8 +381,8 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 			// tail, then install it on a recovery master (§3.4: "twice as
 			// much recovery effort"). The alive target drops its partial
 			// copy first.
-			_, _ = c.node.Call(d.Target, wire.PriorityForeground, &wire.DropTabletRequest{Table: d.Table, Range: d.Range})
-			targetSegs, err := c.fetchBackupSegments(d.Target, live)
+			_, _ = c.node.Call(ctx, d.Target, wire.PriorityForeground, &wire.DropTabletRequest{Table: d.Table, Range: d.Range})
+			targetSegs, err := c.fetchBackupSegments(ctx, d.Target, live)
 			if err != nil {
 				return err
 			}
@@ -378,7 +391,7 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 			rep.AddBackupSegments(targetSegs)
 			records, ceiling := rep.Live()
 			master := c.pickRecoveryMaster(live, 0)
-			if err := c.installTablet(d.Table, d.Range, master, records, ceiling); err != nil {
+			if err := c.installTablet(ctx, d.Table, d.Range, master, records, ceiling); err != nil {
 				return err
 			}
 		}
@@ -413,7 +426,7 @@ func (c *Coordinator) recoverServer(crashed wire.ServerID) error {
 		// them is a no-op; on a stale one they are the only fence.
 		records, ceiling := rep.LiveWithTombstones()
 		master := c.pickRecoveryMaster(live, i)
-		if err := c.installTablet(t.Table, t.Range, master, records, ceiling); err != nil {
+		if err := c.installTablet(ctx, t.Table, t.Range, master, records, ceiling); err != nil {
 			return err
 		}
 	}
@@ -440,14 +453,14 @@ func (c *Coordinator) pickRecoveryMaster(live []wire.ServerID, i int) wire.Serve
 // fetchBackupSegments collects every replica of a master's log from every
 // live server's backup service. An empty result is valid (the master never
 // wrote anything durable) as long as at least one backup answered.
-func (c *Coordinator) fetchBackupSegments(master wire.ServerID, live []wire.ServerID) ([]wire.BackupSegment, error) {
+func (c *Coordinator) fetchBackupSegments(ctx context.Context, master wire.ServerID, live []wire.ServerID) ([]wire.BackupSegment, error) {
 	var segs []wire.BackupSegment
 	responded := 0
 	for _, s := range live {
 		// Retried: under fault injection a dropped fetch must not silently
 		// shrink the replica set recovery reads from — that could turn an
 		// injected message loss into a genuine data loss.
-		reply, err := c.node.CallWithRetries(s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master}, 3)
+		reply, err := c.node.CallWithRetries(ctx, s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master}, transport.DefaultRetryPolicy())
 		if err != nil {
 			continue // a backup may have crashed too; others hold copies
 		}
@@ -466,13 +479,13 @@ func (c *Coordinator) fetchBackupSegments(master wire.ServerID, live []wire.Serv
 
 // installTablet sends recovered records to their new master and flips the
 // tablet map.
-func (c *Coordinator) installTablet(table wire.TableID, rng wire.HashRange, master wire.ServerID, records []wire.Record, ceiling uint64) error {
+func (c *Coordinator) installTablet(ctx context.Context, table wire.TableID, rng wire.HashRange, master wire.ServerID, records []wire.Record, ceiling uint64) error {
 	// TakeTablets is idempotent at the master (version-gated PutIfNewer),
 	// so retrying a timed-out install is safe; without the retry a single
 	// injected drop would strand the tablet unowned.
-	reply, err := c.node.CallWithRetries(master, wire.PriorityForeground, &wire.TakeTabletsRequest{
+	reply, err := c.node.CallWithRetries(ctx, master, wire.PriorityForeground, &wire.TakeTabletsRequest{
 		Table: table, Range: rng, Records: records, VersionCeiling: ceiling,
-	}, 3)
+	}, transport.DefaultRetryPolicy())
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -50,7 +51,7 @@ func newRig(t *testing.T, servers ...wire.ServerID) *rig {
 		coord.Close()
 	})
 	for _, id := range servers {
-		if _, err := r.cli.Call(wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
+		if _, err := r.cli.Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: id}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,7 +60,7 @@ func newRig(t *testing.T, servers ...wire.ServerID) *rig {
 
 func (r *rig) call(t *testing.T, body wire.Payload) wire.Payload {
 	t.Helper()
-	reply, err := r.cli.Call(wire.CoordinatorID, wire.PriorityForeground, body)
+	reply, err := r.cli.Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, body)
 	if err != nil {
 		t.Fatalf("%T: %v", body, err)
 	}

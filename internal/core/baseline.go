@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -84,11 +85,12 @@ type SourceAccess interface {
 }
 
 // RunBaselineMigration executes the pre-existing migration from the source
-// server, pushing (table, rng) to the target. The caller flips ownership
-// afterwards (clients keep hitting the source throughout, as in §2.3 where
-// "no load can be shifted away from the source until all the data has been
-// re-replicated").
-func RunBaselineMigration(src SourceAccess, target wire.ServerID, table wire.TableID, rng wire.HashRange, opts BaselineOptions) (res BaselineResult) {
+// server, pushing (table, rng) to the target under ctx: every push RPC
+// inherits its deadline, and cancellation aborts the scan between chunks.
+// The caller flips ownership afterwards (clients keep hitting the source
+// throughout, as in §2.3 where "no load can be shifted away from the
+// source until all the data has been re-replicated").
+func RunBaselineMigration(ctx context.Context, src SourceAccess, target wire.ServerID, table wire.TableID, rng wire.HashRange, opts BaselineOptions) (res BaselineResult) {
 	opts.applyDefaults()
 	res = BaselineResult{Started: time.Now()}
 	defer func() { res.Finished = time.Now() }()
@@ -101,9 +103,12 @@ func RunBaselineMigration(src SourceAccess, target wire.ServerID, table wire.Tab
 		if len(staged) == 0 {
 			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
 		res.Chunks++
 		if !opts.SkipTx {
-			reply, err := src.Node().Call(target, wire.PriorityBackground, &wire.ReplayRecordsRequest{
+			reply, err := src.Node().Call(ctx, target, wire.PriorityBackground, &wire.ReplayRecordsRequest{
 				Table:      table,
 				Records:    staged,
 				Replicate:  !opts.SkipRereplication,

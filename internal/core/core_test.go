@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -120,7 +121,7 @@ func TestManagerMigrateToMissingSourceFails(t *testing.T) {
 	m, _ := newManagerRig(t, Options{})
 	// Source 99 does not exist: the Prepare call fails fast and the
 	// migration must not be left registered.
-	status := m.HandleMigrateTablet(1, wire.FullRange(), 99)
+	status := m.HandleMigrateTablet(context.Background(), 1, wire.FullRange(), 99)
 	if status == wire.StatusOK {
 		t.Fatal("migration to dead source accepted")
 	}
@@ -141,7 +142,7 @@ func TestManagerCancelIncomingIsSafeWithoutMatch(t *testing.T) {
 
 func TestMigrationWaitAfterFailure(t *testing.T) {
 	m, _ := newManagerRig(t, Options{})
-	_ = m.HandleMigrateTablet(1, wire.FullRange(), 99)
+	_ = m.HandleMigrateTablet(context.Background(), 1, wire.FullRange(), 99)
 	g := m.Migration(1, wire.FullRange())
 	if g == nil {
 		t.Fatal("missing migration record")
@@ -160,7 +161,7 @@ func TestMigrationWaitAfterFailure(t *testing.T) {
 // non-empty queue, so only the fail-side broadcast can release the waiter).
 func TestCancelUnblocksPriorityPullDrain(t *testing.T) {
 	m, _ := newManagerRig(t, Options{})
-	g := newMigration(m, 1, wire.FullRange(), 99)
+	g := newMigration(context.Background(), m, 1, wire.FullRange(), 99)
 	g.ppMu.Lock()
 	g.ppQueued[42] = struct{}{} // stranded hash, no loop running
 	g.ppMu.Unlock()
@@ -189,7 +190,7 @@ func TestCancelUnblocksPriorityPullDrain(t *testing.T) {
 // polling).
 func TestCancelUnblocksRun(t *testing.T) {
 	m, _ := newManagerRig(t, Options{DisableBackgroundPulls: true})
-	g := newMigration(m, 1, wire.FullRange(), 99)
+	g := newMigration(context.Background(), m, 1, wire.FullRange(), 99)
 	go g.run()
 	select {
 	case <-g.Done():
@@ -211,18 +212,21 @@ func TestCancelUnblocksRun(t *testing.T) {
 	}
 }
 
-// TestFailIdempotent: repeated failures keep the first error and close the
-// cancellation channel exactly once.
+// TestFailIdempotent: repeated failures keep the first error and cancel the
+// migration context exactly once, with the first failure as its cause.
 func TestFailIdempotent(t *testing.T) {
 	m, _ := newManagerRig(t, Options{})
-	g := newMigration(m, 1, wire.FullRange(), 99)
+	g := newMigration(context.Background(), m, 1, wire.FullRange(), 99)
 	g.fail(errTest)
 	g.fail(errors.New("second"))
 	g.fail(nil) // no-op
 	select {
-	case <-g.cancelCh:
+	case <-g.ctx.Done():
 	default:
-		t.Fatal("cancelCh not closed")
+		t.Fatal("migration context not cancelled")
+	}
+	if got := context.Cause(g.ctx); got != errTest {
+		t.Fatalf("context cause %v, want first failure", got)
 	}
 	if got := g.Result().Err; got != errTest {
 		t.Fatalf("recorded error %v, want first failure", got)

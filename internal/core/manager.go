@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -38,8 +39,12 @@ func (m *Manager) Options() Options { return m.opts }
 // source, transfers ownership (unless the retain-ownership baseline is
 // selected), and starts the migration's pull/replay machinery. It returns
 // as soon as ownership has moved — the paper's "immediate transfer of
-// ownership" — while data transfer continues in the background.
-func (m *Manager) HandleMigrateTablet(table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status {
+// ownership" — while data transfer continues in the background. The
+// request context's deadline and trace id carry into the migration (the
+// whole pull chain then runs under the client-imposed bound); its
+// cancellation does not, since the reply returns long before the
+// migration finishes.
+func (m *Manager) HandleMigrateTablet(ctx context.Context, table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status {
 	m.mu.Lock()
 	for _, g := range m.active {
 		if g.Table == table && g.Range.Overlaps(rng) {
@@ -47,7 +52,7 @@ func (m *Manager) HandleMigrateTablet(table wire.TableID, rng wire.HashRange, so
 			return wire.StatusMigrationInProgress
 		}
 	}
-	g := newMigration(m, table, rng, source)
+	g := newMigration(ctx, m, table, rng, source)
 	m.active = append(m.active, g)
 	m.mu.Unlock()
 
@@ -56,6 +61,8 @@ func (m *Manager) HandleMigrateTablet(table wire.TableID, rng wire.HashRange, so
 		g.finished = time.Now()
 		m.finish(g)
 		close(g.done)
+		g.cancelCause(nil) // release; begin's fail() already recorded the cause
+		g.releaseTimer()
 		return status
 	}
 	go g.run()

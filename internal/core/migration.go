@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"rocksteady/internal/server"
 	"rocksteady/internal/storage"
+	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
 )
 
@@ -31,12 +33,18 @@ type Migration struct {
 	sideLogPool chan *storage.SideLog
 	nextSideLog uint64
 
-	replayWG   sync.WaitGroup
-	cancelled  atomic.Bool
-	cancelCh   chan struct{} // closed (once) by fail; event-driven cancellation
-	cancelOnce sync.Once
-	failure    atomic.Pointer[error]
-	done       chan struct{}
+	replayWG sync.WaitGroup
+
+	// ctx governs the whole migration: it inherits the MigrateTablet
+	// request's deadline (and trace id) but not its post-reply
+	// cancellation, and fail cancels it with the failure as the cause, so
+	// every pull, backoff wait, and capacity wait aborts immediately.
+	ctx          context.Context
+	cancelCause  context.CancelCauseFunc
+	releaseTimer context.CancelFunc // releases the inherited-deadline timer
+
+	failure atomic.Pointer[error]
+	done    chan struct{}
 
 	// PriorityPull state (§3.3): queued hashes accumulate while one batch
 	// is in flight; de-duplication guarantees the source never serves the
@@ -59,7 +67,7 @@ type Migration struct {
 	tailRecords         atomic.Int64
 }
 
-func newMigration(m *Manager, table wire.TableID, rng wire.HashRange, source wire.ServerID) *Migration {
+func newMigration(ctx context.Context, m *Manager, table wire.TableID, rng wire.HashRange, source wire.ServerID) *Migration {
 	g := &Migration{
 		Table:      table,
 		Range:      rng,
@@ -67,12 +75,28 @@ func newMigration(m *Manager, table wire.TableID, rng wire.HashRange, source wir
 		mgr:        m,
 		opts:       m.opts,
 		done:       make(chan struct{}),
-		cancelCh:   make(chan struct{}),
 		ppQueued:   make(map[uint64]struct{}),
 		ppInflight: make(map[uint64]struct{}),
 		ppMissing:  make(map[uint64]struct{}),
 	}
+	// Detach from the request's cancellation (the MigrateTablet reply
+	// returns long before the migration finishes) while keeping its values
+	// (trace id) and re-applying its deadline, so a client-imposed bound on
+	// the migration survives across the asynchronous continuation.
+	base := context.WithoutCancel(ctx)
+	g.releaseTimer = func() {}
+	if dl, ok := ctx.Deadline(); ok {
+		base, g.releaseTimer = context.WithDeadline(base, dl)
+	}
+	g.ctx, g.cancelCause = context.WithCancelCause(base)
 	g.ppDrained = sync.NewCond(&g.ppMu)
+	// Spontaneous deadline expiry must wake drainPriorityPulls' cond wait
+	// just like fail does; channel-based waits see ctx.Done directly.
+	context.AfterFunc(g.ctx, func() {
+		g.ppMu.Lock()
+		g.ppDrained.Broadcast()
+		g.ppMu.Unlock()
+	})
 	workers := m.srv.Scheduler().Workers()
 	g.sideLogPool = make(chan *storage.SideLog, workers)
 	return g
@@ -111,13 +135,11 @@ func (g *Migration) fail(err error) {
 	}
 	e := err
 	g.failure.CompareAndSwap(nil, &e)
-	g.cancelled.Store(true)
-	// Wake everything blocked on migration progress: run()'s cancellation
-	// wait, waitForWorkerCapacity's select, and drainPriorityPulls' cond.
-	g.cancelOnce.Do(func() { close(g.cancelCh) })
-	g.ppMu.Lock()
-	g.ppDrained.Broadcast()
-	g.ppMu.Unlock()
+	// Cancelling the migration context wakes everything blocked on
+	// migration progress: run()'s cancellation wait, in-flight RPCs and
+	// their backoff sleeps, waitForWorkerCapacity's select, and (via the
+	// AfterFunc registered at construction) drainPriorityPulls' cond.
+	g.cancelCause(err)
 }
 
 func (g *Migration) cancel(err error) { g.fail(err) }
@@ -169,11 +191,11 @@ func (g *Migration) begin() wire.Status {
 	// Own the tablet locally before the coordinator redirects clients.
 	srv.RegisterTablet(g.Table, g.Range, server.TabletMigratingIn)
 
-	reply, err = srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+	reply, err = srv.Node().CallWithRetries(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: g.Table, Range: g.Range,
 		Source: g.Source, Target: srv.ID(),
 		TargetLogOffset: srv.Log().AppendedBytes(),
-	}, 3)
+	}, transport.DefaultRetryPolicy())
 	if err != nil {
 		// Ambiguous: the transfer may have registered with every response
 		// lost. Read the coordinator's map to find out — only a confirmed
@@ -209,11 +231,13 @@ func (g *Migration) begin() wire.Status {
 // Best-effort, retried, idempotent: without it a lost PrepareMigration
 // response leaves the range served by nobody — the source refuses
 // (migrating-out) while the coordinator still routes clients to it.
+// It runs detached from the migration context (which is typically already
+// cancelled when this cleanup fires) but keeps its trace id.
 func (g *Migration) abortSource() {
 	srv := g.mgr.srv
-	_, _ = srv.Node().CallWithRetries(g.Source, wire.PriorityForeground, &wire.AbortMigrationRequest{
+	_, _ = srv.Node().CallWithRetries(context.WithoutCancel(g.ctx), g.Source, wire.PriorityForeground, &wire.AbortMigrationRequest{
 		Table: g.Table, Range: g.Range, Target: srv.ID(),
-	}, 3)
+	}, transport.DefaultRetryPolicy())
 }
 
 // ownershipTransferred resolves an ambiguous MigrateStart outcome by
@@ -223,7 +247,9 @@ func (g *Migration) abortSource() {
 // not be reached and nothing may be concluded.
 func (g *Migration) ownershipTransferred() (transferred, known bool) {
 	srv := g.mgr.srv
-	reply, err := srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{}, 3)
+	// Detached like abortSource: the ambiguity must be resolved even when
+	// the failure that caused it also cancelled the migration context.
+	reply, err := srv.Node().CallWithRetries(context.WithoutCancel(g.ctx), wire.CoordinatorID, wire.PriorityForeground, &wire.GetTabletMapRequest{}, transport.DefaultRetryPolicy())
 	if err != nil {
 		return false, false
 	}
@@ -251,7 +277,7 @@ func (g *Migration) run() {
 	if g.opts.DisableBackgroundPulls {
 		// PriorityPull-only mode (Figures 13/14): wait until cancelled or
 		// externally completed; there is no bulk transfer to finish.
-		<-g.cancelCh
+		<-g.ctx.Done()
 		return
 	}
 	parts := g.Range.Split(g.opts.Partitions)
@@ -268,27 +294,20 @@ func (g *Migration) run() {
 	g.drainPriorityPulls()
 }
 
-// callSource issues an idempotent RPC to the source, retrying
-// transport-level failures up to opts.PullRetries extra times. Retries
-// keep a transient fault (an injected drop, a momentary partition) from
-// failing the whole migration: Pulls resume by token and replay is
-// version-gated, so re-execution is safe. The backoff wait is event-driven
-// — cancellation (e.g. the source declared crashed) aborts it immediately.
+// callSource issues an idempotent RPC to the source under the migration
+// context, retrying transport-level failures up to opts.PullRetries extra
+// times via the shared transport retry policy. Retries keep a transient
+// fault (an injected drop, a momentary partition) from failing the whole
+// migration: Pulls resume by token and replay is version-gated, so
+// re-execution is safe. The jittered backoff wait is timer-driven and
+// ctx-aware — cancellation (e.g. the source declared crashed) aborts it
+// immediately.
 func (g *Migration) callSource(pri wire.Priority, body wire.Payload) (wire.Payload, error) {
-	srv := g.mgr.srv
-	var reply wire.Payload
-	var err error
-	for attempt := 0; ; attempt++ {
-		reply, err = srv.Node().Call(g.Source, pri, body)
-		if err == nil || attempt >= g.opts.PullRetries || g.cancelled.Load() {
-			return reply, err
-		}
-		select {
-		case <-time.After(time.Millisecond):
-		case <-g.cancelCh:
-			return nil, err
-		}
-	}
+	return g.mgr.srv.Node().CallWithRetries(g.ctx, g.Source, pri, body, transport.RetryPolicy{
+		Attempts:   g.opts.PullRetries + 1,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+	})
 }
 
 // pullPartition issues pipelined Pulls over one partition: the next Pull
@@ -298,9 +317,9 @@ func (g *Migration) callSource(pri wire.Priority, body wire.Payload) (wire.Paylo
 func (g *Migration) pullPartition(p wire.HashRange) {
 	srv := g.mgr.srv
 	token := uint64(0)
-	for !g.cancelled.Load() {
+	for g.ctx.Err() == nil {
 		g.waitForWorkerCapacity()
-		if g.cancelled.Load() {
+		if g.ctx.Err() != nil {
 			return
 		}
 		reply, err := g.callSource(wire.PriorityBackground, &wire.PullRequest{
@@ -349,11 +368,11 @@ func (g *Migration) pullPartition(p wire.HashRange) {
 // the migration's cancellation channel) instead of spin-polling.
 func (g *Migration) waitForWorkerCapacity() {
 	sched := g.mgr.srv.Scheduler()
-	for !g.cancelled.Load() && sched.IdleWorkers() == 0 &&
+	for g.ctx.Err() == nil && sched.IdleWorkers() == 0 &&
 		sched.QueuedAt(wire.PriorityBackground) > sched.Workers() {
 		select {
 		case <-sched.CapacityChanged():
-		case <-g.cancelCh:
+		case <-g.ctx.Done():
 			return
 		}
 	}
@@ -451,7 +470,7 @@ func (g *Migration) replayRecords(records []wire.Record) {
 		}
 	}
 	if g.opts.SyncRereplication {
-		if err := srv.Replicator().Sync(); err != nil {
+		if err := srv.Replicator().Sync(g.ctx); err != nil {
 			g.fail(err)
 			return
 		}
@@ -469,11 +488,21 @@ func (g *Migration) complete() {
 		g.finished = time.Now()
 		g.mgr.finish(g)
 		close(g.done)
+		// Release the context machinery: the inherited-deadline timer and
+		// the cancel-cause resources. Nothing consults g.ctx after done.
+		g.cancelCause(nil)
+		g.releaseTimer()
 	}()
 
-	if g.cancelled.Load() {
+	if g.ctx.Err() != nil {
 		if p := g.failure.Load(); p == nil {
-			err := errors.New("migration cancelled")
+			// The context died without fail() being called — a deadline the
+			// MigrateTablet caller imposed expired mid-transfer. Surface the
+			// cause (context.DeadlineExceeded) as the migration's failure.
+			err := context.Cause(g.ctx)
+			if err == nil {
+				err = errors.New("migration cancelled")
+			}
 			g.failure.CompareAndSwap(nil, &err)
 		}
 		return
@@ -493,7 +522,7 @@ func (g *Migration) complete() {
 	for _, sl := range sideLogs {
 		segs = append(segs, sl.Segments()...)
 	}
-	if err := srv.Replicator().ReplicateSegments(segs); err != nil {
+	if err := srv.Replicator().ReplicateSegments(g.ctx, segs); err != nil {
 		g.fail(err)
 		return
 	}
@@ -507,15 +536,15 @@ func (g *Migration) complete() {
 	// The epilogue RPCs are idempotent (dependency removal, tablet drop),
 	// so transport faults get retried rather than failing a migration whose
 	// data is already durably re-replicated.
-	if _, err := srv.Node().CallWithRetries(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+	if _, err := srv.Node().CallWithRetries(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
 		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
-	}, 3); err != nil {
+	}, transport.DefaultRetryPolicy()); err != nil {
 		g.fail(err)
 		return
 	}
-	if _, err := srv.Node().CallWithRetries(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
+	if _, err := srv.Node().CallWithRetries(g.ctx, g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
 		Table: g.Table, Range: g.Range,
-	}, 3); err != nil {
+	}, transport.DefaultRetryPolicy()); err != nil {
 		g.fail(err)
 		return
 	}
@@ -531,7 +560,7 @@ func (g *Migration) completeRetainOwnership() {
 	srv := g.mgr.srv
 
 	// Freeze the source (now it answers WrongServer) and pick up the tail.
-	reply, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PrepareMigrationRequest{
+	reply, err := srv.Node().Call(g.ctx, g.Source, wire.PriorityForeground, &wire.PrepareMigrationRequest{
 		Table: g.Table, Range: g.Range, Target: srv.ID(), KeepServing: false,
 	})
 	if err != nil {
@@ -546,7 +575,7 @@ func (g *Migration) completeRetainOwnership() {
 	if g.headSegment > 1 {
 		after = g.headSegment - 1
 	}
-	reply, err = srv.Node().Call(g.Source, wire.PriorityForeground, &wire.PullTailRequest{
+	reply, err = srv.Node().Call(g.ctx, g.Source, wire.PriorityForeground, &wire.PullTailRequest{
 		Table: g.Table, Range: g.Range, AfterSegment: after,
 	})
 	if err != nil {
@@ -577,7 +606,7 @@ func (g *Migration) completeRetainOwnership() {
 
 	// Now take ownership: register locally, then flip at the coordinator.
 	srv.RegisterTablet(g.Table, g.Range, server.TabletNormal)
-	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
+	if _, err := srv.Node().Call(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
 		TargetLogOffset: srv.Log().AppendedBytes(),
 	}); err != nil {
@@ -586,13 +615,13 @@ func (g *Migration) completeRetainOwnership() {
 	}
 	// Everything is already durably replicated (synchronous
 	// re-replication): drop the dependency immediately and clean up.
-	if _, err := srv.Node().Call(wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
+	if _, err := srv.Node().Call(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateDoneRequest{
 		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
 	}); err != nil {
 		g.fail(err)
 		return
 	}
-	if _, err := srv.Node().Call(g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
+	if _, err := srv.Node().Call(g.ctx, g.Source, wire.PriorityForeground, &wire.DropTabletRequest{
 		Table: g.Table, Range: g.Range,
 	}); err != nil {
 		g.fail(err)

@@ -51,7 +51,7 @@ func (g *Migration) requestPriorityPull(hash uint64) (retryMicros uint32, knownM
 // stalls on the RPC and replays inline; the server answers the client from
 // the hash table immediately afterwards (retry hint 0).
 func (g *Migration) syncPriorityPull(hash uint64) (uint32, bool) {
-	reply, err := g.mgr.srv.Node().Call(g.Source, wire.PriorityPriorityPull, &wire.PriorityPullRequest{
+	reply, err := g.mgr.srv.Node().Call(g.ctx, g.Source, wire.PriorityPriorityPull, &wire.PriorityPullRequest{
 		Table: g.Table, Hashes: []uint64{hash},
 	})
 	if err != nil {
@@ -94,7 +94,7 @@ func (g *Migration) priorityPullLoop() {
 	srv := g.mgr.srv
 	for {
 		g.ppMu.Lock()
-		if g.cancelled.Load() || len(g.ppQueued) == 0 {
+		if g.ctx.Err() != nil || len(g.ppQueued) == 0 {
 			g.ppActive = false
 			g.ppDrained.Broadcast()
 			g.ppMu.Unlock()
@@ -174,7 +174,7 @@ func (g *Migration) clearInflight(batch []uint64) {
 // hangs here.
 func (g *Migration) drainPriorityPulls() {
 	g.ppMu.Lock()
-	for !g.cancelled.Load() && (g.ppActive || len(g.ppQueued) > 0) {
+	for g.ctx.Err() == nil && (g.ppActive || len(g.ppQueued) > 0) {
 		g.ppDrained.Wait()
 	}
 	g.ppMu.Unlock()

@@ -19,11 +19,36 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rocksteady/internal/metrics"
 	"rocksteady/internal/wire"
 )
 
 // Task is a unit of work executed to completion on one worker.
 type Task func()
+
+// TaskMeta carries per-request scheduling metadata alongside a task:
+// the envelope deadline that makes the queues deadline-aware, and the
+// trace identity recorded into the scheduler's span ring.
+type TaskMeta struct {
+	// DeadlineNanos is the absolute Unix-nanosecond deadline; a task still
+	// queued past it is shed instead of run. Zero means no deadline.
+	DeadlineNanos int64
+	// TraceID correlates the task's dispatch span with its RPC chain.
+	TraceID uint64
+	// Op is the wire op code recorded in the span.
+	Op uint8
+}
+
+// queuedTask is one queue entry: the task plus its scheduling metadata
+// and enqueue time (for the queue-wait histogram and deadline check).
+type queuedTask struct {
+	fn         Task
+	meta       TaskMeta
+	enqueuedAt time.Time
+}
+
+// traceRingCapacity bounds the per-scheduler span ring.
+const traceRingCapacity = 1024
 
 // Scheduler owns a fixed worker pool and the priority queues feeding it.
 type Scheduler struct {
@@ -31,7 +56,7 @@ type Scheduler struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues [wire.NumPriorities][]Task
+	queues [wire.NumPriorities][]queuedTask
 	queued int
 	closed bool
 
@@ -39,6 +64,14 @@ type Scheduler struct {
 	busyNanos   atomic.Int64
 	started     atomic.Int64 // tasks started, per-priority below
 	perPriority [wire.NumPriorities]atomic.Int64
+	shed        [wire.NumPriorities]atomic.Int64 // deadline-expired, never run
+
+	// queueWait and service split each task's life into time spent waiting
+	// in its priority queue versus time on a worker — the decomposition
+	// behind the paper's Figure 14 core-utilization story.
+	queueWait [wire.NumPriorities]metrics.Histogram
+	service   [wire.NumPriorities]metrics.Histogram
+	trace     *metrics.TraceRing
 
 	// capCh carries edge-triggered capacity wakeups: a token is deposited
 	// (non-blocking) whenever a worker frees up or a queue shrinks, so flow
@@ -54,7 +87,11 @@ func NewScheduler(workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{workers: workers, capCh: make(chan struct{}, 1)}
+	s := &Scheduler{
+		workers: workers,
+		trace:   metrics.NewTraceRing(traceRingCapacity),
+		capCh:   make(chan struct{}, 1),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idleWorkers.Store(int32(workers))
 	s.wg.Add(workers)
@@ -67,18 +104,28 @@ func NewScheduler(workers int) *Scheduler {
 // Workers returns the pool size.
 func (s *Scheduler) Workers() int { return s.workers }
 
-// Enqueue submits a task at the given priority. It never blocks; if all
-// workers are busy the task waits in its priority queue.
+// Enqueue submits a task at the given priority with no deadline or trace
+// identity. It never blocks; if all workers are busy the task waits in
+// its priority queue.
 func (s *Scheduler) Enqueue(p wire.Priority, t Task) {
+	s.EnqueueMeta(p, TaskMeta{}, t)
+}
+
+// EnqueueMeta submits a task with scheduling metadata. A task whose
+// deadline has already passed when a worker would pick it up is shed:
+// it never runs, the per-priority shed counter increments, and a shed
+// span is recorded. It never blocks.
+func (s *Scheduler) EnqueueMeta(p wire.Priority, meta TaskMeta, t Task) {
 	if p >= wire.NumPriorities {
 		p = wire.PriorityBackground
 	}
+	qt := queuedTask{fn: t, meta: meta, enqueuedAt: time.Now()}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	s.queues[p] = append(s.queues[p], t)
+	s.queues[p] = append(s.queues[p], qt)
 	s.queued++
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -130,6 +177,46 @@ func (s *Scheduler) TasksStarted() (total int64, perPriority [wire.NumPriorities
 	return s.started.Load(), perPriority
 }
 
+// TasksShed returns how many deadline-expired tasks were shed from the
+// queues without running, in total and per priority.
+func (s *Scheduler) TasksShed() (total int64, perPriority [wire.NumPriorities]int64) {
+	for i := range s.shed {
+		perPriority[i] = s.shed[i].Load()
+		total += perPriority[i]
+	}
+	return total, perPriority
+}
+
+// ShedCount returns the shed counter for one priority.
+func (s *Scheduler) ShedCount(p wire.Priority) int64 {
+	if p >= wire.NumPriorities {
+		return 0
+	}
+	return s.shed[p].Load()
+}
+
+// QueueWaitHistogram returns the time-in-queue histogram for one
+// priority (includes shed tasks' waits).
+func (s *Scheduler) QueueWaitHistogram(p wire.Priority) *metrics.Histogram {
+	if p >= wire.NumPriorities {
+		p = wire.PriorityBackground
+	}
+	return &s.queueWait[p]
+}
+
+// ServiceHistogram returns the on-worker service-time histogram for one
+// priority.
+func (s *Scheduler) ServiceHistogram(p wire.Priority) *metrics.Histogram {
+	if p >= wire.NumPriorities {
+		p = wire.PriorityBackground
+	}
+	return &s.service[p]
+}
+
+// Trace returns the scheduler's bounded span ring: one span per
+// dispatched (or shed) task, newest overwriting oldest.
+func (s *Scheduler) Trace() *metrics.TraceRing { return s.trace }
+
 // Close drains nothing: queued tasks are discarded and workers exit.
 // Models a server crash.
 func (s *Scheduler) Close() {
@@ -156,31 +243,63 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
-		var task Task
+		var task queuedTask
 		var pri wire.Priority
+		found := false
 		for p := wire.Priority(0); p < wire.NumPriorities; p++ {
 			if q := s.queues[p]; len(q) > 0 {
 				task = q[0]
 				// Shift rather than re-slice forever: reuse backing array
 				// when the queue empties.
 				copy(q, q[1:])
+				q[len(q)-1] = queuedTask{} // drop the trailing fn reference
 				s.queues[p] = q[:len(q)-1]
 				s.queued--
 				pri = p
+				found = true
 				break
 			}
 		}
 		s.mu.Unlock()
-		if task == nil {
+		if !found {
+			continue
+		}
+		start := time.Now()
+		wait := start.Sub(task.enqueuedAt)
+		s.queueWait[pri].Record(wait)
+		// Deadline-aware shedding (checked at pickup, when run-to-completion
+		// would otherwise commit a worker): a request already past its
+		// deadline has been abandoned by its caller, so running it only
+		// steals a core from live work.
+		if task.meta.DeadlineNanos != 0 && start.UnixNano() > task.meta.DeadlineNanos {
+			s.shed[pri].Add(1)
+			s.trace.Record(metrics.Span{
+				TraceID:        task.meta.TraceID,
+				Op:             task.meta.Op,
+				Priority:       uint8(pri),
+				Shed:           true,
+				StartNanos:     start.UnixNano(),
+				QueueWaitNanos: wait.Nanoseconds(),
+			})
+			s.notifyCapacity() // a queue shrank: waiters re-check their predicate
 			continue
 		}
 		s.idleWorkers.Add(-1)
 		s.notifyCapacity() // a queue shrank: waiters re-check their predicate
-		start := time.Now()
-		task()
-		s.busyNanos.Add(time.Since(start).Nanoseconds())
+		task.fn()
+		service := time.Since(start)
+		s.busyNanos.Add(service.Nanoseconds())
 		s.started.Add(1)
 		s.perPriority[pri].Add(1)
+		s.service[pri].Record(service)
+		s.trace.Record(metrics.Span{
+			TraceID:        task.meta.TraceID,
+			Op:             task.meta.Op,
+			Priority:       uint8(pri),
+			StartNanos:     start.UnixNano(),
+			QueueWaitNanos: wait.Nanoseconds(),
+			ServiceNanos:   service.Nanoseconds(),
+		})
 		s.idleWorkers.Add(1)
 		s.notifyCapacity()
 	}

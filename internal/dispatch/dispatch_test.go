@@ -285,3 +285,77 @@ func TestCapacityTokensCoalesce(t *testing.T) {
 		t.Fatal("no token pending after completions")
 	}
 }
+
+// TestDeadlineExpiredTaskShed pins the deadline-aware queues: a task whose
+// deadline passes while it waits behind a blocked worker is shed at pickup —
+// it never runs, the per-priority shed counter increments, and a shed span
+// lands in the trace ring — while live work queued behind it still runs.
+func TestDeadlineExpiredTaskShed(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	s.Enqueue(wire.PriorityForeground, func() {
+		close(running)
+		<-block
+	})
+	<-running // the only worker is now committed
+
+	// Already expired when enqueued: the pickup check must shed it no
+	// matter how quickly the worker frees up.
+	expired := time.Now().Add(-time.Millisecond).UnixNano()
+	ran := make(chan struct{})
+	s.EnqueueMeta(wire.PriorityForeground, TaskMeta{DeadlineNanos: expired, TraceID: 7, Op: 42}, func() {
+		close(ran)
+	})
+	live := make(chan struct{})
+	s.EnqueueMeta(wire.PriorityForeground, TaskMeta{TraceID: 8}, func() {
+		close(live)
+	})
+
+	close(block)
+	select {
+	case <-live:
+	case <-time.After(2 * time.Second):
+		t.Fatal("live task behind the expired one never ran")
+	}
+	select {
+	case <-ran:
+		t.Fatal("deadline-expired task ran")
+	default:
+	}
+	if got := s.ShedCount(wire.PriorityForeground); got != 1 {
+		t.Fatalf("ShedCount = %d, want 1", got)
+	}
+	total, per := s.TasksShed()
+	if total != 1 || per[wire.PriorityForeground] != 1 {
+		t.Fatalf("TasksShed = %d %v, want 1 at foreground", total, per)
+	}
+	var shedSpan bool
+	for _, sp := range s.Trace().Snapshot() {
+		if sp.Shed && sp.TraceID == 7 && sp.Op == 42 && sp.Priority == uint8(wire.PriorityForeground) {
+			shedSpan = true
+		}
+	}
+	if !shedSpan {
+		t.Fatal("no shed span recorded in the trace ring")
+	}
+}
+
+// TestNoDeadlineNeverShed: zero DeadlineNanos means no deadline — tasks
+// must run regardless of how long they waited.
+func TestNoDeadlineNeverShed(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	done := make(chan struct{})
+	s.EnqueueMeta(wire.PriorityBackground, TaskMeta{}, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("task did not run")
+	}
+	if total, _ := s.TasksShed(); total != 0 {
+		t.Fatalf("shed %d tasks, want 0", total)
+	}
+}

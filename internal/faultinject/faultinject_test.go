@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -261,20 +262,19 @@ func TestWrappedFabricEndToEndRPC(t *testing.T) {
 	srv.Start()
 	defer srv.Close()
 
-	cli := transport.NewNode(cliEP)
-	cli.SetTimeout(100 * time.Millisecond)
+	cli := transport.NewNodeWithTimeout(cliEP, 100*time.Millisecond)
 	cli.Start()
 	defer cli.Close()
 
-	if _, err := cli.Call(10, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+	if _, err := cli.Call(context.Background(), 10, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
 		t.Fatalf("clean network ping: %v", err)
 	}
 	net.SetPlan(&Plan{DropProb: 1})
-	if _, err := cli.Call(10, wire.PriorityForeground, &wire.PingRequest{}); err != transport.ErrTimeout {
+	if _, err := cli.Call(context.Background(), 10, wire.PriorityForeground, &wire.PingRequest{}); err != transport.ErrTimeout {
 		t.Fatalf("faulted ping: %v, want timeout", err)
 	}
 	net.ClearPlan()
-	if _, err := cli.Call(10, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+	if _, err := cli.Call(context.Background(), 10, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
 		t.Fatalf("healed network ping: %v", err)
 	}
 }

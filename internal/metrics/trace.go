@@ -1,0 +1,77 @@
+package metrics
+
+import "sync"
+
+// Span is one RPC hop's dispatch record: which request (trace id), what
+// it was (op, priority), how long it sat in the priority queue versus how
+// long a worker spent serving it, and whether it was shed because its
+// deadline expired while queued. Fields are plain numbers so recording a
+// span never allocates.
+type Span struct {
+	// TraceID correlates this hop with the rest of its request chain.
+	TraceID uint64
+	// Op is the wire op code (uint8 to avoid an import cycle with wire).
+	Op uint8
+	// Priority is the dispatch priority the hop ran (or was shed) at.
+	Priority uint8
+	// Shed reports that the deadline expired in-queue and the task never
+	// ran; ServiceNanos is 0 for shed spans.
+	Shed bool
+	// StartNanos is the Unix time the task was dequeued.
+	StartNanos int64
+	// QueueWaitNanos is how long the task waited in the priority queue.
+	QueueWaitNanos int64
+	// ServiceNanos is how long the worker spent running the task.
+	ServiceNanos int64
+}
+
+// TraceRing is a bounded ring of the most recent spans, exported
+// alongside a server's metrics for per-request observability. Writers
+// overwrite the oldest span once the ring is full; Record never
+// allocates after construction.
+type TraceRing struct {
+	mu    sync.Mutex
+	spans []Span
+	next  uint64 // total spans ever recorded; next%len is the write slot
+}
+
+// NewTraceRing creates a ring holding up to capacity spans (min 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{spans: make([]Span, capacity)}
+}
+
+// Record stores one span, overwriting the oldest if the ring is full.
+func (r *TraceRing) Record(s Span) {
+	r.mu.Lock()
+	r.spans[r.next%uint64(len(r.spans))] = s
+	r.next++
+	r.mu.Unlock()
+}
+
+// Total returns how many spans have ever been recorded (including those
+// already overwritten).
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *TraceRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	capacity := uint64(len(r.spans))
+	count := n
+	if count > capacity {
+		count = capacity
+	}
+	out := make([]Span, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.spans[i%capacity])
+	}
+	return out
+}

@@ -9,6 +9,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"rocksteady/internal/backup"
 	"rocksteady/internal/dispatch"
 	"rocksteady/internal/index"
+	"rocksteady/internal/metrics"
 	"rocksteady/internal/storage"
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
@@ -47,6 +49,10 @@ type Config struct {
 	// normal-case reorganization that motivates Rocksteady's lazy
 	// partitioning (§1, §2.3).
 	CleanerInterval time.Duration
+	// RPCTimeout is the node's default per-attempt RPC timeout (0 =
+	// transport.DefaultRPCTimeout). It is a local liveness guard; caller
+	// deadlines travel in the request context instead.
+	RPCTimeout time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -92,8 +98,11 @@ type tabletEntry struct {
 // MigrationHandler is the target-side migration engine (internal/core).
 type MigrationHandler interface {
 	// HandleMigrateTablet starts pulling (table, rng) from source;
-	// ownership has not yet moved — the handler does that.
-	HandleMigrateTablet(table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status
+	// ownership has not yet moved — the handler does that. The context is
+	// the request's: its deadline (if any) bounds the whole migration,
+	// including the background pulls that outlive this call, and its
+	// trace id extends across the pull chain.
+	HandleMigrateTablet(ctx context.Context, table wire.TableID, rng wire.HashRange, source wire.ServerID) wire.Status
 	// HandleMissingKey is consulted when a read misses in a migrating-in
 	// tablet. It schedules a PriorityPull (batched, de-duplicated) and
 	// returns the retry hint; knownMissing reports that the source has
@@ -120,7 +129,10 @@ type Stats struct {
 
 // Server is one storage server.
 type Server struct {
-	cfg   Config
+	cfg Config
+	// root anchors request-scoped contexts: requests without a deadline
+	// run directly under it (no per-request allocation).
+	root  context.Context
 	node  *transport.Node
 	sched *dispatch.Scheduler
 	log   *storage.Log
@@ -144,8 +156,10 @@ type Server struct {
 func New(cfg Config, ep transport.Endpoint) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		cfg:   cfg,
-		node:  transport.NewNode(ep),
+		cfg: cfg,
+		//lint:ignore ctxcheck server root: requests derive their contexts from here
+		root:  context.Background(),
+		node:  transport.NewNodeWithTimeout(ep, cfg.RPCTimeout),
 		sched: dispatch.NewScheduler(cfg.Workers),
 		ht:    storage.NewHashTable(cfg.HashTableCapacity),
 		store: backup.NewStore(),
@@ -242,6 +256,16 @@ func (s *Server) Indexes() *index.Manager { return s.idx }
 
 // Stats returns the server's counters.
 func (s *Server) Stats() *Stats { return &s.stats }
+
+// ShedCounts reports deadline-expired requests shed from the dispatch
+// queues without running, in total and per priority.
+func (s *Server) ShedCounts() (total int64, perPriority [wire.NumPriorities]int64) {
+	return s.sched.TasksShed()
+}
+
+// TraceSpans snapshots the server's bounded dispatch-span ring (oldest
+// first): per-request queue-wait vs service time, keyed by trace id.
+func (s *Server) TraceSpans() []metrics.Span { return s.sched.Trace().Snapshot() }
 
 // Config returns the server's configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -348,7 +372,9 @@ func (s *Server) Tablets() []wire.Tablet {
 
 // dispatchRequest runs on the dispatch pump: it assigns the request to the
 // worker pool at the sender's priority (clamped per-op so a misbehaving
-// sender cannot elevate bulk work).
+// sender cannot elevate bulk work). The envelope deadline rides along as
+// task metadata, making the queues deadline-aware: a request that expires
+// while queued is shed by the scheduler and never reaches handle.
 func (s *Server) dispatchRequest(m *wire.Message) {
 	pri := m.Priority
 	switch m.Op {
@@ -365,22 +391,28 @@ func (s *Server) dispatchRequest(m *wire.Message) {
 			pri = wire.PriorityForeground
 		}
 	}
-	s.sched.Enqueue(pri, func() { s.handle(m) })
+	meta := dispatch.TaskMeta{DeadlineNanos: m.DeadlineNanos, TraceID: m.TraceID, Op: uint8(m.Op)}
+	s.sched.EnqueueMeta(pri, meta, func() {
+		ctx, cancel := transport.RequestContext(s.root, m)
+		s.handle(ctx, m)
+		cancel()
+	})
 }
 
-// handle executes one request on a worker.
-func (s *Server) handle(m *wire.Message) {
+// handle executes one request on a worker under its request-scoped
+// context (envelope deadline, trace id).
+func (s *Server) handle(ctx context.Context, m *wire.Message) {
 	switch req := m.Body.(type) {
 	case *wire.ReadRequest:
 		s.node.Reply(m, s.handleRead(req))
 	case *wire.WriteRequest:
-		s.node.Reply(m, s.handleWrite(req))
+		s.node.Reply(m, s.handleWrite(ctx, req))
 	case *wire.DeleteRequest:
-		s.node.Reply(m, s.handleDelete(req))
+		s.node.Reply(m, s.handleDelete(ctx, req))
 	case *wire.MultiGetRequest:
 		s.node.Reply(m, s.handleMultiGet(req))
 	case *wire.MultiPutRequest:
-		s.node.Reply(m, s.handleMultiPut(req))
+		s.node.Reply(m, s.handleMultiPut(ctx, req))
 	case *wire.MultiGetByHashRequest:
 		s.node.Reply(m, s.handleMultiGetByHash(req))
 	case *wire.IndexLookupRequest:
@@ -409,7 +441,7 @@ func (s *Server) handle(m *wire.Message) {
 	case *wire.DropTabletRequest:
 		s.node.Reply(m, s.handleDropTablet(req))
 	case *wire.ReplayRecordsRequest:
-		s.node.Reply(m, s.handleReplayRecords(req))
+		s.node.Reply(m, s.handleReplayRecords(ctx, req))
 		s.recycleRecords(req.Records)
 	case *wire.PullTailRequest:
 		resp := s.handlePullTail(req)
@@ -418,7 +450,7 @@ func (s *Server) handle(m *wire.Message) {
 	case *wire.MigrateTabletRequest:
 		status := wire.Status(wire.StatusInternalError)
 		if h := s.migrationHandler(); h != nil {
-			status = h.HandleMigrateTablet(req.Table, req.Range, req.Source)
+			status = h.HandleMigrateTablet(transport.EnsureTraceID(ctx, m.TraceID), req.Table, req.Range, req.Source)
 		}
 		s.node.Reply(m, &wire.MigrateTabletResponse{Status: status})
 	case *wire.ReplicateSegmentRequest:
@@ -426,7 +458,7 @@ func (s *Server) handle(m *wire.Message) {
 	case *wire.GetBackupSegmentsRequest:
 		s.node.Reply(m, s.store.HandleGetSegments(req))
 	case *wire.TakeTabletsRequest:
-		s.node.Reply(m, s.handleTakeTablets(req))
+		s.node.Reply(m, s.handleTakeTablets(ctx, req))
 		s.recycleRecords(req.Records)
 	case *wire.PingRequest:
 		s.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
@@ -494,7 +526,7 @@ func (s *Server) handleRead(req *wire.ReadRequest) *wire.ReadResponse {
 	return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
 }
 
-func (s *Server) handleWrite(req *wire.WriteRequest) *wire.WriteResponse {
+func (s *Server) handleWrite(ctx context.Context, req *wire.WriteRequest) *wire.WriteResponse {
 	s.stats.Writes.Add(1)
 	hash := wire.HashKey(req.Key)
 	state, owned := s.tabletFor(req.Table, hash)
@@ -506,7 +538,7 @@ func (s *Server) handleWrite(req *wire.WriteRequest) *wire.WriteResponse {
 	if status != wire.StatusOK {
 		return &wire.WriteResponse{Status: status}
 	}
-	if err := s.repl.Sync(); err != nil {
+	if err := s.repl.Sync(ctx); err != nil {
 		return &wire.WriteResponse{Status: wire.StatusInternalError}
 	}
 	s.stats.ObjectsWritten.Add(1)
@@ -525,7 +557,7 @@ func (s *Server) applyWrite(table wire.TableID, key []byte, hash uint64, value [
 	return version, wire.StatusOK
 }
 
-func (s *Server) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
+func (s *Server) handleDelete(ctx context.Context, req *wire.DeleteRequest) *wire.DeleteResponse {
 	hash := wire.HashKey(req.Key)
 	state, owned := s.tabletFor(req.Table, hash)
 	if !owned || state == TabletMigratingOut {
@@ -533,7 +565,7 @@ func (s *Server) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
 		return &wire.DeleteResponse{Status: wire.StatusWrongServer}
 	}
 	if state == TabletMigratingIn {
-		return s.deleteDuringMigration(req, hash)
+		return s.deleteDuringMigration(ctx, req, hash)
 	}
 	prev, existed := s.ht.Remove(req.Table, req.Key, hash)
 	if !existed {
@@ -544,7 +576,7 @@ func (s *Server) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
 		return &wire.DeleteResponse{Status: wire.StatusInternalError}
 	}
 	s.log.MarkDead(prev)
-	if err := s.repl.Sync(); err != nil {
+	if err := s.repl.Sync(ctx); err != nil {
 		return &wire.DeleteResponse{Status: wire.StatusInternalError}
 	}
 	return &wire.DeleteResponse{Status: wire.StatusOK, Version: version}
@@ -556,7 +588,7 @@ func (s *Server) handleDelete(req *wire.DeleteRequest) *wire.DeleteResponse {
 // hash table* as a tombstone ref: its version (above the migration's
 // ceiling) makes PutIfNewer reject the stale copy. The migration epilogue
 // sweeps parked tombstones out.
-func (s *Server) deleteDuringMigration(req *wire.DeleteRequest, hash uint64) *wire.DeleteResponse {
+func (s *Server) deleteDuringMigration(ctx context.Context, req *wire.DeleteRequest, hash uint64) *wire.DeleteResponse {
 	prev, exists := s.ht.Get(req.Table, req.Key, hash)
 	if exists {
 		if h, err := prev.Header(); err == nil && h.Type == storage.EntryTombstone {
@@ -583,7 +615,7 @@ func (s *Server) deleteDuringMigration(req *wire.DeleteRequest, hash uint64) *wi
 	if old, existed := s.ht.Put(req.Table, req.Key, hash, ref); existed {
 		s.log.MarkDead(old)
 	}
-	if err := s.repl.Sync(); err != nil {
+	if err := s.repl.Sync(ctx); err != nil {
 		return &wire.DeleteResponse{Status: wire.StatusInternalError}
 	}
 	return &wire.DeleteResponse{Status: wire.StatusOK, Version: version}
@@ -612,7 +644,7 @@ func (s *Server) handleMultiGet(req *wire.MultiGetRequest) *wire.MultiGetRespons
 	return resp
 }
 
-func (s *Server) handleMultiPut(req *wire.MultiPutRequest) *wire.MultiPutResponse {
+func (s *Server) handleMultiPut(ctx context.Context, req *wire.MultiPutRequest) *wire.MultiPutResponse {
 	resp := &wire.MultiPutResponse{
 		Status:   wire.StatusOK,
 		Statuses: make([]wire.Status, len(req.Keys)),
@@ -633,7 +665,7 @@ func (s *Server) handleMultiPut(req *wire.MultiPutRequest) *wire.MultiPutRespons
 		wrote = wrote || st == wire.StatusOK
 	}
 	if wrote {
-		if err := s.repl.Sync(); err != nil {
+		if err := s.repl.Sync(ctx); err != nil {
 			resp.Status = wire.StatusInternalError
 		}
 		s.stats.ObjectsWritten.Add(int64(len(req.Keys)))
@@ -781,7 +813,7 @@ func (s *Server) handleDropTablet(req *wire.DropTabletRequest) *wire.DropTabletR
 // Recovery / ownership grants
 // ---------------------------------------------------------------------------
 
-func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTabletsResponse {
+func (s *Server) handleTakeTablets(ctx context.Context, req *wire.TakeTabletsRequest) *wire.TakeTabletsResponse {
 	if req.VersionCeiling > 0 {
 		s.log.BumpVersionTo(req.VersionCeiling)
 	}
@@ -828,7 +860,7 @@ func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTable
 		s.ht.RemoveTombstoneRefs(req.Table, req.Range)
 	}
 	if len(req.Records) > 0 {
-		if err := s.repl.Sync(); err != nil {
+		if err := s.repl.Sync(ctx); err != nil {
 			return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
 		}
 	}
@@ -842,7 +874,7 @@ func (s *Server) handleTakeTablets(req *wire.TakeTabletsRequest) *wire.TakeTable
 // handleReplayRecords is the target side of the pre-existing source-driven
 // migration: logically replay pushed records into the log and hash table,
 // optionally re-replicating synchronously — the phases Figure 5 toggles.
-func (s *Server) handleReplayRecords(req *wire.ReplayRecordsRequest) *wire.ReplayRecordsResponse {
+func (s *Server) handleReplayRecords(ctx context.Context, req *wire.ReplayRecordsRequest) *wire.ReplayRecordsResponse {
 	if req.SkipReplay {
 		return &wire.ReplayRecordsResponse{Status: wire.StatusOK}
 	}
@@ -865,7 +897,7 @@ func (s *Server) handleReplayRecords(req *wire.ReplayRecordsRequest) *wire.Repla
 		}
 	}
 	if req.Replicate {
-		if err := s.repl.Sync(); err != nil {
+		if err := s.repl.Sync(ctx); err != nil {
 			return &wire.ReplayRecordsResponse{Status: wire.StatusInternalError}
 		}
 	}

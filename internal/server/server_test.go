@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func newRig(t *testing.T, cfg Config) *rig {
 
 func (r *rig) call(t *testing.T, body wire.Payload) wire.Payload {
 	t.Helper()
-	reply, err := r.cli.Call(r.srv.ID(), wire.PriorityForeground, body)
+	reply, err := r.cli.Call(context.Background(), r.srv.ID(), wire.PriorityForeground, body)
 	if err != nil {
 		t.Fatalf("%T: %v", body, err)
 	}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// deadlineEcho installs a handler on srv that captures the envelope's
+// deadline/trace fields and the handler-scoped context derived from them,
+// then replies OK.
+type deadlineEcho struct {
+	mu            sync.Mutex // the TCP hop gives the test no happens-before edge
+	deadlineNanos int64
+	traceID       uint64
+	ctxDeadline   time.Time
+	ctxHasDL      bool
+	ctxTraceID    uint64
+}
+
+func (e *deadlineEcho) snapshot() deadlineEcho {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return deadlineEcho{deadlineNanos: e.deadlineNanos, traceID: e.traceID,
+		ctxDeadline: e.ctxDeadline, ctxHasDL: e.ctxHasDL, ctxTraceID: e.ctxTraceID}
+}
+
+func installDeadlineEcho(srv *Node) *deadlineEcho {
+	e := &deadlineEcho{}
+	root := context.Background()
+	srv.SetHandler(func(m *wire.Message) {
+		ctx, cancel := RequestContext(root, m)
+		defer cancel()
+		e.mu.Lock()
+		e.deadlineNanos = m.DeadlineNanos
+		e.traceID = m.TraceID
+		e.ctxDeadline, e.ctxHasDL = ctx.Deadline()
+		e.ctxTraceID = ContextTraceID(ctx)
+		e.mu.Unlock()
+		srv.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
+	})
+	return e
+}
+
+// checkPropagation runs the shared assertions for both transports: an
+// explicit caller deadline must cross the wire intact, surface as the
+// handler context's deadline, and carry a trace id; a Background call
+// must cross with a zero deadline.
+func checkPropagation(t *testing.T, client *Node, e *deadlineEcho, to wire.ServerID) {
+	t.Helper()
+	dl := time.Now().Add(5 * time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	if _, err := client.Call(ctx, to, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+		t.Fatalf("deadline call: %v", err)
+	}
+	got := e.snapshot()
+	if got.deadlineNanos != dl.UnixNano() {
+		t.Fatalf("wire deadline %d, want %d", got.deadlineNanos, dl.UnixNano())
+	}
+	if !got.ctxHasDL || !got.ctxDeadline.Equal(time.Unix(0, dl.UnixNano())) {
+		t.Fatalf("handler ctx deadline %v (has=%v), want %v", got.ctxDeadline, got.ctxHasDL, dl)
+	}
+	if got.traceID == 0 || got.ctxTraceID != got.traceID {
+		t.Fatalf("trace id: wire %d, ctx %d; want equal and nonzero", got.traceID, got.ctxTraceID)
+	}
+
+	// No explicit deadline: the node's local liveness timeout must NOT be
+	// propagated as if the caller asked for it.
+	if _, err := client.Call(context.Background(), to, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+		t.Fatalf("background call: %v", err)
+	}
+	got = e.snapshot()
+	if got.deadlineNanos != 0 {
+		t.Fatalf("background call stamped deadline %d, want 0", got.deadlineNanos)
+	}
+	if got.ctxHasDL {
+		t.Fatal("background call produced a handler ctx deadline")
+	}
+}
+
+// TestDeadlinePropagatesOverFabric: the envelope's DeadlineNanos/TraceID
+// survive the in-memory fabric hop and reconstitute as the handler's
+// context deadline.
+func TestDeadlinePropagatesOverFabric(t *testing.T) {
+	f := NewFabric(FabricConfig{})
+	srv := NewNode(f.Attach(2))
+	e := installDeadlineEcho(srv)
+	srv.Start()
+	defer srv.Close()
+	client := NewNode(f.Attach(1))
+	client.Start()
+	defer client.Close()
+	checkPropagation(t, client, e, 2)
+}
+
+// TestDeadlinePropagatesOverTCP: same contract across the real TCP
+// transport — the deadline must survive marshalling onto the stream.
+func TestDeadlinePropagatesOverTCP(t *testing.T) {
+	a, b := tcpPair(t)
+	srv := NewNode(b)
+	e := installDeadlineEcho(srv)
+	srv.Start()
+	client := NewNode(a)
+	client.Start()
+	checkPropagation(t, client, e, 2)
+}
+
+// TestCallCtxDeadlineAborts: a caller deadline shorter than the node's
+// liveness timeout must abort the in-flight call with the context's
+// cause, not ErrTimeout.
+func TestCallCtxDeadlineAborts(t *testing.T) {
+	f := NewFabric(FabricConfig{})
+	silent := NewNode(f.Attach(2))
+	silent.SetHandler(func(m *wire.Message) {}) // never replies
+	silent.Start()
+	defer silent.Close()
+	client := NewNodeWithTimeout(f.Attach(1), 10*time.Second)
+	client.Start()
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Call(ctx, 2, wire.PriorityForeground, &wire.PingRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("call held for %v; deadline did not abort it", elapsed)
+	}
+}
+
+// TestCallCtxCancelAborts: explicit cancellation (with a cause) aborts an
+// in-flight call immediately and surfaces the cause.
+func TestCallCtxCancelAborts(t *testing.T) {
+	f := NewFabric(FabricConfig{})
+	silent := NewNode(f.Attach(2))
+	silent.SetHandler(func(m *wire.Message) {})
+	silent.Start()
+	defer silent.Close()
+	client := NewNodeWithTimeout(f.Attach(1), 10*time.Second)
+	client.Start()
+	defer client.Close()
+
+	cause := errors.New("operator abort")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Call(ctx, 2, wire.PriorityForeground, &wire.PingRequest{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("err = %v, want the cancellation cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not abort the call")
+	}
+}
+
+// TestRetryPolicySleepCancelled: Sleep must return the context's cause as
+// soon as the context dies, not after the full backoff.
+func TestRetryPolicySleepCancelled(t *testing.T) {
+	cause := errors.New("give up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel(cause)
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, cause) {
+		t.Fatalf("Sleep = %v, want cause", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not wake on cancellation")
+	}
+}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,9 +44,10 @@ func (c *Call) Wait() (wire.Payload, error) {
 type Node struct {
 	ep         Endpoint
 	sendCopies bool
-	// timeoutNanos holds the RPC timeout; atomic because tests adjust it
-	// while calls are in flight.
-	timeoutNanos atomic.Int64
+	// defaultTimeout bounds each call attempt when the caller's context
+	// carries no sooner deadline. Fixed at construction: per-call bounds
+	// belong in the caller's context, not in mutable node state.
+	defaultTimeout time.Duration
 
 	handler atomic.Pointer[Handler]
 
@@ -53,23 +56,36 @@ type Node struct {
 	nextID  atomic.Uint64
 	closed  bool
 
+	traceSeq atomic.Uint64 // generates trace ids for untraced calls
+
 	dispatchBusy atomic.Int64 // ns spent handling messages on the pump
 	dispatched   atomic.Int64 // messages pumped
 
 	stopped chan struct{}
 }
 
-// NewNode wraps an endpoint; Start must be called to begin pumping.
+// NewNode wraps an endpoint with the default RPC timeout; Start must be
+// called to begin pumping.
 func NewNode(ep Endpoint) *Node {
+	return NewNodeWithTimeout(ep, DefaultRPCTimeout)
+}
+
+// NewNodeWithTimeout wraps an endpoint with a custom default per-attempt
+// timeout (tests and fault harnesses use short ones); d <= 0 means
+// DefaultRPCTimeout. Start must be called to begin pumping.
+func NewNodeWithTimeout(ep Endpoint, d time.Duration) *Node {
+	if d <= 0 {
+		d = DefaultRPCTimeout
+	}
 	n := &Node{
-		ep:      ep,
-		pending: make(map[uint64]*Call),
-		stopped: make(chan struct{}),
+		ep:             ep,
+		defaultTimeout: d,
+		pending:        make(map[uint64]*Call),
+		stopped:        make(chan struct{}),
 	}
 	if c, ok := ep.(Copying); ok {
 		n.sendCopies = c.SendCopies()
 	}
-	n.timeoutNanos.Store(int64(DefaultRPCTimeout))
 	return n
 }
 
@@ -77,10 +93,6 @@ func NewNode(ep Endpoint) *Node {
 // during Send (see Copying). Handlers use this to decide whether a pooled
 // response slice may be recycled right after Reply.
 func (n *Node) SendCopies() bool { return n.sendCopies }
-
-// SetTimeout overrides the RPC timeout (tests use short ones). Safe to
-// call while RPCs are in flight; it applies to calls issued afterwards.
-func (n *Node) SetTimeout(d time.Duration) { n.timeoutNanos.Store(int64(d)) }
 
 // ID returns the node's cluster address.
 func (n *Node) ID() wire.ServerID { return n.ep.LocalID() }
@@ -161,11 +173,25 @@ func (c *Call) fail(err error) {
 	}
 }
 
-// Go issues an asynchronous RPC and returns its future. A send failure
-// completes the future immediately with the error; otherwise a timer
-// guards against a silently dead peer.
-func (n *Node) Go(to wire.ServerID, pri wire.Priority, body wire.Payload) *Call {
+// Go issues an asynchronous RPC and returns its future. The context
+// governs the call end to end: an explicit ctx deadline is stamped into
+// the wire envelope (so downstream hops inherit it and shed expired
+// work), and ctx cancellation abandons the call immediately. The node's
+// default timeout remains a local guard against silently dead peers; it
+// is deliberately not propagated. A send failure completes the future
+// immediately with the error.
+func (n *Node) Go(ctx context.Context, to wire.ServerID, pri wire.Priority, body wire.Payload) *Call {
+	return n.goTimeout(ctx, to, pri, body, 0)
+}
+
+// goTimeout is Go with a per-attempt timeout override (0 = node default).
+func (n *Node) goTimeout(ctx context.Context, to wire.ServerID, pri wire.Priority, body wire.Payload, timeout time.Duration) *Call {
 	c := &Call{Done: make(chan struct{}), node: n, id: n.nextID.Add(1)}
+	if err := ctx.Err(); err != nil {
+		c.Err = context.Cause(ctx)
+		close(c.Done)
+		return c
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -182,19 +208,58 @@ func (n *Node) Go(to wire.ServerID, pri wire.Priority, body wire.Payload) *Call 
 		To:       to,
 		Op:       body.Op(),
 		Priority: pri,
+		TraceID:  n.traceID(ctx),
 		Body:     body,
+	}
+	if timeout <= 0 {
+		timeout = n.defaultTimeout
+	}
+	// Only an explicit caller deadline propagates on the wire; when it is
+	// the binding constraint the ctx watcher below doubles as the local
+	// guard, so the ErrTimeout timer is skipped and the call fails with
+	// the context's cause instead.
+	useTimer := true
+	if dl, ok := ctx.Deadline(); ok {
+		m.DeadlineNanos = dl.UnixNano()
+		if time.Until(dl) <= timeout {
+			useTimer = false
+		}
 	}
 	if err := n.ep.Send(m); err != nil {
 		n.abandon(c, err)
 		return c
 	}
-	// Timeout guard.
-	timer := time.AfterFunc(time.Duration(n.timeoutNanos.Load()), func() { n.abandon(c, ErrTimeout) })
-	go func() {
-		<-c.Done
-		timer.Stop()
-	}()
+	var timer *time.Timer
+	if useTimer {
+		timer = time.AfterFunc(timeout, func() { n.abandon(c, ErrTimeout) })
+	}
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				n.abandon(c, context.Cause(ctx))
+			case <-c.Done:
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+		}()
+	} else {
+		go func() {
+			<-c.Done
+			timer.Stop()
+		}()
+	}
 	return c
+}
+
+// traceID returns ctx's trace id, or mints a node-unique one so every
+// RPC chain is traceable even when the originator did not ask for it.
+func (n *Node) traceID(ctx context.Context) uint64 {
+	if id := ContextTraceID(ctx); id != 0 {
+		return id
+	}
+	return uint64(n.ep.LocalID())<<48 | (n.traceSeq.Add(1) & (1<<48 - 1))
 }
 
 func (n *Node) abandon(c *Call, err error) {
@@ -210,35 +275,46 @@ func (n *Node) abandon(c *Call, err error) {
 }
 
 // Call issues an RPC and waits for the response.
-func (n *Node) Call(to wire.ServerID, pri wire.Priority, body wire.Payload) (wire.Payload, error) {
-	return n.Go(to, pri, body).Wait()
+func (n *Node) Call(ctx context.Context, to wire.ServerID, pri wire.Priority, body wire.Payload) (wire.Payload, error) {
+	return n.Go(ctx, to, pri, body).Wait()
 }
 
-// CallWithRetries issues an RPC, retrying transport-level failures
-// (timeouts, unreachable peers) up to attempts times in total. It does
-// not sleep between attempts: each failed attempt already consumed the
-// RPC timeout, which is the natural pacing. Callers must only use it for
-// idempotent requests. Application-level rejections (a response carrying
-// a non-OK status) are returned to the caller, not retried.
-func (n *Node) CallWithRetries(to wire.ServerID, pri wire.Priority, body wire.Payload, attempts int) (wire.Payload, error) {
+// CallWithRetries issues an RPC under the given retry policy, retrying
+// transport-level failures (timeouts, unreachable peers) with jittered
+// exponential backoff. It aborts as soon as ctx is done or the local
+// endpoint closes. Callers must only use it for idempotent requests.
+// Application-level rejections (a response carrying a non-OK status) are
+// returned to the caller, not retried.
+func (n *Node) CallWithRetries(ctx context.Context, to wire.ServerID, pri wire.Priority, body wire.Payload, p RetryPolicy) (wire.Payload, error) {
+	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	backoff := p.Backoff
 	var reply wire.Payload
 	var err error
 	for i := 0; i < attempts; i++ {
-		reply, err = n.Call(to, pri, body)
+		if i > 0 && backoff > 0 {
+			if serr := Sleep(ctx, withJitter(backoff)); serr != nil {
+				return nil, serr
+			}
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+		reply, err = n.goTimeout(ctx, to, pri, body, p.Timeout).Wait()
 		if err == nil {
 			return reply, nil
 		}
-		if err == ErrClosed {
-			return nil, err // our own endpoint is gone; retrying is futile
+		if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+			return nil, err
 		}
 	}
 	return nil, err
 }
 
-// Reply sends a response to a request message.
+// Reply sends a response to a request message, echoing its trace id.
 func (n *Node) Reply(req *wire.Message, body wire.Payload) {
 	m := &wire.Message{
 		ID:         req.ID,
@@ -247,6 +323,7 @@ func (n *Node) Reply(req *wire.Message, body wire.Payload) {
 		Op:         req.Op,
 		IsResponse: true,
 		Priority:   req.Priority,
+		TraceID:    req.TraceID,
 		Body:       body,
 	}
 	_ = n.ep.Send(m)

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// RetryPolicy is the single retry/timeout configuration for RPCs issued
+// through Node.CallWithRetries. It replaces the ad-hoc retry loops that
+// used to live in the coordinator and in core's pull path. Callers must
+// only apply it to idempotent requests: application-level rejections (a
+// response carrying a non-OK status) are returned, never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first (min 1).
+	Attempts int
+	// Timeout bounds each attempt; 0 means the node's default timeout.
+	Timeout time.Duration
+	// Backoff is the base delay before the second attempt. It doubles on
+	// each further retry and is jittered to [1/2, 3/2) of its nominal
+	// value. 0 disables backoff: each failed attempt already consumed the
+	// attempt timeout, which is the natural pacing for crash-signalling
+	// timeouts.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means uncapped.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is the default-policy constructor: three attempts,
+// the node's default per-attempt timeout, and a jittered 1 ms..50 ms
+// exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Attempts:   3,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	}
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first, without
+// polling. It returns nil after a full sleep and the context's cause when
+// cancelled, so retry loops abort immediately on cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// jitterState drives a lock-free splitmix64 stream for backoff jitter.
+var jitterState atomic.Uint64
+
+// withJitter spreads d uniformly over [d/2, 3d/2) so synchronized
+// retriers do not stampede the same peer.
+func withJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	x := jitterState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return d/2 + time.Duration(x%uint64(d))
+}
+
+// traceIDKey carries a trace id through a context.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the given trace id; RPCs issued
+// under it stamp the id into their wire envelopes so a whole request
+// chain shares one id.
+func WithTraceID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// ContextTraceID returns the trace id carried by ctx, or 0.
+func ContextTraceID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceIDKey{}).(uint64)
+	return id
+}
+
+// EnsureTraceID returns ctx carrying id unless it already carries a trace
+// id (or id is 0). Control-path handlers use it to extend an inbound
+// request's trace across their downstream calls.
+func EnsureTraceID(ctx context.Context, id uint64) context.Context {
+	if id == 0 || ContextTraceID(ctx) != 0 {
+		return ctx
+	}
+	return WithTraceID(ctx, id)
+}
+
+// noopCancel lets RequestContext return a cancel func without allocating
+// for the (hot-path) no-deadline case.
+var noopCancel context.CancelFunc = func() {}
+
+// RequestContext derives a handler-scoped context from a request
+// envelope. Requests without a deadline run directly under root — no
+// allocation, so the data path stays allocation-free — and downstream
+// hops propagate the trace id explicitly via EnsureTraceID where needed.
+// Requests with a deadline get a real deadline context carrying the trace
+// id, which every downstream call inherits. The returned cancel must be
+// called when handling completes.
+func RequestContext(root context.Context, m *wire.Message) (context.Context, context.CancelFunc) {
+	if m.DeadlineNanos == 0 {
+		return root, noopCancel
+	}
+	ctx := root
+	if m.TraceID != 0 {
+		ctx = WithTraceID(ctx, m.TraceID)
+	}
+	return context.WithDeadline(ctx, time.Unix(0, m.DeadlineNanos))
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,10 +26,9 @@ func TestTCPLearnedReturnRoute(t *testing.T) {
 		server.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
 	})
 	server.Start()
-	client := NewNode(cli)
-	client.SetTimeout(2 * time.Second)
+	client := NewNodeWithTimeout(cli, 2*time.Second)
 	client.Start()
-	reply, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{})
+	reply, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 	if err != nil {
 		t.Fatalf("learned-route reply failed: %v", err)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -66,7 +67,7 @@ func TestTCPRPCThroughNodes(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
-				reply, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{})
+				reply, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -161,7 +162,7 @@ func TestNodeCallRoundTrip(t *testing.T) {
 	defer client.Close()
 	startEchoNode(t, f, 2)
 
-	reply, err := client.Call(2, wire.PriorityForeground, &wire.ReadRequest{Table: 1, Key: []byte("k")})
+	reply, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.ReadRequest{Table: 1, Key: []byte("k")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestNodeConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
-				if _, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+				if _, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -199,8 +200,7 @@ func TestNodeConcurrentCalls(t *testing.T) {
 
 func TestNodeCallTimeout(t *testing.T) {
 	f := NewFabric(FabricConfig{})
-	client := NewNode(f.Attach(1))
-	client.SetTimeout(30 * time.Millisecond)
+	client := NewNodeWithTimeout(f.Attach(1), 30*time.Millisecond)
 	client.Start()
 	defer client.Close()
 	// Peer attached but never answers.
@@ -210,7 +210,7 @@ func TestNodeCallTimeout(t *testing.T) {
 	defer silent.Close()
 
 	start := time.Now()
-	_, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{})
+	_, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 	if err != ErrTimeout {
 		t.Fatalf("err = %v", err)
 	}
@@ -224,7 +224,7 @@ func TestNodeCallToDeadServerFailsFast(t *testing.T) {
 	client := NewNode(f.Attach(1))
 	client.Start()
 	defer client.Close()
-	_, err := client.Call(99, wire.PriorityForeground, &wire.PingRequest{})
+	_, err := client.Call(context.Background(), 99, wire.PriorityForeground, &wire.PingRequest{})
 	if err != ErrUnreachable {
 		t.Fatalf("err = %v", err)
 	}
@@ -239,7 +239,7 @@ func TestNodeCloseFailsPendingCalls(t *testing.T) {
 	silent.Start()
 	defer silent.Close()
 
-	call := client.Go(2, wire.PriorityForeground, &wire.PingRequest{})
+	call := client.Go(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 	client.Close()
 	_, err := call.Wait()
 	if err != ErrClosed {
@@ -256,7 +256,7 @@ func TestNodeGoAsyncPipelining(t *testing.T) {
 
 	calls := make([]*Call, 32)
 	for i := range calls {
-		calls[i] = client.Go(2, wire.PriorityForeground, &wire.PingRequest{})
+		calls[i] = client.Go(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 	}
 	for i, c := range calls {
 		if _, err := c.Wait(); err != nil {
@@ -272,7 +272,7 @@ func TestNodeDispatchBusyAccounting(t *testing.T) {
 	defer client.Close()
 	server := startEchoNode(t, f, 2)
 	for i := 0; i < 100; i++ {
-		if _, err := client.Call(2, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
+		if _, err := client.Call(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,8 +286,7 @@ func TestNodeDispatchBusyAccounting(t *testing.T) {
 
 func TestNodePeerCrashMidCall(t *testing.T) {
 	f := NewFabric(FabricConfig{})
-	client := NewNode(f.Attach(1))
-	client.SetTimeout(50 * time.Millisecond)
+	client := NewNodeWithTimeout(f.Attach(1), 50*time.Millisecond)
 	client.Start()
 	defer client.Close()
 
@@ -295,7 +294,7 @@ func TestNodePeerCrashMidCall(t *testing.T) {
 	slow.SetHandler(func(m *wire.Message) { /* never replies */ })
 	slow.Start()
 
-	call := client.Go(2, wire.PriorityForeground, &wire.PingRequest{})
+	call := client.Go(context.Background(), 2, wire.PriorityForeground, &wire.PingRequest{})
 	f.Kill(2)
 	if _, err := call.Wait(); err == nil {
 		t.Fatal("call to crashed peer succeeded")

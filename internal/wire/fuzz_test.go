@@ -98,6 +98,33 @@ func seedMessages() []*Message {
 		{ID: 28, From: 9, To: CoordinatorID, Op: OpReportCrash, Body: &ReportCrashRequest{Server: 7}},
 		{ID: 29, From: 9, To: 7, Op: OpPing, Body: &PingRequest{}},
 		{ID: 29, From: 7, To: 9, Op: OpPing, IsResponse: true, Body: &PingResponse{Status: StatusOK}},
+		// Deadline/trace-bearing envelopes: a traced pull with an absolute
+		// deadline, and a response echoing the trace id.
+		{ID: 30, From: 8, To: 7, Op: OpPull, Priority: PriorityBackground,
+			TraceID: 0xdeadbeefcafe, DeadlineNanos: 1_700_000_000_123_456_789,
+			Body: &PullRequest{Table: 3, Range: FullRange(), ResumeToken: 5, ByteBudget: 20 << 10}},
+		{ID: 30, From: 7, To: 8, Op: OpPull, IsResponse: true, TraceID: 0xdeadbeefcafe,
+			Body: &PullResponse{Status: StatusOK, Records: []Record{rec}, ResumeToken: 6}},
+	}
+}
+
+// TestEnvelopeDeadlineTraceRoundtrip pins the new envelope fields: a trace
+// id and an absolute deadline must survive a marshal/unmarshal cycle with
+// their exact values (byte-stability fuzzing alone would not catch a
+// swapped field pair).
+func TestEnvelopeDeadlineTraceRoundtrip(t *testing.T) {
+	in := &Message{ID: 77, From: 1, To: 2, Op: OpRead, Priority: PriorityForeground,
+		TraceID: 0x0123456789abcdef, DeadlineNanos: 987654321012345678,
+		Body: &ReadRequest{Table: 1, Key: []byte("k")}}
+	out, err := UnmarshalMessage(MarshalMessage(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID {
+		t.Fatalf("TraceID = %#x, want %#x", out.TraceID, in.TraceID)
+	}
+	if out.DeadlineNanos != in.DeadlineNanos {
+		t.Fatalf("DeadlineNanos = %d, want %d", out.DeadlineNanos, in.DeadlineNanos)
 	}
 }
 

@@ -285,6 +285,8 @@ func AppendMessage(buf []byte, m *Message) []byte {
 	e.U8(uint8(m.Op))
 	e.Bool(m.IsResponse)
 	e.U8(uint8(m.Priority))
+	e.U64(m.TraceID)
+	e.U64(uint64(m.DeadlineNanos))
 	marshalBody(&e, m.Body)
 	return e.buf
 }
@@ -324,6 +326,8 @@ func UnmarshalMessageShared(buf []byte) (*Message, bool, error) {
 		IsResponse: d.Bool(),
 		Priority:   Priority(d.U8()),
 	}
+	m.TraceID = d.U64()
+	m.DeadlineNanos = int64(d.U64())
 	if d.err != nil {
 		return nil, d.aliased, d.err
 	}

@@ -21,6 +21,16 @@ type Message struct {
 	// Priority tells the receiving dispatch loop how to schedule the
 	// request. Ignored on responses (responses complete pending futures).
 	Priority Priority
+	// TraceID correlates every hop of one logical request chain: a client
+	// call, the server's dispatch span, and any downstream RPCs it makes
+	// all carry the same id. Zero means untraced. Responses echo the
+	// request's id.
+	TraceID uint64
+	// DeadlineNanos is the request's absolute deadline in Unix nanoseconds;
+	// zero means no deadline. Receivers shed the request instead of running
+	// it once the deadline passes, and downstream hops inherit it.
+	// Ignored on responses.
+	DeadlineNanos int64
 	// Body holds the typed payload.
 	Body Payload
 }
@@ -28,7 +38,9 @@ type Message struct {
 // WireSize returns the total encoded message size: a fixed envelope header
 // plus the body.
 func (m *Message) WireSize() int {
-	const envelope = 27 // id(8) + from(8) + to(8) + op(1) + flags(1) + priority(1)
+	// id(8) + from(8) + to(8) + op(1) + flags(1) + priority(1) +
+	// trace(8) + deadline(8)
+	const envelope = 43
 	if m.Body == nil {
 		return envelope
 	}

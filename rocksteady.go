@@ -8,19 +8,26 @@
 //
 // The package exposes the system's public API:
 //
+//	ctx := context.Background()
 //	c := rocksteady.NewCluster(rocksteady.ClusterConfig{Servers: 2})
 //	defer c.Close()
 //	cl, _ := c.Client()
-//	table, _ := cl.CreateTable("users", c.ServerIDs()...)
-//	_ = cl.Write(table, []byte("alice"), []byte("v1"))
-//	m, _ := c.Migrate(table, rocksteady.FullRange().Split(2)[1], 0, 1)
+//	table, _ := cl.CreateTable(ctx, "users", c.ServerIDs()...)
+//	_ = cl.Write(ctx, table, []byte("alice"), []byte("v1"))
+//	m, _ := c.Migrate(ctx, table, rocksteady.FullRange().Split(2)[1], 0, 1)
 //	res := m.Wait() // live migration: reads/writes keep working throughout
+//
+// Every operation takes a context: a deadline on it is stamped into the
+// RPC envelope and travels hop to hop (client -> server -> source), so
+// queued work past its deadline is shed instead of served, and
+// cancellation aborts in-flight retries and waits immediately.
 //
 // Everything underneath lives in internal/ packages; see DESIGN.md for the
 // system inventory and EXPERIMENTS.md for the paper reproduction.
 package rocksteady
 
 import (
+	"context"
 	"time"
 
 	"rocksteady/internal/client"
@@ -153,16 +160,18 @@ func (c *Cluster) Client() (*Client, error) {
 
 // BulkLoad populates a table directly through storage, bypassing the RPC
 // path; use it to preload large experiments.
-func (c *Cluster) BulkLoad(table TableID, keys, values [][]byte) error {
-	return c.inner.BulkLoad(table, keys, values)
+func (c *Cluster) BulkLoad(ctx context.Context, table TableID, keys, values [][]byte) error {
+	return c.inner.BulkLoad(ctx, table, keys, values)
 }
 
 // Migrate starts a Rocksteady live migration of (table, rng) from the
 // source server index to the target server index. It returns immediately
 // after ownership transfers; the returned handle tracks the background
-// transfer.
-func (c *Cluster) Migrate(table TableID, rng HashRange, source, target int) (*Migration, error) {
-	g, err := c.inner.Migrate(table, rng, source, target)
+// transfer. A deadline on ctx bounds the whole migration end to end: it
+// rides the wire to the target and from there to every pull against the
+// source.
+func (c *Cluster) Migrate(ctx context.Context, table TableID, rng HashRange, source, target int) (*Migration, error) {
+	g, err := c.inner.Migrate(ctx, table, rng, source, target)
 	if err != nil {
 		return nil, err
 	}
@@ -231,45 +240,45 @@ var ErrNoSuchKey = client.ErrNoSuchKey
 func (c *Client) Close() { c.inner.Close() }
 
 // CreateTable creates a table spread across the given servers.
-func (c *Client) CreateTable(name string, servers ...ServerID) (TableID, error) {
-	return c.inner.CreateTable(name, servers...)
+func (c *Client) CreateTable(ctx context.Context, name string, servers ...ServerID) (TableID, error) {
+	return c.inner.CreateTable(ctx, name, servers...)
 }
 
 // CreateIndex creates a secondary index over a table, range partitioned
 // across servers at the given secondary-key split points.
-func (c *Client) CreateIndex(table TableID, servers []ServerID, splitKeys [][]byte) (IndexID, error) {
-	return c.inner.CreateIndex(table, servers, splitKeys)
+func (c *Client) CreateIndex(ctx context.Context, table TableID, servers []ServerID, splitKeys [][]byte) (IndexID, error) {
+	return c.inner.CreateIndex(ctx, table, servers, splitKeys)
 }
 
 // Read fetches one object.
-func (c *Client) Read(table TableID, key []byte) ([]byte, error) {
-	return c.inner.Read(table, key)
+func (c *Client) Read(ctx context.Context, table TableID, key []byte) ([]byte, error) {
+	return c.inner.Read(ctx, table, key)
 }
 
 // Write stores one object durably.
-func (c *Client) Write(table TableID, key, value []byte) error {
-	return c.inner.Write(table, key, value)
+func (c *Client) Write(ctx context.Context, table TableID, key, value []byte) error {
+	return c.inner.Write(ctx, table, key, value)
 }
 
 // Delete removes one object durably.
-func (c *Client) Delete(table TableID, key []byte) error {
-	return c.inner.Delete(table, key)
+func (c *Client) Delete(ctx context.Context, table TableID, key []byte) error {
+	return c.inner.Delete(ctx, table, key)
 }
 
 // MultiGet fetches several keys with per-server RPC grouping (the
 // locality optimization of the paper's Figure 3).
-func (c *Client) MultiGet(table TableID, keys [][]byte) ([][]byte, error) {
-	return c.inner.MultiGet(table, keys)
+func (c *Client) MultiGet(ctx context.Context, table TableID, keys [][]byte) ([][]byte, error) {
+	return c.inner.MultiGet(ctx, table, keys)
 }
 
 // MultiPut stores several objects with per-server grouping.
-func (c *Client) MultiPut(table TableID, keys, values [][]byte) error {
-	return c.inner.MultiPut(table, keys, values)
+func (c *Client) MultiPut(ctx context.Context, table TableID, keys, values [][]byte) error {
+	return c.inner.MultiPut(ctx, table, keys, values)
 }
 
 // IndexInsert adds (secondaryKey -> primaryKey) to an index.
-func (c *Client) IndexInsert(id IndexID, secondaryKey, primaryKey []byte) error {
-	return c.inner.IndexInsert(id, secondaryKey, primaryKey)
+func (c *Client) IndexInsert(ctx context.Context, id IndexID, secondaryKey, primaryKey []byte) error {
+	return c.inner.IndexInsert(ctx, id, secondaryKey, primaryKey)
 }
 
 // ScanResult is one index-scan hit.
@@ -277,9 +286,11 @@ type ScanResult = client.ScanResult
 
 // IndexScan returns up to limit records whose secondary keys lie in
 // [begin, end).
-func (c *Client) IndexScan(table TableID, id IndexID, begin, end []byte, limit int) ([]ScanResult, error) {
-	return c.inner.IndexScan(table, id, begin, end, limit)
+func (c *Client) IndexScan(ctx context.Context, table TableID, id IndexID, begin, end []byte, limit int) ([]ScanResult, error) {
+	return c.inner.IndexScan(ctx, table, id, begin, end, limit)
 }
 
 // ReportCrash asks the coordinator to recover a dead server.
-func (c *Client) ReportCrash(id ServerID) error { return c.inner.ReportCrash(id) }
+func (c *Client) ReportCrash(ctx context.Context, id ServerID) error {
+	return c.inner.ReportCrash(ctx, id)
+}

@@ -1,6 +1,7 @@
 package rocksteady_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,18 +27,18 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	defer cl.Close()
 
-	table, err := cl.CreateTable("users", c.ServerIDs()[0])
+	table, err := cl.CreateTable(context.Background(), "users", c.ServerIDs()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Write(table, []byte("alice"), []byte("v1")); err != nil {
+	if err := cl.Write(context.Background(), table, []byte("alice"), []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl.Read(table, []byte("alice"))
+	v, err := cl.Read(context.Background(), table, []byte("alice"))
 	if err != nil || string(v) != "v1" {
 		t.Fatalf("read: %q %v", v, err)
 	}
-	if _, err := cl.Read(table, []byte("missing")); err != rocksteady.ErrNoSuchKey {
+	if _, err := cl.Read(context.Background(), table, []byte("missing")); err != rocksteady.ErrNoSuchKey {
 		t.Fatalf("missing: %v", err)
 	}
 
@@ -47,11 +48,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		keys = append(keys, []byte(fmt.Sprintf("user-%05d", i)))
 		values = append(values, []byte(fmt.Sprintf("payload-%05d", i)))
 	}
-	if err := c.BulkLoad(table, keys, values); err != nil {
+	if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
 		t.Fatal(err)
 	}
 	half := rocksteady.FullRange().Split(2)[1]
-	m, err := c.Migrate(table, half, 0, 1)
+	m, err := c.Migrate(context.Background(), table, half, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,34 +64,34 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("result: %+v", res)
 	}
 	for i, k := range keys {
-		v, err := cl.Read(table, k)
+		v, err := cl.Read(context.Background(), table, k)
 		if err != nil || string(v) != string(values[i]) {
 			t.Fatalf("post-migration read %s: %q %v", k, v, err)
 		}
 	}
 
 	// Index path.
-	idx, err := cl.CreateIndex(table, []rocksteady.ServerID{c.ServerIDs()[1]}, nil)
+	idx, err := cl.CreateIndex(context.Background(), table, []rocksteady.ServerID{c.ServerIDs()[1]}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.IndexInsert(idx, []byte("secondary"), keys[0]); err != nil {
+	if err := cl.IndexInsert(context.Background(), idx, []byte("secondary"), keys[0]); err != nil {
 		t.Fatal(err)
 	}
-	hits, err := cl.IndexScan(table, idx, []byte("s"), []byte("t"), 5)
+	hits, err := cl.IndexScan(context.Background(), table, idx, []byte("s"), []byte("t"), 5)
 	if err != nil || len(hits) != 1 || string(hits[0].Key) != string(keys[0]) {
 		t.Fatalf("index scan: %+v %v", hits, err)
 	}
 
 	// Multi-ops.
-	got, err := cl.MultiGet(table, [][]byte{keys[0], []byte("nope"), keys[1]})
+	got, err := cl.MultiGet(context.Background(), table, [][]byte{keys[0], []byte("nope"), keys[1]})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got[0]) != string(values[0]) || got[1] != nil {
 		t.Fatalf("multiget: %q", got)
 	}
-	if err := cl.MultiPut(table, [][]byte{[]byte("mp")}, [][]byte{[]byte("mv")}); err != nil {
+	if err := cl.MultiPut(context.Background(), table, [][]byte{[]byte("mp")}, [][]byte{[]byte("mv")}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -111,7 +112,7 @@ func TestPublicAPIMigrationVariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		table, err := cl.CreateTable("t", c.ServerIDs()[0])
+		table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()[0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,10 +121,10 @@ func TestPublicAPIMigrationVariants(t *testing.T) {
 			keys = append(keys, []byte(fmt.Sprintf("k%04d", i)))
 			values = append(values, []byte("v"))
 		}
-		if err := c.BulkLoad(table, keys, values); err != nil {
+		if err := c.BulkLoad(context.Background(), table, keys, values); err != nil {
 			t.Fatal(err)
 		}
-		m, err := c.Migrate(table, rocksteady.FullRange(), 0, 1)
+		m, err := c.Migrate(context.Background(), table, rocksteady.FullRange(), 0, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestPublicAPIMigrationVariants(t *testing.T) {
 			t.Fatalf("%+v: %v", opts, res.Err)
 		}
 		for _, k := range keys {
-			if _, err := cl.Read(table, k); err != nil {
+			if _, err := cl.Read(context.Background(), table, k); err != nil {
 				t.Fatalf("%+v: read %s: %v", opts, k, err)
 			}
 		}
@@ -150,22 +151,22 @@ func TestPublicAPICrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table, err := cl.CreateTable("t", c.ServerIDs()[0])
+	table, err := cl.CreateTable(context.Background(), "t", c.ServerIDs()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		if err := cl.Write(table, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+		if err := cl.Write(context.Background(), table, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	c.CrashServer(0)
-	if err := cl.ReportCrash(c.ServerIDs()[0]); err != nil {
+	if err := cl.ReportCrash(context.Background(), c.ServerIDs()[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Recovery is asynchronous; reads chase the map until it lands.
 	for i := 0; i < 200; i++ {
-		v, err := cl.Read(table, []byte(fmt.Sprintf("k%03d", i)))
+		v, err := cl.Read(context.Background(), table, []byte(fmt.Sprintf("k%03d", i)))
 		if err != nil || string(v) != "v" {
 			t.Fatalf("read after crash: %q %v", v, err)
 		}
