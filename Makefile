@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test race vet lint fuzz faults bench bins clean
+.PHONY: all build check test race vet lint fuzz faults bench bench-scale bins clean
 
 all: build
 
@@ -46,6 +46,13 @@ faults:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMarshalRoundtrip|BenchmarkTCPSend|BenchmarkPullPath' -benchmem -count=1 .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestHotpathBenchArtifact -count=1 .
+
+# bench-scale runs the multi-core read-path scaling benchmarks at 1/2/4/8
+# simulated cores and merges the "scaling" section into BENCH_hotpath.json
+# (the hot-path sections written by `make bench` are preserved).
+bench-scale:
+	$(GO) test -run xxx -bench 'BenchmarkReadScaling|BenchmarkMixedScaling' -benchtime .3s -cpu 1,2,4,8 -count=1 ./internal/server
+	BENCH_SCALE_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestScalingBenchArtifact -benchtime .3s -count=1 ./internal/server
 
 bins:
 	$(GO) build -o bin/ ./cmd/...

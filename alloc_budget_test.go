@@ -1,0 +1,37 @@
+//go:build !race
+
+package rocksteady_test
+
+import "testing"
+
+// TestHotpathAllocBudgets pins the RPC hot-path allocation budgets from
+// BENCH_hotpath.json so a regression fails tests, not just the report-only
+// bench job. Gated off the race builds: the race runtime adds bookkeeping
+// allocations that would make the strict budgets flaky.
+//
+// The storage-layer counterpart — HashTable.Get at 0 allocs/op — is
+// TestSeqlockGetZeroAllocs in internal/storage.
+func TestHotpathAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budgets need full benchmark runs")
+	}
+	cases := []struct {
+		name   string
+		fn     func(*testing.B)
+		budget int64
+	}{
+		{"MarshalRoundtrip", benchmarkMarshalRoundtrip, 2},
+		{"TCPSend", benchmarkTCPSend, 2},
+		{"PullPath", benchmarkPullPath, 18},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := testing.Benchmark(c.fn)
+			if got := r.AllocsPerOp(); got > c.budget {
+				t.Errorf("%s allocates %d/op, budget %d", c.name, got, c.budget)
+			} else {
+				t.Logf("%s: %d allocs/op (budget %d)", c.name, got, c.budget)
+			}
+		})
+	}
+}

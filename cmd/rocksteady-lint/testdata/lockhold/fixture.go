@@ -4,6 +4,7 @@ package lockholdfixture
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rocksteady/internal/wire"
 )
@@ -86,4 +87,77 @@ func (g *guarded) okIgnored() {
 	//lint:ignore lockhold fixture exercises the escape hatch
 	g.ch <- 6
 	g.mu.Unlock()
+}
+
+// seqlockGuarded models a seqlock write section (storage.HashTable
+// stripes): the mutex serializes writers while the odd/even sequence fends
+// off lock-free readers. The sequence bumps do not hide the held mutex —
+// a blocking send between beginWrite-style Lock/Add and Add/Unlock is
+// still a deadlock risk for every reader that falls back to the lock.
+type seqlockGuarded struct {
+	mu  sync.RWMutex
+	seq atomic.Uint64
+	ch  chan int
+	ep  fakeEndpoint
+}
+
+func (s *seqlockGuarded) badSendInsideWriteSection() {
+	s.mu.Lock()
+	s.seq.Add(1) // seq odd: readers spin or queue on mu
+	s.ch <- 1    // want:lockhold "channel send while mu is held"
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+func (s *seqlockGuarded) badTransportSendInsideWriteSection(m *wire.Message) {
+	s.mu.Lock()
+	s.seq.Add(1)
+	_ = s.ep.Send(m) // want:lockhold "transport Send while mu is held"
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+func (s *seqlockGuarded) okSendAfterWriteSection() {
+	s.mu.Lock()
+	s.seq.Add(1)
+	s.seq.Add(1)
+	s.mu.Unlock()
+	s.ch <- 2
+}
+
+// cowRegistry models an RCU/copy-on-write publisher (server tablet map):
+// writers rebuild under a small mutex and publish via atomic pointer
+// store. The publisher mutex is writer-only — readers never touch it —
+// but a blocking send under it still stalls every later registry change.
+type cowRegistry struct {
+	mu      sync.Mutex
+	current atomic.Pointer[[]int]
+	notify  chan struct{}
+	ep      fakeEndpoint
+}
+
+func (r *cowRegistry) badNotifyWhilePublishing(next []int) {
+	r.mu.Lock()
+	r.current.Store(&next)
+	r.notify <- struct{}{} // want:lockhold "channel send while mu is held"
+	r.mu.Unlock()
+}
+
+func (r *cowRegistry) badSendWhilePublishing(next []int, m *wire.Message) {
+	r.mu.Lock()
+	r.current.Store(&next)
+	_ = r.ep.Send(m) // want:lockhold "transport Send while mu is held"
+	r.mu.Unlock()
+}
+
+func (r *cowRegistry) okPublishThenNotify(next []int) {
+	r.mu.Lock()
+	r.current.Store(&next)
+	r.mu.Unlock()
+	// The snapshot is already visible to readers; notifications happen
+	// outside the publisher mutex.
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
 }

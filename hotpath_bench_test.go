@@ -288,11 +288,22 @@ func TestHotpathBenchArtifact(t *testing.T) {
 		})
 		t.Logf("%s: %.0f ns/op  %d allocs/op  %d B/op", bench.name, rows[len(rows)-1].NsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
-	artifact := struct {
-		Benchmarks []row           `json:"benchmarks"`
-		Dispatch   []dispatchStats `json:"dispatch"`
-	}{Benchmarks: rows, Dispatch: dispatch}
-	data, err := json.MarshalIndent(artifact, "", "  ")
+	// Merge into the artifact rather than overwrite it: other producers
+	// (make bench-scale's "scaling" section) own their own keys.
+	sections := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &sections); err != nil {
+			t.Fatalf("existing artifact %s is not a JSON object: %v", path, err)
+		}
+	}
+	var err error
+	if sections["benchmarks"], err = json.Marshal(rows); err != nil {
+		t.Fatal(err)
+	}
+	if sections["dispatch"], err = json.Marshal(dispatch); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(sections, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}

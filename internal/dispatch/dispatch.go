@@ -26,6 +26,12 @@ import (
 // Task is a unit of work executed to completion on one worker.
 type Task func()
 
+// TaskW is a task that receives the index of the worker running it
+// (0..Workers()-1). Handlers use the index to pick a per-worker shard of
+// contended state (e.g. sharded stat counters) without any goroutine-local
+// lookup.
+type TaskW func(worker int)
+
 // TaskMeta carries per-request scheduling metadata alongside a task:
 // the envelope deadline that makes the queues deadline-aware, and the
 // trace identity recorded into the scheduler's span ring.
@@ -43,6 +49,7 @@ type TaskMeta struct {
 // and enqueue time (for the queue-wait histogram and deadline check).
 type queuedTask struct {
 	fn         Task
+	fnw        TaskW // set instead of fn for worker-indexed tasks
 	meta       TaskMeta
 	enqueuedAt time.Time
 }
@@ -96,7 +103,7 @@ func NewScheduler(workers int) *Scheduler {
 	s.idleWorkers.Store(int32(workers))
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -119,7 +126,19 @@ func (s *Scheduler) EnqueueMeta(p wire.Priority, meta TaskMeta, t Task) {
 	if p >= wire.NumPriorities {
 		p = wire.PriorityBackground
 	}
-	qt := queuedTask{fn: t, meta: meta, enqueuedAt: time.Now()}
+	s.enqueue(p, queuedTask{fn: t, meta: meta, enqueuedAt: time.Now()})
+}
+
+// EnqueueMetaWorker is EnqueueMeta for worker-indexed tasks: t runs with
+// the index of the worker executing it.
+func (s *Scheduler) EnqueueMetaWorker(p wire.Priority, meta TaskMeta, t TaskW) {
+	if p >= wire.NumPriorities {
+		p = wire.PriorityBackground
+	}
+	s.enqueue(p, queuedTask{fnw: t, meta: meta, enqueuedAt: time.Now()})
+}
+
+func (s *Scheduler) enqueue(p wire.Priority, qt queuedTask) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -232,7 +251,7 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-func (s *Scheduler) worker() {
+func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
@@ -286,7 +305,11 @@ func (s *Scheduler) worker() {
 		}
 		s.idleWorkers.Add(-1)
 		s.notifyCapacity() // a queue shrank: waiters re-check their predicate
-		task.fn()
+		if task.fnw != nil {
+			task.fnw(id)
+		} else {
+			task.fn()
+		}
 		service := time.Since(start)
 		s.busyNanos.Add(service.Nanoseconds())
 		s.started.Add(1)

@@ -113,20 +113,6 @@ type MigrationHandler interface {
 	CancelIncoming(table wire.TableID, rng wire.HashRange)
 }
 
-// Stats exposes the server counters the figures sample.
-type Stats struct {
-	Reads             atomic.Int64
-	Writes            atomic.Int64
-	ObjectsRead       atomic.Int64 // individual objects (multiget counts each)
-	ObjectsWritten    atomic.Int64
-	Retries           atomic.Int64 // StatusRetry responses sent
-	WrongServer       atomic.Int64
-	PullsServed       atomic.Int64
-	PullBytesServed   atomic.Int64
-	PriorityPulls     atomic.Int64
-	PriorityPullBytes atomic.Int64
-}
-
 // Server is one storage server.
 type Server struct {
 	cfg Config
@@ -141,15 +127,20 @@ type Server struct {
 	store *backup.Store
 	idx   *index.Manager
 
-	mu      sync.RWMutex
-	tablets []tabletEntry
+	// tablets is the RCU-published routing snapshot (see tablets.go):
+	// readers do one atomic load per request; writers copy-on-write under
+	// tabletMu and publish a fresh immutable map.
+	tablets  atomic.Pointer[tabletMap]
+	tabletMu sync.Mutex
 
 	migration atomic.Pointer[MigrationHandler]
 
 	cleaner     *storage.Cleaner
 	cleanerStop chan struct{}
 
-	stats Stats
+	// stats is sharded per worker so hot-path increments never contend
+	// across cores; Stats() aggregates (see stats.go).
+	stats *shardedStats
 }
 
 // New creates a server on the given endpoint and starts serving.
@@ -165,6 +156,8 @@ func New(cfg Config, ep transport.Endpoint) *Server {
 		store: backup.NewStore(),
 		idx:   index.NewManager(),
 	}
+	s.tablets.Store(emptyTabletMap)
+	s.stats = newShardedStats(cfg.Workers)
 	s.store.WriteBandwidth = cfg.BackupWriteBandwidth
 	s.repl = backup.NewReplicator(s.node, cfg.ID, cfg.Backups, cfg.ReplicationFactor)
 	s.log = storage.NewLog(cfg.SegmentSize, s.repl.OnAppend)
@@ -254,8 +247,9 @@ func (s *Server) Replicator() *backup.Replicator { return s.repl }
 // Indexes returns the server's indexlet host.
 func (s *Server) Indexes() *index.Manager { return s.idx }
 
-// Stats returns the server's counters.
-func (s *Server) Stats() *Stats { return &s.stats }
+// Stats returns a point-in-time aggregate of the server's counters
+// (summed across the per-worker shards).
+func (s *Server) Stats() *Stats { return s.stats.snapshot() }
 
 // ShedCounts reports deadline-expired requests shed from the dispatch
 // queues without running, in total and per priority.
@@ -278,92 +272,6 @@ func (s *Server) migrationHandler() MigrationHandler {
 		return *p
 	}
 	return nil
-}
-
-// ---------------------------------------------------------------------------
-// Tablet registry
-// ---------------------------------------------------------------------------
-
-// RegisterTablet records ownership of (table, rng) in the given state.
-// Overlapping portions of existing entries are carved away: registering a
-// sub-range of a tablet splits the tablet, leaving the remainder in its
-// previous state. This is how "defer all repartitioning until the moment
-// of migration" works at the server: boundaries appear exactly when a
-// migration (or grant) names them.
-func (s *Server) RegisterTablet(table wire.TableID, rng wire.HashRange, state TabletState) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var next []tabletEntry
-	for _, t := range s.tablets {
-		if t.table != table || !t.rng.Overlaps(rng) {
-			next = append(next, t)
-			continue
-		}
-		// Keep the non-overlapping remainders of the old entry.
-		if t.rng.Start < rng.Start {
-			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: t.rng.Start, End: rng.Start - 1}, state: t.state})
-		}
-		if t.rng.End > rng.End {
-			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: rng.End + 1, End: t.rng.End}, state: t.state})
-		}
-	}
-	next = append(next, tabletEntry{table: table, rng: rng, state: state})
-	s.tablets = next
-}
-
-// DropTablet forgets (table, rng) and discards its records.
-func (s *Server) DropTablet(table wire.TableID, rng wire.HashRange) int {
-	s.mu.Lock()
-	kept := s.tablets[:0]
-	for _, t := range s.tablets {
-		if t.table == table && rng.ContainsRange(t.rng) {
-			continue
-		}
-		kept = append(kept, t)
-	}
-	s.tablets = append([]tabletEntry(nil), kept...)
-	s.mu.Unlock()
-	return s.ht.RemoveRange(table, rng, func(ref storage.Ref) { s.log.MarkDead(ref) })
-}
-
-// SetTabletState transitions a registered tablet (and any sub-tablets the
-// range covers).
-func (s *Server) SetTabletState(table wire.TableID, rng wire.HashRange, state TabletState) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	found := false
-	for i := range s.tablets {
-		t := &s.tablets[i]
-		if t.table == table && rng.ContainsRange(t.rng) {
-			t.state = state
-			found = true
-		}
-	}
-	return found
-}
-
-// tabletFor finds the tablet containing (table, hash).
-func (s *Server) tabletFor(table wire.TableID, hash uint64) (TabletState, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i := range s.tablets {
-		t := &s.tablets[i]
-		if t.table == table && t.rng.Contains(hash) {
-			return t.state, true
-		}
-	}
-	return TabletNormal, false
-}
-
-// Tablets snapshots the registry (tests, debugging).
-func (s *Server) Tablets() []wire.Tablet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]wire.Tablet, 0, len(s.tablets))
-	for _, t := range s.tablets {
-		out = append(out, wire.Tablet{Table: t.table, Range: t.rng, Master: s.cfg.ID})
-	}
-	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -392,29 +300,31 @@ func (s *Server) dispatchRequest(m *wire.Message) {
 		}
 	}
 	meta := dispatch.TaskMeta{DeadlineNanos: m.DeadlineNanos, TraceID: m.TraceID, Op: uint8(m.Op)}
-	s.sched.EnqueueMeta(pri, meta, func() {
+	s.sched.EnqueueMetaWorker(pri, meta, func(worker int) {
 		ctx, cancel := transport.RequestContext(s.root, m)
-		s.handle(ctx, m)
+		s.handle(ctx, m, s.stats.shard(worker))
 		cancel()
 	})
 }
 
 // handle executes one request on a worker under its request-scoped
-// context (envelope deadline, trace id).
-func (s *Server) handle(ctx context.Context, m *wire.Message) {
+// context (envelope deadline, trace id). st is the executing worker's
+// stat shard; counting into it keeps the hot path free of cross-core
+// cache-line traffic.
+func (s *Server) handle(ctx context.Context, m *wire.Message, st *statShard) {
 	switch req := m.Body.(type) {
 	case *wire.ReadRequest:
-		s.node.Reply(m, s.handleRead(req))
+		s.node.Reply(m, s.handleRead(st, req))
 	case *wire.WriteRequest:
-		s.node.Reply(m, s.handleWrite(ctx, req))
+		s.node.Reply(m, s.handleWrite(ctx, st, req))
 	case *wire.DeleteRequest:
-		s.node.Reply(m, s.handleDelete(ctx, req))
+		s.node.Reply(m, s.handleDelete(ctx, st, req))
 	case *wire.MultiGetRequest:
-		s.node.Reply(m, s.handleMultiGet(req))
+		s.node.Reply(m, s.handleMultiGet(st, req))
 	case *wire.MultiPutRequest:
-		s.node.Reply(m, s.handleMultiPut(ctx, req))
+		s.node.Reply(m, s.handleMultiPut(ctx, st, req))
 	case *wire.MultiGetByHashRequest:
-		s.node.Reply(m, s.handleMultiGetByHash(req))
+		s.node.Reply(m, s.handleMultiGetByHash(st, req))
 	case *wire.IndexLookupRequest:
 		s.node.Reply(m, &wire.IndexLookupResponse{
 			Status: wire.StatusOK,
@@ -431,11 +341,11 @@ func (s *Server) handle(ctx context.Context, m *wire.Message) {
 	case *wire.AbortMigrationRequest:
 		s.node.Reply(m, s.handleAbortMigration(req))
 	case *wire.PullRequest:
-		resp := s.handlePull(req)
+		resp := s.handlePull(st, req)
 		s.node.Reply(m, resp)
 		s.recycleRecords(resp.Records)
 	case *wire.PriorityPullRequest:
-		resp := s.handlePriorityPull(req)
+		resp := s.handlePriorityPull(st, req)
 		s.node.Reply(m, resp)
 		s.recycleRecords(resp.Records)
 	case *wire.DropTabletRequest:
@@ -482,43 +392,55 @@ func (s *Server) recycleRecords(records []wire.Record) {
 // Data path
 // ---------------------------------------------------------------------------
 
-func (s *Server) handleRead(req *wire.ReadRequest) *wire.ReadResponse {
-	s.stats.Reads.Add(1)
-	hash := wire.HashKey(req.Key)
-	state, owned := s.tabletFor(req.Table, hash)
+// respondFromRef turns a hash-table ref into a read response: decode
+// failure is an internal error, a parked tombstone is an authoritative
+// miss, anything else is the object. Both the normal lookup and the
+// MigratingIn re-check go through here so the decode semantics (and the
+// objectsRead accounting) live in one place.
+func (s *Server) respondFromRef(st *statShard, ref storage.Ref) *wire.ReadResponse {
+	h, _, value, err := ref.Entry()
+	if err != nil {
+		return &wire.ReadResponse{Status: wire.StatusInternalError}
+	}
+	if h.Type == storage.EntryTombstone {
+		// A deletion parked in the hash table during migration: the
+		// key is authoritatively gone.
+		return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
+	}
+	st.objectsRead.Add(1)
+	return &wire.ReadResponse{Status: wire.StatusOK, Version: h.Version, Value: value}
+}
+
+func (s *Server) handleRead(st *statShard, req *wire.ReadRequest) *wire.ReadResponse {
+	return s.readOne(s.tabletSnapshot(), st, req.Table, req.Key)
+}
+
+// readOne serves one key off an already-taken routing snapshot; multiget
+// routes its whole batch through here with a single snapshot.
+func (s *Server) readOne(tm *tabletMap, st *statShard, table wire.TableID, key []byte) *wire.ReadResponse {
+	st.reads.Add(1)
+	hash := wire.HashKey(key)
+	state, owned := tm.lookup(table, hash)
 	if !owned || state == TabletMigratingOut {
-		s.stats.WrongServer.Add(1)
+		st.wrongServer.Add(1)
 		return &wire.ReadResponse{Status: wire.StatusWrongServer}
 	}
-	if ref, ok := s.ht.Get(req.Table, req.Key, hash); ok {
-		h, _, value, err := ref.Entry()
-		if err != nil {
-			return &wire.ReadResponse{Status: wire.StatusInternalError}
-		}
-		if h.Type == storage.EntryTombstone {
-			// A deletion parked in the hash table during migration: the
-			// key is authoritatively gone.
-			return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
-		}
-		s.stats.ObjectsRead.Add(1)
-		return &wire.ReadResponse{Status: wire.StatusOK, Version: h.Version, Value: value}
+	if ref, ok := s.ht.Get(table, key, hash); ok {
+		return s.respondFromRef(st, ref)
 	}
 	if state == TabletMigratingIn {
 		if h := s.migrationHandler(); h != nil {
-			retry, missing := h.HandleMissingKey(req.Table, hash)
+			retry, missing := h.HandleMissingKey(table, hash)
 			if !missing {
 				if retry == 0 {
 					// Synchronous PriorityPull mode: the record arrived
 					// while this worker was stalled; answer directly.
-					if ref, ok := s.ht.Get(req.Table, req.Key, hash); ok {
-						if eh, _, value, err := ref.Entry(); err == nil {
-							s.stats.ObjectsRead.Add(1)
-							return &wire.ReadResponse{Status: wire.StatusOK, Version: eh.Version, Value: value}
-						}
+					if ref, ok := s.ht.Get(table, key, hash); ok {
+						return s.respondFromRef(st, ref)
 					}
 					return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
 				}
-				s.stats.Retries.Add(1)
+				st.retries.Add(1)
 				return &wire.ReadResponse{Status: wire.StatusRetry, RetryAfterMicros: retry}
 			}
 		}
@@ -526,12 +448,12 @@ func (s *Server) handleRead(req *wire.ReadRequest) *wire.ReadResponse {
 	return &wire.ReadResponse{Status: wire.StatusNoSuchKey}
 }
 
-func (s *Server) handleWrite(ctx context.Context, req *wire.WriteRequest) *wire.WriteResponse {
-	s.stats.Writes.Add(1)
+func (s *Server) handleWrite(ctx context.Context, st *statShard, req *wire.WriteRequest) *wire.WriteResponse {
+	st.writes.Add(1)
 	hash := wire.HashKey(req.Key)
 	state, owned := s.tabletFor(req.Table, hash)
 	if !owned || state == TabletMigratingOut {
-		s.stats.WrongServer.Add(1)
+		st.wrongServer.Add(1)
 		return &wire.WriteResponse{Status: wire.StatusWrongServer}
 	}
 	version, status := s.applyWrite(req.Table, req.Key, hash, req.Value)
@@ -541,7 +463,7 @@ func (s *Server) handleWrite(ctx context.Context, req *wire.WriteRequest) *wire.
 	if err := s.repl.Sync(ctx); err != nil {
 		return &wire.WriteResponse{Status: wire.StatusInternalError}
 	}
-	s.stats.ObjectsWritten.Add(1)
+	st.objectsWritten.Add(1)
 	return &wire.WriteResponse{Status: wire.StatusOK, Version: version}
 }
 
@@ -557,15 +479,15 @@ func (s *Server) applyWrite(table wire.TableID, key []byte, hash uint64, value [
 	return version, wire.StatusOK
 }
 
-func (s *Server) handleDelete(ctx context.Context, req *wire.DeleteRequest) *wire.DeleteResponse {
+func (s *Server) handleDelete(ctx context.Context, st *statShard, req *wire.DeleteRequest) *wire.DeleteResponse {
 	hash := wire.HashKey(req.Key)
 	state, owned := s.tabletFor(req.Table, hash)
 	if !owned || state == TabletMigratingOut {
-		s.stats.WrongServer.Add(1)
+		st.wrongServer.Add(1)
 		return &wire.DeleteResponse{Status: wire.StatusWrongServer}
 	}
 	if state == TabletMigratingIn {
-		return s.deleteDuringMigration(ctx, req, hash)
+		return s.deleteDuringMigration(ctx, st, req, hash)
 	}
 	prev, existed := s.ht.Remove(req.Table, req.Key, hash)
 	if !existed {
@@ -588,7 +510,7 @@ func (s *Server) handleDelete(ctx context.Context, req *wire.DeleteRequest) *wir
 // hash table* as a tombstone ref: its version (above the migration's
 // ceiling) makes PutIfNewer reject the stale copy. The migration epilogue
 // sweeps parked tombstones out.
-func (s *Server) deleteDuringMigration(ctx context.Context, req *wire.DeleteRequest, hash uint64) *wire.DeleteResponse {
+func (s *Server) deleteDuringMigration(ctx context.Context, st *statShard, req *wire.DeleteRequest, hash uint64) *wire.DeleteResponse {
 	prev, exists := s.ht.Get(req.Table, req.Key, hash)
 	if exists {
 		if h, err := prev.Header(); err == nil && h.Type == storage.EntryTombstone {
@@ -602,7 +524,7 @@ func (s *Server) deleteDuringMigration(ctx context.Context, req *wire.DeleteRequ
 			if _, missing := h.HandleMissingKey(req.Table, hash); missing {
 				return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
 			}
-			s.stats.Retries.Add(1)
+			st.retries.Add(1)
 			return &wire.DeleteResponse{Status: wire.StatusRetry}
 		}
 		return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
@@ -621,16 +543,20 @@ func (s *Server) deleteDuringMigration(ctx context.Context, req *wire.DeleteRequ
 	return &wire.DeleteResponse{Status: wire.StatusOK, Version: version}
 }
 
-func (s *Server) handleMultiGet(req *wire.MultiGetRequest) *wire.MultiGetResponse {
-	s.stats.Reads.Add(1)
+func (s *Server) handleMultiGet(st *statShard, req *wire.MultiGetRequest) *wire.MultiGetResponse {
+	st.reads.Add(1)
 	resp := &wire.MultiGetResponse{
 		Status:   wire.StatusOK,
 		Statuses: make([]wire.Status, len(req.Keys)),
 		Versions: make([]uint64, len(req.Keys)),
 		Values:   make([][]byte, len(req.Keys)),
 	}
+	// One routing snapshot for the whole batch: N keys cost one atomic
+	// load, and a concurrent SetTabletState can never split the batch
+	// across two routing views.
+	tm := s.tabletSnapshot()
 	for i, key := range req.Keys {
-		r := s.handleRead(&wire.ReadRequest{Table: req.Table, Key: key})
+		r := s.readOne(tm, st, req.Table, key)
 		resp.Statuses[i] = r.Status
 		resp.Versions[i] = r.Version
 		resp.Values[i] = r.Value
@@ -644,42 +570,44 @@ func (s *Server) handleMultiGet(req *wire.MultiGetRequest) *wire.MultiGetRespons
 	return resp
 }
 
-func (s *Server) handleMultiPut(ctx context.Context, req *wire.MultiPutRequest) *wire.MultiPutResponse {
+func (s *Server) handleMultiPut(ctx context.Context, st *statShard, req *wire.MultiPutRequest) *wire.MultiPutResponse {
 	resp := &wire.MultiPutResponse{
 		Status:   wire.StatusOK,
 		Statuses: make([]wire.Status, len(req.Keys)),
 		Versions: make([]uint64, len(req.Keys)),
 	}
+	tm := s.tabletSnapshot() // one routing view for the whole batch
 	wrote := false
 	for i, key := range req.Keys {
 		hash := wire.HashKey(key)
-		state, owned := s.tabletFor(req.Table, hash)
+		state, owned := tm.lookup(req.Table, hash)
 		if !owned || state == TabletMigratingOut {
 			resp.Statuses[i] = wire.StatusWrongServer
 			resp.Status = wire.StatusWrongServer
 			continue
 		}
-		v, st := s.applyWrite(req.Table, key, hash, req.Values[i])
-		resp.Statuses[i] = st
+		v, status := s.applyWrite(req.Table, key, hash, req.Values[i])
+		resp.Statuses[i] = status
 		resp.Versions[i] = v
-		wrote = wrote || st == wire.StatusOK
+		wrote = wrote || status == wire.StatusOK
 	}
 	if wrote {
 		if err := s.repl.Sync(ctx); err != nil {
 			resp.Status = wire.StatusInternalError
 		}
-		s.stats.ObjectsWritten.Add(int64(len(req.Keys)))
+		st.objectsWritten.Add(int64(len(req.Keys)))
 	}
 	return resp
 }
 
-func (s *Server) handleMultiGetByHash(req *wire.MultiGetByHashRequest) *wire.MultiGetByHashResponse {
-	s.stats.Reads.Add(1)
+func (s *Server) handleMultiGetByHash(st *statShard, req *wire.MultiGetByHashRequest) *wire.MultiGetByHashResponse {
+	st.reads.Add(1)
 	resp := &wire.MultiGetByHashResponse{Status: wire.StatusOK}
+	tm := s.tabletSnapshot() // one routing view for the whole batch
 	for _, hash := range req.Hashes {
-		state, owned := s.tabletFor(req.Table, hash)
+		state, owned := tm.lookup(req.Table, hash)
 		if !owned || state == TabletMigratingOut {
-			s.stats.WrongServer.Add(1)
+			st.wrongServer.Add(1)
 			return &wire.MultiGetByHashResponse{Status: wire.StatusWrongServer}
 		}
 		refs := s.ht.GetByHash(req.Table, hash)
@@ -687,7 +615,7 @@ func (s *Server) handleMultiGetByHash(req *wire.MultiGetByHashRequest) *wire.Mul
 			if h := s.migrationHandler(); h != nil {
 				retry, missing := h.HandleMissingKey(req.Table, hash)
 				if !missing {
-					s.stats.Retries.Add(1)
+					st.retries.Add(1)
 					resp.Status = wire.StatusRetry
 					if retry > resp.RetryAfterMicros {
 						resp.RetryAfterMicros = retry
@@ -700,7 +628,7 @@ func (s *Server) handleMultiGetByHash(req *wire.MultiGetByHashRequest) *wire.Mul
 			rec, err := ref.Record()
 			if err == nil && !rec.Tombstone {
 				resp.Records = append(resp.Records, rec)
-				s.stats.ObjectsRead.Add(1)
+				st.objectsRead.Add(1)
 			}
 		}
 	}
@@ -744,19 +672,12 @@ func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire
 // migrating-out state and the scan changes nothing — so the target retries
 // it freely whenever the prologue outcome is in doubt.
 func (s *Server) handleAbortMigration(req *wire.AbortMigrationRequest) *wire.AbortMigrationResponse {
-	s.mu.Lock()
-	for i := range s.tablets {
-		t := &s.tablets[i]
-		if t.table == req.Table && req.Range.ContainsRange(t.rng) && t.state == TabletMigratingOut {
-			t.state = TabletNormal
-		}
-	}
-	s.mu.Unlock()
+	s.abortMigratingOut(req.Table, req.Range)
 	return &wire.AbortMigrationResponse{Status: wire.StatusOK}
 }
 
-func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
-	s.stats.PullsServed.Add(1)
+func (s *Server) handlePull(st *statShard, req *wire.PullRequest) *wire.PullResponse {
+	st.pullsServed.Add(1)
 	// Pooled gather slice: recycled after Reply on copying transports, or by
 	// the receiving migration manager after replay on the zero-copy fabric.
 	resp := &wire.PullResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
@@ -775,12 +696,12 @@ func (s *Server) handlePull(req *wire.PullRequest) *wire.PullResponse {
 	})
 	resp.ResumeToken = next
 	resp.Done = done
-	s.stats.PullBytesServed.Add(int64(used))
+	st.pullBytesServed.Add(int64(used))
 	return resp
 }
 
-func (s *Server) handlePriorityPull(req *wire.PriorityPullRequest) *wire.PriorityPullResponse {
-	s.stats.PriorityPulls.Add(1)
+func (s *Server) handlePriorityPull(st *statShard, req *wire.PriorityPullRequest) *wire.PriorityPullResponse {
+	st.priorityPulls.Add(1)
 	resp := &wire.PriorityPullResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
 	var bytes int64
 	for _, hash := range req.Hashes {
@@ -797,7 +718,7 @@ func (s *Server) handlePriorityPull(req *wire.PriorityPullRequest) *wire.Priorit
 			}
 		}
 	}
-	s.stats.PriorityPullBytes.Add(bytes)
+	st.priorityPullBytes.Add(bytes)
 	return resp
 }
 

@@ -1,0 +1,76 @@
+package server
+
+import "sync/atomic"
+
+// Stats exposes the server counters the figures sample. Server.Stats()
+// returns a point-in-time aggregate of the per-worker shards; the atomic
+// fields keep the historical `Stats().X.Load()` call pattern working.
+type Stats struct {
+	Reads             atomic.Int64
+	Writes            atomic.Int64
+	ObjectsRead       atomic.Int64 // individual objects (multiget counts each)
+	ObjectsWritten    atomic.Int64
+	Retries           atomic.Int64 // StatusRetry responses sent
+	WrongServer       atomic.Int64
+	PullsServed       atomic.Int64
+	PullBytesServed   atomic.Int64
+	PriorityPulls     atomic.Int64
+	PriorityPullBytes atomic.Int64
+}
+
+// statShard is one worker's private slice of the server counters. Every
+// request increments counters on the shard of the worker running it, so
+// the hot path never bounces a cache line between cores; Stats() readers
+// pay the aggregation cost instead. Padded so adjacent shards in the
+// backing array never share a line.
+type statShard struct {
+	reads             atomic.Int64
+	writes            atomic.Int64
+	objectsRead       atomic.Int64
+	objectsWritten    atomic.Int64
+	retries           atomic.Int64
+	wrongServer       atomic.Int64
+	pullsServed       atomic.Int64
+	pullBytesServed   atomic.Int64
+	priorityPulls     atomic.Int64
+	priorityPullBytes atomic.Int64
+	_                 [48]byte // 10×8 = 80 bytes of counters; pad to 128
+}
+
+// shardedStats holds one shard per worker plus a spill shard (index
+// workers) for increments that happen off the worker pool.
+type shardedStats struct {
+	shards []statShard
+}
+
+func newShardedStats(workers int) *shardedStats {
+	return &shardedStats{shards: make([]statShard, workers+1)}
+}
+
+// shard returns worker w's shard; out-of-range indexes (including the -1
+// used by non-worker callers) map to the spill shard.
+func (ss *shardedStats) shard(w int) *statShard {
+	if w < 0 || w >= len(ss.shards)-1 {
+		w = len(ss.shards) - 1
+	}
+	return &ss.shards[w]
+}
+
+// snapshot sums every shard into a fresh Stats aggregate.
+func (ss *shardedStats) snapshot() *Stats {
+	out := &Stats{}
+	for i := range ss.shards {
+		sh := &ss.shards[i]
+		out.Reads.Add(sh.reads.Load())
+		out.Writes.Add(sh.writes.Load())
+		out.ObjectsRead.Add(sh.objectsRead.Load())
+		out.ObjectsWritten.Add(sh.objectsWritten.Load())
+		out.Retries.Add(sh.retries.Load())
+		out.WrongServer.Add(sh.wrongServer.Load())
+		out.PullsServed.Add(sh.pullsServed.Load())
+		out.PullBytesServed.Add(sh.pullBytesServed.Load())
+		out.PriorityPulls.Add(sh.priorityPulls.Load())
+		out.PriorityPullBytes.Add(sh.priorityPullBytes.Load())
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
+
+// tabletMap is an immutable snapshot of the server's tablet registry,
+// published RCU-style through Server.tablets (an atomic.Pointer). Readers
+// load the pointer once per request and route every key of the request off
+// that one snapshot — no lock, and no torn routing across a concurrent
+// state change. Writers (migration prologue/epilogue, recovery grants)
+// build a fresh map under Server.tabletMu and publish it with a single
+// pointer store; a published map's entries slice is never mutated again.
+type tabletMap struct {
+	entries []tabletEntry
+}
+
+// emptyTabletMap is the registry before any RegisterTablet.
+var emptyTabletMap = &tabletMap{}
+
+// lookup finds the tablet containing (table, hash).
+func (tm *tabletMap) lookup(table wire.TableID, hash uint64) (TabletState, bool) {
+	for i := range tm.entries {
+		t := &tm.entries[i]
+		if t.table == table && t.rng.Contains(hash) {
+			return t.state, true
+		}
+	}
+	return TabletNormal, false
+}
+
+// tabletSnapshot returns the current routing snapshot. One atomic load;
+// the result stays internally consistent for the request's lifetime.
+func (s *Server) tabletSnapshot() *tabletMap {
+	return s.tablets.Load()
+}
+
+// tabletFor finds the tablet containing (table, hash) in the current
+// snapshot. Handlers routing more than one key should call tabletSnapshot
+// once and use lookup directly.
+func (s *Server) tabletFor(table wire.TableID, hash uint64) (TabletState, bool) {
+	return s.tabletSnapshot().lookup(table, hash)
+}
+
+// RegisterTablet records ownership of (table, rng) in the given state.
+// Overlapping portions of existing entries are carved away: registering a
+// sub-range of a tablet splits the tablet, leaving the remainder in its
+// previous state. This is how "defer all repartitioning until the moment
+// of migration" works at the server: boundaries appear exactly when a
+// migration (or grant) names them.
+func (s *Server) RegisterTablet(table wire.TableID, rng wire.HashRange, state TabletState) {
+	s.tabletMu.Lock()
+	defer s.tabletMu.Unlock()
+	cur := s.tablets.Load()
+	next := make([]tabletEntry, 0, len(cur.entries)+2)
+	for _, t := range cur.entries {
+		if t.table != table || !t.rng.Overlaps(rng) {
+			next = append(next, t)
+			continue
+		}
+		// Keep the non-overlapping remainders of the old entry.
+		if t.rng.Start < rng.Start {
+			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: t.rng.Start, End: rng.Start - 1}, state: t.state})
+		}
+		if t.rng.End > rng.End {
+			next = append(next, tabletEntry{table: table, rng: wire.HashRange{Start: rng.End + 1, End: t.rng.End}, state: t.state})
+		}
+	}
+	next = append(next, tabletEntry{table: table, rng: rng, state: state})
+	s.tablets.Store(&tabletMap{entries: next})
+}
+
+// DropTablet forgets (table, rng) and discards its records.
+func (s *Server) DropTablet(table wire.TableID, rng wire.HashRange) int {
+	s.tabletMu.Lock()
+	cur := s.tablets.Load()
+	kept := make([]tabletEntry, 0, len(cur.entries))
+	for _, t := range cur.entries {
+		if t.table == table && rng.ContainsRange(t.rng) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.tablets.Store(&tabletMap{entries: kept})
+	s.tabletMu.Unlock()
+	return s.ht.RemoveRange(table, rng, func(ref storage.Ref) { s.log.MarkDead(ref) })
+}
+
+// SetTabletState transitions a registered tablet (and any sub-tablets the
+// range covers). Copy-on-write: a reader mid-request keeps routing off the
+// old snapshot; the next request sees the new state.
+func (s *Server) SetTabletState(table wire.TableID, rng wire.HashRange, state TabletState) bool {
+	s.tabletMu.Lock()
+	defer s.tabletMu.Unlock()
+	cur := s.tablets.Load()
+	next := make([]tabletEntry, len(cur.entries))
+	copy(next, cur.entries)
+	found := false
+	for i := range next {
+		t := &next[i]
+		if t.table == table && rng.ContainsRange(t.rng) {
+			t.state = state
+			found = true
+		}
+	}
+	if found {
+		s.tablets.Store(&tabletMap{entries: next})
+	}
+	return found
+}
+
+// abortMigratingOut flips every tablet inside the range still marked
+// migrating-out back to normal service (the AbortMigration handler).
+// Idempotent: when nothing is migrating-out the snapshot is republished
+// unchanged.
+func (s *Server) abortMigratingOut(table wire.TableID, rng wire.HashRange) {
+	s.tabletMu.Lock()
+	defer s.tabletMu.Unlock()
+	cur := s.tablets.Load()
+	next := make([]tabletEntry, len(cur.entries))
+	copy(next, cur.entries)
+	changed := false
+	for i := range next {
+		t := &next[i]
+		if t.table == table && rng.ContainsRange(t.rng) && t.state == TabletMigratingOut {
+			t.state = TabletNormal
+			changed = true
+		}
+	}
+	if changed {
+		s.tablets.Store(&tabletMap{entries: next})
+	}
+}
+
+// Tablets snapshots the registry (tests, debugging).
+func (s *Server) Tablets() []wire.Tablet {
+	tm := s.tabletSnapshot()
+	out := make([]wire.Tablet, 0, len(tm.entries))
+	for _, t := range tm.entries {
+		out = append(out, wire.Tablet{Table: t.table, Range: t.rng, Master: s.cfg.ID})
+	}
+	return out
+}
