@@ -1,16 +1,27 @@
 GO ?= go
 
-.PHONY: all build check test race vet lint fuzz faults bench bench-scale bins clean
+.PHONY: all build check test race vet lint fuzz faults stress-write bench bench-scale bins clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the tier-1 gate: vet, the repo's own static analyzers, and the
-# full test suite under the race detector.
-check: vet lint
+# check is the tier-1 gate: vet, the repo's own static analyzers, the
+# write-path concurrency stress suite, and the full test suite under the
+# race detector.
+check: vet lint stress-write
 	$(GO) test -race ./...
+
+# stress-write re-runs (uncached) the write-path concurrency seams under
+# the race detector: the cleaner racing all sharded log heads, the epoch /
+# tail-watermark invariants under concurrent appends, multi-queue work
+# stealing, and group-commit coalescing under parallel Syncs.
+stress-write:
+	$(GO) test -race -count=1 ./internal/storage \
+		-run 'TestCleanerVsShardedHeads|TestTailWatermarkClosure|TestShardedLogEpochsUniqueAndOrdered'
+	$(GO) test -race -count=1 ./internal/dispatch -run 'TestWorkStealing|TestStealExactlyOnce'
+	$(GO) test -race -count=1 ./internal/backup -run 'TestReplicatorGroupCommit'
 
 vet:
 	$(GO) vet ./...
@@ -44,12 +55,14 @@ faults:
 # bench runs the RPC hot-path microbenchmarks with allocation reporting and
 # records the machine-readable results in BENCH_hotpath.json.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkMarshalRoundtrip|BenchmarkTCPSend|BenchmarkPullPath' -benchmem -count=1 .
+	$(GO) test -run xxx -bench 'BenchmarkMarshalRoundtrip|BenchmarkTCPSend|BenchmarkPullPath|BenchmarkPutPath' -benchmem -count=1 .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestHotpathBenchArtifact -count=1 .
 
-# bench-scale runs the multi-core read-path scaling benchmarks at 1/2/4/8
-# simulated cores and merges the "scaling" section into BENCH_hotpath.json
-# (the hot-path sections written by `make bench` are preserved).
+# bench-scale runs the multi-core read- and write-path scaling benchmarks
+# at 1/2/4/8 simulated cores and merges the "scaling" section into
+# BENCH_hotpath.json (the hot-path sections written by `make bench` are
+# preserved). The MixedScaling put-heavy rows are the write-scaling series:
+# ops/s should climb with cores now that appends spread across shard heads.
 bench-scale:
 	$(GO) test -run xxx -bench 'BenchmarkReadScaling|BenchmarkMixedScaling' -benchtime .3s -cpu 1,2,4,8 -count=1 ./internal/server
 	BENCH_SCALE_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestScalingBenchArtifact -benchtime .3s -count=1 ./internal/server

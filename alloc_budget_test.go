@@ -10,7 +10,9 @@ import "testing"
 // allocations that would make the strict budgets flaky.
 //
 // The storage-layer counterpart — HashTable.Get at 0 allocs/op — is
-// TestSeqlockGetZeroAllocs in internal/storage.
+// TestSeqlockGetZeroAllocs in internal/storage; the scheduler's
+// enqueue→pickup fast path at 0 allocs/op is TestEnqueuePickupZeroAlloc in
+// internal/dispatch.
 func TestHotpathAllocBudgets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc budgets need full benchmark runs")
@@ -23,6 +25,11 @@ func TestHotpathAllocBudgets(t *testing.T) {
 		{"MarshalRoundtrip", benchmarkMarshalRoundtrip, 2},
 		{"TCPSend", benchmarkTCPSend, 2},
 		{"PullPath", benchmarkPullPath, 18},
+		// A write RPC end to end: the 17 steady-state allocations are the
+		// RPC plumbing (frames, reply futures, dispatch closure) — the log
+		// append itself reuses the shard head's segment, and one spare is
+		// left for the amortized segment roll.
+		{"PutPath", benchmarkPutPath, 18},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

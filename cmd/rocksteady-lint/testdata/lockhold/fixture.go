@@ -161,3 +161,36 @@ func (r *cowRegistry) okPublishThenNotify(next []int) {
 	default:
 	}
 }
+
+// groupCommitter models the backup replicator's flush: append events
+// accumulate under the flusher mutex, and the temptation is to marshal and
+// send the batch right there. But OnAppend enqueues under that same mutex
+// from inside the log shard lock, so a send blocked on a slow backup
+// stalls every writer on every shard. The real flush snapshots the pending
+// batch and drops the mutex before assembling or sending anything.
+type groupCommitter struct {
+	mu      sync.Mutex
+	pending []int
+	ep      fakeEndpoint
+}
+
+func (g *groupCommitter) badFlushUnderLock(m *wire.Message) {
+	g.mu.Lock()
+	for range g.pending {
+		_ = g.ep.Send(m) // want:lockhold "transport Send while mu is held"
+	}
+	g.pending = g.pending[:0]
+	g.mu.Unlock()
+}
+
+func (g *groupCommitter) okSnapshotThenFlush(m *wire.Message) {
+	g.mu.Lock()
+	batch := g.pending
+	g.pending = nil
+	g.mu.Unlock()
+	// Coalescing, marshalling, and the per-backup RPCs all run with the
+	// mutex dropped; appenders keep enqueueing into the fresh slice.
+	for range batch {
+		_ = g.ep.Send(m)
+	}
+}

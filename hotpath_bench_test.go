@@ -171,12 +171,17 @@ func captureDispatchStats(srv *server.Server) []dispatchStats {
 	return out
 }
 
-func benchmarkPullPath(b *testing.B) { benchmarkPullPathStats(b, nil) }
+// hotpathRig is a one-server cluster over loopback TCP shared by the
+// end-to-end RPC benchmarks (PullPath, PutPath): coordinator, one storage
+// server, and a bench client node with a table routed at the server.
+type hotpathRig struct {
+	srv   *server.Server
+	node  *transport.Node
+	table wire.TableID
+	close func()
+}
 
-// benchmarkPullPathStats optionally captures the server's dispatch
-// decomposition into *stats after the run (the artifact test passes a
-// destination; plain benchmark runs pass nil).
-func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
+func newHotpathRig(b *testing.B) *hotpathRig {
 	mk := func(id wire.ServerID) *transport.TCP {
 		ep, err := transport.NewTCP(transport.TCPConfig{ID: id, ListenAddr: "127.0.0.1:0"})
 		if err != nil {
@@ -201,13 +206,10 @@ func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
 	}
 
 	coord := coordinator.New(transport.NewNode(coordEP))
-	defer coord.Close()
 	srv := server.New(server.Config{ID: 10, Workers: 2}, srvEP)
-	defer srv.Close()
 
 	node := transport.NewNode(benchEP)
 	node.Start()
-	defer node.Close()
 	if _, err := node.Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground, &wire.EnlistServerRequest{Server: 10}); err != nil {
 		b.Fatal(err)
 	}
@@ -215,7 +217,27 @@ func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	table := reply.(*wire.CreateTableResponse).Table
+	return &hotpathRig{
+		srv:   srv,
+		node:  node,
+		table: reply.(*wire.CreateTableResponse).Table,
+		close: func() {
+			node.Close()
+			srv.Close()
+			coord.Close()
+		},
+	}
+}
+
+func benchmarkPullPath(b *testing.B) { benchmarkPullPathStats(b, nil) }
+
+// benchmarkPullPathStats optionally captures the server's dispatch
+// decomposition into *stats after the run (the artifact test passes a
+// destination; plain benchmark runs pass nil).
+func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
+	rig := newHotpathRig(b)
+	defer rig.close()
+	node, table := rig.node, rig.table
 	for i := 0; i < 2000; i++ {
 		wreply, err := node.Call(context.Background(), 10, wire.PriorityForeground, &wire.WriteRequest{
 			Table: table, Key: []byte(fmt.Sprintf("user%026d", i)), Value: make([]byte, 100),
@@ -244,7 +266,7 @@ func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
 		// testing.Benchmark re-invokes with growing b.N; each invocation
 		// builds a fresh server, so the last capture wins with the largest
 		// sample.
-		*stats = captureDispatchStats(srv)
+		*stats = captureDispatchStats(rig.srv)
 	}
 }
 
@@ -252,6 +274,37 @@ func benchmarkPullPathStats(b *testing.B, stats *[]dispatchStats) {
 // request marshal, server-side scan into a (pooled) record slice, response
 // marshal, and client-side decode.
 func BenchmarkPullPath(b *testing.B) { benchmarkPullPath(b) }
+
+func benchmarkPutPath(b *testing.B) {
+	rig := newHotpathRig(b)
+	defer rig.close()
+	// Cycle over a small key set: every op is an overwrite append through a
+	// sharded log head plus a hash-table relink — the steady-state shape of
+	// a put-heavy workload, without unbounded live-set growth.
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%026d", i))
+	}
+	req := &wire.WriteRequest{Table: rig.table, Value: make([]byte, 100)}
+	b.ReportAllocs()
+	b.SetBytes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Key = keys[i&63]
+		reply, err := rig.node.Call(context.Background(), 10, wire.PriorityForeground, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp, ok := reply.(*wire.WriteResponse); !ok || resp.Status != wire.StatusOK {
+			b.Fatalf("bad write reply %T", reply)
+		}
+	}
+}
+
+// BenchmarkPutPath measures a full write RPC over loopback TCP: request
+// marshal, dispatch through the per-worker queues, log append via the
+// worker's shard head, replication event fan-out, and the response trip.
+func BenchmarkPutPath(b *testing.B) { benchmarkPutPath(b) }
 
 // TestHotpathBenchArtifact runs the hot-path microbenchmarks via
 // testing.Benchmark and writes BENCH_hotpath.json (used by `make bench`).
@@ -277,6 +330,7 @@ func TestHotpathBenchArtifact(t *testing.T) {
 		{"MarshalRoundtrip", benchmarkMarshalRoundtrip},
 		{"TCPSend", benchmarkTCPSend},
 		{"PullPath", func(b *testing.B) { benchmarkPullPathStats(b, &dispatch) }},
+		{"PutPath", benchmarkPutPath},
 	} {
 		r := testing.Benchmark(bench.fn)
 		rows = append(rows, row{

@@ -111,8 +111,11 @@ func newBackupRig(t *testing.T, nBackups, factor int) *backupRig {
 		rig.backups = append(rig.backups, store)
 		node := transport.NewNode(f.Attach(id))
 		node.SetHandler(func(m *wire.Message) {
-			if req, ok := m.Body.(*wire.ReplicateSegmentRequest); ok {
+			switch req := m.Body.(type) {
+			case *wire.ReplicateSegmentRequest:
 				node.Reply(m, &wire.ReplicateSegmentResponse{Status: store.HandleReplicate(req)})
+			case *wire.ReplicateBatchRequest:
+				node.Reply(m, store.HandleReplicateBatch(req))
 			}
 		})
 		node.Start()

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rocksteady/internal/storage"
 	"rocksteady/internal/transport"
@@ -41,6 +43,37 @@ type Replicator struct {
 	// resolve maps (logID, segmentID) to the live segment so a batch that
 	// lost every replica can be re-replicated in full to a fresh backup.
 	resolve func(logID, segID uint64) *storage.Segment
+
+	// Group-commit batching counters (see FlushStats). Atomic so flush can
+	// update them without re-entering mu.
+	flushes     atomic.Int64
+	flushEvents atomic.Int64
+	flushChunks atomic.Int64
+	flushRPCs   atomic.Int64
+	flushNanos  atomic.Int64
+}
+
+// FlushStats reports group-commit batching behaviour: how many flushes
+// ran, how many append events and coalesced chunks they carried, how many
+// RPCs they issued (one per backup per flush in the common case), and the
+// cumulative flush latency.
+type FlushStats struct {
+	Flushes int64
+	Events  int64
+	Chunks  int64
+	RPCs    int64
+	Nanos   int64
+}
+
+// FlushStats returns a snapshot of the group-commit counters.
+func (r *Replicator) FlushStats() FlushStats {
+	return FlushStats{
+		Flushes: r.flushes.Load(),
+		Events:  r.flushEvents.Load(),
+		Chunks:  r.flushChunks.Load(),
+		RPCs:    r.flushRPCs.Load(),
+		Nanos:   r.flushNanos.Load(),
+	}
 }
 
 // NewReplicator creates a replicator writing to the given backups with the
@@ -216,66 +249,126 @@ func (r *Replicator) replicateWholeSegment(ctx context.Context, seg *storage.Seg
 	return fmt.Errorf("%w: no live backup for segment %d", ErrReplicationFailed, seg.ID)
 }
 
-// flush ships a batch of events, coalescing consecutive events of the same
-// segment into single RPCs.
-func (r *Replicator) flush(batch []storage.AppendEvent) error {
-	type segBatch struct {
-		logID, segID uint64
-		offset       int
-		data         []byte
-		close        bool
-	}
-	var coalesced []segBatch
+// segChunk is one coalesced contiguous span of one segment's bytes.
+type segChunk struct {
+	logID, segID uint64
+	offset       int
+	data         []byte
+	seal         bool
+}
+
+// coalesceChunks folds a run of append events into contiguous per-segment
+// chunks. Events for one segment arrive in append order (emitted under the
+// shard lock), so adjacent same-segment events always glue together; with
+// sharded heads the run interleaves chunks of several segments.
+func coalesceChunks(batch []storage.AppendEvent) []segChunk {
+	var out []segChunk
 	for _, ev := range batch {
-		n := len(coalesced)
-		if n > 0 && coalesced[n-1].segID == ev.SegmentID && coalesced[n-1].logID == ev.LogID &&
-			!coalesced[n-1].close && coalesced[n-1].offset+len(coalesced[n-1].data) == ev.Offset {
-			coalesced[n-1].data = append(coalesced[n-1].data, ev.Data...)
-			coalesced[n-1].close = ev.Sealed
+		n := len(out)
+		if n > 0 && out[n-1].segID == ev.SegmentID && out[n-1].logID == ev.LogID &&
+			!out[n-1].seal && out[n-1].offset+len(out[n-1].data) == ev.Offset {
+			out[n-1].data = append(out[n-1].data, ev.Data...)
+			out[n-1].seal = ev.Sealed
 			continue
 		}
 		data := make([]byte, len(ev.Data))
 		copy(data, ev.Data)
-		coalesced = append(coalesced, segBatch{
+		out = append(out, segChunk{
 			logID: ev.LogID, segID: ev.SegmentID, offset: ev.Offset,
-			data: data, close: ev.Sealed,
+			data: data, seal: ev.Sealed,
 		})
 	}
-	var calls []*transport.Call
-	var callBackups []wire.ServerID
-	var callBatch []int
-	var callReqs []*wire.ReplicateSegmentRequest
-	var sent int64
-	for bi, sb := range coalesced {
-		req := &wire.ReplicateSegmentRequest{
-			Master:    r.master,
-			LogID:     sb.logID,
-			SegmentID: sb.segID,
-			Offset:    uint32(sb.offset),
-			Data:      sb.data,
-			Close:     sb.close,
-		}
-		for _, b := range r.backupsFor(sb.segID) {
-			calls = append(calls, r.node.Go(r.root, b, wire.PriorityReplication, req))
-			callBackups = append(callBackups, b)
-			callBatch = append(callBatch, bi)
-			callReqs = append(callReqs, req)
-			sent += int64(len(sb.data))
+	return out
+}
+
+// flush ships a batch of events as group commit: all pending chunks bound
+// for one backup travel in a single ReplicateBatch RPC, so each flush
+// costs one RPC per backup regardless of how many shards appended. The
+// whole payload is assembled and marshaled here, outside the replicator's
+// mutex — Sync snapshots pending and releases mu before calling flush.
+func (r *Replicator) flush(batch []storage.AppendEvent) error {
+	start := time.Now()
+	coalesced := coalesceChunks(batch)
+
+	// Group chunks by destination backup, preserving chunk order within
+	// each backup's request (replicas of one segment must apply in order).
+	perBackup := make(map[wire.ServerID][]int)
+	var order []wire.ServerID
+	for ci := range coalesced {
+		for _, b := range r.backupsFor(coalesced[ci].segID) {
+			if _, ok := perBackup[b]; !ok {
+				order = append(order, b)
+			}
+			perBackup[b] = append(perBackup[b], ci)
 		}
 	}
-	okPerBatch := r.awaitReplicas(r.root, calls, callBackups, callBatch, callReqs, len(coalesced))
-	for bi, n := range okPerBatch {
+
+	var sent int64
+	reqs := make([]*wire.ReplicateBatchRequest, len(order))
+	calls := make([]*transport.Call, len(order))
+	for i, b := range order {
+		idxs := perBackup[b]
+		req := &wire.ReplicateBatchRequest{
+			Master: r.master,
+			Chunks: make([]wire.ReplicateChunk, 0, len(idxs)),
+		}
+		for _, ci := range idxs {
+			c := &coalesced[ci]
+			req.Chunks = append(req.Chunks, wire.ReplicateChunk{
+				LogID: c.logID, SegmentID: c.segID, Offset: uint32(c.offset),
+				Data: c.data, Close: c.seal,
+			})
+			sent += int64(len(c.data))
+		}
+		reqs[i] = req
+		calls[i] = r.node.Go(r.root, b, wire.PriorityReplication, req)
+	}
+
+	// Await each backup's ack; one synchronous retry on failure (the batch
+	// is idempotent: the store rewrites prefixes), then mark it dead —
+	// durability degrades rather than halting the master.
+	okPerChunk := make([]int, len(coalesced))
+	for i, b := range order {
+		reply, err := calls[i].Wait()
+		if err != nil {
+			reply, err = r.node.Call(r.root, b, wire.PriorityReplication, reqs[i])
+		}
+		if err != nil {
+			r.markDead(b)
+			continue
+		}
+		resp, ok := reply.(*wire.ReplicateBatchResponse)
+		if !ok {
+			r.markDead(b)
+			continue
+		}
+		for j, ci := range perBackup[b] {
+			if j < len(resp.ChunkStatuses) && resp.ChunkStatuses[j] == wire.StatusOK {
+				okPerChunk[ci]++
+			}
+		}
+	}
+
+	// Chunks that landed on no replica fall back to whole-segment
+	// re-replication against the surviving backup set.
+	for ci, n := range okPerChunk {
 		if n > 0 {
 			continue
 		}
 		var seg *storage.Segment
 		if r.resolve != nil {
-			seg = r.resolve(coalesced[bi].logID, coalesced[bi].segID)
+			seg = r.resolve(coalesced[ci].logID, coalesced[ci].segID)
 		}
 		if err := r.replicateWholeSegment(r.root, seg); err != nil {
 			return err
 		}
 	}
+
+	r.flushes.Add(1)
+	r.flushEvents.Add(int64(len(batch)))
+	r.flushChunks.Add(int64(len(coalesced)))
+	r.flushRPCs.Add(int64(len(order)))
+	r.flushNanos.Add(time.Since(start).Nanoseconds())
 	r.mu.Lock()
 	r.bytesSent += sent
 	r.mu.Unlock()

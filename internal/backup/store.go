@@ -58,34 +58,65 @@ func (s *Store) BytesWritten() int64 {
 // of the replica, creating it if needed.
 func (s *Store) HandleReplicate(req *wire.ReplicateSegmentRequest) wire.Status {
 	s.throttle(len(req.Data))
-	key := replicaKey{master: req.Master, logID: req.LogID, segID: req.SegmentID}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyLocked(req.Master, req.LogID, req.SegmentID, req.Offset, req.Data, req.Close)
+}
+
+// HandleReplicateBatch applies a group-commit batch: every chunk under one
+// lock acquisition, each acknowledged individually so the master can
+// re-replicate exactly the chunks that failed.
+func (s *Store) HandleReplicateBatch(req *wire.ReplicateBatchRequest) *wire.ReplicateBatchResponse {
+	total := 0
+	for i := range req.Chunks {
+		total += len(req.Chunks[i].Data)
+	}
+	s.throttle(total)
+	resp := &wire.ReplicateBatchResponse{
+		Status:        wire.StatusOK,
+		ChunkStatuses: make([]wire.Status, len(req.Chunks)),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range req.Chunks {
+		c := &req.Chunks[i]
+		st := s.applyLocked(req.Master, c.LogID, c.SegmentID, c.Offset, c.Data, c.Close)
+		resp.ChunkStatuses[i] = st
+		if st != wire.StatusOK {
+			resp.Status = wire.StatusInternalError
+		}
+	}
+	return resp
+}
+
+// applyLocked appends data at offset of one replica; s.mu must be held.
+func (s *Store) applyLocked(master wire.ServerID, logID, segID uint64, offset uint32, data []byte, seal bool) wire.Status {
+	key := replicaKey{master: master, logID: logID, segID: segID}
 	r := s.replicas[key]
 	if r == nil {
 		r = &replica{}
 		s.replicas[key] = r
 	}
-	if r.closed && len(req.Data) > 0 {
+	if r.closed && len(data) > 0 {
 		return wire.StatusInternalError
 	}
-	if int(req.Offset) != len(r.data) {
+	if int(offset) != len(r.data) {
 		// Out-of-order or duplicate append: accept idempotently when it
 		// rewrites an existing prefix, reject gaps.
-		if int(req.Offset) > len(r.data) {
+		if int(offset) > len(r.data) {
 			return wire.StatusInternalError
 		}
-		copy(r.data[req.Offset:], req.Data)
-		if int(req.Offset)+len(req.Data) > len(r.data) {
-			r.data = append(r.data[:req.Offset], req.Data...)
+		copy(r.data[offset:], data)
+		if int(offset)+len(data) > len(r.data) {
+			r.data = append(r.data[:offset], data...)
 		}
 	} else {
-		r.data = append(r.data, req.Data...)
+		r.data = append(r.data, data...)
 	}
-	if req.Close {
+	if seal {
 		r.closed = true
 	}
-	s.written += int64(len(req.Data))
+	s.written += int64(len(data))
 	return wire.StatusOK
 }
 

@@ -356,10 +356,9 @@ func (c *Cluster) SegmentSizeOrDefault() int {
 // knob) transfer without flipping ownership.
 func (c *Cluster) MigrateBaseline(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target int, opts core.BaselineOptions) (core.BaselineResult, error) {
 	src, dst := c.Servers[source], c.Servers[target]
-	var headBefore uint64
-	if h := src.Log().Head(); h != nil {
-		headBefore = h.ID
-	}
+	// Epoch watermark before the bulk copy: the tail pull after the freeze
+	// re-reads only entries appended (to any shard head) past this point.
+	watermark := src.Log().TailWatermark()
 	res := core.RunBaselineMigration(ctx, src, dst.ID(), table, rng, opts)
 	if res.Err != nil {
 		return res, res.Err
@@ -379,12 +378,8 @@ func (c *Cluster) MigrateBaseline(ctx context.Context, table wire.TableID, rng w
 	if prep, ok := reply.(*wire.PrepareMigrationResponse); !ok || prep.Status != wire.StatusOK {
 		return res, fmt.Errorf("cluster: baseline freeze rejected")
 	}
-	after := uint64(0)
-	if headBefore > 1 {
-		after = headBefore - 1
-	}
 	reply, err = node.Call(ctx, src.ID(), wire.PriorityForeground, &wire.PullTailRequest{
-		Table: table, Range: rng, AfterSegment: after,
+		Table: table, Range: rng, AfterEpoch: watermark,
 	})
 	if err != nil {
 		return res, err

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"rocksteady/internal/core"
 	"rocksteady/internal/faultinject"
 	"rocksteady/internal/transport"
 	"rocksteady/internal/wire"
@@ -509,6 +510,71 @@ func TestFaultScenarioClientDeadlineAbortsMigration(t *testing.T) {
 				t.Fatalf("read on un-migrated half: %v", err)
 			}
 			break
+		}
+	})
+}
+
+// TestFaultScenarioShardedHeadsDeterministicTotals pins that sharding the
+// source's log heads did not make migration accounting racy: for each
+// fault seed, the same quiescent-source migration run twice in identical
+// fresh clusters pulls exactly the same record totals, and those totals
+// equal the number of keys in the migrated range — every record moved
+// exactly once even though the source's appends were spread over several
+// shard heads (and its epoch watermark governs the tail catch-up).
+func TestFaultScenarioShardedHeadsDeterministicTotals(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		half := wire.FullRange().Split(2)[1]
+		const n = 600
+
+		runOnce := func() (core.Result, int) {
+			net := faultinject.NewNetwork(seed)
+			c := testCluster(t, Config{
+				Servers: 3, ReplicationFactor: 2,
+				Faults:     net,
+				RPCTimeout: time.Second,
+			})
+			cl := c.MustClient()
+			table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// BulkLoad fans writes over the source's dispatch workers, so
+			// the loaded records interleave across all of its shard heads.
+			keys, _ := loadN(t, c, table, n)
+			inRange := 0
+			for _, k := range keys {
+				if half.Contains(wire.HashKey(k)) {
+					inRange++
+				}
+			}
+			// Delay/dup-only faults: drops could legitimately change how
+			// many pull RPCs run, but never how many records arrive.
+			net.SetPlan(&faultinject.Plan{DelayProb: 0.10, DupProb: 0.02})
+			g, err := c.Migrate(context.Background(), table, half, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := g.Wait()
+			net.ClearPlan()
+			if res.Err != nil {
+				t.Fatalf("migration failed: %v", res.Err)
+			}
+			return res, inRange
+		}
+
+		first, inRange := runOnce()
+		second, _ := runOnce()
+
+		if got := first.RecordsPulled + first.PriorityPullRecords + first.TailRecords; got != int64(inRange) {
+			t.Fatalf("run 1 moved %d records (pulled=%d priority=%d tail=%d), want %d",
+				got, first.RecordsPulled, first.PriorityPullRecords, first.TailRecords, inRange)
+		}
+		if first.RecordsPulled != second.RecordsPulled ||
+			first.PriorityPullRecords != second.PriorityPullRecords ||
+			first.TailRecords != second.TailRecords {
+			t.Fatalf("record totals diverged across identical seeded runs:\nrun 1: pulled=%d priority=%d tail=%d\nrun 2: pulled=%d priority=%d tail=%d",
+				first.RecordsPulled, first.PriorityPullRecords, first.TailRecords,
+				second.RecordsPulled, second.PriorityPullRecords, second.TailRecords)
 		}
 	})
 }

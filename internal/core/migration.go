@@ -24,9 +24,12 @@ type Migration struct {
 	mgr  *Manager
 	opts Options
 
-	ceiling     uint64
-	numBuckets  uint64
-	headSegment uint64
+	ceiling    uint64
+	numBuckets uint64
+	// tailWatermark is the source's epoch watermark at prepare time: every
+	// write racing the migration carries a larger epoch, so the epilogue's
+	// PullTail(AfterEpoch: tailWatermark) is exactly the catch-up delta.
+	tailWatermark uint64
 
 	sideLogMu   sync.Mutex
 	sideLogs    []*storage.SideLog
@@ -177,7 +180,7 @@ func (g *Migration) begin() wire.Status {
 	}
 	g.ceiling = prep.VersionCeiling
 	g.numBuckets = prep.NumBuckets
-	g.headSegment = prep.HeadSegment
+	g.tailWatermark = prep.TailWatermark
 
 	// Adopt the source's version ceiling before any write can land, so
 	// target-issued versions always beat every pulled record (§3).
@@ -571,12 +574,8 @@ func (g *Migration) completeRetainOwnership() {
 		g.fail(errors.New("source freeze rejected"))
 		return
 	}
-	after := uint64(0)
-	if g.headSegment > 1 {
-		after = g.headSegment - 1
-	}
 	reply, err = srv.Node().Call(g.ctx, g.Source, wire.PriorityForeground, &wire.PullTailRequest{
-		Table: g.Table, Range: g.Range, AfterSegment: after,
+		Table: g.Table, Range: g.Range, AfterEpoch: g.tailWatermark,
 	})
 	if err != nil {
 		g.fail(err)

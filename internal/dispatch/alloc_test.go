@@ -1,0 +1,21 @@
+//go:build !race
+
+package dispatch
+
+import "testing"
+
+// TestEnqueuePickupZeroAlloc pins the scheduler's fast path — enqueue into
+// a per-worker queue, wake, pickup, run, no deadline — at zero allocations
+// per task in steady state. The per-worker priority queues reuse their
+// backing arrays (rewound whenever a queue drains), so round-tripping a
+// preallocated task must not touch the heap. Gated off race builds, which
+// add bookkeeping allocations.
+func TestEnqueuePickupZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budgets need full benchmark runs")
+	}
+	r := testing.Benchmark(BenchmarkEnqueuePickup)
+	if got := r.AllocsPerOp(); got != 0 {
+		t.Errorf("enqueue→pickup allocates %d/op, want 0", got)
+	}
+}

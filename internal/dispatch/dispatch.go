@@ -9,6 +9,13 @@
 // foreground client requests, while PriorityPulls preempt everything in the
 // queue (not on the cores — run-to-completion is preserved).
 //
+// The queues are sharded per worker: tasks are spread round-robin over one
+// inbound queue per worker, so enqueue and pickup contend on a per-worker
+// mutex instead of a scheduler-global one. An idle worker steals from its
+// neighbors' queues before parking, which preserves work conservation.
+// Strict priority ordering holds within each queue (and therefore globally
+// when the pool has one worker, the configuration the ordering tests pin).
+//
 // Workers are goroutines rather than pinned cores; busy-time accounting
 // (BusyNanos) substitutes for hardware core utilization in the paper's
 // Figures 11 and 14.
@@ -28,8 +35,8 @@ type Task func()
 
 // TaskW is a task that receives the index of the worker running it
 // (0..Workers()-1). Handlers use the index to pick a per-worker shard of
-// contended state (e.g. sharded stat counters) without any goroutine-local
-// lookup.
+// contended state (e.g. sharded stat counters or log heads) without any
+// goroutine-local lookup.
 type TaskW func(worker int)
 
 // TaskMeta carries per-request scheduling metadata alongside a task:
@@ -54,18 +61,66 @@ type queuedTask struct {
 	enqueuedAt time.Time
 }
 
+// prioQueue is a FIFO with a popped-prefix head index so pops don't shift
+// the slice; the backing array is reused once the queue drains, keeping
+// the steady-state enqueue→pickup path allocation-free.
+type prioQueue struct {
+	items []queuedTask
+	head  int
+}
+
+func (q *prioQueue) push(qt queuedTask) {
+	q.items = append(q.items, qt)
+}
+
+func (q *prioQueue) pop() queuedTask {
+	qt := q.items[q.head]
+	q.items[q.head] = queuedTask{} // drop the fn reference
+	q.head++
+	if q.head == len(q.items) {
+		// Drained: rewind into the same backing array.
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return qt
+}
+
+func (q *prioQueue) len() int { return len(q.items) - q.head }
+
+// workerQueue is one worker's inbound task queue: a strict-priority set of
+// FIFOs behind a private mutex. count mirrors the total length so stealers
+// can skip empty queues without touching the lock. Padded so neighboring
+// queues never share a cache line.
+type workerQueue struct {
+	mu     sync.Mutex
+	queues [wire.NumPriorities]prioQueue
+	count  atomic.Int64
+	_      [64]byte
+}
+
 // traceRingCapacity bounds the per-scheduler span ring.
 const traceRingCapacity = 1024
 
-// Scheduler owns a fixed worker pool and the priority queues feeding it.
+// Scheduler owns a fixed worker pool and the per-worker queues feeding it.
 type Scheduler struct {
 	workers int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues [wire.NumPriorities][]queuedTask
-	queued int
-	closed bool
+	// qs has one inbound queue per worker; rr is the round-robin enqueue
+	// cursor spreading tasks across them.
+	qs []workerQueue
+	rr atomic.Uint64
+
+	// Park protocol: a worker that finds every queue empty registers in
+	// parked and sleeps on parkCond; an enqueuer publishes pending before
+	// reading parked, and a parker publishes parked before reading pending
+	// (both seq-cst), so at least one side always sees the other — no lost
+	// wakeup. pending can dip transiently negative (a worker's decrement
+	// racing an enqueuer's increment), hence the <= 0 wait condition.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	parked   atomic.Int32
+	pending  atomic.Int64
+	closed   atomic.Bool
 
 	idleWorkers atomic.Int32
 	busyNanos   atomic.Int64
@@ -96,10 +151,11 @@ func NewScheduler(workers int) *Scheduler {
 	}
 	s := &Scheduler{
 		workers: workers,
+		qs:      make([]workerQueue, workers),
 		trace:   metrics.NewTraceRing(traceRingCapacity),
 		capCh:   make(chan struct{}, 1),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.parkCond = sync.NewCond(&s.parkMu)
 	s.idleWorkers.Store(int32(workers))
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -139,15 +195,46 @@ func (s *Scheduler) EnqueueMetaWorker(p wire.Priority, meta TaskMeta, t TaskW) {
 }
 
 func (s *Scheduler) enqueue(p wire.Priority, qt queuedTask) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	q := &s.qs[s.rr.Add(1)%uint64(len(s.qs))]
+	q.mu.Lock()
+	if s.closed.Load() {
+		q.mu.Unlock()
 		return
 	}
-	s.queues[p] = append(s.queues[p], qt)
-	s.queued++
-	s.mu.Unlock()
-	s.cond.Signal()
+	q.queues[p].push(qt)
+	q.count.Add(1)
+	q.mu.Unlock()
+	s.pending.Add(1)
+	if s.parked.Load() > 0 {
+		s.parkMu.Lock()
+		s.parkCond.Signal()
+		s.parkMu.Unlock()
+	}
+}
+
+// tryPop takes the highest-priority task from the worker's own queue, or
+// failing that steals from a neighbor (scanning count atomics first so an
+// empty pool costs no lock traffic). Reports the task and its priority.
+func (s *Scheduler) tryPop(id int) (queuedTask, wire.Priority, bool) {
+	n := len(s.qs)
+	for off := 0; off < n; off++ {
+		q := &s.qs[(id+off)%n]
+		if q.count.Load() == 0 {
+			continue
+		}
+		q.mu.Lock()
+		for p := wire.Priority(0); p < wire.NumPriorities; p++ {
+			if q.queues[p].len() > 0 {
+				qt := q.queues[p].pop()
+				q.count.Add(-1)
+				q.mu.Unlock()
+				s.pending.Add(-1)
+				return qt, p, true
+			}
+		}
+		q.mu.Unlock()
+	}
+	return queuedTask{}, 0, false
 }
 
 // IdleWorkers returns how many workers are currently idle. The migration
@@ -171,16 +258,25 @@ func (s *Scheduler) notifyCapacity() {
 
 // QueuedTasks returns the number of tasks waiting (all priorities).
 func (s *Scheduler) QueuedTasks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queued
+	if n := s.pending.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
 }
 
 // QueuedAt returns the number of tasks waiting at one priority.
 func (s *Scheduler) QueuedAt(p wire.Priority) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.queues[p])
+	if p >= wire.NumPriorities {
+		return 0
+	}
+	total := 0
+	for i := range s.qs {
+		q := &s.qs[i]
+		q.mu.Lock()
+		total += q.queues[p].len()
+		q.mu.Unlock()
+	}
+	return total
 }
 
 // BusyNanos returns cumulative worker busy time across the pool; sampled
@@ -239,14 +335,20 @@ func (s *Scheduler) Trace() *metrics.TraceRing { return s.trace }
 // Close drains nothing: queued tasks are discarded and workers exit.
 // Models a server crash.
 func (s *Scheduler) Close() {
-	s.mu.Lock()
-	s.closed = true
-	for i := range s.queues {
-		s.queues[i] = nil
+	s.closed.Store(true)
+	for i := range s.qs {
+		q := &s.qs[i]
+		q.mu.Lock()
+		for p := range q.queues {
+			q.queues[p] = prioQueue{}
+		}
+		n := q.count.Swap(0)
+		q.mu.Unlock()
+		s.pending.Add(-n)
 	}
-	s.queued = 0
-	s.mu.Unlock()
-	s.cond.Broadcast()
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
 	s.notifyCapacity()
 	s.wg.Wait()
 }
@@ -254,33 +356,21 @@ func (s *Scheduler) Close() {
 func (s *Scheduler) worker(id int) {
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		for s.queued == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		var task queuedTask
-		var pri wire.Priority
-		found := false
-		for p := wire.Priority(0); p < wire.NumPriorities; p++ {
-			if q := s.queues[p]; len(q) > 0 {
-				task = q[0]
-				// Shift rather than re-slice forever: reuse backing array
-				// when the queue empties.
-				copy(q, q[1:])
-				q[len(q)-1] = queuedTask{} // drop the trailing fn reference
-				s.queues[p] = q[:len(q)-1]
-				s.queued--
-				pri = p
-				found = true
-				break
+		task, pri, ok := s.tryPop(id)
+		if !ok {
+			if s.closed.Load() {
+				return
 			}
-		}
-		s.mu.Unlock()
-		if !found {
+			s.parkMu.Lock()
+			s.parked.Add(1)
+			for s.pending.Load() <= 0 && !s.closed.Load() {
+				s.parkCond.Wait()
+			}
+			s.parked.Add(-1)
+			s.parkMu.Unlock()
+			if s.closed.Load() {
+				return
+			}
 			continue
 		}
 		start := time.Now()

@@ -18,6 +18,7 @@ import (
 // keyState tracks the newest fact known about one key during replay.
 type keyState struct {
 	version uint64
+	epoch   uint64
 	deleted bool
 	record  wire.Record
 }
@@ -86,10 +87,15 @@ func (r *Replayer) apply(h storage.EntryHeader, key, value []byte) {
 		st = &keyState{}
 		r.state[sk] = st
 	}
-	if h.Version < st.version {
+	// Newest version wins; equal versions (a cleaner-relocated copy, or the
+	// same record observed through two logs) are ordered by append epoch,
+	// so the outcome is independent of the order segments are fed in —
+	// sharded log heads interleave appends across segments arbitrarily.
+	if h.Version < st.version || (h.Version == st.version && h.Epoch < st.epoch) {
 		return
 	}
 	st.version = h.Version
+	st.epoch = h.Epoch
 	if h.Type == storage.EntryTombstone {
 		st.deleted = true
 		k := make([]byte, len(key))

@@ -44,13 +44,16 @@ type scaleRig struct {
 func newScaleRig(b *testing.B) *scaleRig {
 	b.Helper()
 	f := transport.NewFabric(transport.FabricConfig{})
-	srv := New(Config{ID: 10, Workers: 2}, f.Attach(10))
+	// 8 workers = 8 stat shards and 8 log shard heads, enough for the
+	// -cpu 1,2,4,8 write-scaling curve to spread appends across heads.
+	srv := New(Config{ID: 10, Workers: 8}, f.Attach(10))
 	srv.RegisterTablet(1, wire.FullRange(), TabletNormal)
 	keys := make([][]byte, scaleObjects)
 	value := make([]byte, scaleValue)
+	spill := srv.stats.shard(-1)
 	for i := range keys {
 		keys[i] = []byte(fmt.Sprintf("scale-key-%08d", i))
-		if _, st := srv.applyWrite(1, keys[i], wire.HashKey(keys[i]), value); st != wire.StatusOK {
+		if _, st := srv.applyWrite(spill, 1, keys[i], wire.HashKey(keys[i]), value); st != wire.StatusOK {
 			b.Fatalf("preload write %d: status %v", i, st)
 		}
 	}
@@ -175,7 +178,12 @@ func benchmarkReadScaling(b *testing.B, dist string, migration bool) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 }
 
-func benchmarkMixedScaling(b *testing.B, dist string, migration bool) {
+// benchmarkMixedScaling drives a read/write mix; writePct selects the
+// workload shape: 5 is YCSB-B (95/5), 50 is the put-heavy YCSB-A/F style
+// mix that exercises the sharded log heads — each RunParallel goroutine
+// appends through its own worker's head, the write-path analogue of the
+// read benches' sharded stat counters.
+func benchmarkMixedScaling(b *testing.B, dist string, migration bool, writePct int) {
 	rig := newScaleRig(b)
 	defer rig.close()
 	if migration {
@@ -192,9 +200,9 @@ func benchmarkMixedScaling(b *testing.B, dist string, migration bool) {
 		req := &wire.ReadRequest{Table: 1}
 		for pb.Next() {
 			key := rig.keys[chooser.Next(rng)]
-			if rng.Intn(100) < 5 { // YCSB-B: 95/5 read/write
+			if rng.Intn(100) < writePct {
 				hash := wire.HashKey(key)
-				if _, status := rig.srv.applyWrite(1, key, hash, value); status != wire.StatusOK {
+				if _, status := rig.srv.applyWrite(st, 1, key, hash, value); status != wire.StatusOK {
 					b.Errorf("write status %v", status)
 					return
 				}
@@ -223,9 +231,14 @@ func BenchmarkReadScaling(b *testing.B) {
 
 func BenchmarkMixedScaling(b *testing.B) {
 	for _, dist := range []string{"uniform", "zipfian"} {
-		b.Run(fmt.Sprintf("dist=%s", dist), func(b *testing.B) {
-			benchmarkMixedScaling(b, dist, false)
-		})
+		for _, mix := range []struct {
+			name     string
+			writePct int
+		}{{"ycsbB", 5}, {"ycsbA", 50}} {
+			b.Run(fmt.Sprintf("dist=%s/mix=%s", dist, mix.name), func(b *testing.B) {
+				benchmarkMixedScaling(b, dist, false, mix.writePct)
+			})
+		}
 	}
 }
 
@@ -251,7 +264,8 @@ func TestScalingBenchArtifact(t *testing.T) {
 		{"ReadScaling/uniform/idle", func(b *testing.B) { benchmarkReadScaling(b, "uniform", false) }},
 		{"ReadScaling/zipfian/idle", func(b *testing.B) { benchmarkReadScaling(b, "zipfian", false) }},
 		{"ReadScaling/uniform/migration", func(b *testing.B) { benchmarkReadScaling(b, "uniform", true) }},
-		{"MixedScaling/uniform", func(b *testing.B) { benchmarkMixedScaling(b, "uniform", false) }},
+		{"MixedScaling/uniform", func(b *testing.B) { benchmarkMixedScaling(b, "uniform", false, 5) }},
+		{"MixedScaling/uniform/putheavy", func(b *testing.B) { benchmarkMixedScaling(b, "uniform", false, 50) }},
 	}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)

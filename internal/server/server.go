@@ -160,7 +160,9 @@ func New(cfg Config, ep transport.Endpoint) *Server {
 	s.stats = newShardedStats(cfg.Workers)
 	s.store.WriteBandwidth = cfg.BackupWriteBandwidth
 	s.repl = backup.NewReplicator(s.node, cfg.ID, cfg.Backups, cfg.ReplicationFactor)
-	s.log = storage.NewLog(cfg.SegmentSize, s.repl.OnAppend)
+	// One log head per dispatch worker: a worker appends under its own
+	// shard's lock, so concurrent writers never serialize on a global head.
+	s.log = storage.NewShardedLog(cfg.SegmentSize, cfg.Workers, s.repl.OnAppend)
 	s.repl.SetSegmentResolver(func(logID, segID uint64) *storage.Segment {
 		if logID != storage.MainLogID {
 			return nil // side logs replicate whole segments already
@@ -290,7 +292,7 @@ func (s *Server) dispatchRequest(m *wire.Message) {
 		pri = wire.PriorityBackground
 	case wire.OpPriorityPull:
 		pri = wire.PriorityPriorityPull
-	case wire.OpReplicateSegment:
+	case wire.OpReplicateSegment, wire.OpReplicateBatch:
 		if pri > wire.PriorityReplication {
 			pri = wire.PriorityReplication
 		}
@@ -351,7 +353,7 @@ func (s *Server) handle(ctx context.Context, m *wire.Message, st *statShard) {
 	case *wire.DropTabletRequest:
 		s.node.Reply(m, s.handleDropTablet(req))
 	case *wire.ReplayRecordsRequest:
-		s.node.Reply(m, s.handleReplayRecords(ctx, req))
+		s.node.Reply(m, s.handleReplayRecords(ctx, st, req))
 		s.recycleRecords(req.Records)
 	case *wire.PullTailRequest:
 		resp := s.handlePullTail(req)
@@ -365,10 +367,12 @@ func (s *Server) handle(ctx context.Context, m *wire.Message, st *statShard) {
 		s.node.Reply(m, &wire.MigrateTabletResponse{Status: status})
 	case *wire.ReplicateSegmentRequest:
 		s.node.Reply(m, &wire.ReplicateSegmentResponse{Status: s.store.HandleReplicate(req)})
+	case *wire.ReplicateBatchRequest:
+		s.node.Reply(m, s.store.HandleReplicateBatch(req))
 	case *wire.GetBackupSegmentsRequest:
 		s.node.Reply(m, s.store.HandleGetSegments(req))
 	case *wire.TakeTabletsRequest:
-		s.node.Reply(m, s.handleTakeTablets(ctx, req))
+		s.node.Reply(m, s.handleTakeTablets(ctx, st, req))
 		s.recycleRecords(req.Records)
 	case *wire.PingRequest:
 		s.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
@@ -456,7 +460,7 @@ func (s *Server) handleWrite(ctx context.Context, st *statShard, req *wire.Write
 		st.wrongServer.Add(1)
 		return &wire.WriteResponse{Status: wire.StatusWrongServer}
 	}
-	version, status := s.applyWrite(req.Table, req.Key, hash, req.Value)
+	version, status := s.applyWrite(st, req.Table, req.Key, hash, req.Value)
 	if status != wire.StatusOK {
 		return &wire.WriteResponse{Status: status}
 	}
@@ -467,9 +471,11 @@ func (s *Server) handleWrite(ctx context.Context, st *statShard, req *wire.Write
 	return &wire.WriteResponse{Status: wire.StatusOK, Version: version}
 }
 
-// applyWrite appends and indexes one object; callers replicate.
-func (s *Server) applyWrite(table wire.TableID, key []byte, hash uint64, value []byte) (uint64, wire.Status) {
-	ref, version, err := s.log.AppendObject(table, key, value)
+// applyWrite appends and indexes one object; callers replicate. The
+// append lands on the executing worker's log shard (st.wk), so parallel
+// writers on different workers never contend on one head lock.
+func (s *Server) applyWrite(st *statShard, table wire.TableID, key []byte, hash uint64, value []byte) (uint64, wire.Status) {
+	ref, version, err := s.log.AppendObjectW(st.wk, table, key, value)
 	if err != nil {
 		return 0, wire.StatusInternalError
 	}
@@ -494,7 +500,7 @@ func (s *Server) handleDelete(ctx context.Context, st *statShard, req *wire.Dele
 		return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
 	}
 	version := s.log.NextVersion()
-	if _, err := s.log.AppendTombstone(req.Table, version, prev.Seg.ID, req.Key); err != nil {
+	if _, err := s.log.AppendTombstoneW(st.wk, req.Table, version, prev.Seg.ID, req.Key); err != nil {
 		return &wire.DeleteResponse{Status: wire.StatusInternalError}
 	}
 	s.log.MarkDead(prev)
@@ -530,7 +536,7 @@ func (s *Server) deleteDuringMigration(ctx context.Context, st *statShard, req *
 		return &wire.DeleteResponse{Status: wire.StatusNoSuchKey}
 	}
 	version := s.log.NextVersion()
-	ref, err := s.log.AppendTombstone(req.Table, version, prev.Seg.ID, req.Key)
+	ref, err := s.log.AppendTombstoneW(st.wk, req.Table, version, prev.Seg.ID, req.Key)
 	if err != nil {
 		return &wire.DeleteResponse{Status: wire.StatusInternalError}
 	}
@@ -586,7 +592,7 @@ func (s *Server) handleMultiPut(ctx context.Context, st *statShard, req *wire.Mu
 			resp.Status = wire.StatusWrongServer
 			continue
 		}
-		v, status := s.applyWrite(req.Table, key, hash, req.Values[i])
+		v, status := s.applyWrite(st, req.Table, key, hash, req.Values[i])
 		resp.Statuses[i] = status
 		resp.Versions[i] = v
 		wrote = wrote || status == wire.StatusOK
@@ -650,10 +656,6 @@ func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire
 		// the boundary materializes exactly now — never earlier.
 		s.RegisterTablet(req.Table, req.Range, TabletMigratingOut)
 	}
-	var head uint64
-	if h := s.log.Head(); h != nil {
-		head = h.ID
-	}
 	count, bytes := s.ht.CountRange(req.Table, req.Range)
 	return &wire.PrepareMigrationResponse{
 		Status:         wire.StatusOK,
@@ -661,7 +663,10 @@ func (s *Server) handlePrepareMigration(req *wire.PrepareMigrationRequest) *wire
 		NumBuckets:     s.ht.NumBuckets(),
 		RecordCount:    count,
 		ByteCount:      bytes,
-		HeadSegment:    head,
+		// Epoch watermark: every write that could land after this reply
+		// carries a larger epoch, on any shard head. The target's PullTail
+		// uses it to catch up on exactly the writes that raced migration.
+		TailWatermark: s.log.TailWatermark(),
 	}
 }
 
@@ -734,7 +739,7 @@ func (s *Server) handleDropTablet(req *wire.DropTabletRequest) *wire.DropTabletR
 // Recovery / ownership grants
 // ---------------------------------------------------------------------------
 
-func (s *Server) handleTakeTablets(ctx context.Context, req *wire.TakeTabletsRequest) *wire.TakeTabletsResponse {
+func (s *Server) handleTakeTablets(ctx context.Context, st *statShard, req *wire.TakeTabletsRequest) *wire.TakeTabletsResponse {
 	if req.VersionCeiling > 0 {
 		s.log.BumpVersionTo(req.VersionCeiling)
 	}
@@ -746,7 +751,7 @@ func (s *Server) handleTakeTablets(ctx context.Context, req *wire.TakeTabletsReq
 			// A recovered deletion: park the tombstone so an older copy this
 			// server may still hold (a migration source re-assuming the
 			// tablet after its target died) loses the version race.
-			tref, err := s.log.AppendTombstone(rec.Table, rec.Version, 0, rec.Key)
+			tref, err := s.log.AppendTombstoneW(st.wk, rec.Table, rec.Version, 0, rec.Key)
 			if err != nil {
 				return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
 			}
@@ -761,7 +766,7 @@ func (s *Server) handleTakeTablets(ctx context.Context, req *wire.TakeTabletsReq
 			}
 			continue
 		}
-		ref, err := s.log.AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
+		ref, err := s.log.AppendObjectVersionW(st.wk, rec.Table, rec.Version, rec.Key, rec.Value)
 		if err != nil {
 			return &wire.TakeTabletsResponse{Status: wire.StatusInternalError}
 		}
@@ -795,7 +800,7 @@ func (s *Server) handleTakeTablets(ctx context.Context, req *wire.TakeTabletsReq
 // handleReplayRecords is the target side of the pre-existing source-driven
 // migration: logically replay pushed records into the log and hash table,
 // optionally re-replicating synchronously — the phases Figure 5 toggles.
-func (s *Server) handleReplayRecords(ctx context.Context, req *wire.ReplayRecordsRequest) *wire.ReplayRecordsResponse {
+func (s *Server) handleReplayRecords(ctx context.Context, st *statShard, req *wire.ReplayRecordsRequest) *wire.ReplayRecordsResponse {
 	if req.SkipReplay {
 		return &wire.ReplayRecordsResponse{Status: wire.StatusOK}
 	}
@@ -804,7 +809,7 @@ func (s *Server) handleReplayRecords(ctx context.Context, req *wire.ReplayRecord
 		if rec.Tombstone {
 			continue
 		}
-		ref, err := s.log.AppendObjectVersion(rec.Table, rec.Version, rec.Key, rec.Value)
+		ref, err := s.log.AppendObjectVersionW(st.wk, rec.Table, rec.Version, rec.Key, rec.Value)
 		if err != nil {
 			return &wire.ReplayRecordsResponse{Status: wire.StatusInternalError}
 		}
@@ -825,17 +830,22 @@ func (s *Server) handleReplayRecords(ctx context.Context, req *wire.ReplayRecord
 	return &wire.ReplayRecordsResponse{Status: wire.StatusOK}
 }
 
-// handlePullTail scans log segments newer than AfterSegment for live
+// handlePullTail scans log entries with epochs above AfterEpoch for live
 // records of the range: the delta catch-up that makes the
 // source-retains-ownership variant hand over writes accepted during
-// migration.
+// migration. Entries within one segment carry monotonically increasing
+// epochs (a segment is filled by one shard head), so whole segments whose
+// last epoch is at or below the watermark are skipped without scanning.
 func (s *Server) handlePullTail(req *wire.PullTailRequest) *wire.PullTailResponse {
 	resp := &wire.PullTailResponse{Status: wire.StatusOK, Records: wire.GetRecordSlice()}
 	for _, seg := range s.log.Segments() {
-		if seg.ID <= req.AfterSegment {
+		if seg.LastEpoch() <= req.AfterEpoch {
 			continue
 		}
 		_ = storage.IterateSegmentEntries(seg, func(ref storage.Ref) bool {
+			if h, err := ref.Header(); err != nil || h.Epoch <= req.AfterEpoch {
+				return true
+			}
 			rec, err := ref.Record()
 			if err != nil || rec.Table != req.Table {
 				return true

@@ -24,6 +24,10 @@ type Stats struct {
 // pay the aggregation cost instead. Padded so adjacent shards in the
 // backing array never share a line.
 type statShard struct {
+	// wk is the worker index this shard belongs to; handlers thread it to
+	// the sharded log so a worker appends to its own log head. The spill
+	// shard carries the worker count, which the log maps back to shard 0.
+	wk                int
 	reads             atomic.Int64
 	writes            atomic.Int64
 	objectsRead       atomic.Int64
@@ -34,7 +38,7 @@ type statShard struct {
 	pullBytesServed   atomic.Int64
 	priorityPulls     atomic.Int64
 	priorityPullBytes atomic.Int64
-	_                 [48]byte // 10×8 = 80 bytes of counters; pad to 128
+	_                 [40]byte // 8 + 10×8 = 88 bytes of fields; pad to 128
 }
 
 // shardedStats holds one shard per worker plus a spill shard (index
@@ -44,7 +48,11 @@ type shardedStats struct {
 }
 
 func newShardedStats(workers int) *shardedStats {
-	return &shardedStats{shards: make([]statShard, workers+1)}
+	ss := &shardedStats{shards: make([]statShard, workers+1)}
+	for i := range ss.shards {
+		ss.shards[i].wk = i
+	}
+	return ss
 }
 
 // shard returns worker w's shard; out-of-range indexes (including the -1

@@ -36,7 +36,7 @@ const (
 )
 
 // EntryHeaderSize is the fixed encoded size of an entry header.
-const EntryHeaderSize = 35
+const EntryHeaderSize = 43
 
 // castagnoli is the CRC-32C table used for entry checksums.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -49,10 +49,17 @@ var ErrBadEntry = errors.New("storage: malformed entry")
 
 // EntryHeader is the decoded fixed-size prefix of every log entry.
 type EntryHeader struct {
-	Type     EntryType
-	Table    wire.TableID
-	Version  uint64
-	Aux      uint64 // tombstone: killed segment ID; sidelog commit: side log ID
+	Type    EntryType
+	Table   wire.TableID
+	Version uint64
+	Aux     uint64 // tombstone: killed segment ID; sidelog commit: side log ID
+	// Epoch is the master-wide append sequence number: every append to any
+	// of a master's logs (all shard heads and side logs share one counter)
+	// gets a unique, monotonically increasing epoch. It totally orders a
+	// master's appends even though sharded heads interleave them across
+	// segments, which is what keeps replay deterministic and lets the
+	// tail catch-up of migration filter by time instead of segment ID.
+	Epoch    uint64
 	KeyLen   uint16
 	ValueLen uint32
 	Checksum uint32 // CRC-32C over header fields (checksum zeroed) + key + value
@@ -80,6 +87,7 @@ func encodeEntry(buf []byte, h *EntryHeader, key, value []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.Table))
 	buf = binary.LittleEndian.AppendUint64(buf, h.Version)
 	buf = binary.LittleEndian.AppendUint64(buf, h.Aux)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Epoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
 	crcOff := len(buf)
@@ -108,9 +116,10 @@ func parseHeader(buf []byte) (EntryHeader, error) {
 		Table:    wire.TableID(binary.LittleEndian.Uint64(buf[1:])),
 		Version:  binary.LittleEndian.Uint64(buf[9:]),
 		Aux:      binary.LittleEndian.Uint64(buf[17:]),
-		KeyLen:   binary.LittleEndian.Uint16(buf[25:]),
-		ValueLen: binary.LittleEndian.Uint32(buf[27:]),
-		Checksum: binary.LittleEndian.Uint32(buf[31:]),
+		Epoch:    binary.LittleEndian.Uint64(buf[25:]),
+		KeyLen:   binary.LittleEndian.Uint16(buf[33:]),
+		ValueLen: binary.LittleEndian.Uint32(buf[35:]),
+		Checksum: binary.LittleEndian.Uint32(buf[39:]),
 	}
 	if h.Type == 0 || h.Type > EntrySideLogCommit {
 		return EntryHeader{}, ErrBadEntry

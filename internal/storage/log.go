@@ -17,7 +17,10 @@ const MainLogID uint64 = 0
 var ErrLogClosed = errors.New("storage: log closed")
 
 // AppendEvent notifies the replication manager of new log bytes. Data
-// aliases segment memory (immutable once published).
+// aliases segment memory (immutable once published). Events for one
+// segment are delivered in append order (they are emitted under the
+// owning shard's lock), which is what lets the replicator coalesce
+// contiguous spans and the backup store reject gaps.
 type AppendEvent struct {
 	LogID     uint64
 	SegmentID uint64
@@ -26,12 +29,25 @@ type AppendEvent struct {
 	Sealed    bool
 }
 
-// AppendFunc observes log growth; used to drive backup replication.
+// AppendFunc observes log growth; used to drive backup replication. It is
+// called with the appending shard's lock held, so it must not block or
+// call back into the log.
 type AppendFunc func(ev AppendEvent)
 
-// Log is an append-only segmented in-memory log. One goroutine may append
-// at a time (Append takes an internal lock); any number may read published
-// entries concurrently.
+// logShard is one independently locked head of a sharded log. Appends on
+// different shards proceed in parallel; the only cross-shard state is the
+// shared atomic counters (segment IDs, versions, epochs, byte totals).
+// Padded so adjacent shards' locks never share a cache line.
+type logShard struct {
+	mu   sync.Mutex
+	head *Segment
+	_    [104]byte
+}
+
+// Log is an append-only segmented in-memory log with one or more shard
+// heads. Each shard serializes its own appends; any number of readers may
+// access published entries concurrently. Appends are totally ordered
+// across shards by the epoch stamped into every entry.
 type Log struct {
 	// ID distinguishes the main log (MainLogID) from side logs.
 	ID uint64
@@ -40,10 +56,14 @@ type Log struct {
 	nextSegID *atomic.Uint64 // shared across a master's logs
 	onAppend  AppendFunc     // may be nil (side logs replicate lazily)
 
-	mu       sync.Mutex
-	head     *Segment
+	shards []logShard
+	closed atomic.Bool
+
+	// segMu guards the segments map only. Lock order: shard.mu before
+	// segMu (a rolling append inserts the new head while holding its
+	// shard lock); readers take segMu alone.
+	segMu    sync.Mutex
 	segments map[uint64]*Segment
-	closed   bool
 
 	// appended counts total bytes ever appended; the "offset into the log"
 	// used by lineage dependencies (§3.4).
@@ -51,6 +71,10 @@ type Log struct {
 	// versionCounter assigns object versions; shared by a master across
 	// its logs so versions are monotonic per master.
 	versionCounter *atomic.Uint64
+	// epochCounter assigns the per-append sequence stamped into every
+	// entry; shared by a master across its logs (all shards and side
+	// logs), so epochs totally order the master's appends.
+	epochCounter *atomic.Uint64
 
 	stats LogStats
 }
@@ -70,25 +94,42 @@ func (s *LogStats) snapshot() (entries, live, appended, cleaned int64) {
 	return s.EntryCount.Load(), s.LiveBytes.Load(), s.AppendedBytes.Load(), s.CleanedBytes.Load()
 }
 
-// NewLog creates a main log. segSize <= 0 selects DefaultSegmentSize.
+// NewLog creates a main log with a single shard head. segSize <= 0
+// selects DefaultSegmentSize.
 func NewLog(segSize int, onAppend AppendFunc) *Log {
+	return NewShardedLog(segSize, 1, onAppend)
+}
+
+// NewShardedLog creates a main log with the given number of shard heads
+// (one per dispatch worker on a server). Appends on distinct shards never
+// contend; every append still gets a globally ordered epoch.
+func NewShardedLog(segSize, shards int, onAppend AppendFunc) *Log {
 	if segSize <= 0 {
 		segSize = DefaultSegmentSize
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	l := &Log{
 		ID:             MainLogID,
 		segSize:        segSize,
 		nextSegID:      &atomic.Uint64{},
 		versionCounter: &atomic.Uint64{},
+		epochCounter:   &atomic.Uint64{},
 		onAppend:       onAppend,
+		shards:         make([]logShard, shards),
 		segments:       make(map[uint64]*Segment),
 	}
 	return l
 }
 
+// Shards returns the number of shard heads.
+func (l *Log) Shards() int { return len(l.shards) }
+
 // NewSideLog creates a side log hanging off the main log: it shares the
-// segment-ID and version counters but has its own head segment, so a
-// replay worker appends without touching the main log's lock or stats.
+// segment-ID, version, and epoch counters but has its own head segment,
+// so a replay worker appends without touching the main log's locks or
+// stats.
 func (l *Log) NewSideLog(id uint64) *SideLog {
 	if id == MainLogID {
 		panic("storage: side log cannot use MainLogID")
@@ -100,6 +141,8 @@ func (l *Log) NewSideLog(id uint64) *SideLog {
 			segSize:        l.segSize,
 			nextSegID:      l.nextSegID,
 			versionCounter: l.versionCounter,
+			epochCounter:   l.epochCounter,
+			shards:         make([]logShard, 1),
 			segments:       make(map[uint64]*Segment),
 		},
 	}
@@ -122,71 +165,94 @@ func (l *Log) BumpVersionTo(v uint64) {
 // CurrentVersion returns the last assigned version.
 func (l *Log) CurrentVersion() uint64 { return l.versionCounter.Load() }
 
+// CurrentEpoch returns the last assigned append epoch.
+func (l *Log) CurrentEpoch() uint64 { return l.epochCounter.Load() }
+
 // AppendedBytes returns the total bytes ever appended: the log "offset"
 // that lineage dependencies reference.
 func (l *Log) AppendedBytes() uint64 { return l.appended.Load() }
 
 // Close marks the log closed; subsequent appends fail. Models a crash.
+// Taking every shard lock once drains in-flight appends, so when Close
+// returns no append can still be writing.
 func (l *Log) Close() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.closed = true
+	l.closed.Store(true)
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+		l.shards[i].mu.Unlock() //nolint:staticcheck // barrier, not critical section
+	}
 }
 
-// Append writes an entry and returns its ref. Version must already be
-// assigned (NextVersion) so that callers control version ordering.
+// Append writes an entry through shard 0 and returns its ref. Version
+// must already be assigned (NextVersion) so that callers control version
+// ordering.
 func (l *Log) Append(typ EntryType, table wire.TableID, version, aux uint64, key, value []byte) (Ref, error) {
+	return l.AppendW(0, typ, table, version, aux, key, value)
+}
+
+// AppendW writes an entry through the shard picked by worker index w
+// (wrapped modulo the shard count). Appends on distinct shards do not
+// contend; each gets a globally ordered epoch.
+func (l *Log) AppendW(w int, typ EntryType, table wire.TableID, version, aux uint64, key, value []byte) (Ref, error) {
 	size := EntrySize(len(key), len(value))
 	if size > l.segSize {
 		return Ref{}, errors.New("storage: entry exceeds segment size")
 	}
 	h := EntryHeader{Type: typ, Table: table, Version: version, Aux: aux}
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if w < 0 {
+		w = 0
+	}
+	sh := &l.shards[w%len(l.shards)]
+	sh.mu.Lock()
+	if l.closed.Load() {
+		sh.mu.Unlock()
 		return Ref{}, ErrLogClosed
 	}
-	var sealedEv *AppendEvent
-	if l.head == nil || !l.head.hasRoom(size) {
-		if l.head != nil {
-			l.head.seal()
+	if sh.head == nil || !sh.head.hasRoom(size) {
+		if sh.head != nil {
+			sh.head.seal()
 			if l.onAppend != nil {
-				ev := AppendEvent{LogID: l.ID, SegmentID: l.head.ID, Offset: l.head.Len(), Sealed: true}
-				sealedEv = &ev
+				l.onAppend(AppendEvent{LogID: l.ID, SegmentID: sh.head.ID, Offset: sh.head.Len(), Sealed: true})
 			}
 		}
 		seg := newSegment(l.nextSegID.Add(1), l.ID, l.segSize)
+		l.segMu.Lock()
 		l.segments[seg.ID] = seg
-		l.head = seg
+		l.segMu.Unlock()
+		sh.head = seg
 	}
-	seg := l.head
+	seg := sh.head
+	h.Epoch = l.epochCounter.Add(1)
 	off := seg.appendEntry(&h, key, value)
 	seg.addLive(size)
 	l.appended.Add(uint64(size))
 	l.stats.EntryCount.Add(1)
 	l.stats.LiveBytes.Add(int64(size))
 	l.stats.AppendedBytes.Add(int64(size))
-	onAppend := l.onAppend
-	l.mu.Unlock()
-
-	if onAppend != nil {
-		if sealedEv != nil {
-			onAppend(*sealedEv)
-		}
-		onAppend(AppendEvent{
+	if l.onAppend != nil {
+		// Emitted under the shard lock so a segment's events arrive in
+		// append order — the contiguity the replicator's coalescing and
+		// the backup store's gap check both rely on.
+		l.onAppend(AppendEvent{
 			LogID:     l.ID,
 			SegmentID: seg.ID,
 			Offset:    int(off),
 			Data:      seg.Data(int(off), int(off)+size),
 		})
 	}
+	sh.mu.Unlock()
 	return Ref{Seg: seg, Off: off}, nil
 }
 
 // AppendObject writes an object entry with a freshly assigned version.
 func (l *Log) AppendObject(table wire.TableID, key, value []byte) (Ref, uint64, error) {
+	return l.AppendObjectW(0, table, key, value)
+}
+
+// AppendObjectW is AppendObject through the shard of worker w.
+func (l *Log) AppendObjectW(w int, table wire.TableID, key, value []byte) (Ref, uint64, error) {
 	v := l.NextVersion()
-	ref, err := l.Append(EntryObject, table, v, 0, key, value)
+	ref, err := l.AppendW(w, EntryObject, table, v, 0, key, value)
 	return ref, v, err
 }
 
@@ -196,58 +262,98 @@ func (l *Log) AppendObjectVersion(table wire.TableID, version uint64, key, value
 	return l.Append(EntryObject, table, version, 0, key, value)
 }
 
+// AppendObjectVersionW is AppendObjectVersion through the shard of worker w.
+func (l *Log) AppendObjectVersionW(w int, table wire.TableID, version uint64, key, value []byte) (Ref, error) {
+	return l.AppendW(w, EntryObject, table, version, 0, key, value)
+}
+
 // AppendTombstone records the deletion of an object that lived in segment
 // killedSeg at the given version.
 func (l *Log) AppendTombstone(table wire.TableID, version, killedSeg uint64, key []byte) (Ref, error) {
 	return l.Append(EntryTombstone, table, version, killedSeg, key, nil)
 }
 
+// AppendTombstoneW is AppendTombstone through the shard of worker w.
+func (l *Log) AppendTombstoneW(w int, table wire.TableID, version, killedSeg uint64, key []byte) (Ref, error) {
+	return l.AppendW(w, EntryTombstone, table, version, killedSeg, key, nil)
+}
+
 // Segment returns the segment with the given ID, if it is part of this log.
 func (l *Log) Segment(id uint64) (*Segment, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	s, ok := l.segments[id]
 	return s, ok
 }
 
 // Segments returns a snapshot of the log's segments sorted by ID.
 func (l *Log) Segments() []*Segment {
-	l.mu.Lock()
+	l.segMu.Lock()
 	out := make([]*Segment, 0, len(l.segments))
 	for _, s := range l.segments {
 		out = append(out, s)
 	}
-	l.mu.Unlock()
+	l.segMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // SegmentCount returns the number of live segments.
 func (l *Log) SegmentCount() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	return len(l.segments)
 }
 
-// Head returns the current head segment (may be nil before first append).
+// Head returns shard 0's current head segment (may be nil before the
+// first append). Only meaningful on single-shard logs; sharded callers
+// want TailWatermark instead.
 func (l *Log) Head() *Segment {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.head
+	sh := &l.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.head
+}
+
+// TailWatermark returns an epoch W such that every entry a client write
+// could still race into the log carries an epoch > W, while every entry
+// already published to the hash table before the call has epoch <= W or
+// sits in a currently open head (whose entries are all > W too, because W
+// is capped below every open head's first epoch). Migration's tail
+// catch-up (PullTail with AfterEpoch = W) therefore re-reads at most the
+// open heads — the same slop the single-head design had when it rescanned
+// the whole head segment — and never misses a racing write.
+func (l *Log) TailWatermark() uint64 {
+	w := uint64(0)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock() // serialize with in-flight appends on this shard
+		var cand uint64
+		if sh.head != nil && sh.head.FirstEpoch() != 0 {
+			cand = sh.head.FirstEpoch() - 1
+		} else {
+			cand = l.epochCounter.Load()
+		}
+		sh.mu.Unlock()
+		if i == 0 || cand < w {
+			w = cand
+		}
+	}
+	return w
 }
 
 // removeSegment detaches a cleaned segment.
 func (l *Log) removeSegment(id uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	delete(l.segments, id)
 }
 
 // hasSegment reports whether a segment is still part of the log; used by
 // tombstone liveness.
 func (l *Log) hasSegment(id uint64) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	_, ok := l.segments[id]
 	return ok
 }
@@ -275,15 +381,19 @@ func (l *Log) ForEachEntry(fn func(ref Ref, h EntryHeader) bool) error {
 	return nil
 }
 
-// Seal closes the head segment (e.g. before lazy side-log replication or
-// at migration completion) so its full contents can be replicated.
+// Seal closes every shard's head segment (e.g. before lazy side-log
+// replication or at migration completion) so their full contents can be
+// replicated.
 func (l *Log) Seal() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.head != nil {
-		l.head.seal()
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		if sh.head != nil {
+			sh.head.seal()
+		}
+		sh.head = nil
+		sh.mu.Unlock()
 	}
-	l.head = nil
 }
 
 // Stats returns current log statistics.
@@ -341,12 +451,12 @@ func (s *SideLog) Commit() error {
 	s.log.Seal()
 
 	segs := s.log.Segments()
-	s.parent.mu.Lock()
+	s.parent.segMu.Lock()
 	for _, seg := range segs {
 		seg.LogID = s.parent.ID
 		s.parent.segments[seg.ID] = seg
 	}
-	s.parent.mu.Unlock()
+	s.parent.segMu.Unlock()
 
 	entries, live, appended, cleaned := s.log.stats.snapshot()
 	s.parent.stats.EntryCount.Add(entries)

@@ -35,6 +35,13 @@ type Segment struct {
 	// replicatedTo is the offset through which this segment has been
 	// replicated to backups; maintained by the replication manager.
 	replicatedTo atomic.Uint32
+
+	// firstEpoch and lastEpoch bound the append epochs stored in this
+	// segment. With sharded log heads segment IDs no longer order appends,
+	// so the tail catch-up of migration (PullTail) skips segments by epoch
+	// range instead of ID. Zero firstEpoch means "no entries yet".
+	firstEpoch atomic.Uint64
+	lastEpoch  atomic.Uint64
 }
 
 // newSegment allocates a segment of the given capacity.
@@ -73,9 +80,19 @@ func (s *Segment) hasRoom(n int) bool { return s.Len()+n <= len(s.buf) }
 func (s *Segment) appendEntry(h *EntryHeader, key, value []byte) uint32 {
 	off := s.off.Load()
 	written := encodeEntry(s.buf[off:off], h, key, value)
+	if off == 0 {
+		s.firstEpoch.Store(h.Epoch)
+	}
+	s.lastEpoch.Store(h.Epoch)
 	s.off.Store(off + uint32(len(written)))
 	return off
 }
+
+// FirstEpoch returns the epoch of the segment's first entry (0 if empty).
+func (s *Segment) FirstEpoch() uint64 { return s.firstEpoch.Load() }
+
+// LastEpoch returns the epoch of the segment's newest entry (0 if empty).
+func (s *Segment) LastEpoch() uint64 { return s.lastEpoch.Load() }
 
 // seal closes the segment to further appends.
 func (s *Segment) seal() { s.sealed.Store(true) }

@@ -52,7 +52,7 @@ func seedMessages() []*Message {
 			Body: &PrepareMigrationRequest{Table: 3, Range: FullRange(), Target: 8, KeepServing: true}},
 		{ID: 12, From: 7, To: 8, Op: OpPrepareMigration, IsResponse: true,
 			Body: &PrepareMigrationResponse{Status: StatusOK, VersionCeiling: 100, NumBuckets: 1 << 10,
-				RecordCount: 5000, ByteCount: 1 << 20, HeadSegment: 4}},
+				RecordCount: 5000, ByteCount: 1 << 20, TailWatermark: 4}},
 		{ID: 13, From: 8, To: 7, Op: OpPull, Priority: PriorityBackground,
 			Body: &PullRequest{Table: 3, Range: FullRange(), ResumeToken: 17, ByteBudget: 20 << 10}},
 		{ID: 13, From: 7, To: 8, Op: OpPull, IsResponse: true,
@@ -66,12 +66,19 @@ func seedMessages() []*Message {
 		{ID: 16, From: 7, To: 8, Op: OpReplayRecords, Priority: PriorityBackground,
 			Body: &ReplayRecordsRequest{Table: 3, Records: []Record{rec, tomb}, Replicate: true}},
 		{ID: 17, From: 8, To: 7, Op: OpPullTail,
-			Body: &PullTailRequest{Table: 3, Range: FullRange(), AfterSegment: 2}},
+			Body: &PullTailRequest{Table: 3, Range: FullRange(), AfterEpoch: 2}},
 		{ID: 17, From: 7, To: 8, Op: OpPullTail, IsResponse: true,
 			Body: &PullTailResponse{Status: StatusOK, Records: []Record{tomb}}},
 		{ID: 18, From: 7, To: 10, Op: OpReplicateSegment, Priority: PriorityReplication,
 			Body: &ReplicateSegmentRequest{Master: 7, LogID: 1, SegmentID: 6, Offset: 512,
 				Data: []byte("log bytes"), Close: true}},
+		{ID: 31, From: 7, To: 10, Op: OpReplicateBatch, Priority: PriorityReplication,
+			Body: &ReplicateBatchRequest{Master: 7, Chunks: []ReplicateChunk{
+				{LogID: 0, SegmentID: 6, Offset: 512, Data: []byte("shard0 bytes"), Close: true},
+				{LogID: 0, SegmentID: 9, Offset: 0, Data: []byte("shard1 bytes")},
+			}}},
+		{ID: 31, From: 10, To: 7, Op: OpReplicateBatch, IsResponse: true,
+			Body: &ReplicateBatchResponse{Status: StatusOK, ChunkStatuses: []Status{StatusOK, StatusOK}}},
 		{ID: 19, From: 2, To: 10, Op: OpGetBackupSegments,
 			Body: &GetBackupSegmentsRequest{Master: 7, MinLogOffset: 99}},
 		{ID: 19, From: 10, To: 2, Op: OpGetBackupSegments, IsResponse: true,

@@ -427,7 +427,7 @@ func marshalBody(e *Encoder, p Payload) {
 		e.U64(b.NumBuckets)
 		e.U64(b.RecordCount)
 		e.U64(b.ByteCount)
-		e.U64(b.HeadSegment)
+		e.U64(b.TailWatermark)
 	case *AbortMigrationRequest:
 		e.U64(uint64(b.Table))
 		e.Range(b.Range)
@@ -466,7 +466,7 @@ func marshalBody(e *Encoder, p Payload) {
 	case *PullTailRequest:
 		e.U64(uint64(b.Table))
 		e.Range(b.Range)
-		e.U64(b.AfterSegment)
+		e.U64(b.AfterEpoch)
 	case *PullTailResponse:
 		e.U8(uint8(b.Status))
 		e.Records(b.Records)
@@ -479,6 +479,20 @@ func marshalBody(e *Encoder, p Payload) {
 		e.Blob(b.Data)
 	case *ReplicateSegmentResponse:
 		e.U8(uint8(b.Status))
+	case *ReplicateBatchRequest:
+		e.U64(uint64(b.Master))
+		e.U32(uint32(len(b.Chunks)))
+		for i := range b.Chunks {
+			c := &b.Chunks[i]
+			e.U64(c.LogID)
+			e.U64(c.SegmentID)
+			e.U32(c.Offset)
+			e.Bool(c.Close)
+			e.Blob(c.Data)
+		}
+	case *ReplicateBatchResponse:
+		e.U8(uint8(b.Status))
+		e.Statuses(b.ChunkStatuses)
 	case *GetBackupSegmentsRequest:
 		e.U64(uint64(b.Master))
 		e.U64(b.MinLogOffset)
@@ -611,7 +625,7 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpPrepareMigration && !isResponse:
 		return &PrepareMigrationRequest{Table: TableID(d.U64()), Range: d.Range(), Target: ServerID(d.U64()), KeepServing: d.Bool()}, d.err
 	case op == OpPrepareMigration:
-		return &PrepareMigrationResponse{Status: Status(d.U8()), VersionCeiling: d.U64(), NumBuckets: d.U64(), RecordCount: d.U64(), ByteCount: d.U64(), HeadSegment: d.U64()}, d.err
+		return &PrepareMigrationResponse{Status: Status(d.U8()), VersionCeiling: d.U64(), NumBuckets: d.U64(), RecordCount: d.U64(), ByteCount: d.U64(), TailWatermark: d.U64()}, d.err
 	case op == OpAbortMigration && !isResponse:
 		return &AbortMigrationRequest{Table: TableID(d.U64()), Range: d.Range(), Target: ServerID(d.U64())}, d.err
 	case op == OpAbortMigration:
@@ -633,13 +647,33 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpReplayRecords:
 		return &ReplayRecordsResponse{Status: Status(d.U8())}, d.err
 	case op == OpPullTail && !isResponse:
-		return &PullTailRequest{Table: TableID(d.U64()), Range: d.Range(), AfterSegment: d.U64()}, d.err
+		return &PullTailRequest{Table: TableID(d.U64()), Range: d.Range(), AfterEpoch: d.U64()}, d.err
 	case op == OpPullTail:
 		return &PullTailResponse{Status: Status(d.U8()), Records: d.Records()}, d.err
 	case op == OpReplicateSegment && !isResponse:
 		return &ReplicateSegmentRequest{Master: ServerID(d.U64()), LogID: d.U64(), SegmentID: d.U64(), Offset: d.U32(), Close: d.Bool(), Data: d.Blob()}, d.err
 	case op == OpReplicateSegment:
 		return &ReplicateSegmentResponse{Status: Status(d.U8())}, d.err
+	case op == OpReplicateBatch && !isResponse:
+		req := &ReplicateBatchRequest{Master: ServerID(d.U64())}
+		n := int(d.U32())
+		// Minimum per chunk: logID(8) + segmentID(8) + offset(4) +
+		// close(1) + empty blob(4); the bound keeps a corrupt count from
+		// over-allocating.
+		if d.err == nil && n >= 0 && n*25 <= d.remaining() {
+			req.Chunks = make([]ReplicateChunk, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				req.Chunks = append(req.Chunks, ReplicateChunk{
+					LogID: d.U64(), SegmentID: d.U64(), Offset: d.U32(),
+					Close: d.Bool(), Data: d.Blob(),
+				})
+			}
+		} else if d.err == nil && n != 0 {
+			d.err = ErrTruncated
+		}
+		return req, d.err
+	case op == OpReplicateBatch:
+		return &ReplicateBatchResponse{Status: Status(d.U8()), ChunkStatuses: d.Statuses()}, d.err
 	case op == OpGetBackupSegments && !isResponse:
 		return &GetBackupSegmentsRequest{Master: ServerID(d.U64()), MinLogOffset: d.U64()}, d.err
 	case op == OpGetBackupSegments:

@@ -313,10 +313,10 @@ type PrepareMigrationResponse struct {
 	// benchmarks.
 	RecordCount uint64
 	ByteCount   uint64
-	// HeadSegment is the source's newest segment ID at preparation time;
-	// the retain-ownership baseline's final catch-up scans only segments
-	// from here on.
-	HeadSegment uint64
+	// TailWatermark is the source's append-epoch watermark at preparation
+	// time: every write the source accepts afterwards carries a larger
+	// epoch. The retain-ownership catch-up pulls only entries above it.
+	TailWatermark uint64
 }
 
 func (r *PrepareMigrationResponse) WireSize() int { return 41 }
@@ -437,14 +437,16 @@ type ReplayRecordsResponse struct{ Status Status }
 func (r *ReplayRecordsResponse) WireSize() int { return 1 }
 func (r *ReplayRecordsResponse) Op() Op        { return OpReplayRecords }
 
-// PullTailRequest fetches records of a range written to log segments with
-// IDs above AfterSegment: the delta catch-up used when ownership stays at
+// PullTailRequest fetches records of a range appended after the epoch
+// watermark AfterEpoch: the delta catch-up used when ownership stays at
 // the source during migration (§4.2's "Source Retains Ownership" variant).
+// Epoch filtering (not segment-ID filtering) is what keeps the catch-up
+// exact when the source's log has sharded heads appending concurrently.
 type PullTailRequest struct {
 	Table TableID
 	Range HashRange
-	// AfterSegment restricts the scan to segments with larger IDs.
-	AfterSegment uint64
+	// AfterEpoch restricts the scan to entries with larger append epochs.
+	AfterEpoch uint64
 }
 
 func (r *PullTailRequest) WireSize() int { return 32 }
@@ -484,6 +486,49 @@ type ReplicateSegmentResponse struct{ Status Status }
 
 func (r *ReplicateSegmentResponse) WireSize() int { return 1 }
 func (r *ReplicateSegmentResponse) Op() Op        { return OpReplicateSegment }
+
+// ReplicateChunk is one contiguous span of one segment's bytes inside a
+// batched replication request.
+type ReplicateChunk struct {
+	LogID     uint64
+	SegmentID uint64
+	Offset    uint32
+	Data      []byte
+	// Close seals the segment replica.
+	Close bool
+}
+
+// wireSize is logID(8) + segmentID(8) + offset(4) + close(1) + data blob.
+func (c *ReplicateChunk) wireSize() int { return 21 + byteSliceSize(c.Data) }
+
+// ReplicateBatchRequest is the group-commit unit: one RPC carrying every
+// shard's pending log growth destined for one backup. The backup applies
+// chunks in order under a single lock acquisition and acknowledges each
+// chunk individually, so a master can fall back to whole-segment
+// re-replication for exactly the chunks that failed.
+type ReplicateBatchRequest struct {
+	Master ServerID
+	Chunks []ReplicateChunk
+}
+
+func (r *ReplicateBatchRequest) WireSize() int {
+	n := 12 // master(8) + count(4)
+	for i := range r.Chunks {
+		n += r.Chunks[i].wireSize()
+	}
+	return n
+}
+func (r *ReplicateBatchRequest) Op() Op { return OpReplicateBatch }
+
+// ReplicateBatchResponse acknowledges a batch: Status is OK only if every
+// chunk landed; ChunkStatuses reports each chunk's outcome.
+type ReplicateBatchResponse struct {
+	Status        Status
+	ChunkStatuses []Status
+}
+
+func (r *ReplicateBatchResponse) WireSize() int { return 5 + len(r.ChunkStatuses) }
+func (r *ReplicateBatchResponse) Op() Op        { return OpReplicateBatch }
 
 // GetBackupSegmentsRequest asks a backup for every sealed or open segment
 // replica it holds for a crashed master; used by recovery.

@@ -90,6 +90,10 @@ const (
 	// (Appended last to keep existing op codes — and the checked-in fuzz
 	// corpus that encodes them — stable.)
 	OpAbortMigration
+
+	// Group-commit replication: one RPC carries every shard's pending log
+	// growth for one backup. (Appended last; see OpAbortMigration.)
+	OpReplicateBatch
 )
 
 var opNames = map[Op]string{
@@ -123,6 +127,7 @@ var opNames = map[Op]string{
 	OpTakeTablets:       "TakeTablets",
 	OpPing:              "Ping",
 	OpAbortMigration:    "AbortMigration",
+	OpReplicateBatch:    "ReplicateBatch",
 }
 
 func (o Op) String() string {

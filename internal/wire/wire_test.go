@@ -164,10 +164,14 @@ func sampleMessages(rng *rand.Rand) []*Message {
 		&DropTabletResponse{Status: StatusOK},
 		&ReplayRecordsRequest{Table: 9, Records: recs, Replicate: true, SkipReplay: false},
 		&ReplayRecordsResponse{Status: StatusOK},
-		&PullTailRequest{Table: 9, Range: HashRange{1, 2}, AfterSegment: 7},
+		&PullTailRequest{Table: 9, Range: HashRange{1, 2}, AfterEpoch: 7},
 		&PullTailResponse{Status: StatusOK, Records: recs},
 		&ReplicateSegmentRequest{Master: 2, LogID: 1, SegmentID: 17, Offset: 128, Data: rb(), Close: true},
 		&ReplicateSegmentResponse{Status: StatusOK},
+		&ReplicateBatchRequest{Master: 2, Chunks: []ReplicateChunk{
+			{LogID: 0, SegmentID: 17, Offset: 128, Data: rb(), Close: true},
+			{LogID: 0, SegmentID: 18, Data: rb()}}},
+		&ReplicateBatchResponse{Status: StatusOK, ChunkStatuses: []Status{StatusOK, StatusInternalError}},
 		&GetBackupSegmentsRequest{Master: 2, MinLogOffset: 4096},
 		&GetBackupSegmentsResponse{Status: StatusOK, Segments: []BackupSegment{{LogID: 1, SegmentID: 3, Data: rb()}}},
 		&TakeTabletsRequest{Table: 9, Range: HashRange{1, 2}, Records: recs, VersionCeiling: 88},
