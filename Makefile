@@ -26,9 +26,11 @@ stress-write:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo-specific invariant analyzers (pool pairing, no
-# sleep-polling, no blocking sends under locks, no dropped hot-path errors).
-# Exit codes: 0 clean, 1 findings, 2 tool error.
+# lint runs the repo-specific invariant analyzers: pool pairing, no
+# sleep-polling, no blocking sends under locks, no dropped hot-path errors,
+# context-first RPC signatures, and the lock-free protocol checks (mixed
+# atomic/plain access, seqlock write sections, RCU clone-then-store,
+# hotpath allocations). Exit codes: 0 clean, 1 findings, 2 tool error.
 lint:
 	$(GO) run ./cmd/rocksteady-lint ./...
 

@@ -100,9 +100,16 @@ func TestAnalyzers(t *testing.T) {
 		{lockholdAnalyzer, "lockhold", "rocksteady/lintfixture/lockhold"},
 		{errdropAnalyzer, "errdrop", "rocksteady/internal/server/errdropfixture"},
 		{ctxcheckAnalyzer, "ctxcheck", "rocksteady/lintfixture/ctxcheck"},
+		{atomiccheckAnalyzer, "atomiccheck", "rocksteady/lintfixture/atomiccheck"},
+		{seqcheckAnalyzer, "seqcheck", "rocksteady/internal/storage/seqcheckfixture"},
+		{rcucheckAnalyzer, "rcucheck", "rocksteady/lintfixture/rcucheck"},
+		{hotallocAnalyzer, "hotalloc", "rocksteady/lintfixture/hotalloc"},
+		// The stale-suppression audit rides along with whichever analyzers a
+		// run enables; its fixture is checked with only hotalloc on.
+		{hotallocAnalyzer, "unusedignore", "rocksteady/lintfixture/unusedignore"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		t.Run(tc.fixture, func(t *testing.T) {
 			l := fixtureLoader(t)
 			dir := filepath.Join("testdata", tc.fixture)
 			files := fixtureFiles(t, dir)
@@ -163,7 +170,26 @@ func TestAppliesTo(t *testing.T) {
 			}
 		}
 	}
-	for _, a := range []*Analyzer{poolcheckAnalyzer, lockholdAnalyzer, ctxcheckAnalyzer} {
+	for _, path := range []string{
+		"rocksteady/internal/storage",
+		"rocksteady/internal/storage/seqcheckfixture",
+	} {
+		if !seqcheckAnalyzer.AppliesTo(path) {
+			t.Errorf("seqcheck should apply to %s", path)
+		}
+	}
+	for _, path := range []string{
+		"rocksteady/internal/storagelike", // prefix match must be segment-aware
+		"rocksteady/internal/server",
+	} {
+		if seqcheckAnalyzer.AppliesTo(path) {
+			t.Errorf("seqcheck should not apply to %s", path)
+		}
+	}
+	for _, a := range []*Analyzer{
+		poolcheckAnalyzer, lockholdAnalyzer, ctxcheckAnalyzer,
+		atomiccheckAnalyzer, rcucheckAnalyzer, hotallocAnalyzer,
+	} {
 		if !a.AppliesTo("rocksteady/internal/cluster") {
 			t.Errorf("%s should apply module-wide", a.Name)
 		}
@@ -179,6 +205,19 @@ func TestDiagnosticFormat(t *testing.T) {
 	d.Pos.Column = 3
 	if got, want := d.String(), "x.go:7:3: [poolcheck] b leaks"; got != want {
 		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}
+
+// TestDiagnosticJSON pins the -json NDJSON shape machine consumers (the CI
+// problem matcher's sibling tooling) parse.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Analyzer: "rcucheck", Message: `mutation through "tm"`}
+	d.Pos.Filename = "x.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+	want := `{"file":"x.go","line":7,"col":3,"analyzer":"rcucheck","message":"mutation through \"tm\""}`
+	if got := d.JSON(); got != want {
+		t.Errorf("Diagnostic.JSON() = %s, want %s", got, want)
 	}
 }
 

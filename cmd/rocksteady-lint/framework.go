@@ -1,23 +1,35 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Analyzer is one invariant checker. Analyzers are purely intra-procedural
-// and run independently per package.
+// Analyzer is one invariant checker. Most analyzers are purely
+// intra-procedural and run independently per package; analyzers that need
+// module-wide knowledge (atomiccheck's per-field access summaries,
+// seqcheck's write-section obligations, rcucheck's publisher functions)
+// additionally implement Collect, which runs over every package before any
+// per-package Run starts and deposits cross-function facts in ModuleFacts.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// PathPrefixes restricts the analyzer to packages whose import path
 	// starts with one of these prefixes. Empty means every package.
 	PathPrefixes []string
-	Run          func(*Pass)
+	// Collect, if set, is the module-wide fact pass: it sees every loaded
+	// package (it must filter by AppliesTo itself if scoped) and runs
+	// single-threaded before the parallel per-package Run phase. Facts are
+	// read-only once Run starts.
+	Collect func(pkgs []*Package, facts *ModuleFacts)
+	Run     func(*Pass)
 }
 
 // AppliesTo reports whether the analyzer covers the given import path.
@@ -37,7 +49,10 @@ func (a *Analyzer) AppliesTo(path string) bool {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Facts is the module-wide fact layer populated by the Collect phase;
+	// read-only during Run.
+	Facts  *ModuleFacts
+	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic at pos.
@@ -50,12 +65,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // TypeOf returns the static type of e, or nil.
-func (p *Pass) TypeOf(e ast.Expr) types.Type {
-	if tv, ok := p.Pkg.Info.Types[e]; ok {
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.ObjectOf(id) }
+
+// TypeOf returns the static type of e, or nil. The Package-level form
+// exists so the Collect (fact) phase can resolve types without a Pass.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
 		return tv.Type
 	}
 	if id, ok := e.(*ast.Ident); ok {
-		if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+		if obj := p.Info.ObjectOf(id); obj != nil {
 			return obj.Type()
 		}
 	}
@@ -63,7 +85,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // ObjectOf resolves an identifier to its object, or nil.
-func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+func (p *Package) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
 
 // Diagnostic is one finding, ordered by position for stable output.
 type Diagnostic struct {
@@ -76,6 +98,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// JSON renders the diagnostic as one JSON object (NDJSON-style output for
+// -json): {"file":..., "line":..., "col":..., "analyzer":..., "message":...}.
+func (d Diagnostic) JSON() string {
+	out, err := json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	if err != nil {
+		// A flat struct of strings and ints cannot fail to marshal.
+		panic(err)
+	}
+	return string(out)
+}
+
 // ignoreKey identifies one suppressed (file, line, analyzer) site.
 type ignoreKey struct {
 	file     string
@@ -83,15 +122,41 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// ignoreDirective is one //lint:ignore comment. used flips to true the
+// first time it suppresses a diagnostic; directives that stay unused are
+// themselves reported so stale annotations can't accumulate.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
+// ignoreSet holds one package's directives, indexed by the (file, line,
+// analyzer) sites they cover. Each directive covers its own line and the
+// line directly below it (so it can sit above the flagged statement or
+// trail it).
+type ignoreSet struct {
+	directives []*ignoreDirective
+	byKey      map[ignoreKey]*ignoreDirective
+}
+
+// suppress reports whether d is covered by a directive, marking it used.
+func (s *ignoreSet) suppress(d Diagnostic) bool {
+	dir := s.byKey[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
+}
+
 // collectIgnores scans a package's comments for lint:ignore directives:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// The directive suppresses diagnostics from <analyzer> on its own line and
-// on the line directly below it (so it can sit above the flagged statement
-// or trail it). A missing reason is itself reported as a diagnostic.
-func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
-	ignores := make(map[ignoreKey]bool)
+// A missing reason is itself reported as a diagnostic.
+func collectIgnores(pkg *Package, report func(Diagnostic)) *ignoreSet {
+	set := &ignoreSet{byKey: make(map[ignoreKey]*ignoreDirective)}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -109,38 +174,118 @@ func collectIgnores(pkg *Package, report func(Diagnostic)) map[ignoreKey]bool {
 					})
 					continue
 				}
+				dir := &ignoreDirective{pos: pos, analyzer: fields[0]}
+				set.directives = append(set.directives, dir)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					ignores[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+					set.byKey[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = dir
 				}
 			}
 		}
 	}
-	return ignores
+	return set
+}
+
+// auditIgnores reports directives that suppressed nothing. A directive
+// naming an analyzer that is registered but not enabled for this run
+// (e.g. under -disable, or in single-analyzer fixture tests) is skipped:
+// we can't tell whether it would have matched. A directive naming an
+// analyzer that doesn't exist at all is always an error.
+func auditIgnores(set *ignoreSet, enabled []*Analyzer, report func(Diagnostic)) {
+	enabledNames := make(map[string]bool, len(enabled))
+	for _, a := range enabled {
+		enabledNames[a.Name] = true
+	}
+	registered := make(map[string]bool, len(allAnalyzers))
+	for _, a := range allAnalyzers {
+		registered[a.Name] = true
+	}
+	for _, dir := range set.directives {
+		switch {
+		case !registered[dir.analyzer]:
+			report(Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q", dir.analyzer),
+			})
+		case enabledNames[dir.analyzer] && !dir.used:
+			report(Diagnostic{
+				Analyzer: "lint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused lint:ignore directive: no %s diagnostic here to suppress", dir.analyzer),
+			})
+		}
+	}
 }
 
 // RunAnalyzers applies every enabled analyzer to every package and returns
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. Analyzers with a Collect hook
+// first run their module-wide fact pass sequentially over every package;
+// the per-package analysis phase then fans out across GOMAXPROCS workers
+// (packages are immutable by that point, facts are read-only, and each
+// package's diagnostics and ignore bookkeeping are package-local, so the
+// only shared write is the mutex-guarded result append).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg, func(d Diagnostic) { diags = append(diags, d) })
-		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report: func(d Diagnostic) {
-					if ignores[ignoreKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
-						return
-					}
-					diags = append(diags, d)
-				},
-			}
-			a.Run(pass)
+	facts := newModuleFacts()
+	for _, a := range analyzers {
+		if a.Collect != nil {
+			a.Collect(pkgs, facts)
 		}
 	}
+
+	var (
+		mu    sync.Mutex
+		diags []Diagnostic
+	)
+	addAll := func(ds []Diagnostic) {
+		mu.Lock()
+		diags = append(diags, ds...)
+		mu.Unlock()
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan *Package)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range jobs {
+				var local []Diagnostic
+				ignores := collectIgnores(pkg, func(d Diagnostic) { local = append(local, d) })
+				for _, a := range analyzers {
+					if !a.AppliesTo(pkg.Path) {
+						continue
+					}
+					pass := &Pass{
+						Analyzer: a,
+						Pkg:      pkg,
+						Facts:    facts,
+						report: func(d Diagnostic) {
+							if ignores.suppress(d) {
+								return
+							}
+							local = append(local, d)
+						},
+					}
+					a.Run(pass)
+				}
+				auditIgnores(ignores, analyzers, func(d Diagnostic) { local = append(local, d) })
+				addAll(local)
+			}
+		}()
+	}
+	for _, pkg := range pkgs {
+		jobs <- pkg
+	}
+	close(jobs)
+	wg.Wait()
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -161,6 +306,12 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // function), resolved through the type checker so aliases and renamed
 // imports are handled.
 func isPkgFunc(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	return isPkgFuncIn(p.Pkg, call, pkgPath, name)
+}
+
+// isPkgFuncIn is the Package-level form of isPkgFunc, usable from the
+// Collect phase where no Pass exists.
+func isPkgFuncIn(p *Package, call *ast.CallExpr, pkgPath, name string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		// Same-package call: plain identifier.

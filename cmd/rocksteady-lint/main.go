@@ -1,17 +1,24 @@
 // Command rocksteady-lint is the repository's invariant-enforcing static
-// analyzer. It machine-checks the ownership and latency contracts the Go
-// compiler cannot: pooled wire buffers released exactly once on every
-// path, no sleep-polling in the dispatch/migration layers, no blocking
-// sends under a mutex, and no silently dropped errors on the hot path.
+// analyzer. It machine-checks the ownership, latency, and concurrency
+// contracts the Go compiler cannot: pooled wire buffers released exactly
+// once on every path, no sleep-polling in the dispatch/migration layers,
+// no blocking sends under a mutex, no silently dropped errors on the hot
+// path, context-first RPC signatures — and, for the lock-free read/write
+// paths, no mixed atomic/plain access, seqlock mutations only inside
+// stripe write sections, no mutation of RCU-published memory, and no
+// obvious allocations in //lint:hotpath functions.
 //
 // Usage:
 //
-//	rocksteady-lint [-disable=name,name] [-list] [packages]
+//	rocksteady-lint [-disable=name,name] [-json] [-list] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Exit status
 // is 0 when clean, 1 when diagnostics were reported, 2 on usage or load
 // errors. Individual findings are suppressed with an adjacent
-// //lint:ignore <analyzer> <reason> comment.
+// //lint:ignore <analyzer> <reason> comment; a directive that stops
+// matching any diagnostic is itself reported, so suppressions cannot go
+// stale. -json emits one JSON object per diagnostic (file, line, col,
+// analyzer, message) for machine consumers.
 //
 // The tool is stdlib-only (go/parser + go/types + go/ast): it loads
 // module packages from source and resolves the standard library through
@@ -32,6 +39,10 @@ var allAnalyzers = []*Analyzer{
 	lockholdAnalyzer,
 	errdropAnalyzer,
 	ctxcheckAnalyzer,
+	atomiccheckAnalyzer,
+	seqcheckAnalyzer,
+	rcucheckAnalyzer,
+	hotallocAnalyzer,
 }
 
 func main() {
@@ -41,6 +52,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("rocksteady-lint", flag.ContinueOnError)
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
 	list := fs.Bool("list", false, "print the available analyzers and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: rocksteady-lint [flags] [packages]\n")
@@ -104,7 +116,11 @@ func run(args []string) int {
 
 	diags := RunAnalyzers(pkgs, analyzers)
 	for _, d := range diags {
-		fmt.Println(d.String())
+		if *jsonOut {
+			fmt.Println(d.JSON())
+		} else {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "rocksteady-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// rcucheck enforces the copy-on-write discipline of RCU-style publication
+// (the tabletMap pattern): once a pointer has been published through
+// atomic.Pointer.Store/Swap/CompareAndSwap, the memory it points to is
+// frozen — lock-free readers are walking it with no lock and no sequence
+// to retry on. Writers must clone, mutate the clone, then publish.
+//
+// The analyzer tracks, per function in source order, which variables hold
+// published memory:
+//
+//   - the result of an atomic.Pointer Load, or of any function the
+//     module-wide fact layer identified as returning one (e.g. a
+//     tabletSnapshot() helper defined in another file);
+//   - a value passed to Store/Swap (or as CompareAndSwap's new value),
+//     including values reachable from a composite literal handed to
+//     Store, and variables whose address was published (&v);
+//   - aliases: assigning a published variable, or taking the address of a
+//     path rooted at one, taints the destination.
+//
+// Through any published variable it flags field/element assignments,
+// ++/--, and delete. Reads, taking addresses, and method calls stay legal
+// — the hash table's overflow-bucket publish relies on method-level
+// mutation that the seqlock write section makes safe, and seqcheck (not
+// this analyzer) owns that protocol.
+var rcucheckAnalyzer = &Analyzer{
+	Name:    "rcucheck",
+	Doc:     "no mutation through a pointer published via atomic.Pointer; clone-then-store",
+	Collect: collectRCU,
+	Run:     runRCU,
+}
+
+// collectRCU finds "source" functions: a caller of one receives published
+// memory exactly as if it had called Load itself. The fixpoint follows
+// wrappers of wrappers.
+func collectRCU(pkgs []*Package, facts *ModuleFacts) {
+	for changed := true; changed; {
+		changed = false
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fnObj := pkg.Info.Defs[fd.Name]
+					if fnObj == nil || facts.RCUSources[fnObj] {
+						continue
+					}
+					sig, ok := fnObj.Type().(*types.Signature)
+					if !ok || sig.Results().Len() != 1 {
+						continue
+					}
+					if returnsPublished(pkg, fd, facts.RCUSources) {
+						facts.RCUSources[fnObj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// returnsPublished reports whether some return statement hands back the
+// result of an atomic.Pointer Load or of a known source function.
+func returnsPublished(pkg *Package, fd *ast.FuncDecl, sources map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		call, ok := ret.Results[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPointerLoad(pkg, call) {
+			found = true
+		}
+		if obj := calleeObj(pkg, call); obj != nil && sources[obj] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isPointerLoad reports whether call is x.Load() on an atomic.Pointer.
+func isPointerLoad(pkg *Package, call *ast.CallExpr) bool {
+	recv, method, ok := atomicMethodOn(pkg, call)
+	if !ok || method != "Load" {
+		return false
+	}
+	name, _ := isAtomicNamed(pkg.TypeOf(recv))
+	return name == "Pointer"
+}
+
+// how a variable came to hold published memory.
+const (
+	pubLoaded     = iota // result of Load / a source function
+	pubStored            // the variable's value was published
+	pubStoredAddr        // the variable's *address* was published
+	pubAlias             // assigned from / points into a published variable
+)
+
+type pubInfo struct {
+	how int
+	pos token.Pos // the publish site, named in diagnostics
+}
+
+func runRCU(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				rcuScanFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func rcuScanFunc(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	published := make(map[types.Object]pubInfo)
+
+	at := func(pos token.Pos) string { return pkg.Fset.Position(pos).String() }
+	baseObj := func(e ast.Expr) (types.Object, pubInfo, bool) {
+		id := baseIdentOf(e)
+		if id == nil {
+			return nil, pubInfo{}, false
+		}
+		obj := pkg.ObjectOf(id)
+		info, ok := published[obj]
+		return obj, info, ok
+	}
+
+	// publishArg marks the value handed to Store/Swap/CAS as published:
+	// a bare variable, an &variable, or every variable reachable from a
+	// composite literal.
+	var publishArg func(arg ast.Expr, pos token.Pos)
+	publishArg = func(arg ast.Expr, pos token.Pos) {
+		switch a := arg.(type) {
+		case *ast.Ident:
+			if obj := pkg.ObjectOf(a); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					published[obj] = pubInfo{how: pubStored, pos: pos}
+				}
+			}
+		case *ast.UnaryExpr:
+			if a.Op != token.AND {
+				return
+			}
+			if id, ok := a.X.(*ast.Ident); ok {
+				if obj := pkg.ObjectOf(id); obj != nil {
+					published[obj] = pubInfo{how: pubStoredAddr, pos: pos}
+				}
+				return
+			}
+			publishArg(a.X, pos)
+		case *ast.CompositeLit:
+			for _, elt := range a.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					publishArg(kv.Value, pos)
+					continue
+				}
+				publishArg(elt, pos)
+			}
+		case *ast.ParenExpr:
+			publishArg(a.X, pos)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				rcuAssign(pass, published, lhs, rhs, at)
+			}
+		case *ast.IncDecStmt:
+			if obj, info, ok := baseObj(n.X); ok {
+				if _, isIdent := n.X.(*ast.Ident); !isIdent || info.how == pubStoredAddr {
+					pass.Reportf(n.Pos(), "mutation through %s, which holds RCU-published memory (published at %s); clone-then-store instead", obj.Name(), at(info.pos))
+				}
+			}
+		case *ast.CallExpr:
+			// Publications.
+			if recv, method, ok := atomicMethodOn(pkg, n); ok {
+				if name, _ := isAtomicNamed(pkg.TypeOf(recv)); name == "Pointer" {
+					switch method {
+					case "Store", "Swap":
+						if len(n.Args) >= 1 {
+							publishArg(n.Args[0], n.Pos())
+						}
+					case "CompareAndSwap":
+						if len(n.Args) >= 2 {
+							publishArg(n.Args[1], n.Pos())
+						}
+					}
+				}
+				return true
+			}
+			// delete(m, k) through a published root mutates published
+			// memory just like an index assignment.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := pkg.ObjectOf(id).(*types.Builtin); isBuiltin {
+					if obj, info, ok := baseObj(n.Args[0]); ok {
+						pass.Reportf(n.Pos(), "delete through %s, which holds RCU-published memory (published at %s); clone-then-store instead", obj.Name(), at(info.pos))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rcuAssign handles one lhs (= or :=) pair: flag writes through published
+// memory, then update the taint state from the rhs.
+func rcuAssign(pass *Pass, published map[types.Object]pubInfo, lhs, rhs ast.Expr, at func(token.Pos) string) {
+	pkg := pass.Pkg
+
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj := pkg.ObjectOf(l)
+		if obj == nil {
+			break
+		}
+		if info, ok := published[obj]; ok {
+			if info.how == pubStoredAddr {
+				// The variable's address is what readers hold: assigning
+				// to it rewrites the published value in place.
+				pass.Reportf(lhs.Pos(), "write to %s after its address was published via atomic.Pointer (at %s); the published value changes under readers — clone-then-store instead", obj.Name(), at(info.pos))
+				return
+			}
+			// Rebinding an ordinary published variable just drops the
+			// taint; the published memory itself is untouched.
+			delete(published, obj)
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if id := baseIdentOf(lhs); id != nil {
+			obj := pkg.ObjectOf(id)
+			if info, ok := published[obj]; ok {
+				pass.Reportf(lhs.Pos(), "mutation through %s, which holds RCU-published memory (published at %s); clone-then-store instead", obj.Name(), at(info.pos))
+				return
+			}
+		}
+	}
+
+	// Taint updates from the rhs, onto plain-ident destinations.
+	dest, ok := lhs.(*ast.Ident)
+	if !ok || rhs == nil {
+		return
+	}
+	destObj := pkg.ObjectOf(dest)
+	if destObj == nil {
+		return
+	}
+	switch r := rhs.(type) {
+	case *ast.CallExpr:
+		if isPointerLoad(pkg, r) {
+			published[destObj] = pubInfo{how: pubLoaded, pos: r.Pos()}
+			return
+		}
+		if obj := calleeObj(pkg, r); obj != nil && pass.Facts.RCUSources[obj] {
+			published[destObj] = pubInfo{how: pubLoaded, pos: r.Pos()}
+			return
+		}
+	case *ast.Ident:
+		if obj := pkg.ObjectOf(r); obj != nil {
+			if info, ok := published[obj]; ok {
+				published[destObj] = pubInfo{how: pubAlias, pos: info.pos}
+				return
+			}
+		}
+	case *ast.UnaryExpr:
+		if r.Op == token.AND {
+			if id := baseIdentOf(r.X); id != nil {
+				if info, ok := published[pkg.ObjectOf(id)]; ok {
+					published[destObj] = pubInfo{how: pubAlias, pos: info.pos}
+					return
+				}
+			}
+		}
+	}
+}

@@ -34,10 +34,13 @@ func deferLiteralBody(conn net.Conn) {
 	}()
 }
 
+// The directive below covers only its own line and the one under it; the
+// call it meant to excuse sits two lines down with its own trailing
+// directive, so the one above suppresses nothing and the stale-suppression
+// audit reports it.
+// want-next:lint "unused lint:ignore directive"
 //lint:ignore errdrop fixture exercises the escape hatch on the next line
 func okIgnoredDirectiveAbove() {
-	// The directive above covers its own line and the one below it; this
-	// call sits two lines down, so it needs its own trailing directive.
 	mayFail() //lint:ignore errdrop fixture exercises the trailing form
 }
 

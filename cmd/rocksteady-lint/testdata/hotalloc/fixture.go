@@ -1,0 +1,81 @@
+// Package hotallocfixture plants hotalloc violations: obvious allocation
+// constructs inside //lint:hotpath-annotated functions. Non-annotated
+// functions may allocate freely.
+package hotallocfixture
+
+type ref struct {
+	off    uint64
+	length uint32
+}
+
+type buf struct {
+	data []byte
+}
+
+//lint:hotpath
+func hotMake(n int) []byte {
+	return make([]byte, n) // want:hotalloc "make allocates"
+}
+
+//lint:hotpath
+func hotNew() *ref {
+	return new(ref) // want:hotalloc "new allocates"
+}
+
+//lint:hotpath
+func hotBadAppend(dst, src []byte) []byte {
+	dst = append(src, 1) // want:hotalloc "append result does not feed back into its argument"
+	return dst
+}
+
+//lint:hotpath
+func hotSelfAppend(b *buf, p []byte) {
+	b.data = append(b.data, p...) // amortizes against owned capacity: allowed
+}
+
+//lint:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want:hotalloc "closure in hotpath function"
+	return f
+}
+
+//lint:hotpath
+func hotLiterals() {
+	_ = []int{1, 2}        // want:hotalloc "slice literal allocates"
+	_ = map[uint64]int{}   // want:hotalloc "map literal allocates"
+	r := &ref{off: 1}      // want:hotalloc "&composite literal escapes"
+	_ = r
+	v := ref{off: 2} // plain value literal is stack-friendly: allowed
+	_ = v
+}
+
+//lint:hotpath
+func hotConvert(b []byte, s string) (string, []byte) {
+	cs := string(b) // want:hotalloc "conversion copies"
+	cb := []byte(s) // want:hotalloc "conversion copies"
+	return cs, cb
+}
+
+//lint:hotpath
+func hotBoxing(r ref, p *ref) {
+	eat(r) // want:hotalloc "interface boxing"
+	eat(p)
+	eatAll(r, p) // want:hotalloc "interface boxing"
+	eat(nil)
+}
+
+//lint:hotpath
+func hotIgnored(n int) []byte {
+	//lint:ignore hotalloc the caller pools the result; fixture exercises the hatch
+	return make([]byte, n)
+}
+
+func coldAllocates(n int) []byte {
+	b := make([]byte, n)
+	f := func() []byte { return b }
+	return f()
+}
+
+func eat(v any) {}
+
+func eatAll(vs ...any) {}

@@ -1,0 +1,104 @@
+// Package rcucheckfixture plants rcucheck violations against a miniature of
+// the server's tablet map: a copy-on-write registry published through an
+// atomic.Pointer, with a snapshot helper the module-wide fact layer must
+// recognize as returning published memory.
+package rcucheckfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type entry struct {
+	key   uint64
+	state int
+}
+
+type table struct {
+	entries []entry
+	index   map[uint64]int
+}
+
+type registry struct {
+	mu      sync.Mutex
+	current atomic.Pointer[table]
+}
+
+// snapshot hands callers published memory exactly as if they had called
+// Load themselves; view is a wrapper of the wrapper (fact-layer fixpoint).
+func (r *registry) snapshot() *table { return r.current.Load() }
+
+func (r *registry) view() *table { return r.snapshot() }
+
+func (r *registry) goodReplace(e entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snapshot()
+	next := &table{entries: make([]entry, 0, len(cur.entries)+1)}
+	next.entries = append(next.entries, cur.entries...)
+	next.entries = append(next.entries, e)
+	r.current.Store(next)
+}
+
+func (r *registry) okReads() int {
+	cur := r.snapshot()
+	n := len(cur.entries)
+	for _, e := range cur.entries {
+		n += e.state
+	}
+	return n
+}
+
+func (r *registry) badMutateSnapshot(e entry) {
+	cur := r.snapshot()
+	cur.entries[0] = e // want:rcucheck "mutation through cur"
+}
+
+func (r *registry) badMutateLoad() {
+	t := r.current.Load()
+	t.index[7] = 1 // want:rcucheck "mutation through t"
+}
+
+func (r *registry) badMutateViaWrapper() {
+	t := r.view()
+	t.entries = nil // want:rcucheck "mutation through t"
+}
+
+func (r *registry) badIncrement() {
+	cur := r.snapshot()
+	cur.entries[0].state++ // want:rcucheck "mutation through cur"
+}
+
+func (r *registry) badDelete(k uint64) {
+	t := r.snapshot()
+	delete(t.index, k) // want:rcucheck "delete through t"
+}
+
+func (r *registry) badMutateAfterStore(next *table) {
+	r.current.Store(next)
+	next.entries = nil // want:rcucheck "mutation through next"
+}
+
+func (r *registry) badStoreAddrThenWrite() {
+	var t table
+	r.current.Store(&t)
+	t = table{} // want:rcucheck "write to t after its address was published"
+}
+
+func (r *registry) badAlias() {
+	cur := r.snapshot()
+	alias := cur
+	alias.entries = nil // want:rcucheck "mutation through alias"
+}
+
+func (r *registry) okRebind() {
+	cur := r.snapshot()
+	cur = &table{} // rebinding drops the taint; the published table is untouched
+	cur.entries = nil
+}
+
+func (r *registry) okIgnored() {
+	cur := r.snapshot()
+	//lint:ignore rcucheck fixture exercises the escape hatch
+	cur.entries = nil
+}

@@ -1,0 +1,26 @@
+// Package unusedignorefixture exercises the stale-suppression audit: a
+// lint:ignore directive must suppress a live diagnostic of an enabled
+// analyzer or be reported itself; a directive naming an analyzer that does
+// not exist is always an error; directives for analyzers not enabled in
+// this run are left alone (the run cannot tell whether they would match).
+// The fixture is checked with only hotalloc enabled.
+package unusedignorefixture
+
+//lint:hotpath
+func hot(n int) []byte {
+	//lint:ignore hotalloc deliberate: the caller pools the result
+	return make([]byte, n)
+}
+
+func cold() int {
+	x := 0
+	// want-next:lint "unused lint:ignore directive: no hotalloc diagnostic"
+	//lint:ignore hotalloc nothing below allocates
+	x++
+	// want-next:lint "unknown analyzer"
+	//lint:ignore nosuchcheck this analyzer name does not exist
+	x++
+	// poolcheck is registered but not enabled here: skipped by the audit.
+	//lint:ignore poolcheck directive for an analyzer outside this run
+	return x
+}

@@ -69,10 +69,12 @@ type prioQueue struct {
 	head  int
 }
 
+//lint:hotpath
 func (q *prioQueue) push(qt queuedTask) {
 	q.items = append(q.items, qt)
 }
 
+//lint:hotpath
 func (q *prioQueue) pop() queuedTask {
 	qt := q.items[q.head]
 	q.items[q.head] = queuedTask{} // drop the fn reference
@@ -194,6 +196,7 @@ func (s *Scheduler) EnqueueMetaWorker(p wire.Priority, meta TaskMeta, t TaskW) {
 	s.enqueue(p, queuedTask{fnw: t, meta: meta, enqueuedAt: time.Now()})
 }
 
+//lint:hotpath
 func (s *Scheduler) enqueue(p wire.Priority, qt queuedTask) {
 	q := &s.qs[s.rr.Add(1)%uint64(len(s.qs))]
 	q.mu.Lock()
@@ -215,6 +218,7 @@ func (s *Scheduler) enqueue(p wire.Priority, qt queuedTask) {
 // tryPop takes the highest-priority task from the worker's own queue, or
 // failing that steals from a neighbor (scanning count atomics first so an
 // empty pool costs no lock traffic). Reports the task and its priority.
+//lint:hotpath
 func (s *Scheduler) tryPop(id int) (queuedTask, wire.Priority, bool) {
 	n := len(s.qs)
 	for off := 0; off < n; off++ {

@@ -30,6 +30,8 @@ const seqlockRetries = 4
 // readers may load them with no lock held: a reader racing a writer can
 // observe a torn (seg, off) pair, but never a partially-written word, and
 // the stripe sequence re-check discards every torn read before it escapes.
+//
+//lint:seqguard
 type slot struct {
 	hash atomic.Uint64
 	seg  atomic.Pointer[Segment]
@@ -58,6 +60,11 @@ func (s *slot) clear() {
 	s.hash.Store(0)
 }
 
+// bucket is one chain link of slots. Like slot state, its links may only
+// change inside the owning stripe's write section — readers walk the
+// overflow chain with no lock held.
+//
+//lint:seqguard
 type bucket struct {
 	slots    [slotsPerBucket]slot
 	overflow atomic.Pointer[bucket]
@@ -178,6 +185,8 @@ func (t *HashTable) SeqlockStats() (retries, fallbacks int64) {
 // published length is load-bearing: it guarantees we never slice past the
 // buffer. A torn ref that happens to land on a parseable entry is
 // harmless — the caller's sequence re-check discards the result.
+//
+//lint:hotpath
 func refMatches(ref Ref, table wire.TableID, key []byte) bool {
 	end := int(ref.Off) + EntryHeaderSize + len(key)
 	if end > ref.Seg.Len() {
@@ -193,6 +202,8 @@ func refMatches(ref Ref, table wire.TableID, key []byte) bool {
 
 // refHeader decodes ref's header, tolerating torn refs from seqlock read
 // sections by bounds-checking before slicing segment memory.
+//
+//lint:hotpath
 func refHeader(ref Ref) (EntryHeader, bool) {
 	if int(ref.Off)+EntryHeaderSize > ref.Seg.Len() {
 		return EntryHeader{}, false
@@ -203,6 +214,8 @@ func refHeader(ref Ref) (EntryHeader, bool) {
 
 // lookup walks bucket bi for (table, key, hash) via atomic slot loads. It
 // is consistent only under the stripe lock or a validated seqlock section.
+//
+//lint:hotpath
 func (t *HashTable) lookup(bi uint64, table wire.TableID, key []byte, hash uint64) (Ref, bool) {
 	for b := &t.buckets[bi]; b != nil; b = b.overflow.Load() {
 		for i := range b.slots {
@@ -222,6 +235,8 @@ func (t *HashTable) lookup(bi uint64, table wire.TableID, key []byte, hash uint6
 
 // Get returns the ref stored for (table, key), if any. Lock-free on the
 // uncontended path: one sequence load before and after the bucket walk.
+//
+//lint:hotpath
 func (t *HashTable) Get(table wire.TableID, key []byte, hash uint64) (Ref, bool) {
 	bi := t.BucketOf(hash)
 	st := t.stripeOf(bi)
@@ -245,6 +260,8 @@ func (t *HashTable) Get(table wire.TableID, key []byte, hash uint64) (Ref, bool)
 
 // collectByHash appends to out every ref in bucket bi for table whose key
 // hashes to hash. Same consistency contract as lookup.
+//
+//lint:hotpath
 func (t *HashTable) collectByHash(out []Ref, bi uint64, table wire.TableID, hash uint64) []Ref {
 	for b := &t.buckets[bi]; b != nil; b = b.overflow.Load() {
 		for i := range b.slots {
@@ -265,6 +282,8 @@ func (t *HashTable) collectByHash(out []Ref, bi uint64, table wire.TableID, hash
 // GetByHash returns every ref for the table whose key hashes to hash.
 // Index lookups and PriorityPulls address records by hash (Figure 2).
 // Lock-free on the uncontended path, like Get.
+//
+//lint:hotpath
 func (t *HashTable) GetByHash(table wire.TableID, hash uint64) []Ref {
 	bi := t.BucketOf(hash)
 	st := t.stripeOf(bi)

@@ -25,9 +25,11 @@ func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
 func (e *Encoder) Bytes() []byte { return e.buf }
 
 // U8 appends one byte.
+//lint:hotpath
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
 
 // Bool appends a boolean as one byte.
+//lint:hotpath
 func (e *Encoder) Bool(v bool) {
 	if v {
 		e.U8(1)
@@ -37,12 +39,15 @@ func (e *Encoder) Bool(v bool) {
 }
 
 // U32 appends a little-endian uint32.
+//lint:hotpath
 func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
 
 // U64 appends a little-endian uint64.
+//lint:hotpath
 func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 
 // Blob appends a length-prefixed byte slice.
+//lint:hotpath
 func (e *Encoder) Blob(b []byte) {
 	e.U32(uint32(len(b)))
 	e.buf = append(e.buf, b...)
@@ -73,6 +78,7 @@ func (e *Encoder) Statuses(ss []Status) {
 }
 
 // Record appends one record.
+//lint:hotpath
 func (e *Encoder) Record(r *Record) {
 	e.U64(uint64(r.Table))
 	e.U64(r.Version)
@@ -90,6 +96,7 @@ func (e *Encoder) Records(rs []Record) {
 }
 
 // Range appends a HashRange.
+//lint:hotpath
 func (e *Encoder) Range(r HashRange) {
 	e.U64(r.Start)
 	e.U64(r.End)
@@ -118,6 +125,7 @@ func (d *Decoder) Aliased() bool { return d.aliased }
 
 func (d *Decoder) remaining() int { return len(d.buf) - d.off }
 
+//lint:hotpath
 func (d *Decoder) need(n int) bool {
 	if d.err != nil {
 		return false
@@ -130,6 +138,7 @@ func (d *Decoder) need(n int) bool {
 }
 
 // U8 reads one byte.
+//lint:hotpath
 func (d *Decoder) U8() uint8 {
 	if !d.need(1) {
 		return 0
@@ -140,9 +149,11 @@ func (d *Decoder) U8() uint8 {
 }
 
 // Bool reads a boolean byte.
+//lint:hotpath
 func (d *Decoder) Bool() bool { return d.U8() != 0 }
 
 // U32 reads a little-endian uint32.
+//lint:hotpath
 func (d *Decoder) U32() uint32 {
 	if !d.need(4) {
 		return 0
@@ -153,6 +164,7 @@ func (d *Decoder) U32() uint32 {
 }
 
 // U64 reads a little-endian uint64.
+//lint:hotpath
 func (d *Decoder) U64() uint64 {
 	if !d.need(8) {
 		return 0
@@ -164,6 +176,7 @@ func (d *Decoder) U64() uint64 {
 
 // Blob reads a length-prefixed byte slice. The result aliases the input
 // buffer; callers that retain it must copy.
+//lint:hotpath
 func (d *Decoder) Blob() []byte {
 	n := int(d.U32())
 	if !d.need(n) {
@@ -226,6 +239,7 @@ func (d *Decoder) Statuses() []Status {
 }
 
 // Record reads one record.
+//lint:hotpath
 func (d *Decoder) Record() Record {
 	return Record{
 		Table:     TableID(d.U64()),
@@ -267,6 +281,7 @@ func (d *Decoder) Records() []Record {
 }
 
 // Range reads a HashRange.
+//lint:hotpath
 func (d *Decoder) Range() HashRange { return HashRange{Start: d.U64(), End: d.U64()} }
 
 // AppendMessage appends m's full wire encoding (envelope and body) to buf
