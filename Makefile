@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test race vet lint fuzz faults stress-write bench bench-scale bins clean
+.PHONY: all build check test race vet lint fuzz faults stress-write bench bench-scale bench-rebalance bins clean
 
 all: build
 
@@ -68,6 +68,14 @@ bench:
 bench-scale:
 	$(GO) test -run xxx -bench 'BenchmarkReadScaling|BenchmarkMixedScaling' -benchtime .3s -cpu 1,2,4,8 -count=1 ./internal/server
 	BENCH_SCALE_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestScalingBenchArtifact -benchtime .3s -count=1 ./internal/server
+
+# bench-rebalance measures the heat-driven rebalancer under a moving
+# Zipfian hotspot on an egress-capped fabric (rebalancing on vs off) and
+# merges the "rebalance" section into BENCH_hotpath.json. The artifact test
+# also asserts on beats off — the closed loop must earn its keep.
+bench-rebalance:
+	$(GO) test -run xxx -bench BenchmarkRebalanceSkew -benchtime 12000x -count=1 ./internal/cluster
+	BENCH_REBALANCE_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestRebalanceBenchArtifact -count=1 -v ./internal/cluster
 
 bins:
 	$(GO) build -o bin/ ./cmd/...

@@ -2,7 +2,12 @@
 
 package rocksteady_test
 
-import "testing"
+import (
+	"testing"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
 
 // TestHotpathAllocBudgets pins the RPC hot-path allocation budgets from
 // BENCH_hotpath.json so a regression fails tests, not just the report-only
@@ -40,5 +45,62 @@ func TestHotpathAllocBudgets(t *testing.T) {
 				t.Logf("%s: %d allocs/op (budget %d)", c.name, got, c.budget)
 			}
 		})
+	}
+}
+
+// TestHeatSampledGetZeroAllocs pins the read path with heat tracking at
+// zero allocations per op. Sample shift 0 records *every* access — the
+// worst case; the production shift of 5 does strictly less work — so a
+// Get that both reads the seqlock and bumps a heat bucket must still not
+// allocate.
+func TestHeatSampledGetZeroAllocs(t *testing.T) {
+	l := storage.NewLog(1<<16, nil)
+	ht := storage.NewHashTable(1024)
+	hm := storage.NewHeatMap(1, 0)
+	hm.RegisterTable(1)
+	key := []byte("alpha")
+	h := wire.HashKey(key)
+	ref, _, err := l.AppendObject(1, key, []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht.Put(1, key, h, ref)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := ht.Get(1, key, h); !ok {
+			t.Fatal("Get missed")
+		}
+		hm.Record(0, 1, h)
+	})
+	if allocs != 0 {
+		t.Fatalf("heat-sampled Get allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHeatSnapshotAggregation reports (but does not pin — it is off
+// the hot path, polled once per rebalancer tick) the cost of folding the
+// sharded heat counters into per-table bucket totals: shards × tables ×
+// 256 atomic loads plus one slice allocation per snapshot.
+func BenchmarkHeatSnapshotAggregation(b *testing.B) {
+	const workers, tables = 8, 4
+	hm := storage.NewHeatMap(workers, 0)
+	for t := wire.TableID(1); t <= tables; t++ {
+		hm.RegisterTable(t)
+	}
+	// Populate every (shard, table, bucket) counter so aggregation sums
+	// real values rather than zero-filled cache lines.
+	for sh := 0; sh < workers; sh++ {
+		for t := wire.TableID(1); t <= tables; t++ {
+			for bkt := uint64(0); bkt < storage.HeatBuckets; bkt++ {
+				hm.Record(sh, t, bkt<<(64-8))
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := hm.Snapshot(); len(snap) != tables {
+			b.Fatalf("snapshot covers %d tables, want %d", len(snap), tables)
+		}
 	}
 }

@@ -105,6 +105,37 @@ func main() {
 		need(args, 2, "crash <serverID>")
 		check(cl.ReportCrash(ctx, wire.ServerID(mustU64(args[1]))))
 		fmt.Println("recovery initiated")
+	case "heat":
+		need(args, 2, "heat <serverID>")
+		reply, err := cl.Node().Call(ctx, wire.ServerID(mustU64(args[1])), wire.PriorityForeground, &wire.GetHeatRequest{})
+		check(err)
+		h := reply.(*wire.GetHeatResponse)
+		for _, t := range h.Tablets {
+			fmt.Printf("  table %d %v heat=%d\n", t.Table, t.Range, t.Heat)
+		}
+		for p, micros := range h.QueueWaitP99Micros {
+			fmt.Printf("  queue-wait p99 %v = %dµs\n", wire.Priority(p), micros)
+		}
+	case "rebalance":
+		need(args, 2, "rebalance enable|disable|status")
+		req := &wire.RebalanceControlRequest{}
+		switch args[1] {
+		case "enable":
+			req.Enable = true
+		case "disable":
+			req.Disable = true
+		case "status":
+		default:
+			usage()
+		}
+		reply, err := cl.Node().Call(ctx, wire.CoordinatorID, wire.PriorityForeground, req)
+		check(err)
+		r := reply.(*wire.RebalanceControlResponse)
+		if r.Status != wire.StatusOK {
+			log.Fatalf("rebalance control failed: %v", r.Status)
+		}
+		fmt.Printf("enabled=%v backingOff=%v splits=%d merges=%d migrations=%d backoffs=%d\n",
+			r.Enabled, r.BackingOff, r.Splits, r.Merges, r.Migrations, r.Backoffs)
 	default:
 		usage()
 	}
@@ -119,7 +150,9 @@ commands:
   delete <tableID> <key>
   map
   migrate <tableID> <startHash> <endHash> <sourceID> <targetID>
-  crash <serverID>`)
+  crash <serverID>
+  heat <serverID>
+  rebalance enable|disable|status`)
 	os.Exit(2)
 }
 

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rocksteady/internal/coordinator"
 	"rocksteady/internal/core"
@@ -43,6 +44,9 @@ func main() {
 		segSize     = flag.Int("segment-size", 0, "log segment size in bytes (default 1 MiB)")
 		htCap       = flag.Int("hashtable-capacity", 0, "expected object count (default 1M)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
+
+		rebalanceEvery = flag.Duration("rebalance-interval", 2*time.Second,
+			"coordinator only: heat-polling cadence of the auto-rebalancer once enabled via `rocksteady-cli rebalance enable`")
 	)
 	flag.Parse()
 	startPprof(*pprofAddr)
@@ -72,8 +76,13 @@ func main() {
 			log.Fatalf("the coordinator must use id %d", wire.CoordinatorID)
 		}
 		c := coordinator.New(transport.NewNode(ep))
+		// Wired but idle until `rocksteady-cli rebalance enable`.
+		reb := coordinator.NewRebalancer(c, coordinator.RebalancerConfig{
+			Interval: *rebalanceEvery,
+		}, nil, nil, nil)
 		log.Printf("coordinator listening on %s", ep.Addr())
 		waitForSignal()
+		reb.Disable()
 		c.Close()
 		return
 	}

@@ -56,6 +56,10 @@ type Config struct {
 	// every node the cluster creates. Fault tests shorten it so injected
 	// partitions surface as timeouts in test time, not wall-clock minutes.
 	RPCTimeout time.Duration
+	// Rebalance configures the coordinator's heat-driven rebalancer. A
+	// rebalancer is always attached (so the RebalanceControl RPC works)
+	// but does nothing until enabled via RPC or Rebalancer().Enable().
+	Rebalance coordinator.RebalancerConfig
 }
 
 // Clone returns an independent copy of the configuration, so a base config
@@ -89,6 +93,7 @@ type Cluster struct {
 	Coordinator *coordinator.Coordinator
 	Servers     []*server.Server
 	Managers    []*core.Manager
+	rebal       *coordinator.Rebalancer
 
 	clientMu     sync.Mutex
 	clients      []*client.Client
@@ -106,6 +111,7 @@ func New(cfg Config) *Cluster {
 	if cfg.Quiet {
 		c.Coordinator.Logf = func(string, ...any) {}
 	}
+	c.rebal = coordinator.NewRebalancer(c.Coordinator, cfg.Rebalance, nil, nil, nil)
 
 	ids := make([]wire.ServerID, cfg.Servers)
 	for i := range ids {
@@ -230,8 +236,13 @@ func (c *Cluster) firstClient() *client.Client {
 	return c.clients[0]
 }
 
+// Rebalancer returns the coordinator's heat-driven rebalancer (always
+// attached, disabled until Enable).
+func (c *Cluster) Rebalancer() *coordinator.Rebalancer { return c.rebal }
+
 // Close tears the cluster down.
 func (c *Cluster) Close() {
+	c.rebal.Disable()
 	c.Coordinator.WaitForRecoveries()
 	c.clientMu.Lock()
 	defer c.clientMu.Unlock()
@@ -401,7 +412,7 @@ func (c *Cluster) MigrateBaseline(ctx context.Context, table wire.TableID, rng w
 	}
 	if _, err := node.Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: table, Range: rng, Source: src.ID(), Target: dst.ID(),
-		TargetLogOffset: dst.Log().AppendedBytes(),
+		TargetLogWatermark: dst.Log().CurrentEpoch(),
 	}); err != nil {
 		return res, err
 	}

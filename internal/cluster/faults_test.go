@@ -15,9 +15,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"rocksteady/internal/coordinator"
 	"rocksteady/internal/core"
 	"rocksteady/internal/faultinject"
 	"rocksteady/internal/transport"
@@ -575,6 +577,197 @@ func TestFaultScenarioShardedHeadsDeterministicTotals(t *testing.T) {
 			t.Fatalf("record totals diverged across identical seeded runs:\nrun 1: pulled=%d priority=%d tail=%d\nrun 2: pulled=%d priority=%d tail=%d",
 				first.RecordsPulled, first.PriorityPullRecords, first.TailRecords,
 				second.RecordsPulled, second.PriorityPullRecords, second.TailRecords)
+		}
+	})
+}
+
+// syntheticHeat is a deterministic coordinator.HeatSource for fault
+// scenarios: the configured "hot" server reports heavy, even heat on every
+// tablet it owns per the authoritative map; everyone else reports idle.
+// Heat *sensing* is unit-tested elsewhere (storage, server, coordinator);
+// these scenarios pin down what the loop's *actions* survive, so the
+// sensor must not add per-seed noise of its own.
+type syntheticHeat struct {
+	c  *Cluster
+	mu sync.Mutex
+	id wire.ServerID
+}
+
+func (s *syntheticHeat) setHot(id wire.ServerID) {
+	s.mu.Lock()
+	s.id = id
+	s.mu.Unlock()
+}
+
+func (s *syntheticHeat) ServerHeat(_ context.Context, id wire.ServerID) (coordinator.ServerHeat, error) {
+	s.mu.Lock()
+	hot := s.id
+	s.mu.Unlock()
+	sh := coordinator.ServerHeat{Server: id, QueueWaitP99Micros: make([]uint64, wire.NumPriorities)}
+	if id != hot {
+		return sh, nil
+	}
+	for _, t := range s.c.Coordinator.TabletsSnapshot() {
+		if t.Master == id {
+			sh.Tablets = append(sh.Tablets, wire.TabletHeat{Table: t.Table, Range: t.Range, Heat: 100000})
+		}
+	}
+	return sh, nil
+}
+
+// waitDepsDrain polls until every lineage dependency is resolved (the
+// in-flight migration completed or recovery reverted it) or the deadline
+// passes; returns the remaining deps.
+func waitDepsDrain(c *Cluster, d time.Duration) []coordinator.Dependency {
+	deadline := time.Now().Add(d)
+	for {
+		deps := c.Coordinator.Dependencies()
+		if len(deps) == 0 || time.Now().After(deadline) {
+			return deps
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFaultScenarioRebalancerSourceCrashMidSplitMigrate is the rebalancer
+// retelling of the headline §4 failure: the loop (not an operator) decides
+// to split the hot tablet and migrate its upper half, and then the source
+// crashes mid-pull with message faults active. The split boundary is
+// recovery metadata now — the coordinator must replay both halves of the
+// split tablet to the right owners without losing an acknowledged write.
+func TestFaultScenarioRebalancerSourceCrashMidSplitMigrate(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 4, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		hs := &syntheticHeat{c: c, id: c.Server(0).ID()}
+		reb := coordinator.NewRebalancer(c.Coordinator, coordinator.RebalancerConfig{}, hs, nil, nil)
+		reb.Enable()
+
+		// One clean tick: the whole table's load sits on server 0, so the
+		// loop must split at the midpoint and start migrating the upper
+		// half to an idle server.
+		a := reb.Tick(context.Background())
+		if a.Kind != coordinator.ActionSplit || a.Source != c.Server(0).ID() {
+			t.Fatalf("tick: %+v", a)
+		}
+		if st := reb.Status(); st.Splits != 1 || st.Migrations != 1 {
+			t.Fatalf("status after tick: %+v", st)
+		}
+
+		crashed := make(chan struct{})
+		net.AtMessage(net.MessageCount()+500, func() { close(crashed) })
+		net.SetPlan(faultPlan())
+		wl.start()
+
+		<-crashed
+		net.ClearPlan()
+		c.Crash(0)
+		if err := cl.ReportCrash(context.Background(), c.Server(0).ID()); err != nil {
+			t.Fatal(err)
+		}
+		c.Coordinator.WaitForRecoveries()
+		if deps := waitDepsDrain(c, 30*time.Second); len(deps) != 0 {
+			t.Fatalf("dangling lineage dependencies: %+v", deps)
+		}
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+
+		// The loop itself must still be operable after the crash: a tick
+		// against the recovered map may act or not, but must not wait on a
+		// migration that no longer exists.
+		if a := reb.Tick(context.Background()); a.Kind == coordinator.ActionWait {
+			t.Fatalf("post-recovery tick stuck waiting: %+v", a)
+		}
+	})
+}
+
+// TestFaultScenarioCoordinatorChurnDuringRebalance runs the control loop
+// against a moving hotspot while operator churn (splits, table creation)
+// and message faults hit the same coordinator — the rebalancer's actions
+// must interleave with everything else without ever violating ownership
+// exclusivity or losing a write. Fault-killed migrations are converged
+// with the standard operator remedy afterwards.
+func TestFaultScenarioCoordinatorChurnDuringRebalance(t *testing.T) {
+	forEachFaultSeed(t, func(t *testing.T, seed uint64) {
+		net := faultinject.NewNetwork(seed)
+		c := testCluster(t, Config{
+			Servers: 3, ReplicationFactor: 2,
+			Fabric:     transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+			Faults:     net,
+			RPCTimeout: time.Second,
+		})
+		cl := c.MustClient()
+		table, err := cl.CreateTable(context.Background(), "t", c.Server(0).ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := newFaultWorkload(t, c, table, 1200, 3, seed)
+		stopWatch := watchOwnership(t, c)
+
+		hs := &syntheticHeat{c: c, id: c.Server(0).ID()}
+		reb := coordinator.NewRebalancer(c.Coordinator, coordinator.RebalancerConfig{}, hs, nil, nil)
+		reb.Enable()
+
+		net.SetPlan(faultPlan())
+		wl.start()
+
+		ccl := c.MustClient()
+		quarter := wire.FullRange().Split(4)[0]
+		for i := 0; i < 6; i++ {
+			if i == 3 {
+				// The hotspot moves mid-run: whichever server the loop has
+				// been shedding load to becomes the one shedding it.
+				hs.setHot(c.Server(1).ID())
+			}
+			_ = reb.Tick(context.Background())
+			// Operator churn racing the loop's own map surgery. Individual
+			// churn RPCs may be eaten by the fault plan — that is the
+			// point; the invariant poller and final audit judge the run.
+			splitAt := quarter.Start + uint64(i+1)*(quarter.End-quarter.Start)/8
+			_, _ = ccl.Node().Call(context.Background(), wire.CoordinatorID, wire.PriorityForeground,
+				&wire.SplitTabletRequest{Table: table, SplitAt: splitAt})
+			_, _ = ccl.CreateTable(context.Background(), names(seed, i)+"-rb", c.Server(i%3).ID())
+		}
+		net.ClearPlan()
+		reb.Disable()
+
+		// Converge: loop-started migrations normally finish on their own;
+		// one a fault killed leaves a dangling dependency, and the lineage
+		// design's remedy is to declare its target dead and recover.
+		for attempt := 0; attempt < 3; attempt++ {
+			deps := waitDepsDrain(c, 10*time.Second)
+			if len(deps) == 0 {
+				break
+			}
+			target := deps[0].Target
+			t.Logf("migration %+v stuck; reverting via target crash + recovery", deps[0])
+			c.Crash(int(target - FirstServerID))
+			if err := cl.ReportCrash(context.Background(), target); err != nil {
+				t.Fatal(err)
+			}
+			c.Coordinator.WaitForRecoveries()
+		}
+
+		wl.stopWait()
+		stopWatch()
+		wl.audit(cl)
+		if deps := c.Coordinator.Dependencies(); len(deps) != 0 {
+			t.Errorf("dangling lineage dependencies: %+v", deps)
 		}
 	})
 }

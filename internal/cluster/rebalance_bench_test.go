@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rocksteady/internal/coordinator"
+	"rocksteady/internal/transport"
+	"rocksteady/internal/ycsb"
+)
+
+// runRebalanceSkew measures aggregate read throughput under a moving
+// Zipfian hotspot and returns ops/sec. The table starts wholly on the
+// first server; the fabric's per-port egress cap is the bottleneck, so a
+// cluster that spreads the hot range across masters serves strictly more
+// aggregate bandwidth than one that leaves it concentrated. With
+// rebalance=true the production rebalancer loop (heat polling over the
+// real GetHeat RPC, real MigrateTablet moves) runs during the workload;
+// with rebalance=false the skew stays pinned on one master.
+//
+// The hotspot moves: every third of the run the Zipfian ranks rotate by a
+// third of the keyspace, so the rebalancer has to chase the load rather
+// than win with one lucky split.
+func runRebalanceSkew(tb testing.TB, rebalance bool, totalOps int) float64 {
+	const (
+		objects   = 4096
+		readers   = 4
+		phases    = 3
+		valueSize = 256
+	)
+	cfg := Config{
+		Servers:           2,
+		Workers:           4,
+		SegmentSize:       64 << 10,
+		HashTableCapacity: 1 << 16,
+		Quiet:             true,
+		// Low enough that one master's reply stream saturates before the
+		// readers do — the skewed placement, not the CPU, is the limit.
+		Fabric: transport.FabricConfig{BandwidthBytesPerSec: 4 << 20},
+		Rebalance: coordinator.RebalancerConfig{
+			Interval: 50 * time.Millisecond,
+			// The egress cap keeps the absolute op rate — and therefore the
+			// sampled heat per interval — low; drop the action floor so the
+			// loop still sees the skew, and disable merging so a briefly
+			// cooled tablet is not folded back just to be re-split.
+			MinActionHeat: 16,
+			MergeMaxHeat:  1,
+			// The dispatch queues run hot by design here (saturated egress);
+			// keep the SLO guard from pausing the loop the benchmark exists
+			// to measure.
+			SLOThresholdMicros: 500_000,
+		},
+	}
+	c := New(cfg)
+	tb.Cleanup(c.Close)
+
+	ctx := context.Background()
+	cl := c.MustClient()
+	table, err := cl.CreateTable(ctx, "skew", c.ServerIDs()[0])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keys := make([][]byte, objects)
+	values := make([][]byte, objects)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("skew-key-%06d", i))
+		values[i] = make([]byte, valueSize)
+	}
+	if err := c.BulkLoad(ctx, table, keys, values); err != nil {
+		tb.Fatal(err)
+	}
+
+	if rebalance {
+		c.Rebalancer().Enable()
+		defer c.Rebalancer().Disable()
+	}
+
+	zipf := ycsb.NewZipfian(objects, 0.99)
+	perPhase := totalOps/phases + 1
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rcl := c.MustClient()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				n := done.Add(1)
+				if n > int64(totalOps) {
+					return
+				}
+				// Rotate the hot ranks as the run progresses so the hot key
+				// set — and therefore the hot hash buckets — relocates.
+				phase := int(n) / perPhase
+				idx := (zipf.Next(rng) + uint64(phase)*objects/phases) % objects
+				if _, err := rcl.Read(ctx, table, keys[idx]); err != nil {
+					tb.Errorf("read %q: %v", keys[idx], err)
+					return
+				}
+			}
+		}(int64(42 + r))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if tb.Failed() {
+		return 0
+	}
+	return float64(totalOps) / elapsed.Seconds()
+}
+
+// BenchmarkRebalanceSkew reports throughput with the rebalancer off and
+// on. Run with a fixed op count (-benchtime Nx) — the workload needs to
+// outlast a few rebalancer intervals for the comparison to mean anything;
+// `make bench-rebalance` uses 12000x.
+func BenchmarkRebalanceSkew(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ops := b.N
+			if ops < 4000 {
+				ops = 4000 // below this no migration can pay for itself
+			}
+			b.ReportMetric(runRebalanceSkew(b, mode.on, ops), "ops/s")
+		})
+	}
+}
+
+// TestRebalanceBenchArtifact runs the skew benchmark both ways and merges
+// a "rebalance" section into the artifact named by BENCH_REBALANCE_JSON
+// (other sections are preserved — same merge discipline as
+// TestScalingBenchArtifact). It also asserts the closed loop earns its
+// keep: rebalancing on must beat rebalancing off. Gated so regular
+// `go test` runs stay fast; `make bench-rebalance` drives it.
+func TestRebalanceBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_REBALANCE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_REBALANCE_JSON=<path> to emit the rebalance artifact")
+	}
+	const ops = 24000
+	off := runRebalanceSkew(t, false, ops)
+	on := runRebalanceSkew(t, true, ops)
+	t.Logf("RebalanceSkew: off %.0f ops/s, on %.0f ops/s (%+.1f%%)",
+		off, on, 100*(on-off)/off)
+	if on <= off {
+		t.Errorf("rebalancing on (%.0f ops/s) should beat off (%.0f ops/s) under a skewed workload", on, off)
+	}
+
+	type row struct {
+		Name      string  `json:"name"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+	}
+	rows := []row{
+		{Name: "RebalanceSkew/off", OpsPerSec: off},
+		{Name: "RebalanceSkew/on", OpsPerSec: on},
+	}
+	sections := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &sections); err != nil {
+			t.Fatalf("existing artifact %s is not a JSON object: %v", path, err)
+		}
+	}
+	enc, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections["rebalance"] = enc
+	out, err := json.MarshalIndent(sections, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,7 +25,7 @@ type Dependency struct {
 	Range           wire.HashRange
 	Source          wire.ServerID
 	Target          wire.ServerID
-	TargetLogOffset uint64
+	TargetLogWatermark uint64
 }
 
 // Coordinator is the (logically quorum-replicated) cluster manager. One
@@ -51,6 +51,10 @@ type Coordinator struct {
 	Logf func(format string, args ...any)
 
 	recoveryWG sync.WaitGroup
+
+	// rebal is the optional heat-driven rebalancing loop (rebalancer.go);
+	// nil until SetRebalancer.
+	rebal *Rebalancer
 }
 
 // New creates a coordinator served from the given RPC node and starts
@@ -107,6 +111,10 @@ func (c *Coordinator) process(m *wire.Message) {
 		c.node.Reply(m, c.createIndex(req))
 	case *wire.SplitTabletRequest:
 		c.node.Reply(m, c.splitTablet(req))
+	case *wire.MergeTabletsRequest:
+		c.node.Reply(m, c.mergeTablets(req))
+	case *wire.RebalanceControlRequest:
+		c.node.Reply(m, c.rebalanceControl(req))
 	case *wire.MigrateStartRequest:
 		c.node.Reply(m, c.migrateStart(req))
 	case *wire.MigrateDoneRequest:
@@ -241,6 +249,47 @@ func (c *Coordinator) splitTablet(req *wire.SplitTabletRequest) *wire.SplitTable
 	return &wire.SplitTabletResponse{Status: wire.StatusOK, MapVersion: c.version}
 }
 
+// mergeTablets erases the tablet boundary at (table, MergeAt): the two
+// adjacent tablets meeting there become one map entry. The inverse of
+// splitTablet, and like it pure map surgery — no data moves, no server is
+// contacted (masters route by hash, so a coarser map entry changes nothing
+// for them). Refused unless both halves live on the same master and
+// neither overlaps an active lineage dependency (a merged entry would blur
+// the recovery boundary §3.4 relies on).
+func (c *Coordinator) mergeTablets(req *wire.MergeTabletsRequest) *wire.MergeTabletsResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lo, hi := -1, -1
+	for i := range c.tablets {
+		t := &c.tablets[i]
+		if t.Table != req.Table {
+			continue
+		}
+		if t.Range.End == req.MergeAt-1 {
+			lo = i
+		}
+		if t.Range.Start == req.MergeAt {
+			hi = i
+		}
+	}
+	if lo < 0 || hi < 0 {
+		return &wire.MergeTabletsResponse{Status: wire.StatusNoSuchTable}
+	}
+	if c.tablets[lo].Master != c.tablets[hi].Master {
+		return &wire.MergeTabletsResponse{Status: wire.StatusWrongServer}
+	}
+	for _, d := range c.deps {
+		if d.Table == req.Table && (d.Range.Overlaps(c.tablets[lo].Range) || d.Range.Overlaps(c.tablets[hi].Range)) {
+			return &wire.MergeTabletsResponse{Status: wire.StatusMigrationInProgress}
+		}
+	}
+	c.tablets[lo].Range.End = c.tablets[hi].Range.End
+	c.tablets = append(c.tablets[:hi], c.tablets[hi+1:]...)
+	c.sortTabletsLocked()
+	c.version++
+	return &wire.MergeTabletsResponse{Status: wire.StatusOK, MapVersion: c.version}
+}
+
 // migrateStart atomically moves ownership of the exact range to the target
 // and registers the lineage dependency. Tablet boundaries are created as
 // needed ("defer all repartitioning work until the moment of migration").
@@ -282,7 +331,7 @@ func (c *Coordinator) migrateStart(req *wire.MigrateStartRequest) *wire.MigrateS
 	c.deps = append(c.deps, Dependency{
 		Table: req.Table, Range: req.Range,
 		Source: req.Source, Target: req.Target,
-		TargetLogOffset: req.TargetLogOffset,
+		TargetLogWatermark: req.TargetLogWatermark,
 	})
 	c.version++
 	return &wire.MigrateStartResponse{Status: wire.StatusOK, MapVersion: c.version}
@@ -367,7 +416,12 @@ func (c *Coordinator) recoverServer(ctx context.Context, crashed wire.ServerID) 
 			// source, which must additionally replay the target's log tail
 			// (writes the target accepted after ownership transfer).
 			rep := recovery.NewReplayer(rangeFilter(d.Table, d.Range))
-			rep.AddBackupSegments(crashedSegs)
+			// Only the target's log tail above the dependency's watermark:
+			// if the target owned this range once before (a rebalancer
+			// migrating a tablet back), its log still holds stale records
+			// from that era, and replaying them would resurrect keys the
+			// interim owner deleted.
+			rep.AddBackupSegmentsAbove(crashedSegs, d.TargetLogWatermark)
 			// Tombstones included: the source still holds its pre-migration
 			// copies, so deletions the target accepted must be replayed as
 			// deletions or those copies would resurrect.
@@ -388,7 +442,10 @@ func (c *Coordinator) recoverServer(ctx context.Context, crashed wire.ServerID) 
 			}
 			rep := recovery.NewReplayer(rangeFilter(d.Table, d.Range))
 			rep.AddBackupSegments(crashedSegs)
-			rep.AddBackupSegments(targetSegs)
+			// The target's log joins the replay only above the watermark,
+			// for the same reason as the revert path: below it may sit
+			// stale records from an earlier ownership of this range.
+			rep.AddBackupSegmentsAbove(targetSegs, d.TargetLogWatermark)
 			records, ceiling := rep.Live()
 			master := c.pickRecoveryMaster(live, 0)
 			if err := c.installTablet(ctx, d.Table, d.Range, master, records, ceiling); err != nil {

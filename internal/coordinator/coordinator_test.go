@@ -131,7 +131,7 @@ func TestCoordinatorMigrateStartAndDone(t *testing.T) {
 	ct := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10}}).(*wire.CreateTableResponse)
 	half := wire.FullRange().Split(2)[1]
 	ms := r.call(t, &wire.MigrateStartRequest{
-		Table: ct.Table, Range: half, Source: 10, Target: 11, TargetLogOffset: 4096,
+		Table: ct.Table, Range: half, Source: 10, Target: 11, TargetLogWatermark: 4096,
 	}).(*wire.MigrateStartResponse)
 	if ms.Status != wire.StatusOK {
 		t.Fatal(ms)
@@ -153,7 +153,7 @@ func TestCoordinatorMigrateStartAndDone(t *testing.T) {
 		t.Fatalf("no tablet for migrated range: %+v", tm.Tablets)
 	}
 	deps := r.coord.Dependencies()
-	if len(deps) != 1 || deps[0].TargetLogOffset != 4096 || deps[0].Source != 10 {
+	if len(deps) != 1 || deps[0].TargetLogWatermark != 4096 || deps[0].Source != 10 {
 		t.Fatalf("deps: %+v", deps)
 	}
 	// Wrong source is rejected.

@@ -1,0 +1,581 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rocksteady/internal/wire"
+)
+
+// This file closes the loop the paper leaves to an operator (§1: "split
+// the tablet, then issue a MigrateTablet"): a coordinator-side control
+// loop that polls decayed per-tablet heat from every server, ranks servers
+// by load, and schedules split→migrate plans one at a time — throttled by
+// an SLO guard watching the servers' dispatch queue-wait p99.
+//
+// The loop is deterministic-first: policy lives in a pure function
+// (RebalancerConfig.plan) over synthesized inputs, Tick is a single
+// hand-drivable decision step, and the clock and heat source are
+// injectable, so every decision is replayable in tests without wall-clock
+// sleeps.
+
+// Clock abstracts the background loop's pacing. The real clock backs
+// production; deterministic tests never start the loop (they call Tick
+// directly) or inject a clock whose channel they control.
+type Clock interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ServerHeat is one server's polled heat snapshot: per-tablet decayed
+// access estimates plus the per-priority dispatch queue-wait p99s that
+// feed the SLO guard.
+type ServerHeat struct {
+	Server             wire.ServerID
+	Tablets            []wire.TabletHeat
+	QueueWaitP99Micros []uint64
+}
+
+// HeatSource polls one server's heat snapshot. The production source
+// issues GetHeat RPCs; tests substitute canned snapshots.
+type HeatSource interface {
+	ServerHeat(ctx context.Context, id wire.ServerID) (ServerHeat, error)
+}
+
+// Mover starts one migration and returns once ownership has moved (the
+// bulk of the migration continues in the background; its completion is
+// observed through the lineage dependency disappearing). The production
+// mover sends MigrateTablet to the target; tests record calls.
+type Mover interface {
+	Migrate(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target wire.ServerID) error
+}
+
+// RebalancerConfig tunes the control loop. The zero value gets defaults
+// from applyDefaults; tests set fields explicitly.
+type RebalancerConfig struct {
+	// Interval paces the background loop (0 = no loop; Tick is driven by
+	// hand, which is what deterministic tests do).
+	Interval time.Duration
+	// ImbalanceRatio triggers action when the hottest server's load
+	// exceeds this multiple of the mean (default 1.3).
+	ImbalanceRatio float64
+	// SplitFraction: when the hottest tablet carries more than this
+	// fraction of its server's load, migrating it whole would just move
+	// the hotspot — split it at the hash midpoint and migrate the upper
+	// half instead (default 0.5).
+	SplitFraction float64
+	// MinTabletWidth stops splitting below this hash-span (default 2^32):
+	// heat resolution is 1/256 of the hash space, so ever-finer splits
+	// stop being informative long before this floor.
+	MinTabletWidth uint64
+	// MinActionHeat is the absolute load floor below which the loop never
+	// migrates or splits — rebalancing a trickle costs more than it saves
+	// (default 128 accesses/interval).
+	MinActionHeat uint64
+	// MergeMaxHeat merges adjacent same-master siblings whose combined
+	// heat is at or below this (default 16): cold fragments left behind by
+	// old hotspots fold back into coarse tablets.
+	MergeMaxHeat uint64
+	// SLOPriority selects which dispatch queue's wait p99 the guard
+	// watches (default wire.PriorityBackground — the priority migration
+	// Pulls run at, so a backed-up queue means migration work is already
+	// not keeping up and more would only queue deeper).
+	SLOPriority wire.Priority
+	// SLOThresholdMicros is the guard's trip point (default 50_000 µs).
+	SLOThresholdMicros uint64
+	// ResumeAfterTicks is the hysteresis: after the guard trips, this many
+	// consecutive healthy ticks must pass before scheduling resumes
+	// (default 3) — a single good poll after an overload burst must not
+	// un-pause the loop.
+	ResumeAfterTicks int
+}
+
+func (cfg *RebalancerConfig) applyDefaults() {
+	if cfg.ImbalanceRatio == 0 {
+		cfg.ImbalanceRatio = 1.3
+	}
+	if cfg.SplitFraction == 0 {
+		cfg.SplitFraction = 0.5
+	}
+	if cfg.MinTabletWidth == 0 {
+		cfg.MinTabletWidth = 1 << 32
+	}
+	if cfg.MinActionHeat == 0 {
+		cfg.MinActionHeat = 128
+	}
+	if cfg.MergeMaxHeat == 0 {
+		cfg.MergeMaxHeat = 16
+	}
+	if cfg.SLOPriority == 0 {
+		cfg.SLOPriority = wire.PriorityBackground
+	}
+	if cfg.SLOThresholdMicros == 0 {
+		cfg.SLOThresholdMicros = 50_000
+	}
+	if cfg.ResumeAfterTicks == 0 {
+		cfg.ResumeAfterTicks = 3
+	}
+}
+
+// ActionKind classifies one Tick's decision.
+type ActionKind int
+
+// Tick outcomes.
+const (
+	// ActionNone: cluster balanced, nothing worth doing.
+	ActionNone ActionKind = iota
+	// ActionWait: a migration is in flight; one-at-a-time means wait.
+	ActionWait
+	// ActionBackoff: the SLO guard is holding scheduling back.
+	ActionBackoff
+	// ActionSplit: split a dominant tablet and migrate its upper half.
+	ActionSplit
+	// ActionMigrate: migrate a whole tablet to the coldest server.
+	ActionMigrate
+	// ActionMerge: coalesce two cold adjacent siblings.
+	ActionMerge
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActionNone:
+		return "none"
+	case ActionWait:
+		return "wait"
+	case ActionBackoff:
+		return "backoff"
+	case ActionSplit:
+		return "split"
+	case ActionMigrate:
+		return "migrate"
+	case ActionMerge:
+		return "merge"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// Action is one Tick's decision. For ActionSplit, SplitAt is the new
+// boundary and Range the upper half that migrates; for ActionMerge,
+// MergeAt is the boundary being erased and Range the merged span.
+type Action struct {
+	Kind           ActionKind
+	Table          wire.TableID
+	Range          wire.HashRange
+	SplitAt        uint64
+	MergeAt        uint64
+	Source, Target wire.ServerID
+}
+
+// heatForRange estimates the decayed heat a server's snapshot attributes
+// to (table, rng): reported tablet heats are apportioned by hash-space
+// overlap, so the estimate is exact when rng tiles reported tablets and a
+// uniform-within-tablet approximation otherwise.
+func heatForRange(sh *ServerHeat, table wire.TableID, rng wire.HashRange) uint64 {
+	total := 0.0
+	for i := range sh.Tablets {
+		t := &sh.Tablets[i]
+		if t.Table != table || !t.Range.Overlaps(rng) {
+			continue
+		}
+		start, end := t.Range.Start, t.Range.End
+		if rng.Start > start {
+			start = rng.Start
+		}
+		if rng.End < end {
+			end = rng.End
+		}
+		width := float64(t.Range.End-t.Range.Start) + 1
+		total += float64(t.Heat) * ((float64(end-start) + 1) / width)
+	}
+	return uint64(total)
+}
+
+func serverLoad(sh *ServerHeat) uint64 {
+	var sum uint64
+	for i := range sh.Tablets {
+		sum += sh.Tablets[i].Heat
+	}
+	return sum
+}
+
+// plan is the pure policy function: given the coordinator's tablet map and
+// the polled heat snapshots, decide the single next action. Deterministic
+// by construction — inputs are sorted, ties break toward lower IDs/ranges —
+// so table-driven tests can pin every decision.
+func (cfg RebalancerConfig) plan(tablets []wire.Tablet, heats []ServerHeat) Action {
+	if len(heats) < 2 {
+		return Action{Kind: ActionNone}
+	}
+	heats = append([]ServerHeat(nil), heats...)
+	sort.Slice(heats, func(i, j int) bool { return heats[i].Server < heats[j].Server })
+	var total uint64
+	hot, cold := 0, 0
+	for i := range heats {
+		l := serverLoad(&heats[i])
+		total += l
+		if l > serverLoad(&heats[hot]) {
+			hot = i
+		}
+		if l < serverLoad(&heats[cold]) {
+			cold = i
+		}
+	}
+	mean := float64(total) / float64(len(heats))
+	hotLoad := serverLoad(&heats[hot])
+
+	tablets = append([]wire.Tablet(nil), tablets...)
+	sort.Slice(tablets, func(i, j int) bool {
+		if tablets[i].Table != tablets[j].Table {
+			return tablets[i].Table < tablets[j].Table
+		}
+		return tablets[i].Range.Start < tablets[j].Range.Start
+	})
+
+	if float64(hotLoad) > cfg.ImbalanceRatio*mean && hotLoad >= cfg.MinActionHeat && hot != cold {
+		// Hottest tablet on the hottest server, by the coordinator's own
+		// boundaries (migration needs map ranges, not server-local ones).
+		best := -1
+		var bestHeat uint64
+		for i := range tablets {
+			t := &tablets[i]
+			if t.Master != heats[hot].Server {
+				continue
+			}
+			if h := heatForRange(&heats[hot], t.Table, t.Range); best < 0 || h > bestHeat {
+				best, bestHeat = i, h
+			}
+		}
+		if best < 0 {
+			return Action{Kind: ActionNone}
+		}
+		t := tablets[best]
+		width := t.Range.End - t.Range.Start // span-1; full range overflows +1
+		if float64(bestHeat) > cfg.SplitFraction*float64(hotLoad) && width >= cfg.MinTabletWidth {
+			mid := t.Range.Start + width/2 + 1
+			return Action{
+				Kind: ActionSplit, Table: t.Table,
+				Range:   wire.HashRange{Start: mid, End: t.Range.End},
+				SplitAt: mid,
+				Source:  heats[hot].Server, Target: heats[cold].Server,
+			}
+		}
+		return Action{
+			Kind: ActionMigrate, Table: t.Table, Range: t.Range,
+			Source: heats[hot].Server, Target: heats[cold].Server,
+		}
+	}
+
+	// Balanced: housekeeping. Fold the coldest adjacent same-master
+	// sibling pair back together.
+	snapFor := func(id wire.ServerID) *ServerHeat {
+		for i := range heats {
+			if heats[i].Server == id {
+				return &heats[i]
+			}
+		}
+		return nil
+	}
+	for i := 0; i+1 < len(tablets); i++ {
+		lo, hi := &tablets[i], &tablets[i+1]
+		if lo.Table != hi.Table || lo.Master != hi.Master || lo.Range.End+1 != hi.Range.Start {
+			continue
+		}
+		sh := snapFor(lo.Master)
+		if sh == nil {
+			continue
+		}
+		combined := heatForRange(sh, lo.Table, lo.Range) + heatForRange(sh, hi.Table, hi.Range)
+		if combined <= cfg.MergeMaxHeat {
+			return Action{
+				Kind: ActionMerge, Table: lo.Table,
+				Range:   wire.HashRange{Start: lo.Range.Start, End: hi.Range.End},
+				MergeAt: hi.Range.Start,
+				Source:  lo.Master,
+			}
+		}
+	}
+	return Action{Kind: ActionNone}
+}
+
+// sloOver reports whether any polled server's queue-wait p99 at the
+// guarded priority exceeds the threshold.
+func (cfg RebalancerConfig) sloOver(heats []ServerHeat) bool {
+	for i := range heats {
+		q := heats[i].QueueWaitP99Micros
+		if int(cfg.SLOPriority) < len(q) && q[cfg.SLOPriority] > cfg.SLOThresholdMicros {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebalancer drives the control loop against a Coordinator. All policy
+// state (enable flag, SLO hysteresis, counters) lives here; the
+// Coordinator only contributes the authoritative map and lineage deps.
+type Rebalancer struct {
+	coord *Coordinator
+	cfg   RebalancerConfig
+	heat  HeatSource
+	mover Mover
+	clock Clock
+
+	mu         sync.Mutex
+	enabled    bool
+	backingOff bool
+	healthy    int
+	inflight   *Dependency // identity of the migration this loop started
+	splits     uint64
+	merges     uint64
+	migrations uint64
+	backoffs   uint64
+	stop       chan struct{}
+	loopDone   chan struct{}
+}
+
+// NewRebalancer wires a rebalancer to a coordinator. heat/mover/clock are
+// injectable; pass nil to get the production implementations (GetHeat and
+// MigrateTablet RPCs over the coordinator's node, the real clock). Nothing
+// runs until Enable.
+func NewRebalancer(c *Coordinator, cfg RebalancerConfig, heat HeatSource, mover Mover, clock Clock) *Rebalancer {
+	cfg.applyDefaults()
+	if heat == nil {
+		heat = &rpcHeatSource{c: c}
+	}
+	if mover == nil {
+		mover = &rpcMover{c: c}
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	r := &Rebalancer{coord: c, cfg: cfg, heat: heat, mover: mover, clock: clock}
+	c.SetRebalancer(r)
+	return r
+}
+
+// SetRebalancer attaches the rebalancer the RebalanceControl RPC drives.
+func (c *Coordinator) SetRebalancer(r *Rebalancer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rebal = r
+}
+
+// LiveServers lists enlisted servers, sorted by ID.
+func (c *Coordinator) LiveServers() []wire.ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveServersLocked()
+}
+
+// TabletsSnapshot copies the authoritative tablet map.
+func (c *Coordinator) TabletsSnapshot() []wire.Tablet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.Tablet(nil), c.tablets...)
+}
+
+// Enable turns scheduling on and, when the config has an interval, starts
+// the background loop. Idempotent.
+func (r *Rebalancer) Enable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enabled = true
+	if r.cfg.Interval > 0 && r.stop == nil {
+		r.stop = make(chan struct{})
+		r.loopDone = make(chan struct{})
+		go r.run(r.stop, r.loopDone)
+	}
+}
+
+// Disable turns scheduling off and stops the background loop. In-flight
+// migrations finish on their own. Idempotent.
+func (r *Rebalancer) Disable() {
+	r.mu.Lock()
+	stop, done := r.stop, r.loopDone
+	r.stop, r.loopDone = nil, nil
+	r.enabled = false
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// RebalancerStatus is a point-in-time view of the loop's state.
+type RebalancerStatus struct {
+	Enabled    bool
+	BackingOff bool
+	Splits     uint64
+	Merges     uint64
+	Migrations uint64
+	Backoffs   uint64
+}
+
+// Status snapshots the loop's state and lifetime counters.
+func (r *Rebalancer) Status() RebalancerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RebalancerStatus{
+		Enabled: r.enabled, BackingOff: r.backingOff,
+		Splits: r.splits, Merges: r.merges,
+		Migrations: r.migrations, Backoffs: r.backoffs,
+	}
+}
+
+func (r *Rebalancer) run(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-r.clock.After(r.cfg.Interval):
+			//lint:ignore ctxcheck loop tick: the background loop has no caller to inherit a deadline from
+			ctx, cancel := context.WithTimeout(context.Background(), 4*r.cfg.Interval+time.Second)
+			r.Tick(ctx)
+			cancel()
+		}
+	}
+}
+
+// Tick runs one decision step: poll heat, apply the SLO guard, plan, and
+// execute at most one action. Safe to drive by hand (that is how every
+// policy test runs it); the returned Action reports what happened.
+func (r *Rebalancer) Tick(ctx context.Context) Action {
+	r.mu.Lock()
+	enabled := r.enabled
+	r.mu.Unlock()
+	if !enabled {
+		return Action{Kind: ActionNone}
+	}
+	// One migration at a time, including migrations this loop did not
+	// start: any registered lineage dependency means the cluster is
+	// already doing transfer work.
+	if len(r.coord.Dependencies()) > 0 {
+		return Action{Kind: ActionWait}
+	}
+	r.mu.Lock()
+	r.inflight = nil // previous migration's dep is gone: it completed
+	r.mu.Unlock()
+
+	live := r.coord.LiveServers()
+	heats := make([]ServerHeat, 0, len(live))
+	for _, id := range live {
+		sh, err := r.heat.ServerHeat(ctx, id)
+		if err != nil {
+			continue // crashed or unreachable: plan without it
+		}
+		heats = append(heats, sh)
+	}
+
+	// SLO guard with hysteresis: trip on any over-threshold poll, resume
+	// only after ResumeAfterTicks consecutive healthy ones.
+	r.mu.Lock()
+	if r.cfg.sloOver(heats) {
+		r.backingOff = true
+		r.healthy = 0
+		r.backoffs++
+		r.mu.Unlock()
+		return Action{Kind: ActionBackoff}
+	}
+	if r.backingOff {
+		r.healthy++
+		if r.healthy < r.cfg.ResumeAfterTicks {
+			r.backoffs++
+			r.mu.Unlock()
+			return Action{Kind: ActionBackoff}
+		}
+		r.backingOff = false
+	}
+	r.mu.Unlock()
+
+	a := r.cfg.plan(r.coord.TabletsSnapshot(), heats)
+	switch a.Kind {
+	case ActionSplit:
+		if resp := r.coord.splitTablet(&wire.SplitTabletRequest{Table: a.Table, SplitAt: a.SplitAt}); resp.Status != wire.StatusOK {
+			return Action{Kind: ActionNone}
+		}
+		r.mu.Lock()
+		r.splits++
+		r.mu.Unlock()
+		if err := r.mover.Migrate(ctx, a.Table, a.Range, a.Source, a.Target); err != nil {
+			return a // split landed; the migrate half retries next tick
+		}
+		r.noteMigration(a)
+	case ActionMigrate:
+		if err := r.mover.Migrate(ctx, a.Table, a.Range, a.Source, a.Target); err != nil {
+			return Action{Kind: ActionNone}
+		}
+		r.noteMigration(a)
+	case ActionMerge:
+		if resp := r.coord.mergeTablets(&wire.MergeTabletsRequest{Table: a.Table, MergeAt: a.MergeAt}); resp.Status == wire.StatusOK {
+			r.mu.Lock()
+			r.merges++
+			r.mu.Unlock()
+		}
+	}
+	return a
+}
+
+func (r *Rebalancer) noteMigration(a Action) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.migrations++
+	r.inflight = &Dependency{Table: a.Table, Range: a.Range, Source: a.Source, Target: a.Target}
+}
+
+// rebalanceControl is the coordinator's RPC face for the loop.
+func (c *Coordinator) rebalanceControl(req *wire.RebalanceControlRequest) *wire.RebalanceControlResponse {
+	c.mu.Lock()
+	r := c.rebal
+	c.mu.Unlock()
+	if r == nil {
+		return &wire.RebalanceControlResponse{Status: wire.StatusInternalError}
+	}
+	if req.Enable {
+		r.Enable()
+	}
+	if req.Disable {
+		r.Disable()
+	}
+	st := r.Status()
+	return &wire.RebalanceControlResponse{
+		Status: wire.StatusOK, Enabled: st.Enabled, BackingOff: st.BackingOff,
+		Splits: st.Splits, Merges: st.Merges, Migrations: st.Migrations, Backoffs: st.Backoffs,
+	}
+}
+
+// rpcHeatSource polls GetHeat over the coordinator's node.
+type rpcHeatSource struct{ c *Coordinator }
+
+func (s *rpcHeatSource) ServerHeat(ctx context.Context, id wire.ServerID) (ServerHeat, error) {
+	reply, err := s.c.node.Call(ctx, id, wire.PriorityForeground, &wire.GetHeatRequest{})
+	if err != nil {
+		return ServerHeat{}, err
+	}
+	resp, ok := reply.(*wire.GetHeatResponse)
+	if !ok || resp.Status != wire.StatusOK {
+		return ServerHeat{}, fmt.Errorf("GetHeat from %v failed", id)
+	}
+	return ServerHeat{Server: id, Tablets: resp.Tablets, QueueWaitP99Micros: resp.QueueWaitP99Micros}, nil
+}
+
+// rpcMover asks the target to drive the migration, exactly as an operator
+// client would (§3: the target owns the whole transfer).
+type rpcMover struct{ c *Coordinator }
+
+func (mv *rpcMover) Migrate(ctx context.Context, table wire.TableID, rng wire.HashRange, source, target wire.ServerID) error {
+	reply, err := mv.c.node.Call(ctx, target, wire.PriorityForeground, &wire.MigrateTabletRequest{Table: table, Range: rng, Source: source})
+	if err != nil {
+		return err
+	}
+	resp, ok := reply.(*wire.MigrateTabletResponse)
+	if !ok || resp.Status != wire.StatusOK {
+		return fmt.Errorf("MigrateTablet to %v rejected", target)
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rocksteady/internal/wire"
+)
+
+// The rebalancer's policy is a pure function and its Tick is a single
+// hand-drivable step, so every test here is deterministic: synthetic heat
+// snapshots in, one pinned decision out. No sleeps, no goroutines, no
+// background loop (Interval stays 0 throughout).
+
+func testCfg() RebalancerConfig {
+	cfg := RebalancerConfig{}
+	cfg.applyDefaults()
+	return cfg
+}
+
+func srvHeat(id wire.ServerID, tablets ...wire.TabletHeat) ServerHeat {
+	return ServerHeat{Server: id, Tablets: tablets, QueueWaitP99Micros: make([]uint64, wire.NumPriorities)}
+}
+
+func TestPlanRebalanceDecisions(t *testing.T) {
+	full := wire.FullRange()
+	lower := wire.HashRange{Start: 0, End: 1<<63 - 1}
+	upper := wire.HashRange{Start: 1 << 63, End: ^uint64(0)}
+	cases := []struct {
+		name    string
+		tablets []wire.Tablet
+		heats   []ServerHeat
+		want    Action
+	}{
+		{
+			name: "balanced is a no-op",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: lower, Master: 10},
+				{Table: 1, Range: upper, Master: 11},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: lower, Heat: 1000}),
+				srvHeat(11, wire.TabletHeat{Table: 1, Range: upper, Heat: 900}),
+			},
+			want: Action{Kind: ActionNone},
+		},
+		{
+			name: "dominant tablet splits at the midpoint and ships the upper half",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: full, Master: 10},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: full, Heat: 1000}),
+				srvHeat(11),
+			},
+			want: Action{
+				Kind: ActionSplit, Table: 1,
+				Range: upper, SplitAt: 1 << 63, Source: 10, Target: 11,
+			},
+		},
+		{
+			name: "spread load migrates the hottest whole tablet",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: lower, Master: 10},
+				{Table: 1, Range: upper, Master: 10},
+			},
+			heats: []ServerHeat{
+				srvHeat(10,
+					wire.TabletHeat{Table: 1, Range: lower, Heat: 300},
+					wire.TabletHeat{Table: 1, Range: upper, Heat: 300}),
+				srvHeat(11),
+			},
+			// Neither tablet carries more than half the load, so no
+			// split; ties break to the lower range, which moves whole.
+			want: Action{Kind: ActionMigrate, Table: 1, Range: lower, Source: 10, Target: 11},
+		},
+		{
+			name: "trickle load below the action floor stays put",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: lower, Master: 10},
+				{Table: 1, Range: upper, Master: 11},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: lower, Heat: 50}),
+				srvHeat(11),
+			},
+			want: Action{Kind: ActionNone},
+		},
+		{
+			name: "narrow dominant tablet migrates instead of splitting",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: wire.HashRange{Start: 0, End: 1 << 20}, Master: 10},
+				{Table: 1, Range: wire.HashRange{Start: 1<<20 + 1, End: ^uint64(0)}, Master: 11},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: wire.HashRange{Start: 0, End: 1 << 20}, Heat: 1000}),
+				srvHeat(11),
+			},
+			want: Action{
+				Kind: ActionMigrate, Table: 1,
+				Range: wire.HashRange{Start: 0, End: 1 << 20}, Source: 10, Target: 11,
+			},
+		},
+		{
+			name: "cold adjacent siblings on one master merge",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: lower, Master: 10},
+				{Table: 1, Range: upper, Master: 10},
+				{Table: 2, Range: full, Master: 11},
+			},
+			heats: []ServerHeat{
+				srvHeat(10,
+					wire.TabletHeat{Table: 1, Range: lower, Heat: 3},
+					wire.TabletHeat{Table: 1, Range: upper, Heat: 2}),
+				srvHeat(11, wire.TabletHeat{Table: 2, Range: full, Heat: 5}),
+			},
+			want: Action{Kind: ActionMerge, Table: 1, Range: full, MergeAt: 1 << 63, Source: 10},
+		},
+		{
+			name: "cold neighbours on different masters never merge",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: lower, Master: 10},
+				{Table: 1, Range: upper, Master: 11},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: lower, Heat: 3}),
+				srvHeat(11, wire.TabletHeat{Table: 1, Range: upper, Heat: 2}),
+			},
+			want: Action{Kind: ActionNone},
+		},
+		{
+			name: "single server has nowhere to shed load",
+			tablets: []wire.Tablet{
+				{Table: 1, Range: full, Master: 10},
+			},
+			heats: []ServerHeat{
+				srvHeat(10, wire.TabletHeat{Table: 1, Range: full, Heat: 100000}),
+			},
+			want: Action{Kind: ActionNone},
+		},
+	}
+	cfg := testCfg()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := cfg.plan(tc.tablets, tc.heats)
+			if got != tc.want {
+				t.Fatalf("plan:\n got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHeatForRangeApportionsByOverlap(t *testing.T) {
+	sh := srvHeat(10, wire.TabletHeat{Table: 1, Range: wire.FullRange(), Heat: 1000})
+	half := heatForRange(&sh, 1, wire.HashRange{Start: 1 << 63, End: ^uint64(0)})
+	if half < 499 || half > 501 {
+		t.Fatalf("upper half of a uniform tablet should carry ~500, got %d", half)
+	}
+	if h := heatForRange(&sh, 2, wire.FullRange()); h != 0 {
+		t.Fatalf("other table attributed heat %d", h)
+	}
+}
+
+// fakeHeat serves canned snapshots; swap lets a test change the cluster's
+// apparent load between ticks.
+type fakeHeat struct {
+	mu    sync.Mutex
+	snaps map[wire.ServerID]ServerHeat
+}
+
+func (f *fakeHeat) ServerHeat(_ context.Context, id wire.ServerID) (ServerHeat, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snaps[id], nil
+}
+
+func (f *fakeHeat) set(sh ServerHeat) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.snaps[sh.Server] = sh
+}
+
+// fakeMover records migrations instead of performing them.
+type fakeMover struct {
+	mu    sync.Mutex
+	calls []Action
+}
+
+func (f *fakeMover) Migrate(_ context.Context, table wire.TableID, rng wire.HashRange, source, target wire.ServerID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, Action{Table: table, Range: rng, Source: source, Target: target})
+	return nil
+}
+
+func (f *fakeMover) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// tickRig is a live coordinator (with fake grant-acking servers) plus an
+// injected heat source and mover, driven tick by tick.
+type tickRig struct {
+	*rig
+	reb   *Rebalancer
+	heat  *fakeHeat
+	mover *fakeMover
+	table wire.TableID
+}
+
+func newTickRig(t *testing.T, cfg RebalancerConfig) *tickRig {
+	t.Helper()
+	r := newRig(t, 10, 11)
+	ct := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10}}).(*wire.CreateTableResponse)
+	fh := &fakeHeat{snaps: map[wire.ServerID]ServerHeat{
+		10: srvHeat(10),
+		11: srvHeat(11),
+	}}
+	fm := &fakeMover{}
+	reb := NewRebalancer(r.coord, cfg, fh, fm, nil)
+	return &tickRig{rig: r, reb: reb, heat: fh, mover: fm, table: ct.Table}
+}
+
+// hotSnap reports the whole table's load concentrated on server 10.
+func (tr *tickRig) hotSnap(p99Micros uint64) ServerHeat {
+	sh := srvHeat(10, wire.TabletHeat{Table: tr.table, Range: wire.FullRange(), Heat: 100000})
+	sh.QueueWaitP99Micros[wire.PriorityBackground] = p99Micros
+	return sh
+}
+
+func TestRebalancerTickDisabledDoesNothing(t *testing.T) {
+	tr := newTickRig(t, RebalancerConfig{})
+	tr.heat.set(tr.hotSnap(0))
+	if a := tr.reb.Tick(context.Background()); a.Kind != ActionNone {
+		t.Fatalf("disabled tick acted: %+v", a)
+	}
+	if tr.mover.count() != 0 {
+		t.Fatal("disabled rebalancer migrated")
+	}
+}
+
+func TestRebalancerTickSplitsAndMigrates(t *testing.T) {
+	tr := newTickRig(t, RebalancerConfig{})
+	tr.reb.Enable()
+	tr.heat.set(tr.hotSnap(0))
+	a := tr.reb.Tick(context.Background())
+	if a.Kind != ActionSplit || a.SplitAt != 1<<63 || a.Source != 10 || a.Target != 11 {
+		t.Fatalf("tick: %+v", a)
+	}
+	// The split landed in the authoritative map…
+	tm := tr.tabletMap(t)
+	if len(tm.Tablets) != 2 {
+		t.Fatalf("map after split: %+v", tm.Tablets)
+	}
+	// …and the upper half was handed to the mover.
+	if tr.mover.count() != 1 {
+		t.Fatalf("mover calls: %d", tr.mover.count())
+	}
+	if got := tr.mover.calls[0]; got.Range != (wire.HashRange{Start: 1 << 63, End: ^uint64(0)}) || got.Target != 11 {
+		t.Fatalf("mover saw %+v", got)
+	}
+	st := tr.reb.Status()
+	if st.Splits != 1 || st.Migrations != 1 || st.Backoffs != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestRebalancerWaitsWhileMigrationInFlight(t *testing.T) {
+	tr := newTickRig(t, RebalancerConfig{})
+	tr.reb.Enable()
+	tr.heat.set(tr.hotSnap(0))
+	// Register a real lineage dependency, as a target's MigrateStart would.
+	ms := tr.call(t, &wire.MigrateStartRequest{
+		Table: tr.table, Range: wire.HashRange{Start: 1 << 63, End: ^uint64(0)},
+		Source: 10, Target: 11,
+	}).(*wire.MigrateStartResponse)
+	if ms.Status != wire.StatusOK {
+		t.Fatal(ms)
+	}
+	if a := tr.reb.Tick(context.Background()); a.Kind != ActionWait {
+		t.Fatalf("tick during migration: %+v", a)
+	}
+	if tr.mover.count() != 0 {
+		t.Fatal("scheduled a second migration while one was in flight")
+	}
+	// Completion clears the dependency; the next tick acts again.
+	md := tr.call(t, &wire.MigrateDoneRequest{
+		Table: tr.table, Range: wire.HashRange{Start: 1 << 63, End: ^uint64(0)},
+		Source: 10, Target: 11,
+	}).(*wire.MigrateDoneResponse)
+	if md.Status != wire.StatusOK {
+		t.Fatal(md)
+	}
+	if a := tr.reb.Tick(context.Background()); a.Kind == ActionWait {
+		t.Fatalf("still waiting after MigrateDone: %+v", a)
+	}
+}
+
+func TestRebalancerSLOGuardBackoffAndResume(t *testing.T) {
+	cfg := RebalancerConfig{SLOThresholdMicros: 1000, ResumeAfterTicks: 3}
+	tr := newTickRig(t, cfg)
+	tr.reb.Enable()
+
+	// Hot cluster, but the guarded queue is over threshold: the guard must
+	// pause scheduling outright.
+	tr.heat.set(tr.hotSnap(5000))
+	if a := tr.reb.Tick(context.Background()); a.Kind != ActionBackoff {
+		t.Fatalf("over-SLO tick: %+v", a)
+	}
+	if tr.mover.count() != 0 {
+		t.Fatal("guard let a migration through while over SLO")
+	}
+
+	// Hysteresis: the first two healthy ticks still hold back.
+	tr.heat.set(tr.hotSnap(100))
+	for i := 0; i < cfg.ResumeAfterTicks-1; i++ {
+		if a := tr.reb.Tick(context.Background()); a.Kind != ActionBackoff {
+			t.Fatalf("healthy tick %d resumed early: %+v", i+1, a)
+		}
+	}
+	if tr.mover.count() != 0 {
+		t.Fatal("resumed before the hysteresis window closed")
+	}
+
+	// A relapse mid-recovery resets the healthy count.
+	tr.heat.set(tr.hotSnap(5000))
+	if a := tr.reb.Tick(context.Background()); a.Kind != ActionBackoff {
+		t.Fatal("relapse not caught")
+	}
+	tr.heat.set(tr.hotSnap(100))
+	for i := 0; i < cfg.ResumeAfterTicks-1; i++ {
+		if a := tr.reb.Tick(context.Background()); a.Kind != ActionBackoff {
+			t.Fatalf("post-relapse healthy tick %d resumed early: %+v", i+1, a)
+		}
+	}
+
+	// The ResumeAfterTicks-th consecutive healthy tick acts again.
+	a := tr.reb.Tick(context.Background())
+	if a.Kind != ActionSplit {
+		t.Fatalf("resume tick: %+v", a)
+	}
+	if tr.mover.count() != 1 {
+		t.Fatalf("mover calls after resume: %d", tr.mover.count())
+	}
+	st := tr.reb.Status()
+	if st.BackingOff {
+		t.Fatal("still marked backing off after resume")
+	}
+	if st.Backoffs != 6 { // 1 trip + 2 held + 1 relapse + 2 held
+		t.Fatalf("backoff count: %d", st.Backoffs)
+	}
+}
+
+func TestRebalancerMergesColdSiblings(t *testing.T) {
+	tr := newTickRig(t, RebalancerConfig{})
+	tr.reb.Enable()
+	// Split the table so the map has two same-master siblings, then report
+	// them both cold.
+	sp := tr.call(t, &wire.SplitTabletRequest{Table: tr.table, SplitAt: 1 << 63}).(*wire.SplitTabletResponse)
+	if sp.Status != wire.StatusOK {
+		t.Fatal(sp)
+	}
+	sh := srvHeat(10,
+		wire.TabletHeat{Table: tr.table, Range: wire.HashRange{Start: 0, End: 1<<63 - 1}, Heat: 2},
+		wire.TabletHeat{Table: tr.table, Range: wire.HashRange{Start: 1 << 63, End: ^uint64(0)}, Heat: 1})
+	tr.heat.set(sh)
+	a := tr.reb.Tick(context.Background())
+	if a.Kind != ActionMerge || a.MergeAt != 1<<63 {
+		t.Fatalf("tick: %+v", a)
+	}
+	if n := len(tr.tabletMap(t).Tablets); n != 1 {
+		t.Fatalf("tablets after merge: %d", n)
+	}
+	if st := tr.reb.Status(); st.Merges != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestRebalanceControlRPC(t *testing.T) {
+	tr := newTickRig(t, RebalancerConfig{})
+	resp := tr.call(t, &wire.RebalanceControlRequest{}).(*wire.RebalanceControlResponse)
+	if resp.Status != wire.StatusOK || resp.Enabled {
+		t.Fatalf("initial status: %+v", resp)
+	}
+	resp = tr.call(t, &wire.RebalanceControlRequest{Enable: true}).(*wire.RebalanceControlResponse)
+	if !resp.Enabled {
+		t.Fatalf("enable: %+v", resp)
+	}
+	// Interval is 0, so enabling must not have started a loop; ticks are
+	// still entirely ours. Drive one and read the counters back over RPC.
+	tr.heat.set(tr.hotSnap(0))
+	tr.reb.Tick(context.Background())
+	resp = tr.call(t, &wire.RebalanceControlRequest{}).(*wire.RebalanceControlResponse)
+	if resp.Splits != 1 || resp.Migrations != 1 {
+		t.Fatalf("counters over RPC: %+v", resp)
+	}
+	resp = tr.call(t, &wire.RebalanceControlRequest{Disable: true}).(*wire.RebalanceControlResponse)
+	if resp.Enabled {
+		t.Fatalf("disable: %+v", resp)
+	}
+	if a := tr.reb.Tick(context.Background()); a.Kind != ActionNone {
+		t.Fatalf("tick after disable: %+v", a)
+	}
+}
+
+// masterFor routes a hash through a tablet map snapshot.
+func masterFor(tablets []wire.Tablet, table wire.TableID, h uint64) wire.ServerID {
+	for _, t := range tablets {
+		if t.Table == table && t.Range.Contains(h) {
+			return t.Master
+		}
+	}
+	return 0
+}
+
+// TestCoordinatorSplitMergeRoutingProperty: no sequence of coordinator
+// split/merge map surgery may change which server any of 10k hashed keys
+// routes to — boundaries move, ownership never does.
+func TestCoordinatorSplitMergeRoutingProperty(t *testing.T) {
+	r := newRig(t, 10, 11)
+	ct := r.call(t, &wire.CreateTableRequest{Name: "t", Servers: []wire.ServerID{10, 11}}).(*wire.CreateTableResponse)
+
+	hashes := make([]uint64, 10000)
+	base := make([]wire.ServerID, len(hashes))
+	start := r.tabletMap(t).Tablets
+	for i := range hashes {
+		hashes[i] = wire.HashKey([]byte(fmt.Sprintf("coord-key-%06d", i)))
+		base[i] = masterFor(start, ct.Table, hashes[i])
+		if base[i] == 0 {
+			t.Fatalf("key %d unrouted at start", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 60; step++ {
+		tm := r.tabletMap(t).Tablets
+		if len(tm) > 2 && rng.Intn(2) == 0 {
+			// Merge a random interior boundary; cross-master boundaries
+			// must be refused, same-master ones must succeed.
+			vic := tm[1+rng.Intn(len(tm)-1)]
+			mg := r.call(t, &wire.MergeTabletsRequest{Table: ct.Table, MergeAt: vic.Range.Start}).(*wire.MergeTabletsResponse)
+			prev := tm[0]
+			for _, e := range tm {
+				if e.Range.End+1 == vic.Range.Start {
+					prev = e
+				}
+			}
+			wantOK := prev.Master == vic.Master
+			if (mg.Status == wire.StatusOK) != wantOK {
+				t.Fatalf("step %d: merge at %#x got %v (masters %v/%v)", step, vic.Range.Start, mg.Status, prev.Master, vic.Master)
+			}
+		} else {
+			sp := r.call(t, &wire.SplitTabletRequest{Table: ct.Table, SplitAt: rng.Uint64()}).(*wire.SplitTabletResponse)
+			if sp.Status != wire.StatusOK {
+				t.Fatalf("step %d: split: %v", step, sp.Status)
+			}
+		}
+		tm = r.tabletMap(t).Tablets
+		for i, h := range hashes {
+			if got := masterFor(tm, ct.Table, h); got != base[i] {
+				t.Fatalf("step %d: key %d rerouted %v -> %v", step, i, base[i], got)
+			}
+		}
+	}
+}

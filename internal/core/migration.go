@@ -197,7 +197,7 @@ func (g *Migration) begin() wire.Status {
 	reply, err = srv.Node().CallWithRetries(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: g.Table, Range: g.Range,
 		Source: g.Source, Target: srv.ID(),
-		TargetLogOffset: srv.Log().AppendedBytes(),
+		TargetLogWatermark: srv.Log().CurrentEpoch(),
 	}, transport.DefaultRetryPolicy())
 	if err != nil {
 		// Ambiguous: the transfer may have registered with every response
@@ -607,7 +607,7 @@ func (g *Migration) completeRetainOwnership() {
 	srv.RegisterTablet(g.Table, g.Range, server.TabletNormal)
 	if _, err := srv.Node().Call(g.ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.MigrateStartRequest{
 		Table: g.Table, Range: g.Range, Source: g.Source, Target: srv.ID(),
-		TargetLogOffset: srv.Log().AppendedBytes(),
+		TargetLogWatermark: srv.Log().CurrentEpoch(),
 	}); err != nil {
 		g.fail(err)
 		return

@@ -32,6 +32,10 @@ type Replayer struct {
 	// Filter restricts replay to matching records; nil accepts all.
 	Filter func(table wire.TableID, keyHash uint64) bool
 
+	// epochFloor, while non-zero, drops entries whose append epoch is at
+	// or below it (set transiently by AddBackupSegmentsAbove).
+	epochFloor uint64
+
 	state map[string]*keyState
 
 	// Malformed counts entries that failed checksum or structural checks
@@ -77,6 +81,9 @@ func (r *Replayer) apply(h storage.EntryHeader, key, value []byte) {
 	case storage.EntryObject, storage.EntryTombstone:
 	default:
 		return // side-log commit markers carry no data
+	}
+	if r.epochFloor != 0 && h.Epoch <= r.epochFloor {
+		return
 	}
 	if r.Filter != nil && !r.Filter(h.Table, wire.HashKey(key)) {
 		return
@@ -137,6 +144,19 @@ func (r *Replayer) AddBackupSegments(segs []wire.BackupSegment) {
 	for _, k := range keys {
 		r.AddSegment(seen[k])
 	}
+}
+
+// AddBackupSegmentsAbove is AddBackupSegments restricted to entries whose
+// append epoch exceeds floor. This is the §3.4 lineage replay of a
+// migration target's log *tail*: the dependency's watermark scopes replay
+// to what the target logged after taking ownership, so stale records from
+// an earlier ownership of the same range (a rebalancer migrating a tablet
+// back to a former master) can never resurrect. A floor of zero replays
+// everything — the watermark of a target whose log was empty at transfer.
+func (r *Replayer) AddBackupSegmentsAbove(segs []wire.BackupSegment, floor uint64) {
+	r.epochFloor = floor
+	r.AddBackupSegments(segs)
+	r.epochFloor = 0
 }
 
 // Live returns every surviving record (deletions folded away), sorted by

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+
+	"rocksteady/internal/storage"
+	"rocksteady/internal/wire"
+)
+
+// heatState folds the HeatMap's cumulative sample counters into decayed
+// per-(table, bucket) activity estimates. Everything here is off the hot
+// path: drains happen only when a snapshot is requested (Server.Stats, the
+// GetHeat RPC), under a plain mutex.
+//
+// Decay is deterministic and clock-free: each drain computes the interval
+// delta since the previous drain and folds it in with an EWMA of weight
+// one half — heat = (heat + delta) / 2 — so "heat" reads as a decayed
+// accesses-per-polling-interval estimate. A caller that polls at a fixed
+// cadence (the rebalancer) gets a rate; a test that drives drains by hand
+// gets exactly reproducible values.
+type heatState struct {
+	mu      sync.Mutex
+	prev    map[wire.TableID]*[storage.HeatBuckets]uint64
+	decayed map[wire.TableID]*[storage.HeatBuckets]float64
+}
+
+func newHeatState() *heatState {
+	return &heatState{
+		prev:    make(map[wire.TableID]*[storage.HeatBuckets]uint64),
+		decayed: make(map[wire.TableID]*[storage.HeatBuckets]float64),
+	}
+}
+
+// drain diffs hm's cumulative counters against the previous drain and
+// applies one decay step, returning the decayed per-bucket estimates.
+func (hs *heatState) drain(hm *storage.HeatMap) map[wire.TableID]*[storage.HeatBuckets]float64 {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	for _, th := range hm.Snapshot() {
+		p := hs.prev[th.Table]
+		if p == nil {
+			p = new([storage.HeatBuckets]uint64)
+			hs.prev[th.Table] = p
+		}
+		d := hs.decayed[th.Table]
+		if d == nil {
+			d = new([storage.HeatBuckets]float64)
+			hs.decayed[th.Table] = d
+		}
+		for b := 0; b < storage.HeatBuckets; b++ {
+			delta := th.Buckets[b] - p[b]
+			p[b] = th.Buckets[b]
+			d[b] = (d[b] + float64(delta)) / 2
+		}
+	}
+	return hs.decayed
+}
+
+// HeatSnapshot drains the heat map and apportions the decayed per-bucket
+// estimates onto the server's current tablets. Buckets that straddle a
+// tablet boundary are split proportionally by hash-space overlap, so
+// sub-bucket tablets still get a sensible (if coarser) estimate.
+func (s *Server) HeatSnapshot() []wire.TabletHeat {
+	decayed := s.heatAgg.drain(s.heat)
+	// The caller-visible invariant: one entry per registered tablet, in
+	// registry order, heat zero when the table was never tracked.
+	tm := s.tabletSnapshot()
+	out := make([]wire.TabletHeat, 0, len(tm.entries))
+	for _, t := range tm.entries {
+		th := wire.TabletHeat{Table: t.table, Range: t.rng}
+		if d := decayed[t.table]; d != nil {
+			th.Heat = apportionHeat(d, t.rng)
+		}
+		out = append(out, th)
+	}
+	return out
+}
+
+// apportionHeat sums the decayed bucket estimates overlapping rng, scaling
+// partial buckets by their overlap fraction.
+func apportionHeat(d *[storage.HeatBuckets]float64, rng wire.HashRange) uint64 {
+	const bucketWidth = float64(1 << (64 - 8)) // hash-space span per bucket
+	total := 0.0
+	lo := int(rng.Start >> (64 - 8))
+	hi := int(rng.End >> (64 - 8))
+	for b := lo; b <= hi; b++ {
+		bStart := uint64(b) << (64 - 8)
+		bEnd := bStart + uint64(1)<<(64-8) - 1
+		start, end := bStart, bEnd
+		if rng.Start > start {
+			start = rng.Start
+		}
+		if rng.End < end {
+			end = rng.End
+		}
+		frac := float64(end-start+1) / bucketWidth
+		total += d[b] * frac
+	}
+	return uint64(total)
+}
+
+// handleGetHeat serves the rebalancer's polling RPC: the decayed tablet
+// heat plus the per-priority dispatch queue-wait p99s that feed the SLO
+// guard.
+func (s *Server) handleGetHeat() *wire.GetHeatResponse {
+	resp := &wire.GetHeatResponse{
+		Status:             wire.StatusOK,
+		Tablets:            s.HeatSnapshot(),
+		QueueWaitP99Micros: make([]uint64, wire.NumPriorities),
+	}
+	for p := wire.Priority(0); p < wire.NumPriorities; p++ {
+		resp.QueueWaitP99Micros[p] = uint64(s.sched.QueueWaitHistogram(p).Percentile(99).Microseconds())
+	}
+	return resp
+}

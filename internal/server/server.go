@@ -53,6 +53,10 @@ type Config struct {
 	// transport.DefaultRPCTimeout). It is a local liveness guard; caller
 	// deadlines travel in the request context instead.
 	RPCTimeout time.Duration
+	// HeatSampleShift controls access-heat sampling: one access in
+	// 2^shift is recorded (0 = storage.DefaultHeatSampleShift; negative =
+	// sample every access, which deterministic tests use).
+	HeatSampleShift int
 }
 
 func (c *Config) applyDefaults() {
@@ -70,6 +74,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RetryHintMicros == 0 {
 		c.RetryHintMicros = 40
+	}
+	if c.HeatSampleShift == 0 {
+		c.HeatSampleShift = storage.DefaultHeatSampleShift
+	}
+	if c.HeatSampleShift < 0 {
+		c.HeatSampleShift = 0
 	}
 }
 
@@ -141,6 +151,11 @@ type Server struct {
 	// stats is sharded per worker so hot-path increments never contend
 	// across cores; Stats() aggregates (see stats.go).
 	stats *shardedStats
+
+	// heat tracks sampled per-tablet access counts for the rebalancer
+	// (sharded like stats; see heat.go and storage/heat.go).
+	heat    *storage.HeatMap
+	heatAgg *heatState
 }
 
 // New creates a server on the given endpoint and starts serving.
@@ -158,6 +173,8 @@ func New(cfg Config, ep transport.Endpoint) *Server {
 	}
 	s.tablets.Store(emptyTabletMap)
 	s.stats = newShardedStats(cfg.Workers)
+	s.heat = storage.NewHeatMap(cfg.Workers, uint(cfg.HeatSampleShift))
+	s.heatAgg = newHeatState()
 	s.store.WriteBandwidth = cfg.BackupWriteBandwidth
 	s.repl = backup.NewReplicator(s.node, cfg.ID, cfg.Backups, cfg.ReplicationFactor)
 	// One log head per dispatch worker: a worker appends under its own
@@ -250,8 +267,13 @@ func (s *Server) Replicator() *backup.Replicator { return s.repl }
 func (s *Server) Indexes() *index.Manager { return s.idx }
 
 // Stats returns a point-in-time aggregate of the server's counters
-// (summed across the per-worker shards).
-func (s *Server) Stats() *Stats { return s.stats.snapshot() }
+// (summed across the per-worker shards) plus the decayed per-tablet heat
+// snapshot (each call is one heat drain/decay step; see heat.go).
+func (s *Server) Stats() *Stats {
+	out := s.stats.snapshot()
+	out.TabletHeat = s.HeatSnapshot()
+	return out
+}
 
 // ShedCounts reports deadline-expired requests shed from the dispatch
 // queues without running, in total and per priority.
@@ -374,6 +396,8 @@ func (s *Server) handle(ctx context.Context, m *wire.Message, st *statShard) {
 	case *wire.TakeTabletsRequest:
 		s.node.Reply(m, s.handleTakeTablets(ctx, st, req))
 		s.recycleRecords(req.Records)
+	case *wire.GetHeatRequest:
+		s.node.Reply(m, s.handleGetHeat())
 	case *wire.PingRequest:
 		s.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
 	default:
@@ -429,6 +453,7 @@ func (s *Server) readOne(tm *tabletMap, st *statShard, table wire.TableID, key [
 		st.wrongServer.Add(1)
 		return &wire.ReadResponse{Status: wire.StatusWrongServer}
 	}
+	s.heat.Record(st.wk, table, hash)
 	if ref, ok := s.ht.Get(table, key, hash); ok {
 		return s.respondFromRef(st, ref)
 	}
@@ -475,6 +500,7 @@ func (s *Server) handleWrite(ctx context.Context, st *statShard, req *wire.Write
 // append lands on the executing worker's log shard (st.wk), so parallel
 // writers on different workers never contend on one head lock.
 func (s *Server) applyWrite(st *statShard, table wire.TableID, key []byte, hash uint64, value []byte) (uint64, wire.Status) {
+	s.heat.Record(st.wk, table, hash)
 	ref, version, err := s.log.AppendObjectW(st.wk, table, key, value)
 	if err != nil {
 		return 0, wire.StatusInternalError
@@ -616,6 +642,7 @@ func (s *Server) handleMultiGetByHash(st *statShard, req *wire.MultiGetByHashReq
 			st.wrongServer.Add(1)
 			return &wire.MultiGetByHashResponse{Status: wire.StatusWrongServer}
 		}
+		s.heat.Record(st.wk, req.Table, hash)
 		refs := s.ht.GetByHash(req.Table, hash)
 		if len(refs) == 0 && state == TabletMigratingIn {
 			if h := s.migrationHandler(); h != nil {

@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"rocksteady/internal/wire"
+)
 
 // Stats exposes the server counters the figures sample. Server.Stats()
 // returns a point-in-time aggregate of the per-worker shards; the atomic
@@ -16,6 +20,10 @@ type Stats struct {
 	PullBytesServed   atomic.Int64
 	PriorityPulls     atomic.Int64
 	PriorityPullBytes atomic.Int64
+	// TabletHeat is the decayed per-tablet access estimate at snapshot
+	// time (one entry per registered tablet; see heat.go). Filled by
+	// Server.Stats, not by the shard aggregation.
+	TabletHeat []wire.TabletHeat
 }
 
 // statShard is one worker's private slice of the server counters. Every

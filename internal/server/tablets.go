@@ -50,6 +50,9 @@ func (s *Server) tabletFor(table wire.TableID, hash uint64) (TabletState, bool) 
 // of migration" works at the server: boundaries appear exactly when a
 // migration (or grant) names them.
 func (s *Server) RegisterTablet(table wire.TableID, rng wire.HashRange, state TabletState) {
+	// Heat tracking keys off registered tables; registering here (rare,
+	// off the hot path) is what lets Record stay allocation-free.
+	s.heat.RegisterTable(table)
 	s.tabletMu.Lock()
 	defer s.tabletMu.Unlock()
 	cur := s.tablets.Load()
@@ -131,6 +134,71 @@ func (s *Server) abortMigratingOut(table wire.TableID, rng wire.HashRange) {
 	if changed {
 		s.tablets.Store(&tabletMap{entries: next})
 	}
+}
+
+// SplitTablet materializes a boundary at (table, at) in the server's own
+// routing map: the entry containing the hash becomes two entries of the
+// same state. Pure RCU map surgery — no record moves, readers mid-request
+// keep routing off the old snapshot. Returns false when no entry contains
+// the hash or the boundary already exists.
+func (s *Server) SplitTablet(table wire.TableID, at uint64) bool {
+	s.tabletMu.Lock()
+	defer s.tabletMu.Unlock()
+	cur := s.tablets.Load()
+	for i := range cur.entries {
+		t := cur.entries[i]
+		if t.table != table || !t.rng.Contains(at) || t.rng.Start == at {
+			continue
+		}
+		next := make([]tabletEntry, 0, len(cur.entries)+1)
+		next = append(next, cur.entries[:i]...)
+		next = append(next,
+			tabletEntry{table: table, rng: wire.HashRange{Start: t.rng.Start, End: at - 1}, state: t.state},
+			tabletEntry{table: table, rng: wire.HashRange{Start: at, End: t.rng.End}, state: t.state})
+		next = append(next, cur.entries[i+1:]...)
+		s.tablets.Store(&tabletMap{entries: next})
+		return true
+	}
+	return false
+}
+
+// MergeTablets erases the boundary at (table, at): the two entries meeting
+// there coalesce into one. The inverse of SplitTablet; refused unless both
+// neighbours exist and share a state (merging across a migration state
+// would blur which keys are immutable). Returns false when refused.
+func (s *Server) MergeTablets(table wire.TableID, at uint64) bool {
+	s.tabletMu.Lock()
+	defer s.tabletMu.Unlock()
+	cur := s.tablets.Load()
+	lo, hi := -1, -1
+	for i := range cur.entries {
+		t := &cur.entries[i]
+		if t.table != table {
+			continue
+		}
+		if t.rng.End == at-1 {
+			lo = i
+		}
+		if t.rng.Start == at {
+			hi = i
+		}
+	}
+	if lo < 0 || hi < 0 || cur.entries[lo].state != cur.entries[hi].state {
+		return false
+	}
+	next := make([]tabletEntry, 0, len(cur.entries)-1)
+	for i := range cur.entries {
+		if i == hi {
+			continue
+		}
+		e := cur.entries[i]
+		if i == lo {
+			e.rng.End = cur.entries[hi].rng.End
+		}
+		next = append(next, e)
+	}
+	s.tablets.Store(&tabletMap{entries: next})
+	return true
 }
 
 // Tablets snapshots the registry (tests, debugging).

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"rocksteady/internal/wire"
+)
+
+// HeatBuckets is the spatial resolution of heat tracking: accesses are
+// binned by the top 8 bits of the key hash, so each bucket covers 1/256 of
+// the hash space. Tablet boundaries produced by midpoint splits of
+// full-range tablets stay bucket-aligned for the first eight levels of
+// splitting; sub-bucket tablets are apportioned proportionally at snapshot
+// time.
+const HeatBuckets = 256
+
+// heatBucketShift maps a 64-bit key hash to its bucket index.
+const heatBucketShift = 64 - 8
+
+// DefaultHeatSampleShift samples one access in 32: cheap enough to sit on
+// the seqlock read path (one uncontended atomic add per access, one more
+// per sample) while a 1k-access hotspot still lands ~32 samples — far
+// above the noise floor for the rebalancer's ranking.
+const DefaultHeatSampleShift = 5
+
+// heatTableSet is the RCU-published registry of tracked tables together
+// with their counter blocks. counts is indexed [shard][table][bucket],
+// flattened; a published set's slices are never written to except through
+// the atomic counters themselves.
+type heatTableSet struct {
+	ids []wire.TableID
+	// counts holds shards × len(ids) × HeatBuckets cumulative sample
+	// counters.
+	counts []atomic.Uint64
+}
+
+// index returns the position of table in the set, or -1 when untracked.
+//
+//lint:hotpath
+func (ts *heatTableSet) index(table wire.TableID) int {
+	for i, id := range ts.ids {
+		if id == table {
+			return i
+		}
+	}
+	return -1
+}
+
+// heatShard is one worker's private sampling clock, padded so adjacent
+// shards never share a cache line (same discipline as server.statShard).
+type heatShard struct {
+	ops atomic.Uint64
+	_   [120]byte
+}
+
+// HeatMap tracks sampled per-(table, hash-bucket) access counts with
+// per-worker sharding: the hot path touches only its own shard's sampling
+// clock and, one access in 2^sampleShift, its own shard's bucket counter —
+// no cross-core cache-line traffic, no allocation. Table registration (off
+// the hot path, at tablet grant time) republishes the counter set
+// RCU-style; samples racing a registration may be dropped, which is fine
+// for an estimator.
+type HeatMap struct {
+	shards      int
+	sampleShift uint
+	clocks      []heatShard
+	tables      atomic.Pointer[heatTableSet]
+}
+
+// NewHeatMap creates a heat map for workers shards plus one spill shard
+// (index workers) for off-pool callers, sampling one access in
+// 2^sampleShift (shift 0 records every access; deterministic tests use
+// that).
+func NewHeatMap(workers int, sampleShift uint) *HeatMap {
+	hm := &HeatMap{
+		shards:      workers + 1,
+		sampleShift: sampleShift,
+		clocks:      make([]heatShard, workers+1),
+	}
+	hm.tables.Store(&heatTableSet{})
+	return hm
+}
+
+// SampleRate returns how many accesses each recorded sample represents.
+func (hm *HeatMap) SampleRate() uint64 { return 1 << hm.sampleShift }
+
+// RegisterTable starts tracking a table. Idempotent; copy-on-write, so
+// concurrent Record calls keep running against the previous set (their
+// samples for the copied tables carry over; samples racing the swap may be
+// lost).
+func (hm *HeatMap) RegisterTable(table wire.TableID) {
+	for {
+		cur := hm.tables.Load()
+		if cur.index(table) >= 0 {
+			return
+		}
+		next := &heatTableSet{
+			ids:    append(append([]wire.TableID(nil), cur.ids...), table),
+			counts: make([]atomic.Uint64, hm.shards*(len(cur.ids)+1)*HeatBuckets),
+		}
+		// Carry cumulative counts over so Drain deltas stay exact across a
+		// registration.
+		old := len(cur.ids)
+		for sh := 0; sh < hm.shards; sh++ {
+			for t := 0; t < old; t++ {
+				for b := 0; b < HeatBuckets; b++ {
+					v := cur.counts[(sh*old+t)*HeatBuckets+b].Load()
+					next.counts[(sh*len(next.ids)+t)*HeatBuckets+b].Store(v)
+				}
+			}
+		}
+		if hm.tables.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Record notes one access to (table, hash) from worker shard. Out-of-range
+// shards (including the -1 used by non-worker callers) map to the spill
+// shard. Every call costs one uncontended atomic add; one in
+// 2^sampleShift additionally bumps the bucket counter. Unregistered
+// tables are ignored.
+//
+//lint:hotpath
+func (hm *HeatMap) Record(shard int, table wire.TableID, hash uint64) {
+	if shard < 0 || shard >= hm.shards-1 {
+		shard = hm.shards - 1
+	}
+	n := hm.clocks[shard].ops.Add(1)
+	if n&(1<<hm.sampleShift-1) != 0 {
+		return
+	}
+	ts := hm.tables.Load()
+	t := ts.index(table)
+	if t < 0 {
+		return
+	}
+	ts.counts[(shard*len(ts.ids)+t)*HeatBuckets+int(hash>>heatBucketShift)].Add(1)
+}
+
+// TableHeat is one table's cumulative per-bucket sample counts, summed
+// across shards and scaled by the sample rate to estimate true accesses.
+type TableHeat struct {
+	Table   wire.TableID
+	Buckets [HeatBuckets]uint64
+}
+
+// Snapshot sums every shard's cumulative counters. Counters are monotonic;
+// callers diff successive snapshots to get interval deltas (see
+// server.heatState).
+func (hm *HeatMap) Snapshot() []TableHeat {
+	ts := hm.tables.Load()
+	out := make([]TableHeat, len(ts.ids))
+	rate := hm.SampleRate()
+	for t, id := range ts.ids {
+		out[t].Table = id
+		for sh := 0; sh < hm.shards; sh++ {
+			base := (sh*len(ts.ids) + t) * HeatBuckets
+			for b := 0; b < HeatBuckets; b++ {
+				out[t].Buckets[b] += ts.counts[base+b].Load() * rate
+			}
+		}
+	}
+	return out
+}

@@ -96,13 +96,27 @@ func seedMessages() []*Message {
 		{ID: 23, From: 9, To: CoordinatorID, Op: OpCreateIndex,
 			Body: &CreateIndexRequest{Table: 3, Servers: []ServerID{7, 8}, SplitKeys: [][]byte{[]byte("m")}}},
 		{ID: 24, From: 8, To: CoordinatorID, Op: OpMigrateStart,
-			Body: &MigrateStartRequest{Table: 3, Range: FullRange(), Source: 7, Target: 8, TargetLogOffset: 33}},
+			Body: &MigrateStartRequest{Table: 3, Range: FullRange(), Source: 7, Target: 8, TargetLogWatermark: 33}},
 		{ID: 25, From: 8, To: CoordinatorID, Op: OpMigrateDone,
 			Body: &MigrateDoneRequest{Table: 3, Range: FullRange(), Source: 7, Target: 8}},
 		{ID: 26, From: 9, To: CoordinatorID, Op: OpSplitTablet,
 			Body: &SplitTabletRequest{Table: 3, SplitAt: 1 << 62}},
 		{ID: 27, From: 7, To: CoordinatorID, Op: OpEnlistServer, Body: &EnlistServerRequest{Server: 7}},
 		{ID: 28, From: 9, To: CoordinatorID, Op: OpReportCrash, Body: &ReportCrashRequest{Server: 7}},
+		{ID: 32, From: 9, To: CoordinatorID, Op: OpMergeTablets,
+			Body: &MergeTabletsRequest{Table: 3, MergeAt: 1 << 62}},
+		{ID: 32, From: CoordinatorID, To: 9, Op: OpMergeTablets, IsResponse: true,
+			Body: &MergeTabletsResponse{Status: StatusOK, MapVersion: 8}},
+		{ID: 33, From: CoordinatorID, To: 7, Op: OpGetHeat, Body: &GetHeatRequest{}},
+		{ID: 33, From: 7, To: CoordinatorID, Op: OpGetHeat, IsResponse: true,
+			Body: &GetHeatResponse{Status: StatusOK,
+				Tablets:            []TabletHeat{{Table: 3, Range: FullRange(), Heat: 12345}},
+				QueueWaitP99Micros: []uint64{10, 55, 200, 900}}},
+		{ID: 34, From: 9, To: CoordinatorID, Op: OpRebalanceControl,
+			Body: &RebalanceControlRequest{Enable: true}},
+		{ID: 34, From: CoordinatorID, To: 9, Op: OpRebalanceControl, IsResponse: true,
+			Body: &RebalanceControlResponse{Status: StatusOK, Enabled: true, BackingOff: false,
+				Splits: 2, Merges: 1, Migrations: 3, Backoffs: 4}},
 		{ID: 29, From: 9, To: 7, Op: OpPing, Body: &PingRequest{}},
 		{ID: 29, From: 7, To: 9, Op: OpPing, IsResponse: true, Body: &PingResponse{Status: StatusOK}},
 		// Deadline/trace-bearing envelopes: a traced pull with an absolute

@@ -562,7 +562,7 @@ func marshalBody(e *Encoder, p Payload) {
 		e.Range(b.Range)
 		e.U64(uint64(b.Source))
 		e.U64(uint64(b.Target))
-		e.U64(b.TargetLogOffset)
+		e.U64(b.TargetLogWatermark)
 	case *MigrateStartResponse:
 		e.U8(uint8(b.Status))
 		e.U64(b.MapVersion)
@@ -587,6 +587,33 @@ func marshalBody(e *Encoder, p Payload) {
 		e.U64(uint64(b.Server))
 	case *ReportCrashResponse:
 		e.U8(uint8(b.Status))
+	case *MergeTabletsRequest:
+		e.U64(uint64(b.Table))
+		e.U64(b.MergeAt)
+	case *MergeTabletsResponse:
+		e.U8(uint8(b.Status))
+		e.U64(b.MapVersion)
+	case *GetHeatRequest:
+	case *GetHeatResponse:
+		e.U8(uint8(b.Status))
+		e.U32(uint32(len(b.Tablets)))
+		for i := range b.Tablets {
+			e.U64(uint64(b.Tablets[i].Table))
+			e.Range(b.Tablets[i].Range)
+			e.U64(b.Tablets[i].Heat)
+		}
+		e.U64s(b.QueueWaitP99Micros)
+	case *RebalanceControlRequest:
+		e.Bool(b.Enable)
+		e.Bool(b.Disable)
+	case *RebalanceControlResponse:
+		e.U8(uint8(b.Status))
+		e.Bool(b.Enabled)
+		e.Bool(b.BackingOff)
+		e.U64(b.Splits)
+		e.U64(b.Merges)
+		e.U64(b.Migrations)
+		e.U64(b.Backoffs)
 	case *PingRequest:
 	case *PingResponse:
 		e.U8(uint8(b.Status))
@@ -746,7 +773,7 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpCreateIndex:
 		return &CreateIndexResponse{Status: Status(d.U8()), Index: IndexID(d.U64())}, d.err
 	case op == OpMigrateStart && !isResponse:
-		return &MigrateStartRequest{Table: TableID(d.U64()), Range: d.Range(), Source: ServerID(d.U64()), Target: ServerID(d.U64()), TargetLogOffset: d.U64()}, d.err
+		return &MigrateStartRequest{Table: TableID(d.U64()), Range: d.Range(), Source: ServerID(d.U64()), Target: ServerID(d.U64()), TargetLogWatermark: d.U64()}, d.err
 	case op == OpMigrateStart:
 		return &MigrateStartResponse{Status: Status(d.U8()), MapVersion: d.U64()}, d.err
 	case op == OpMigrateDone && !isResponse:
@@ -765,6 +792,35 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 		return &ReportCrashRequest{Server: ServerID(d.U64())}, d.err
 	case op == OpReportCrash:
 		return &ReportCrashResponse{Status: Status(d.U8())}, d.err
+	case op == OpMergeTablets && !isResponse:
+		return &MergeTabletsRequest{Table: TableID(d.U64()), MergeAt: d.U64()}, d.err
+	case op == OpMergeTablets:
+		return &MergeTabletsResponse{Status: Status(d.U8()), MapVersion: d.U64()}, d.err
+	case op == OpGetHeat && !isResponse:
+		return &GetHeatRequest{}, d.err
+	case op == OpGetHeat:
+		resp := &GetHeatResponse{Status: Status(d.U8())}
+		n := int(d.U32())
+		// Minimum per entry: table(8) + range(16) + heat(8).
+		if d.err != nil || n < 0 || n*tabletHeatSize > d.remaining() {
+			if d.err == nil {
+				d.err = ErrTruncated
+			}
+			return resp, d.err
+		}
+		resp.Tablets = make([]TabletHeat, 0, n)
+		for i := 0; i < n; i++ {
+			resp.Tablets = append(resp.Tablets, TabletHeat{Table: TableID(d.U64()), Range: d.Range(), Heat: d.U64()})
+		}
+		resp.QueueWaitP99Micros = d.U64s()
+		return resp, d.err
+	case op == OpRebalanceControl && !isResponse:
+		return &RebalanceControlRequest{Enable: d.Bool(), Disable: d.Bool()}, d.err
+	case op == OpRebalanceControl:
+		return &RebalanceControlResponse{
+			Status: Status(d.U8()), Enabled: d.Bool(), BackingOff: d.Bool(),
+			Splits: d.U64(), Merges: d.U64(), Migrations: d.U64(), Backoffs: d.U64(),
+		}, d.err
 	case op == OpPing && !isResponse:
 		return &PingRequest{}, d.err
 	case op == OpPing:

@@ -682,9 +682,12 @@ type MigrateStartRequest struct {
 	Range  HashRange
 	Source ServerID
 	Target ServerID
-	// TargetLogOffset is the offset into the target's recovery log where
-	// the dependency starts.
-	TargetLogOffset uint64
+	// TargetLogWatermark is the target's log append-epoch at ownership
+	// transfer: the lineage dependency covers only entries above it. The
+	// watermark is what keeps a re-migration to a former owner safe — the
+	// target's log may still hold records from its earlier ownership of
+	// the range, and a lineage replay must not resurrect them.
+	TargetLogWatermark uint64
 }
 
 func (r *MigrateStartRequest) WireSize() int { return 48 }
@@ -767,6 +770,94 @@ type ReportCrashResponse struct{ Status Status }
 
 func (r *ReportCrashResponse) WireSize() int { return 1 }
 func (r *ReportCrashResponse) Op() Op        { return OpReportCrash }
+
+// MergeTabletsRequest coalesces the two adjacent tablets of one table that
+// meet at boundary MergeAt (the first hash of the upper tablet) back into a
+// single tablet. Both tablets must live on the same master and have no
+// active lineage dependency; merging is pure map surgery, no data moves.
+type MergeTabletsRequest struct {
+	Table TableID
+	// MergeAt is the boundary to erase: the Start of the upper tablet,
+	// i.e. the value a prior SplitTabletRequest passed as SplitAt.
+	MergeAt uint64
+}
+
+func (r *MergeTabletsRequest) WireSize() int { return 16 }
+func (r *MergeTabletsRequest) Op() Op        { return OpMergeTablets }
+
+// MergeTabletsResponse acknowledges the merge.
+type MergeTabletsResponse struct {
+	Status     Status
+	MapVersion uint64
+}
+
+func (r *MergeTabletsResponse) WireSize() int { return 9 }
+func (r *MergeTabletsResponse) Op() Op        { return OpMergeTablets }
+
+// TabletHeat is one tablet's decayed access-rate estimate in a heat
+// snapshot: accesses per decay interval, exponentially weighted toward the
+// most recent interval.
+type TabletHeat struct {
+	Table TableID
+	Range HashRange
+	// Heat is the decayed access count (reads + writes, scaled up by the
+	// sampling rate so it estimates true accesses, not samples).
+	Heat uint64
+}
+
+// tabletHeatSize is table(8) + range(16) + heat(8).
+const tabletHeatSize = 32
+
+// GetHeatRequest polls one server for its heat snapshot and SLO signals.
+type GetHeatRequest struct{}
+
+func (r *GetHeatRequest) WireSize() int { return 0 }
+func (r *GetHeatRequest) Op() Op        { return OpGetHeat }
+
+// GetHeatResponse carries the per-tablet heat snapshot plus the dispatch
+// queue-wait p99 per priority level in microseconds — the signal the
+// rebalancer's SLO guard watches (index = Priority value).
+type GetHeatResponse struct {
+	Status  Status
+	Tablets []TabletHeat
+	// QueueWaitP99Micros has NumPriorities entries; entry i is the p99
+	// dispatch queue wait of Priority(i) in microseconds.
+	QueueWaitP99Micros []uint64
+}
+
+func (r *GetHeatResponse) WireSize() int {
+	// status(1) + tablet count(4) + entries + p99 count(4) + entries
+	return 9 + tabletHeatSize*len(r.Tablets) + 8*len(r.QueueWaitP99Micros)
+}
+func (r *GetHeatResponse) Op() Op { return OpGetHeat }
+
+// RebalanceControlRequest drives the coordinator's rebalancer loop from
+// operator tooling: enable or disable scheduling, or just read status.
+type RebalanceControlRequest struct {
+	// Enable/Disable toggle the loop; both false means status-only.
+	Enable  bool
+	Disable bool
+}
+
+func (r *RebalanceControlRequest) WireSize() int { return 2 }
+func (r *RebalanceControlRequest) Op() Op        { return OpRebalanceControl }
+
+// RebalanceControlResponse reports the loop's state and lifetime counters.
+type RebalanceControlResponse struct {
+	Status  Status
+	Enabled bool
+	// BackingOff is true while the SLO guard is holding back scheduling.
+	BackingOff bool
+	// Lifetime action counters.
+	Splits     uint64
+	Merges     uint64
+	Migrations uint64
+	Backoffs   uint64
+}
+
+// WireSize is status(1) + enabled(1) + backingOff(1) + 4 counters.
+func (r *RebalanceControlResponse) WireSize() int { return 35 }
+func (r *RebalanceControlResponse) Op() Op        { return OpRebalanceControl }
 
 // ---------------------------------------------------------------------------
 // Health

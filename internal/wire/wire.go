@@ -94,6 +94,17 @@ const (
 	// Group-commit replication: one RPC carries every shard's pending log
 	// growth for one backup. (Appended last; see OpAbortMigration.)
 	OpReplicateBatch
+
+	// Rebalancing control path (appended last; see OpAbortMigration).
+	// GetHeat polls a server's decayed per-tablet heat snapshot plus its
+	// dispatch queue-wait percentiles (the rebalancer's SLO sensor).
+	OpGetHeat
+	// MergeTablets coalesces two adjacent cold tablets of one master back
+	// into one map entry; the inverse of OpSplitTablet.
+	OpMergeTablets
+	// RebalanceControl enables/disables the coordinator's rebalancer loop
+	// and reports its status counters.
+	OpRebalanceControl
 )
 
 var opNames = map[Op]string{
@@ -128,6 +139,9 @@ var opNames = map[Op]string{
 	OpPing:              "Ping",
 	OpAbortMigration:    "AbortMigration",
 	OpReplicateBatch:    "ReplicateBatch",
+	OpGetHeat:           "GetHeat",
+	OpMergeTablets:      "MergeTablets",
+	OpRebalanceControl:  "RebalanceControl",
 }
 
 func (o Op) String() string {

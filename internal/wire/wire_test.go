@@ -184,7 +184,7 @@ func sampleMessages(rng *rand.Rand) []*Message {
 		&CreateTableResponse{Status: StatusOK, Table: 12},
 		&CreateIndexRequest{Table: 12, Servers: []ServerID{2, 3}, SplitKeys: [][]byte{rb()}},
 		&CreateIndexResponse{Status: StatusOK, Index: 4},
-		&MigrateStartRequest{Table: 9, Range: HashRange{1, 2}, Source: 2, Target: 3, TargetLogOffset: 1 << 30},
+		&MigrateStartRequest{Table: 9, Range: HashRange{1, 2}, Source: 2, Target: 3, TargetLogWatermark: 1 << 30},
 		&MigrateStartResponse{Status: StatusOK, MapVersion: 6},
 		&MigrateDoneRequest{Table: 9, Range: HashRange{1, 2}, Source: 2, Target: 3},
 		&MigrateDoneResponse{Status: StatusOK},
