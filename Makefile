@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test race vet lint fuzz faults stress-write bench bench-scale bench-rebalance bins clean
+.PHONY: all build check test race vet lint fuzz faults faults-persist stress-write bench bench-scale bench-rebalance bench-durability bins clean
 
 all: build
 
@@ -54,6 +54,15 @@ faults:
 	FAULT_SEEDS=1,7,42 FAULT_RANDOM_SEED=1 $(GO) test -race -count=1 \
 		./internal/cluster/ -run 'TestFaultScenario|TestChaosMigrationsVsOperations'
 
+# faults-persist re-runs the same scenario suite with every cluster backed
+# by the durable FileStore (FAULT_PERSIST=1 points each server at a test
+# tmpdir): identical seeds and invariants, replica bytes on disk. The
+# full-cluster-restart scenario — all processes die, a new cluster on the
+# same data directory recovers everything — runs here too.
+faults-persist:
+	FAULT_PERSIST=1 FAULT_SEEDS=1,7,42 FAULT_RANDOM_SEED=1 $(GO) test -race -count=1 \
+		./internal/cluster/ -run 'TestFaultScenario|TestChaosMigrationsVsOperations'
+
 # bench runs the RPC hot-path microbenchmarks with allocation reporting and
 # records the machine-readable results in BENCH_hotpath.json.
 bench:
@@ -68,6 +77,15 @@ bench:
 bench-scale:
 	$(GO) test -run xxx -bench 'BenchmarkReadScaling|BenchmarkMixedScaling' -benchtime .3s -cpu 1,2,4,8 -count=1 ./internal/server
 	BENCH_SCALE_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestScalingBenchArtifact -benchtime .3s -count=1 ./internal/server
+
+# bench-durability measures replication flush throughput across the backup
+# backends (MemStore, FileStore with the batched group fsync, FileStore
+# fsyncing every append) and merges the "durability" section into
+# BENCH_hotpath.json. The artifact test also asserts batched beats
+# unbatched — the group fsync must earn its keep.
+bench-durability:
+	$(GO) test -run xxx -bench BenchmarkReplicationFlush -benchtime .3s -count=1 ./internal/backup
+	BENCH_DURABILITY_JSON=$(CURDIR)/BENCH_hotpath.json $(GO) test -run TestDurabilityBenchArtifact -count=1 -v ./internal/backup
 
 # bench-rebalance measures the heat-driven rebalancer under a moving
 # Zipfian hotspot on an egress-capped fabric (rebalancing on vs off) and

@@ -116,6 +116,33 @@ func main() {
 		for p, micros := range h.QueueWaitP99Micros {
 			fmt.Printf("  queue-wait p99 %v = %dµs\n", wire.Priority(p), micros)
 		}
+	case "backup":
+		need(args, 3, "backup status <serverID>")
+		if args[1] != "status" {
+			usage()
+		}
+		reply, err := cl.Node().Call(ctx, wire.ServerID(mustU64(args[2])), wire.PriorityForeground, &wire.BackupStatusRequest{})
+		check(err)
+		b := reply.(*wire.BackupStatusResponse)
+		if b.Status != wire.StatusOK {
+			log.Fatalf("backup status failed: %v", b.Status)
+		}
+		backend := "memory"
+		if b.Persistent {
+			backend = "file"
+		}
+		fmt.Printf("backend=%s segments=%d sealed=%d bytes=%d written=%d syncLag=%d\n",
+			backend, b.Segments, b.SealedSegments, b.Bytes, b.BytesWritten, b.SyncLag)
+	case "recover":
+		need(args, 2, "recover <masterID>")
+		reply, err := cl.Node().Call(ctx, wire.CoordinatorID, wire.PriorityForeground,
+			&wire.RecoverMasterRequest{Master: wire.ServerID(mustU64(args[1]))})
+		check(err)
+		r := reply.(*wire.RecoverMasterResponse)
+		if r.Status != wire.StatusOK {
+			log.Fatalf("recover failed: %v (%d segments, %d records installed)", r.Status, r.Segments, r.Records)
+		}
+		fmt.Printf("recovered %d records from %d backup segments\n", r.Records, r.Segments)
 	case "rebalance":
 		need(args, 2, "rebalance enable|disable|status")
 		req := &wire.RebalanceControlRequest{}
@@ -152,6 +179,8 @@ commands:
   migrate <tableID> <startHash> <endHash> <sourceID> <targetID>
   crash <serverID>
   heat <serverID>
+  backup status <serverID>
+  recover <masterID>
   rebalance enable|disable|status`)
 	os.Exit(2)
 }

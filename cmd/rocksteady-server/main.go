@@ -43,6 +43,7 @@ func main() {
 		replication = flag.Int("replication", 0, "replication factor across peer backups (0 = off)")
 		segSize     = flag.Int("segment-size", 0, "log segment size in bytes (default 1 MiB)")
 		htCap       = flag.Int("hashtable-capacity", 0, "expected object count (default 1M)")
+		dataDir     = flag.String("data-dir", "", "persist backup segment replicas under this directory (reloaded on restart); empty = in-memory backups")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = off")
 
 		rebalanceEvery = flag.Duration("rebalance-interval", 2*time.Second,
@@ -95,14 +96,18 @@ func main() {
 			}
 		}
 	}
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		ID:                self,
 		Workers:           *workers,
 		SegmentSize:       *segSize,
 		HashTableCapacity: *htCap,
 		Backups:           backups,
 		ReplicationFactor: *replication,
+		DataDir:           *dataDir,
 	}, ep)
+	if err != nil {
+		log.Fatalf("open backup store: %v", err)
+	}
 	core.NewManager(srv, core.Options{})
 
 	// Enlist with the coordinator.

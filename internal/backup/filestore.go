@@ -1,0 +1,562 @@
+// FileStore: the durable SegmentStore. Each replica segment is one
+// append-only file; seals are recorded in a per-master manifest so a
+// reopened store can tell a cleanly sealed segment from one that lost
+// its tail in a crash. Durability is batched: appends only dirty file
+// handles, and Sync runs a leader-elected group fsync shared by every
+// concurrent caller — the same group-commit shape as Replicator.Sync —
+// so the chunks of one ReplicateBatch (and the batches of concurrent
+// masters) coalesce into one fsync round per file.
+//
+// Layout under the store directory:
+//
+//	m<masterID>/s<logID>-<segID>.seg   replica bytes, append-only
+//	m<masterID>/MANIFEST               seal records, append-only
+//
+// A seal record is 28 bytes: magic, logID, segID, sealed length, CRC32.
+// Records are trusted up to the first torn or corrupt one (manifest
+// writes themselves crash mid-record). On reopen a segment is sealed
+// only if a valid seal record exists AND the file holds at least the
+// sealed length; a shorter file is a truncated tail — the fsync batch
+// never completed — and the segment surfaces as unsealed so recovery
+// treats its contents as a torn log tail instead of silently replaying
+// it as complete.
+package backup
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rocksteady/internal/wire"
+)
+
+const (
+	sealRecordSize  = 28
+	sealRecordMagic = 0x524b5331 // "RKS1"
+)
+
+// errFileStoreClosed reports use after Close.
+var errFileStoreClosed = errors.New("backup: file store closed")
+
+// FileStoreOptions tunes a FileStore.
+type FileStoreOptions struct {
+	// SyncEveryAppend fsyncs inside every Append instead of batching in
+	// Sync: the unbatched baseline the durability benchmark compares
+	// group fsync against. Not recommended outside measurements.
+	SyncEveryAppend bool
+}
+
+type fileReplica struct {
+	f      *os.File
+	len    int
+	sealed bool
+	// torn marks a replica whose file was shorter than its sealed length
+	// at reopen (crash between seal record and data fsync).
+	torn bool
+}
+
+// masterFiles holds one master's open directory and manifest handles.
+type masterFiles struct {
+	dir      *os.File
+	manifest *os.File
+}
+
+// FileStore is the file-backed SegmentStore.
+type FileStore struct {
+	dir             string
+	syncEveryAppend bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when syncedGen advances, flush ends, or the store fails/closes
+	root     *os.File   // store directory handle, fsynced when master dirs appear
+	replicas map[replicaKey]*fileReplica
+	masters  map[wire.ServerID]*masterFiles
+	written  int64
+
+	// Group-fsync state, mirroring Replicator.Sync: appends bump
+	// appendGen and dirty file handles; the first Sync caller to find no
+	// flush in flight becomes the leader, snapshots the dirty set, and
+	// fsyncs outside the lock while followers wait on cond.
+	dirty     map[*os.File]struct{}
+	appendGen uint64
+	syncedGen uint64
+	flushing  bool
+	failed    error
+	closed    bool
+
+	// Reopen census (see ReopenedSegments / TornSegments).
+	reopened int
+	torn     int
+}
+
+// OpenFileStore opens (creating if needed) the file-backed segment store
+// rooted at dir, reloading every replica a previous process left behind.
+func OpenFileStore(dir string, opts FileStoreOptions) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	root, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{
+		dir:             dir,
+		syncEveryAppend: opts.SyncEveryAppend,
+		root:            root,
+		replicas:        make(map[replicaKey]*fileReplica),
+		masters:         make(map[wire.ServerID]*masterFiles),
+		dirty:           make(map[*os.File]struct{}),
+	}
+	fs.cond = sync.NewCond(&fs.mu)
+	if err := fs.reload(); err != nil {
+		fs.closeFilesLocked()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// reload scans the store directory, rebuilding the in-memory index from
+// segment files and manifest seal records.
+func (fs *FileStore) reload() error {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "m") {
+			continue
+		}
+		id, err := strconv.ParseUint(ent.Name()[1:], 10, 64)
+		if err != nil {
+			continue // foreign directory; leave it alone
+		}
+		if err := fs.reloadMaster(wire.ServerID(id), filepath.Join(fs.dir, ent.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fs *FileStore) reloadMaster(master wire.ServerID, dir string) error {
+	mf, err := fs.openMasterDir(master, dir)
+	if err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		logID, segID, ok := parseSegName(ent.Name())
+		if !ok {
+			continue
+		}
+		f, err := os.OpenFile(filepath.Join(dir, ent.Name()), os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		fs.replicas[replicaKey{master: master, logID: logID, segID: segID}] = &fileReplica{f: f, len: int(st.Size())}
+		fs.reopened++
+	}
+	// Apply seal records, trusting the manifest up to the first torn or
+	// corrupt record. A segment re-sealed after a torn reopen has several
+	// records; the newest (last durable) one governs.
+	seals, err := readSealRecords(mf.manifest)
+	if err != nil {
+		return err
+	}
+	newest := make(map[replicaKey]sealRecord, len(seals))
+	for _, s := range seals {
+		newest[replicaKey{master: master, logID: s.logID, segID: s.segID}] = s
+	}
+	for key, s := range newest {
+		r := fs.replicas[key]
+		if r == nil {
+			continue // sealed then dropped; the file is gone
+		}
+		if r.len < int(s.sealedLen) {
+			// Truncated tail: the seal record is durable but the data
+			// fsync never completed. Surface as unsealed so recovery
+			// replays only what is actually there (torn-tail semantics),
+			// never as a complete segment.
+			r.torn = true
+			fs.torn++
+			continue
+		}
+		r.sealed = true
+		r.len = int(s.sealedLen)
+	}
+	return nil
+}
+
+// openMasterDir opens (creating if needed) one master's directory and
+// manifest, registering the handles; fs.mu is not needed during open.
+func (fs *FileStore) openMasterDir(master wire.ServerID, dir string) (*masterFiles, error) {
+	if mf := fs.masters[master]; mf != nil {
+		return mf, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dh, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := os.OpenFile(filepath.Join(dir, "MANIFEST"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		dh.Close()
+		return nil, err
+	}
+	mf := &masterFiles{dir: dh, manifest: manifest}
+	fs.masters[master] = mf
+	return mf, nil
+}
+
+func segName(logID, segID uint64) string {
+	return fmt.Sprintf("s%d-%d.seg", logID, segID)
+}
+
+func parseSegName(name string) (logID, segID uint64, ok bool) {
+	if !strings.HasPrefix(name, "s") || !strings.HasSuffix(name, ".seg") {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(name[1:], ".seg")
+	dash := strings.IndexByte(body, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	var err error
+	if logID, err = strconv.ParseUint(body[:dash], 10, 64); err != nil {
+		return 0, 0, false
+	}
+	if segID, err = strconv.ParseUint(body[dash+1:], 10, 64); err != nil {
+		return 0, 0, false
+	}
+	return logID, segID, true
+}
+
+type sealRecord struct {
+	logID, segID uint64
+	sealedLen    uint32
+}
+
+func encodeSealRecord(s sealRecord) []byte {
+	var b [sealRecordSize]byte
+	binary.LittleEndian.PutUint32(b[0:], sealRecordMagic)
+	binary.LittleEndian.PutUint64(b[4:], s.logID)
+	binary.LittleEndian.PutUint64(b[12:], s.segID)
+	binary.LittleEndian.PutUint32(b[20:], s.sealedLen)
+	binary.LittleEndian.PutUint32(b[24:], crc32.ChecksumIEEE(b[:24]))
+	return b[:]
+}
+
+// readSealRecords scans a manifest from the start, stopping at the first
+// short, corrupt, or torn record: everything before it was durable.
+func readSealRecords(f *os.File) ([]sealRecord, error) {
+	var out []sealRecord
+	var b [sealRecordSize]byte
+	for off := int64(0); ; off += sealRecordSize {
+		n, err := f.ReadAt(b[:], off)
+		if n < sealRecordSize {
+			if err != nil && err != io.EOF {
+				return nil, err
+			}
+			return out, nil // torn tail record (or clean EOF)
+		}
+		if binary.LittleEndian.Uint32(b[0:]) != sealRecordMagic ||
+			binary.LittleEndian.Uint32(b[24:]) != crc32.ChecksumIEEE(b[:24]) {
+			return out, nil // corrupt record: trust nothing past it
+		}
+		out = append(out, sealRecord{
+			logID:     binary.LittleEndian.Uint64(b[4:]),
+			segID:     binary.LittleEndian.Uint64(b[12:]),
+			sealedLen: binary.LittleEndian.Uint32(b[20:]),
+		})
+	}
+}
+
+// ReopenedSegments reports how many replica files the store found on
+// open; TornSegments how many of them were shorter than their manifest
+// seal record (crash-truncated tails, surfaced as unsealed).
+func (fs *FileStore) ReopenedSegments() int { return fs.reopened }
+
+// TornSegments reports crash-truncated replicas detected on open.
+func (fs *FileStore) TornSegments() int { return fs.torn }
+
+// Append implements SegmentStore. The write lands in the page cache
+// under the store lock; durability waits for Sync's group fsync.
+func (fs *FileStore) Append(master wire.ServerID, logID, segID uint64, offset uint32, data []byte, seal bool) wire.Status {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed || fs.failed != nil {
+		return wire.StatusInternalError
+	}
+	key := replicaKey{master: master, logID: logID, segID: segID}
+	r := fs.replicas[key]
+	if r == nil {
+		var err error
+		if r, err = fs.createReplicaLocked(master, logID, segID); err != nil {
+			fs.failLocked(err)
+			return wire.StatusInternalError
+		}
+		fs.replicas[key] = r
+	}
+	if st := checkAppend(r.len, r.sealed, offset, len(data)); st != wire.StatusOK {
+		return st
+	}
+	if len(data) > 0 {
+		if _, err := r.f.WriteAt(data, int64(offset)); err != nil {
+			fs.failLocked(err)
+			return wire.StatusInternalError
+		}
+		if end := int(offset) + len(data); end > r.len {
+			r.len = end
+		}
+		fs.dirty[r.f] = struct{}{}
+		fs.written += int64(len(data))
+	}
+	if seal && !r.sealed {
+		r.sealed = true
+		mf := fs.masters[master]
+		rec := encodeSealRecord(sealRecord{logID: logID, segID: segID, sealedLen: uint32(r.len)})
+		if _, err := appendTo(mf.manifest, rec); err != nil {
+			fs.failLocked(err)
+			return wire.StatusInternalError
+		}
+		fs.dirty[mf.manifest] = struct{}{}
+	}
+	fs.appendGen++
+	if fs.syncEveryAppend {
+		if err := fs.fsyncDirtyLocked(); err != nil {
+			fs.failLocked(err)
+			return wire.StatusInternalError
+		}
+		fs.syncedGen = fs.appendGen
+	}
+	return wire.StatusOK
+}
+
+// appendTo writes at the file's current end (the handle is shared, so
+// O_APPEND alone would race with ReadAt-based reload; explicit offsets
+// keep writes deterministic).
+func appendTo(f *os.File, b []byte) (int, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return f.WriteAt(b, st.Size())
+}
+
+// createReplicaLocked creates the replica's file (and the master's
+// directory and manifest on first contact), dirtying the directory
+// handles so the new entries reach disk with the next group fsync.
+func (fs *FileStore) createReplicaLocked(master wire.ServerID, logID, segID uint64) (*fileReplica, error) {
+	mdir := filepath.Join(fs.dir, fmt.Sprintf("m%d", uint64(master)))
+	mf, ok := fs.masters[master]
+	if !ok {
+		var err error
+		if mf, err = fs.openMasterDir(master, mdir); err != nil {
+			return nil, err
+		}
+		fs.dirty[fs.root] = struct{}{}
+	}
+	f, err := os.OpenFile(filepath.Join(mdir, segName(logID, segID)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fs.dirty[mf.dir] = struct{}{}
+	return &fileReplica{f: f}, nil
+}
+
+// fsyncDirtyLocked syncs and clears the dirty set while holding fs.mu
+// (SyncEveryAppend mode only; the batched path syncs outside the lock).
+func (fs *FileStore) fsyncDirtyLocked() error {
+	for f := range fs.dirty {
+		delete(fs.dirty, f)
+		if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+			return err
+		}
+	}
+	return nil
+}
+
+// failLocked poisons the store: a lost write means this backup can no
+// longer promise durability, so every later Append and Sync fails and
+// masters mark it dead (durability degrades rather than lying).
+func (fs *FileStore) failLocked(err error) {
+	if fs.failed == nil {
+		fs.failed = err
+	}
+	fs.cond.Broadcast()
+}
+
+// Sync implements SegmentStore: it blocks until every append accepted
+// before the call is on disk. Concurrent callers share flushes exactly
+// like Replicator.Sync's group commit — one caller becomes the leader,
+// snapshots the dirty file set, and fsyncs outside the lock; the rest
+// wait on the generation, so N callers cost one fsync round, not N.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	target := fs.appendGen
+	for fs.syncedGen < target {
+		if fs.failed != nil {
+			return fs.failed
+		}
+		if fs.closed {
+			return errFileStoreClosed
+		}
+		if !fs.flushing {
+			fs.flushing = true
+			gen := fs.appendGen
+			files := make([]*os.File, 0, len(fs.dirty))
+			for f := range fs.dirty {
+				files = append(files, f)
+				delete(fs.dirty, f)
+			}
+			fs.mu.Unlock()
+			var err error
+			for _, f := range files {
+				// A handle Drop closed mid-flush needs no durability.
+				if e := f.Sync(); e != nil && !errors.Is(e, os.ErrClosed) && err == nil {
+					err = e
+				}
+			}
+			fs.mu.Lock()
+			fs.flushing = false
+			if err != nil {
+				fs.failLocked(err)
+			} else if gen > fs.syncedGen {
+				fs.syncedGen = gen
+			}
+			fs.cond.Broadcast()
+			continue
+		}
+		fs.cond.Wait()
+	}
+	return fs.failed
+}
+
+// List implements SegmentStore.
+func (fs *FileStore) List(master wire.ServerID) []SegmentInfo {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []SegmentInfo
+	for key, r := range fs.replicas {
+		if key.master != master {
+			continue
+		}
+		out = append(out, SegmentInfo{LogID: key.logID, SegmentID: key.segID, Len: r.len, Sealed: r.sealed})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LogID != out[j].LogID {
+			return out[i].LogID < out[j].LogID
+		}
+		return out[i].SegmentID < out[j].SegmentID
+	})
+	return out
+}
+
+// Read implements SegmentStore.
+func (fs *FileStore) Read(master wire.ServerID, logID, segID uint64) ([]byte, bool, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	r := fs.replicas[replicaKey{master: master, logID: logID, segID: segID}]
+	if r == nil || fs.closed {
+		return nil, false, false
+	}
+	data := make([]byte, r.len)
+	if _, err := io.ReadFull(io.NewSectionReader(r.f, 0, int64(r.len)), data); err != nil {
+		return nil, false, false
+	}
+	return data, r.sealed, true
+}
+
+// Drop implements SegmentStore: the master's replicas, files, manifest,
+// and directory are all removed. An in-flight group fsync may still hold
+// a dropped handle; its Sync sees os.ErrClosed and skips it.
+func (fs *FileStore) Drop(master wire.ServerID) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for key, r := range fs.replicas {
+		if key.master != master {
+			continue
+		}
+		delete(fs.dirty, r.f)
+		r.f.Close()
+		os.Remove(r.f.Name())
+		delete(fs.replicas, key)
+	}
+	if mf := fs.masters[master]; mf != nil {
+		delete(fs.dirty, mf.manifest)
+		mf.manifest.Close()
+		os.Remove(mf.manifest.Name())
+		delete(fs.dirty, mf.dir)
+		mf.dir.Close()
+		os.Remove(mf.dir.Name())
+		delete(fs.masters, master)
+	}
+}
+
+// Stats implements SegmentStore.
+func (fs *FileStore) Stats() StoreStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := StoreStats{
+		BytesWritten: fs.written,
+		SyncLag:      int64(fs.appendGen - fs.syncedGen),
+		Persistent:   true,
+	}
+	for _, r := range fs.replicas {
+		st.Segments++
+		if r.sealed {
+			st.SealedSegments++
+		}
+		st.Bytes += int64(r.len)
+	}
+	return st
+}
+
+// Close implements SegmentStore. It waits out any in-flight group fsync,
+// then releases every handle. Unsynced bytes are NOT flushed: they were
+// never acknowledged, and losing them is exactly what a crash at this
+// instant would do — the restart path must cope either way.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.closed = true
+	for fs.flushing {
+		fs.cond.Wait()
+	}
+	fs.closeFilesLocked()
+	fs.cond.Broadcast()
+	fs.mu.Unlock()
+	return nil
+}
+
+func (fs *FileStore) closeFilesLocked() {
+	for _, r := range fs.replicas {
+		r.f.Close()
+	}
+	for _, mf := range fs.masters {
+		mf.manifest.Close()
+		mf.dir.Close()
+	}
+	fs.root.Close()
+}

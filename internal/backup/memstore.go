@@ -1,0 +1,130 @@
+package backup
+
+import (
+	"sort"
+	"sync"
+
+	"rocksteady/internal/wire"
+)
+
+// replicaKey identifies one segment replica.
+type replicaKey struct {
+	master wire.ServerID
+	logID  uint64
+	segID  uint64
+}
+
+type memReplica struct {
+	data   []byte
+	sealed bool
+}
+
+// MemStore keeps replicas in memory: the original backup backend,
+// standing in for RAMCloud's remote flash when durability across full
+// restarts is not under test. Sync is a no-op — an in-memory replica is
+// as durable as it will ever get the moment it is applied.
+type MemStore struct {
+	mu       sync.Mutex
+	replicas map[replicaKey]*memReplica
+	written  int64
+}
+
+// NewMemStore creates an empty in-memory segment store.
+func NewMemStore() *MemStore {
+	return &MemStore{replicas: make(map[replicaKey]*memReplica)}
+}
+
+// Append implements SegmentStore.
+func (s *MemStore) Append(master wire.ServerID, logID, segID uint64, offset uint32, data []byte, seal bool) wire.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := replicaKey{master: master, logID: logID, segID: segID}
+	r := s.replicas[key]
+	if r == nil {
+		r = &memReplica{}
+		s.replicas[key] = r
+	}
+	if st := checkAppend(len(r.data), r.sealed, offset, len(data)); st != wire.StatusOK {
+		return st
+	}
+	if int(offset) == len(r.data) {
+		r.data = append(r.data, data...)
+	} else {
+		// Idempotent prefix rewrite, extending past the old end if the
+		// span runs longer.
+		copy(r.data[offset:], data)
+		if int(offset)+len(data) > len(r.data) {
+			r.data = append(r.data[:offset], data...)
+		}
+	}
+	if seal {
+		r.sealed = true
+	}
+	s.written += int64(len(data))
+	return wire.StatusOK
+}
+
+// Sync implements SegmentStore (no-op: memory has no sync point).
+func (s *MemStore) Sync() error { return nil }
+
+// List implements SegmentStore.
+func (s *MemStore) List(master wire.ServerID) []SegmentInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SegmentInfo
+	for key, r := range s.replicas {
+		if key.master != master {
+			continue
+		}
+		out = append(out, SegmentInfo{LogID: key.logID, SegmentID: key.segID, Len: len(r.data), Sealed: r.sealed})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LogID != out[j].LogID {
+			return out[i].LogID < out[j].LogID
+		}
+		return out[i].SegmentID < out[j].SegmentID
+	})
+	return out
+}
+
+// Read implements SegmentStore.
+func (s *MemStore) Read(master wire.ServerID, logID, segID uint64) ([]byte, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.replicas[replicaKey{master: master, logID: logID, segID: segID}]
+	if r == nil {
+		return nil, false, false
+	}
+	data := make([]byte, len(r.data))
+	copy(data, r.data)
+	return data, r.sealed, true
+}
+
+// Drop implements SegmentStore.
+func (s *MemStore) Drop(master wire.ServerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.replicas {
+		if key.master == master {
+			delete(s.replicas, key)
+		}
+	}
+}
+
+// Stats implements SegmentStore.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{BytesWritten: s.written}
+	for _, r := range s.replicas {
+		st.Segments++
+		if r.sealed {
+			st.SealedSegments++
+		}
+		st.Bytes += int64(len(r.data))
+	}
+	return st
+}
+
+// Close implements SegmentStore (nothing to release).
+func (s *MemStore) Close() error { return nil }

@@ -1,0 +1,91 @@
+package backup
+
+import (
+	"rocksteady/internal/wire"
+)
+
+// SegmentStore is the pluggable persistence backend beneath the backup
+// service: where replica segment bytes actually live. The RPC surface
+// (Store) owns throttling, batching, and paging; a SegmentStore owns
+// bytes and durability. Two implementations exist: MemStore (the
+// original in-memory map, the default) and FileStore (append-only files
+// with batched fsync; survives full-process restarts).
+//
+// Append contract, identical across backends (and enforced by the shared
+// checkAppend helper):
+//   - an append at offset == current length extends the replica;
+//   - an append at offset < current length rewrites the existing prefix
+//     idempotently (replication retries resend spans) and may extend;
+//   - an append at offset > current length is a gap and is rejected;
+//   - data appended after seal is rejected (a bare re-seal is allowed);
+//   - seal marks the replica complete; recovery trusts sealed lengths.
+type SegmentStore interface {
+	// Append applies one replication span to the replica (master, logID,
+	// segID), creating it if needed, and seals it when seal is set. The
+	// returned status follows the append contract above. Durability is
+	// NOT implied: callers must Sync before acknowledging.
+	Append(master wire.ServerID, logID, segID uint64, offset uint32, data []byte, seal bool) wire.Status
+
+	// Sync blocks until every Append accepted before the call is durable.
+	// MemStore's is a no-op; FileStore's is a group fsync shared by every
+	// concurrent caller (see FileStore).
+	Sync() error
+
+	// List returns the replicas held for a master, sorted by
+	// (logID, segID) so a paging cursor over the index is stable.
+	List(master wire.ServerID) []SegmentInfo
+
+	// Read returns a copy of one replica's current bytes and its sealed
+	// flag; ok is false if the replica does not exist.
+	Read(master wire.ServerID, logID, segID uint64) (data []byte, sealed bool, ok bool)
+
+	// Drop discards every replica held for a master (post-recovery
+	// cleanup). FileStore also removes the files.
+	Drop(master wire.ServerID)
+
+	// Stats reports the store's size and durability lag counters.
+	Stats() StoreStats
+
+	// Close releases resources (file handles). It does not flush: bytes
+	// not yet synced were never acknowledged and may be lost, exactly as
+	// a crash would lose them.
+	Close() error
+}
+
+// SegmentInfo describes one replica in a SegmentStore's index.
+type SegmentInfo struct {
+	LogID     uint64
+	SegmentID uint64
+	Len       int
+	Sealed    bool
+}
+
+// StoreStats is a SegmentStore's counters, surfaced through the
+// BackupStatus RPC and `rocksteady-cli backup status`.
+type StoreStats struct {
+	// Segments and SealedSegments count replicas held (all masters).
+	Segments       int64
+	SealedSegments int64
+	// Bytes is replica bytes currently held; BytesWritten is cumulative
+	// bytes accepted (rewrites included).
+	Bytes        int64
+	BytesWritten int64
+	// SyncLag counts append generations accepted but not yet durable
+	// (always 0 for MemStore, and for FileStore between batches).
+	SyncLag int64
+	// Persistent reports whether the store survives a process restart.
+	Persistent bool
+}
+
+// checkAppend validates one replication span against the append contract
+// shared by every SegmentStore. curLen and sealed describe the replica as
+// stored; the caller applies the span only on StatusOK.
+func checkAppend(curLen int, sealed bool, offset uint32, dataLen int) wire.Status {
+	if sealed && dataLen > 0 {
+		return wire.StatusInternalError
+	}
+	if int(offset) > curLen {
+		return wire.StatusInternalError
+	}
+	return wire.StatusOK
+}

@@ -3,6 +3,12 @@
 // (standing in for RAMCloud's remote flash), and every master runs a
 // Replicator that streams its log tail to its backups with group commit.
 //
+// Persistence is pluggable behind SegmentStore (segstore.go): MemStore
+// keeps replicas in memory (the default), FileStore persists them as
+// append-only files with batched fsync so data survives a full-cluster
+// restart. The Store type here is the RPC surface shared by both —
+// throttling, batch application, durability acks, and paged reads.
+//
 // The paper's replication ceiling (~380 MB/s on their cluster, §2.3) is
 // reproduced with a configurable write-bandwidth throttle on the store.
 package backup
@@ -14,58 +20,67 @@ import (
 	"rocksteady/internal/wire"
 )
 
-// replicaKey identifies one segment replica.
-type replicaKey struct {
-	master wire.ServerID
-	logID  uint64
-	segID  uint64
-}
+// DefaultGetSegmentsPageBytes caps one GetBackupSegments response when
+// the request does not set MaxBytes. Recovery of a large master streams
+// its replicas page by page instead of materializing every segment it
+// holds in one unbounded response.
+const DefaultGetSegmentsPageBytes = 4 << 20
 
-type replica struct {
-	data   []byte
-	closed bool
-	// logOffset is the master-log offset of the first byte of this
-	// replica; recovery uses it to replay only a lineage dependency's
-	// tail.
-	logOffset uint64
-}
-
-// Store is the backup service state on one server.
+// Store is the backup service state on one server: the RPC-facing layer
+// over a pluggable SegmentStore backend.
 type Store struct {
 	// WriteBandwidth throttles replica writes in bytes/sec; 0 disables
 	// throttling. Models the flash/replication ceiling of §2.3.
 	WriteBandwidth float64
 
-	mu       sync.Mutex
-	replicas map[replicaKey]*replica
-	nicFree  time.Time
-	written  int64
+	seg SegmentStore
+
+	mu      sync.Mutex
+	nicFree time.Time
 }
 
-// NewStore creates an empty backup store.
+// NewStore creates a backup store over the in-memory backend.
 func NewStore() *Store {
-	return &Store{replicas: make(map[replicaKey]*replica)}
+	return NewStoreWith(NewMemStore())
 }
+
+// NewStoreWith creates a backup store over the given backend.
+func NewStoreWith(seg SegmentStore) *Store {
+	return &Store{seg: seg}
+}
+
+// Backend returns the store's SegmentStore.
+func (s *Store) Backend() SegmentStore { return s.seg }
+
+// Close releases the backend (file handles for FileStore).
+func (s *Store) Close() error { return s.seg.Close() }
 
 // BytesWritten returns total replica bytes accepted.
 func (s *Store) BytesWritten() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.written
+	return s.seg.Stats().BytesWritten
 }
 
 // HandleReplicate applies one replication request: append Data at Offset
-// of the replica, creating it if needed.
+// of the replica, creating it if needed. The OK status is an ack that the
+// bytes are durable — it is only returned after the backend's Sync.
 func (s *Store) HandleReplicate(req *wire.ReplicateSegmentRequest) wire.Status {
 	s.throttle(len(req.Data))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(req.Master, req.LogID, req.SegmentID, req.Offset, req.Data, req.Close)
+	st := s.seg.Append(req.Master, req.LogID, req.SegmentID, req.Offset, req.Data, req.Close)
+	if st != wire.StatusOK {
+		return st
+	}
+	if err := s.seg.Sync(); err != nil {
+		return wire.StatusInternalError
+	}
+	return wire.StatusOK
 }
 
-// HandleReplicateBatch applies a group-commit batch: every chunk under one
-// lock acquisition, each acknowledged individually so the master can
-// re-replicate exactly the chunks that failed.
+// HandleReplicateBatch applies a group-commit batch: every chunk is
+// applied, then ONE backend Sync covers them all — the group-fsync
+// mirror of the replicator's group commit — before any chunk is
+// acknowledged. Chunks are acknowledged individually so the master can
+// re-replicate exactly the chunks that failed; a failed sync fails every
+// chunk, because none of them is durable.
 func (s *Store) HandleReplicateBatch(req *wire.ReplicateBatchRequest) *wire.ReplicateBatchResponse {
 	total := 0
 	for i := range req.Chunks {
@@ -76,48 +91,27 @@ func (s *Store) HandleReplicateBatch(req *wire.ReplicateBatchRequest) *wire.Repl
 		Status:        wire.StatusOK,
 		ChunkStatuses: make([]wire.Status, len(req.Chunks)),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	applied := false
 	for i := range req.Chunks {
 		c := &req.Chunks[i]
-		st := s.applyLocked(req.Master, c.LogID, c.SegmentID, c.Offset, c.Data, c.Close)
+		st := s.seg.Append(req.Master, c.LogID, c.SegmentID, c.Offset, c.Data, c.Close)
 		resp.ChunkStatuses[i] = st
 		if st != wire.StatusOK {
 			resp.Status = wire.StatusInternalError
+		} else {
+			applied = true
+		}
+	}
+	if applied {
+		if err := s.seg.Sync(); err != nil {
+			// Nothing in this batch is durable; retract every ack.
+			resp.Status = wire.StatusInternalError
+			for i := range resp.ChunkStatuses {
+				resp.ChunkStatuses[i] = wire.StatusInternalError
+			}
 		}
 	}
 	return resp
-}
-
-// applyLocked appends data at offset of one replica; s.mu must be held.
-func (s *Store) applyLocked(master wire.ServerID, logID, segID uint64, offset uint32, data []byte, seal bool) wire.Status {
-	key := replicaKey{master: master, logID: logID, segID: segID}
-	r := s.replicas[key]
-	if r == nil {
-		r = &replica{}
-		s.replicas[key] = r
-	}
-	if r.closed && len(data) > 0 {
-		return wire.StatusInternalError
-	}
-	if int(offset) != len(r.data) {
-		// Out-of-order or duplicate append: accept idempotently when it
-		// rewrites an existing prefix, reject gaps.
-		if int(offset) > len(r.data) {
-			return wire.StatusInternalError
-		}
-		copy(r.data[offset:], data)
-		if int(offset)+len(data) > len(r.data) {
-			r.data = append(r.data[:offset], data...)
-		}
-	} else {
-		r.data = append(r.data, data...)
-	}
-	if seal {
-		r.closed = true
-	}
-	s.written += int64(len(data))
-	return wire.StatusOK
 }
 
 // throttle enforces the write-bandwidth model using an accumulated-debt
@@ -140,33 +134,62 @@ func (s *Store) throttle(n int) {
 	}
 }
 
-// HandleGetSegments returns every replica held for a master, for recovery.
+// HandleGetSegments returns one page of the replicas held for a master.
+// The request's Cursor indexes the store's (logID, segID)-sorted replica
+// list; the response carries at least one segment (so a segment larger
+// than the cap still moves) and stops before exceeding MaxBytes of
+// segment data (DefaultGetSegmentsPageBytes when zero). More and
+// NextCursor tell the caller to keep paging. The index is stable while
+// the master being recovered stays dead — the only time this is called.
 func (s *Store) HandleGetSegments(req *wire.GetBackupSegmentsRequest) *wire.GetBackupSegmentsResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	maxBytes := int(req.MaxBytes)
+	if maxBytes <= 0 {
+		maxBytes = DefaultGetSegmentsPageBytes
+	}
+	infos := s.seg.List(req.Master)
 	resp := &wire.GetBackupSegmentsResponse{Status: wire.StatusOK}
-	for key, r := range s.replicas {
-		if key.master != req.Master {
-			continue
+	i := int(req.Cursor)
+	if i < 0 || i > len(infos) {
+		i = len(infos)
+	}
+	bytes := 0
+	for ; i < len(infos); i++ {
+		if len(resp.Segments) > 0 && bytes+infos[i].Len > maxBytes {
+			break
 		}
-		data := make([]byte, len(r.data))
-		copy(data, r.data)
+		data, sealed, ok := s.seg.Read(req.Master, infos[i].LogID, infos[i].SegmentID)
+		if !ok {
+			continue // dropped since List; skip
+		}
 		resp.Segments = append(resp.Segments, wire.BackupSegment{
-			LogID:     key.logID,
-			SegmentID: key.segID,
+			LogID:     infos[i].LogID,
+			SegmentID: infos[i].SegmentID,
+			Sealed:    sealed,
 			Data:      data,
 		})
+		bytes += len(data)
 	}
+	resp.NextCursor = uint64(i)
+	resp.More = i < len(infos)
 	return resp
+}
+
+// HandleStatus reports the backend's counters for `rocksteady-cli
+// backup status`.
+func (s *Store) HandleStatus(req *wire.BackupStatusRequest) *wire.BackupStatusResponse {
+	st := s.seg.Stats()
+	return &wire.BackupStatusResponse{
+		Status:         wire.StatusOK,
+		Persistent:     st.Persistent,
+		Segments:       uint64(st.Segments),
+		SealedSegments: uint64(st.SealedSegments),
+		Bytes:          uint64(st.Bytes),
+		BytesWritten:   uint64(st.BytesWritten),
+		SyncLag:        uint64(st.SyncLag),
+	}
 }
 
 // Drop discards every replica held for a master (post-recovery cleanup).
 func (s *Store) Drop(master wire.ServerID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key := range s.replicas {
-		if key.master == master {
-			delete(s.replicas, key)
-		}
-	}
+	s.seg.Drop(master)
 }

@@ -7,6 +7,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -60,6 +61,12 @@ type Config struct {
 	// rebalancer is always attached (so the RebalanceControl RPC works)
 	// but does nothing until enabled via RPC or Rebalancer().Enable().
 	Rebalance coordinator.RebalancerConfig
+	// DataDir, when non-empty, backs every server's backup service with
+	// a durable FileStore under DataDir/server-<id>: replicated segments
+	// survive process death, Restart re-opens them, and a whole cluster
+	// rebuilt on the same DataDir can recover all data from disk via the
+	// coordinator's RecoverMaster path. Empty keeps backups in memory.
+	DataDir string
 }
 
 // Clone returns an independent copy of the configuration, so a base config
@@ -156,6 +163,12 @@ func (c *Cluster) startServer(id wire.ServerID, ids []wire.ServerID) *server.Ser
 			}
 		}
 	}
+	var dataDir string
+	if c.cfg.DataDir != "" {
+		// Per-server subdirectory, keyed by cluster address so Restart
+		// (same id, fresh process) re-opens the same store.
+		dataDir = filepath.Join(c.cfg.DataDir, fmt.Sprintf("server-%d", uint64(id)))
+	}
 	srv := server.New(server.Config{
 		ID:                   id,
 		Workers:              c.cfg.Workers,
@@ -165,8 +178,28 @@ func (c *Cluster) startServer(id wire.ServerID, ids []wire.ServerID) *server.Ser
 		ReplicationFactor:    c.cfg.ReplicationFactor,
 		BackupWriteBandwidth: c.cfg.BackupWriteBandwidth,
 		RPCTimeout:           c.cfg.RPCTimeout,
+		DataDir:              dataDir,
 	}, c.attach(id))
 	return srv
+}
+
+// RecoverMaster asks the coordinator to rebuild one master's data from
+// the backup segment replicas live servers hold for it: the cold-start
+// recovery used after a full-cluster restart on a persistent DataDir.
+// Tables must be recreated (same names, same server layout) first.
+func (c *Cluster) RecoverMaster(ctx context.Context, id wire.ServerID) (*wire.RecoverMasterResponse, error) {
+	reply, err := c.firstClient().Node().Call(ctx, wire.CoordinatorID, wire.PriorityForeground, &wire.RecoverMasterRequest{Master: id})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := reply.(*wire.RecoverMasterResponse)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected RecoverMaster reply %T", reply)
+	}
+	if resp.Status != wire.StatusOK {
+		return resp, fmt.Errorf("cluster: RecoverMaster(%v) status %v", id, resp.Status)
+	}
+	return resp, nil
 }
 
 // Restart replaces a crashed server with a fresh, empty process at the

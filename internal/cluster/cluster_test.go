@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -16,6 +17,12 @@ import (
 func testCluster(t *testing.T, cfg Config) *Cluster {
 	t.Helper()
 	cfg.Quiet = true
+	if cfg.DataDir == "" && os.Getenv("FAULT_PERSIST") != "" {
+		// make faults-persist: run the whole suite against the durable
+		// FileStore backend instead of in-memory backups, proving the
+		// fault scenarios hold regardless of where replicas live.
+		cfg.DataDir = t.TempDir()
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}

@@ -122,6 +122,8 @@ func (c *Coordinator) process(m *wire.Message) {
 	case *wire.ReportCrashRequest:
 		c.reportCrash(transport.EnsureTraceID(ctx, m.TraceID), req.Server)
 		c.node.Reply(m, &wire.ReportCrashResponse{Status: wire.StatusOK})
+	case *wire.RecoverMasterRequest:
+		c.node.Reply(m, c.recoverMasterCold(transport.EnsureTraceID(ctx, m.TraceID), req))
 	case *wire.PingRequest:
 		c.node.Reply(m, &wire.PingResponse{Status: wire.StatusOK})
 	default:
@@ -490,6 +492,60 @@ func (c *Coordinator) recoverServer(ctx context.Context, crashed wire.ServerID) 
 	return nil
 }
 
+// recoverMasterCold rebuilds one master's data from the backup segment
+// replicas live servers hold for it: the cold-start recovery path after
+// a full-cluster restart, where every process died together so no crash
+// report ever fired and the coordinator's tablet map was rebuilt empty.
+// The operator recreates tables first (deterministic layout), restarts
+// every server on its old data directory, then issues RecoverMaster per
+// old master; replayed records route by (table, key hash) onto whatever
+// master owns them in the current map. Records whose table or range has
+// no current tablet are counted and reported as StatusNoSuchTable — the
+// operator forgot a table — rather than dropped silently.
+func (c *Coordinator) recoverMasterCold(ctx context.Context, req *wire.RecoverMasterRequest) *wire.RecoverMasterResponse {
+	c.mu.Lock()
+	live := c.liveServersLocked()
+	tablets := append([]wire.Tablet(nil), c.tablets...)
+	c.mu.Unlock()
+	if len(live) == 0 {
+		return &wire.RecoverMasterResponse{Status: wire.StatusServerDown}
+	}
+	segs, err := c.fetchBackupSegments(ctx, req.Master, live)
+	if err != nil {
+		c.Logf("coordinator: cold recovery of %v: %v", req.Master, err)
+		return &wire.RecoverMasterResponse{Status: wire.StatusServerDown}
+	}
+	rep := recovery.NewReplayer(nil)
+	rep.AddBackupSegments(segs)
+	// Tombstones included: a twice-recovered master may already hold
+	// older copies of deleted keys; the tombstones are the fence.
+	records, ceiling := rep.LiveWithTombstones()
+	resp := &wire.RecoverMasterResponse{Status: wire.StatusOK, Segments: uint64(len(segs))}
+	for _, t := range tablets {
+		var recs []wire.Record
+		for _, r := range records {
+			if r.Table == t.Table && t.Range.Contains(wire.HashKey(r.Key)) {
+				recs = append(recs, r)
+			}
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		if err := c.installTablet(ctx, t.Table, t.Range, t.Master, recs, ceiling); err != nil {
+			c.Logf("coordinator: cold recovery of %v: install (%v, %v): %v", req.Master, t.Table, t.Range, err)
+			resp.Status = wire.StatusInternalError
+			return resp
+		}
+		resp.Records += uint64(len(recs))
+	}
+	if resp.Records < uint64(len(records)) {
+		// Some records had no home tablet: a table was not recreated.
+		resp.Status = wire.StatusNoSuchTable
+	}
+	c.Logf("coordinator: cold recovery of %v: %d segments, %d records", req.Master, resp.Segments, resp.Records)
+	return resp
+}
+
 func rangeFilter(table wire.TableID, rng wire.HashRange) func(wire.TableID, uint64) bool {
 	return func(t wire.TableID, h uint64) bool { return t == table && rng.Contains(h) }
 }
@@ -508,25 +564,41 @@ func (c *Coordinator) pickRecoveryMaster(live []wire.ServerID, i int) wire.Serve
 }
 
 // fetchBackupSegments collects every replica of a master's log from every
-// live server's backup service. An empty result is valid (the master never
-// wrote anything durable) as long as at least one backup answered.
+// live server's backup service, paging segment by segment: each request
+// returns at most one byte-capped page (the backup's default), so
+// recovering a large master never materializes its whole replica set in
+// one unbounded response. An empty result is valid (the master never
+// wrote anything durable) as long as at least one backup answered fully.
 func (c *Coordinator) fetchBackupSegments(ctx context.Context, master wire.ServerID, live []wire.ServerID) ([]wire.BackupSegment, error) {
 	var segs []wire.BackupSegment
 	responded := 0
 	for _, s := range live {
-		// Retried: under fault injection a dropped fetch must not silently
-		// shrink the replica set recovery reads from — that could turn an
-		// injected message loss into a genuine data loss.
-		reply, err := c.node.CallWithRetries(ctx, s, wire.PriorityForeground, &wire.GetBackupSegmentsRequest{Master: master}, transport.DefaultRetryPolicy())
-		if err != nil {
-			continue // a backup may have crashed too; others hold copies
+		var cursor uint64
+		complete := true
+		for {
+			// Retried: under fault injection a dropped fetch must not
+			// silently shrink the replica set recovery reads from — that
+			// could turn an injected message loss into a genuine data loss.
+			reply, err := c.node.CallWithRetries(ctx, s, wire.PriorityForeground,
+				&wire.GetBackupSegmentsRequest{Master: master, Cursor: cursor}, transport.DefaultRetryPolicy())
+			if err != nil {
+				complete = false // a backup may have crashed too; others hold copies
+				break
+			}
+			resp, ok := reply.(*wire.GetBackupSegmentsResponse)
+			if !ok || resp.Status != wire.StatusOK {
+				complete = false
+				break
+			}
+			segs = append(segs, resp.Segments...)
+			if !resp.More {
+				break
+			}
+			cursor = resp.NextCursor
 		}
-		resp, ok := reply.(*wire.GetBackupSegmentsResponse)
-		if !ok || resp.Status != wire.StatusOK {
-			continue
+		if complete {
+			responded++
 		}
-		responded++
-		segs = append(segs, resp.Segments...)
 	}
 	if responded == 0 {
 		return nil, fmt.Errorf("no backup answered for %v", master)

@@ -10,6 +10,8 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +59,12 @@ type Config struct {
 	// 2^shift is recorded (0 = storage.DefaultHeatSampleShift; negative =
 	// sample every access, which deterministic tests use).
 	HeatSampleShift int
+	// DataDir, when non-empty, backs this server's backup service with a
+	// durable FileStore rooted at DataDir/backup: segment replicas are
+	// persisted with batched fsync and reloaded on the next start, so a
+	// full-cluster restart can recover every master's data from disk.
+	// Empty keeps the in-memory MemStore.
+	DataDir string
 }
 
 func (c *Config) applyDefaults() {
@@ -158,9 +166,31 @@ type Server struct {
 	heatAgg *heatState
 }
 
-// New creates a server on the given endpoint and starts serving.
+// New creates a server on the given endpoint and starts serving. It
+// panics if the durable backup store cannot be opened; deployments that
+// set Config.DataDir and want the error should use Open.
 func New(cfg Config, ep transport.Endpoint) *Server {
+	s, err := Open(cfg, ep)
+	if err != nil {
+		panic(fmt.Sprintf("server: open backup store: %v", err))
+	}
+	return s
+}
+
+// Open creates a server on the given endpoint and starts serving,
+// reporting an error if Config.DataDir is set but the file-backed
+// segment store cannot be opened (the endpoint is left running; the
+// caller owns it).
+func Open(cfg Config, ep transport.Endpoint) (*Server, error) {
 	cfg.applyDefaults()
+	seg := backup.SegmentStore(backup.NewMemStore())
+	if cfg.DataDir != "" {
+		fst, err := backup.OpenFileStore(filepath.Join(cfg.DataDir, "backup"), backup.FileStoreOptions{})
+		if err != nil {
+			return nil, err
+		}
+		seg = fst
+	}
 	s := &Server{
 		cfg: cfg,
 		//lint:ignore ctxcheck server root: requests derive their contexts from here
@@ -168,7 +198,7 @@ func New(cfg Config, ep transport.Endpoint) *Server {
 		node:  transport.NewNodeWithTimeout(ep, cfg.RPCTimeout),
 		sched: dispatch.NewScheduler(cfg.Workers),
 		ht:    storage.NewHashTable(cfg.HashTableCapacity),
-		store: backup.NewStore(),
+		store: backup.NewStoreWith(seg),
 		idx:   index.NewManager(),
 	}
 	s.tablets.Store(emptyTabletMap)
@@ -194,7 +224,7 @@ func New(cfg Config, ep transport.Endpoint) *Server {
 	}
 	s.node.SetHandler(s.dispatchRequest)
 	s.node.Start()
-	return s
+	return s, nil
 }
 
 // cleanerLoop runs cleaning passes as a background task: each pass is
@@ -236,6 +266,10 @@ func (s *Server) Close() {
 	}
 	s.node.Close()
 	s.sched.Close()
+	// Release the backup store last (file handles for a FileStore). No
+	// flush happens here: unsynced replica bytes were never acknowledged,
+	// so a close error has nothing further to protect.
+	_ = s.store.Close()
 }
 
 // Crash severs the server abruptly: the log stops accepting appends and
@@ -262,6 +296,9 @@ func (s *Server) HashTable() *storage.HashTable { return s.ht }
 
 // Replicator returns the master's log replicator.
 func (s *Server) Replicator() *backup.Replicator { return s.repl }
+
+// BackupStore returns this server's backup service store.
+func (s *Server) BackupStore() *backup.Store { return s.store }
 
 // Indexes returns the server's indexlet host.
 func (s *Server) Indexes() *index.Manager { return s.idx }
@@ -393,6 +430,8 @@ func (s *Server) handle(ctx context.Context, m *wire.Message, st *statShard) {
 		s.node.Reply(m, s.store.HandleReplicateBatch(req))
 	case *wire.GetBackupSegmentsRequest:
 		s.node.Reply(m, s.store.HandleGetSegments(req))
+	case *wire.BackupStatusRequest:
+		s.node.Reply(m, s.store.HandleStatus(req))
 	case *wire.TakeTabletsRequest:
 		s.node.Reply(m, s.handleTakeTablets(ctx, st, req))
 		s.recycleRecords(req.Records)

@@ -80,10 +80,19 @@ func seedMessages() []*Message {
 		{ID: 31, From: 10, To: 7, Op: OpReplicateBatch, IsResponse: true,
 			Body: &ReplicateBatchResponse{Status: StatusOK, ChunkStatuses: []Status{StatusOK, StatusOK}}},
 		{ID: 19, From: 2, To: 10, Op: OpGetBackupSegments,
-			Body: &GetBackupSegmentsRequest{Master: 7, MinLogOffset: 99}},
+			Body: &GetBackupSegmentsRequest{Master: 7, MinLogOffset: 99, Cursor: 3, MaxBytes: 1 << 20}},
 		{ID: 19, From: 10, To: 2, Op: OpGetBackupSegments, IsResponse: true,
 			Body: &GetBackupSegmentsResponse{Status: StatusOK,
-				Segments: []BackupSegment{{LogID: 1, SegmentID: 6, Data: []byte("seg")}}}},
+				Segments:   []BackupSegment{{LogID: 1, SegmentID: 6, Sealed: true, Data: []byte("seg")}},
+				NextCursor: 4, More: true}},
+		{ID: 35, From: 2, To: 10, Op: OpBackupStatus, Body: &BackupStatusRequest{}},
+		{ID: 35, From: 10, To: 2, Op: OpBackupStatus, IsResponse: true,
+			Body: &BackupStatusResponse{Status: StatusOK, Persistent: true,
+				Segments: 12, SealedSegments: 9, Bytes: 3 << 20, BytesWritten: 5 << 20, SyncLag: 2}},
+		{ID: 36, From: 9, To: CoordinatorID, Op: OpRecoverMaster,
+			Body: &RecoverMasterRequest{Master: 7}},
+		{ID: 36, From: CoordinatorID, To: 9, Op: OpRecoverMaster, IsResponse: true,
+			Body: &RecoverMasterResponse{Status: StatusOK, Segments: 4, Records: 1234}},
 		{ID: 20, From: 2, To: 9, Op: OpTakeTablets,
 			Body: &TakeTabletsRequest{Table: 3, Range: FullRange(), Records: []Record{rec}, VersionCeiling: 101}},
 		{ID: 21, From: 9, To: CoordinatorID, Op: OpGetTabletMap, Body: &GetTabletMapRequest{}},

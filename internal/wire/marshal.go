@@ -511,12 +511,17 @@ func marshalBody(e *Encoder, p Payload) {
 	case *GetBackupSegmentsRequest:
 		e.U64(uint64(b.Master))
 		e.U64(b.MinLogOffset)
+		e.U64(b.Cursor)
+		e.U32(b.MaxBytes)
 	case *GetBackupSegmentsResponse:
 		e.U8(uint8(b.Status))
+		e.U64(b.NextCursor)
+		e.Bool(b.More)
 		e.U32(uint32(len(b.Segments)))
 		for i := range b.Segments {
 			e.U64(b.Segments[i].LogID)
 			e.U64(b.Segments[i].SegmentID)
+			e.Bool(b.Segments[i].Sealed)
 			e.Blob(b.Segments[i].Data)
 		}
 	case *TakeTabletsRequest:
@@ -614,6 +619,21 @@ func marshalBody(e *Encoder, p Payload) {
 		e.U64(b.Merges)
 		e.U64(b.Migrations)
 		e.U64(b.Backoffs)
+	case *BackupStatusRequest:
+	case *BackupStatusResponse:
+		e.U8(uint8(b.Status))
+		e.Bool(b.Persistent)
+		e.U64(b.Segments)
+		e.U64(b.SealedSegments)
+		e.U64(b.Bytes)
+		e.U64(b.BytesWritten)
+		e.U64(b.SyncLag)
+	case *RecoverMasterRequest:
+		e.U64(uint64(b.Master))
+	case *RecoverMasterResponse:
+		e.U8(uint8(b.Status))
+		e.U64(b.Segments)
+		e.U64(b.Records)
 	case *PingRequest:
 	case *PingResponse:
 		e.U8(uint8(b.Status))
@@ -717,15 +737,16 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 	case op == OpReplicateBatch:
 		return &ReplicateBatchResponse{Status: Status(d.U8()), ChunkStatuses: d.Statuses()}, d.err
 	case op == OpGetBackupSegments && !isResponse:
-		return &GetBackupSegmentsRequest{Master: ServerID(d.U64()), MinLogOffset: d.U64()}, d.err
+		return &GetBackupSegmentsRequest{Master: ServerID(d.U64()), MinLogOffset: d.U64(), Cursor: d.U64(), MaxBytes: d.U32()}, d.err
 	case op == OpGetBackupSegments:
-		resp := &GetBackupSegmentsResponse{Status: Status(d.U8())}
+		resp := &GetBackupSegmentsResponse{Status: Status(d.U8()), NextCursor: d.U64(), More: d.Bool()}
 		n := int(d.U32())
-		// Minimum per segment: logID(8) + segmentID(8) + empty blob(4).
-		if d.err == nil && n >= 0 && n*20 <= d.remaining() {
+		// Minimum per segment: logID(8) + segmentID(8) + sealed(1) +
+		// empty blob(4).
+		if d.err == nil && n >= 0 && n*21 <= d.remaining() {
 			resp.Segments = make([]BackupSegment, 0, n)
 			for i := 0; i < n; i++ {
-				resp.Segments = append(resp.Segments, BackupSegment{LogID: d.U64(), SegmentID: d.U64(), Data: d.Blob()})
+				resp.Segments = append(resp.Segments, BackupSegment{LogID: d.U64(), SegmentID: d.U64(), Sealed: d.Bool(), Data: d.Blob()})
 			}
 		} else if d.err == nil {
 			d.err = ErrTruncated
@@ -821,6 +842,18 @@ func unmarshalBody(d *Decoder, op Op, isResponse bool) (Payload, error) {
 			Status: Status(d.U8()), Enabled: d.Bool(), BackingOff: d.Bool(),
 			Splits: d.U64(), Merges: d.U64(), Migrations: d.U64(), Backoffs: d.U64(),
 		}, d.err
+	case op == OpBackupStatus && !isResponse:
+		return &BackupStatusRequest{}, d.err
+	case op == OpBackupStatus:
+		return &BackupStatusResponse{
+			Status: Status(d.U8()), Persistent: d.Bool(),
+			Segments: d.U64(), SealedSegments: d.U64(),
+			Bytes: d.U64(), BytesWritten: d.U64(), SyncLag: d.U64(),
+		}, d.err
+	case op == OpRecoverMaster && !isResponse:
+		return &RecoverMasterRequest{Master: ServerID(d.U64())}, d.err
+	case op == OpRecoverMaster:
+		return &RecoverMasterResponse{Status: Status(d.U8()), Segments: d.U64(), Records: d.U64()}, d.err
 	case op == OpPing && !isResponse:
 		return &PingRequest{}, d.err
 	case op == OpPing:

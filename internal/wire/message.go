@@ -530,35 +530,51 @@ type ReplicateBatchResponse struct {
 func (r *ReplicateBatchResponse) WireSize() int { return 5 + len(r.ChunkStatuses) }
 func (r *ReplicateBatchResponse) Op() Op        { return OpReplicateBatch }
 
-// GetBackupSegmentsRequest asks a backup for every sealed or open segment
-// replica it holds for a crashed master; used by recovery.
+// GetBackupSegmentsRequest asks a backup for one page of the segment
+// replicas it holds for a crashed master; used by recovery. Responses
+// are paged so recovering a large master streams segment by segment
+// instead of materializing every replica in one unbounded message.
 type GetBackupSegmentsRequest struct {
 	Master ServerID
 	// MinLogOffset restricts the reply to log data at or after the offset
 	// (used to replay only a lineage dependency's log tail).
 	MinLogOffset uint64
+	// Cursor resumes paging where the previous response's NextCursor left
+	// off; zero starts from the beginning.
+	Cursor uint64
+	// MaxBytes caps the segment data in one response (0 = the backup's
+	// default page size). At least one segment is always returned.
+	MaxBytes uint32
 }
 
-func (r *GetBackupSegmentsRequest) WireSize() int { return 16 }
+func (r *GetBackupSegmentsRequest) WireSize() int { return 28 }
 func (r *GetBackupSegmentsRequest) Op() Op        { return OpGetBackupSegments }
 
 // BackupSegment is one replicated segment returned for recovery.
 type BackupSegment struct {
 	LogID     uint64
 	SegmentID uint64
-	Data      []byte
+	// Sealed reports the replica was closed by its master; an unsealed
+	// replica (or one whose file lost its tail in a backup crash) is a
+	// torn log tail, valid only up to its last parseable entry.
+	Sealed bool
+	Data   []byte
 }
 
-// GetBackupSegmentsResponse returns the replicas.
+// GetBackupSegmentsResponse returns one page of replicas.
 type GetBackupSegmentsResponse struct {
 	Status   Status
 	Segments []BackupSegment
+	// NextCursor is where the next page starts; meaningful when More.
+	NextCursor uint64
+	// More reports that further pages remain.
+	More bool
 }
 
 func (r *GetBackupSegmentsResponse) WireSize() int {
-	n := 5
+	n := 14 // status(1) + nextCursor(8) + more(1) + count(4)
 	for i := range r.Segments {
-		n += 16 + byteSliceSize(r.Segments[i].Data)
+		n += 17 + byteSliceSize(r.Segments[i].Data)
 	}
 	return n
 }
@@ -858,6 +874,61 @@ type RebalanceControlResponse struct {
 // WireSize is status(1) + enabled(1) + backingOff(1) + 4 counters.
 func (r *RebalanceControlResponse) WireSize() int { return 35 }
 func (r *RebalanceControlResponse) Op() Op        { return OpRebalanceControl }
+
+// ---------------------------------------------------------------------------
+// Durable backup storage
+// ---------------------------------------------------------------------------
+
+// BackupStatusRequest asks a server's backup service for its segment
+// store counters (`rocksteady-cli backup status`).
+type BackupStatusRequest struct{}
+
+func (r *BackupStatusRequest) WireSize() int { return 0 }
+func (r *BackupStatusRequest) Op() Op        { return OpBackupStatus }
+
+// BackupStatusResponse reports a backup's segment store state.
+type BackupStatusResponse struct {
+	Status Status
+	// Persistent reports a file-backed store (survives restart).
+	Persistent bool
+	// Segments/SealedSegments count replicas held across all masters.
+	Segments       uint64
+	SealedSegments uint64
+	// Bytes held now; BytesWritten cumulative (rewrites included).
+	Bytes        uint64
+	BytesWritten uint64
+	// SyncLag counts appends accepted but not yet fsynced (0 between
+	// batches; durability acks never race ahead of it).
+	SyncLag uint64
+}
+
+// WireSize is status(1) + persistent(1) + 5 counters.
+func (r *BackupStatusResponse) WireSize() int { return 42 }
+func (r *BackupStatusResponse) Op() Op        { return OpBackupStatus }
+
+// RecoverMasterRequest asks the coordinator to rebuild a master's data
+// from the backup segment replicas live servers hold for it — the
+// cold-start recovery path after a full-cluster restart, where no crash
+// report fires because every process died together. The caller recreates
+// tables first; replayed records route onto the current tablet map.
+type RecoverMasterRequest struct {
+	Master ServerID
+}
+
+func (r *RecoverMasterRequest) WireSize() int { return 8 }
+func (r *RecoverMasterRequest) Op() Op        { return OpRecoverMaster }
+
+// RecoverMasterResponse reports what the cold recovery replayed.
+type RecoverMasterResponse struct {
+	Status Status
+	// Segments is the number of backup segment replicas fetched; Records
+	// the live records installed onto current masters.
+	Segments uint64
+	Records  uint64
+}
+
+func (r *RecoverMasterResponse) WireSize() int { return 17 }
+func (r *RecoverMasterResponse) Op() Op        { return OpRecoverMaster }
 
 // ---------------------------------------------------------------------------
 // Health

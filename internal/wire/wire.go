@@ -105,6 +105,15 @@ const (
 	// RebalanceControl enables/disables the coordinator's rebalancer loop
 	// and reports its status counters.
 	OpRebalanceControl
+
+	// Durable backup storage path (appended last; see OpAbortMigration).
+	// BackupStatus reads a backup's segment-store counters (segments
+	// held, bytes, sync lag) for operator tooling.
+	OpBackupStatus
+	// RecoverMaster asks the coordinator to rebuild a master's data from
+	// backup segment replicas after a full-cluster restart (cold-start
+	// recovery: no crash report ever fired).
+	OpRecoverMaster
 )
 
 var opNames = map[Op]string{
@@ -142,6 +151,8 @@ var opNames = map[Op]string{
 	OpGetHeat:           "GetHeat",
 	OpMergeTablets:      "MergeTablets",
 	OpRebalanceControl:  "RebalanceControl",
+	OpBackupStatus:      "BackupStatus",
+	OpRecoverMaster:     "RecoverMaster",
 }
 
 func (o Op) String() string {
